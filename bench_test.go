@@ -1,0 +1,167 @@
+package bridgescope_test
+
+import (
+	"fmt"
+	"testing"
+
+	"bridgescope/internal/experiments"
+)
+
+// The benchmarks below regenerate the paper's evaluation (§3), one
+// benchmark per table/figure. They run a sampled slice of each benchmark
+// suite to keep -bench runs manageable; cmd/benchrunner reproduces the full
+// versions. Custom metrics carry the quantities the paper reports (average
+// LLM calls, tokens, ratios); ns/op is not the interesting number here.
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 42, Sample: 10}
+}
+
+// BenchmarkFig5aContextRetrieval regenerates Figure 5(a): average #LLM
+// calls with explicit context-retrieval tools vs a single execute_sql tool.
+func BenchmarkFig5aContextRetrieval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5a(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.AvgLLMCalls, metricName("calls", r.Model, string(r.Toolkit)))
+		}
+	}
+}
+
+// BenchmarkFig5bSQLExecution regenerates Figure 5(b): task accuracy of
+// fine-grained SQL tools vs the generic tool.
+func BenchmarkFig5bSQLExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5b(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.Accuracy, metricName("acc", r.Model, string(r.Toolkit)))
+		}
+	}
+}
+
+// BenchmarkFig5cTransactions regenerates Figure 5(c): the transaction
+// trigger ratio on write tasks.
+func BenchmarkFig5cTransactions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5c(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.TriggerRatio, metricName("ratio", r.Model, string(r.Toolkit)))
+		}
+	}
+}
+
+// BenchmarkFig6PrivilegeCalls regenerates Figure 6: average #LLM calls per
+// (user, task type) cell.
+func BenchmarkFig6PrivilegeCalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.AvgLLMCalls, metricName("calls", r.Model, string(r.Toolkit)+r.Cell.String()))
+		}
+	}
+}
+
+// BenchmarkTable1Tokens regenerates Table 1: token usage per cell.
+func BenchmarkTable1Tokens(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6Table1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.AvgTokens, metricName("tok", r.Model, string(r.Toolkit)+r.Cell.String()))
+		}
+	}
+}
+
+// BenchmarkTable2Proxy regenerates Table 2: completion rate, tokens, and
+// LLM calls on the NL2ML data-intensive workflows.
+func BenchmarkTable2Proxy(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sample = 6
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.CompletionRate, metricName("done", r.Model, string(r.Toolkit)))
+			b.ReportMetric(r.AvgTokens, metricName("tok", r.Model, string(r.Toolkit)))
+			b.ReportMetric(r.AvgLLMCalls, metricName("calls", r.Model, string(r.Toolkit)))
+		}
+	}
+}
+
+// BenchmarkIdealizedTransfer regenerates the §3.4(3) lower-bound estimate:
+// an idealized unlimited-context agent still pays two full-table transfers.
+func BenchmarkIdealizedTransfer(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sample = 10
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.IdealizedTransfer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.IdealizedAgentTokens), "tok-idealized")
+		b.ReportMetric(res.BridgeScopeTokens, "tok-bridgescope")
+		b.ReportMetric(res.Ratio, "x-ratio")
+	}
+}
+
+// BenchmarkAblationPrivilegeAnnotations, and the companions below, measure
+// the design choices DESIGN.md calls out.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Sample = 30
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablations(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.Value, sanitize(r.Name)+"-ablated")
+			b.ReportMetric(r.Baseline, sanitize(r.Name)+"-base")
+		}
+	}
+}
+
+func metricName(kind, model, rest string) string {
+	return sanitize(fmt.Sprintf("%s-%s-%s", kind, shortModel(model), rest))
+}
+
+func shortModel(m string) string {
+	if len(m) > 3 && m[:3] == "gpt" {
+		return "gpt"
+	}
+	return "claude"
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			out = append(out, r)
+		case r == ' ' || r == ',' || r == '(' || r == ')':
+			if len(out) > 0 && out[len(out)-1] != '-' {
+				out = append(out, '-')
+			}
+		}
+	}
+	for len(out) > 0 && out[len(out)-1] == '-' {
+		out = out[:len(out)-1]
+	}
+	return string(out)
+}

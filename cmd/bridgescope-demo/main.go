@@ -1,0 +1,148 @@
+// Command bridgescope-demo runs a simulated agent against the BIRD-Ext
+// database with a full step-by-step trace: every LLM decision, tool call,
+// and observation, under a chosen toolkit and role. It is the quickest way
+// to watch BridgeScope's privilege-aware behaviour differ from the PG-MCP
+// baseline.
+//
+// Usage:
+//
+//	bridgescope-demo [-toolkit bridgescope|pgmcp] [-role admin|normal|irrelevant] [-task read-001] [-model gpt|claude]
+//	bridgescope-demo -list            # list available task ids
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bridgescope/internal/agent"
+	"bridgescope/internal/bench/birdext"
+	"bridgescope/internal/core"
+	"bridgescope/internal/llm"
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/pgmcp"
+	"bridgescope/internal/task"
+)
+
+func main() {
+	toolkitName := flag.String("toolkit", "bridgescope", "bridgescope or pgmcp")
+	roleName := flag.String("role", "admin", "admin, normal, or irrelevant")
+	taskID := flag.String("task", "insert-006", "task id (see -list)")
+	modelName := flag.String("model", "claude", "gpt or claude")
+	seed := flag.Int64("seed", 42, "benchmark seed")
+	list := flag.Bool("list", false, "list task ids and exit")
+	flag.Parse()
+
+	suite := birdext.GenerateSuite(*seed)
+	if *list {
+		for _, t := range suite.Tasks {
+			fmt.Printf("%-12s %s\n", t.ID, t.NL)
+		}
+		return
+	}
+	var chosen *task.Task
+	for _, t := range suite.Tasks {
+		if t.ID == *taskID {
+			chosen = t
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown task %q (use -list)\n", *taskID)
+		os.Exit(1)
+	}
+
+	role := map[string]birdext.Role{
+		"admin": birdext.RoleAdmin, "normal": birdext.RoleNormal, "irrelevant": birdext.RoleIrrelevant,
+	}[*roleName]
+	if role == "" {
+		fmt.Fprintln(os.Stderr, "role must be admin, normal, or irrelevant")
+		os.Exit(1)
+	}
+	profile := llm.Claude4()
+	if *modelName == "gpt" {
+		profile = llm.GPT4o()
+	}
+	model := llm.NewSim(profile, *seed)
+
+	engine := suite.BuildEngine()
+	user := birdext.SetupRole(engine, role)
+	conn := core.NewSQLDBConn(engine, user)
+
+	var client *mcp.Client
+	var prompt string
+	switch *toolkitName {
+	case "bridgescope":
+		tk := core.New(conn, core.Policy{})
+		client = tk.Client()
+		prompt = tk.SystemPrompt()
+	case "pgmcp":
+		tk := pgmcp.New(conn, pgmcp.Options{WithSchemaTool: true})
+		client = mcp.NewClient(mcp.NewServer(tk.Registry()))
+		prompt = tk.SystemPrompt()
+	default:
+		fmt.Fprintln(os.Stderr, "toolkit must be bridgescope or pgmcp")
+		os.Exit(1)
+	}
+
+	fmt.Printf("task:    %s — %s\n", chosen.ID, chosen.NL)
+	fmt.Printf("model:   %s | toolkit: %s | role: %s (user %s)\n\n",
+		model.Name(), *toolkitName, role, user)
+
+	a := &agent.Agent{Model: model, Client: &tracingClient{client}, SystemPrompt: prompt}
+	met, err := a.Run(context.Background(), chosen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\n=== outcome ===")
+	switch {
+	case met.Completed:
+		fmt.Println("completed:", firstLines(met.FinalAnswer, 3))
+	case met.Aborted:
+		fmt.Println("aborted:", met.AbortReason)
+	case met.ContextExhausted:
+		fmt.Println("failed: context window exhausted")
+	default:
+		fmt.Println("did not finish")
+	}
+	fmt.Printf("LLM calls: %d | tool calls: %d | tokens: %d | transaction used: %v\n",
+		met.LLMCalls, met.ToolCalls, met.TotalTokens(), met.TransactionUsed)
+}
+
+// tracingClient wraps the MCP client to print each call and observation.
+// It reuses the agent's client interface by embedding.
+type tracingClient struct {
+	*mcp.Client
+}
+
+// CallTool traces the call before delegating.
+func (c *tracingClient) CallTool(ctx context.Context, name string, args map[string]any) (mcp.CallResult, error) {
+	argText := ""
+	if sql, ok := args["sql"].(string); ok {
+		argText = " " + sql
+	} else if obj, ok := args["object"].(string); ok {
+		argText = " " + obj
+	} else if len(args) > 0 {
+		argText = fmt.Sprintf(" %v", args)
+	}
+	fmt.Printf(">> %s%s\n", name, argText)
+	res, err := c.Client.CallTool(ctx, name, args)
+	if err != nil {
+		fmt.Printf("   !! %v\n", err)
+		return res, err
+	}
+	fmt.Printf("   %s\n", firstLines(res.Text, 4))
+	return res, nil
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) <= n {
+		return s
+	}
+	return strings.Join(lines[:n], "\n") + fmt.Sprintf("\n   ... (%d more lines)", len(lines)-n)
+}

@@ -1,0 +1,105 @@
+// Command sqlshell is an interactive shell over the embedded sqldb engine.
+// It starts with the BIRD-Ext benchmark database loaded and a superuser
+// session; use \user to switch identities and exercise the privilege
+// system.
+//
+// Meta commands:
+//
+//	\d              list tables
+//	\d <table>      show a table's DDL
+//	\user <name>    switch the session user
+//	\grant <user> <action> <table>   grant a privilege (superuser)
+//	\q              quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bridgescope/internal/bench/birdext"
+	"bridgescope/internal/sqldb"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "benchmark data seed")
+	flag.Parse()
+
+	engine := birdext.BuildEngine(*seed)
+	session := engine.NewSession("root")
+	fmt.Println("sqlshell — embedded engine with the BIRD-Ext database (user: root)")
+	fmt.Println(`type SQL terminated by newline, \d to list tables, \q to quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("%s@%s> ", session.User(), engine.Name)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if done := metaCommand(engine, &session, line); done {
+				return
+			}
+			continue
+		}
+		res, err := session.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(res.Text())
+	}
+}
+
+// metaCommand handles backslash commands; returns true on quit.
+func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\q`:
+		return true
+	case `\d`:
+		if len(fields) == 1 {
+			for _, name := range engine.TableNames() {
+				t, _ := engine.Table(name)
+				fmt.Printf("%-12s (%d rows)\n", name, t.RowCount())
+			}
+			return false
+		}
+		t, ok := engine.Table(fields[1])
+		if !ok {
+			fmt.Printf("no table %q\n", fields[1])
+			return false
+		}
+		fmt.Println(sqldb.SchemaSQL(t))
+	case `\user`:
+		if len(fields) != 2 {
+			fmt.Println("usage: \\user <name>")
+			return false
+		}
+		*session = engine.NewSession(fields[1])
+		fmt.Printf("now acting as %q\n", fields[1])
+	case `\grant`:
+		if len(fields) != 4 {
+			fmt.Println("usage: \\grant <user> <action> <table>")
+			return false
+		}
+		action, ok := sqldb.ParseAction(fields[2])
+		if !ok {
+			fmt.Printf("unknown action %q\n", fields[2])
+			return false
+		}
+		engine.Grants().Grant(fields[1], action, fields[3])
+		fmt.Println("granted")
+	default:
+		fmt.Printf("unknown command %s\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+// Chainstore reproduces the paper's running example (Figure 3): a Brand A
+// store manager's daily routine — atomically insert the day's sales and
+// refunds, then analyze recent trends by routing the query results straight
+// into an ML tool through the proxy, without the data ever entering the LLM
+// context.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bridgescope/internal/core"
+	"bridgescope/internal/mltools"
+	"bridgescope/internal/sqldb"
+)
+
+func main() {
+	engine := buildStore()
+
+	// The Brand A manager has full access to brand_a_* tables and none to
+	// brand_b_sales — the privilege annotations in get_schema make that
+	// visible to the agent up front.
+	g := engine.Grants()
+	g.GrantAll("manager_a", "brand_a_items")
+	g.GrantAll("manager_a", "brand_a_sales")
+	g.GrantAll("manager_a", "brand_a_refunds")
+
+	conn := core.NewSQLDBConn(engine, "manager_a")
+	toolkit := core.New(conn, core.Policy{})
+	mltools.NewServer(1).RegisterTools(toolkit.Registry())
+	client := toolkit.Client()
+	ctx := context.Background()
+
+	// Step 1 (F1): retrieve the schema.
+	schema, err := client.CallTool(ctx, "get_schema", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- schema with privilege annotations ---")
+	fmt.Println(schema.Text)
+
+	// Step 2 (F2+F3): atomically insert today's sales and refunds.
+	steps := []struct {
+		tool string
+		args map[string]any
+	}{
+		{"begin", nil},
+		{"insert", map[string]any{"sql": `INSERT INTO brand_a_sales (order_id, item_id, qty, amount, day) VALUES
+			(9001, 1, 2, 39.98, 15), (9002, 2, 1, 49.50, 15), (9003, 3, 4, 31.96, 15)`}},
+		{"insert", map[string]any{"sql": `INSERT INTO brand_a_refunds (refund_id, order_id, amount, day) VALUES
+			(901, 9001, 19.99, 15)`}},
+		{"commit", nil},
+	}
+	for _, s := range steps {
+		res, err := client.CallTool(ctx, s.tool, s.args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s -> %s\n", s.tool, res.Text)
+	}
+
+	// Step 3 (F4): analyze sales and refund trends. The proxy runs both
+	// SELECT producers in parallel and feeds their outputs directly into
+	// trend_analyze — the LLM sees only the verdict.
+	trends, err := client.CallTool(ctx, "proxy", map[string]any{
+		"target_tool": "trend_analyze",
+		"tool_args": map[string]any{
+			"sales": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": "SELECT day, SUM(amount) AS total FROM brand_a_sales GROUP BY day ORDER BY day"},
+				"__transform__": "vector:total",
+			},
+			"refunds": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": "SELECT day, SUM(amount) AS total FROM brand_a_refunds GROUP BY day ORDER BY day"},
+				"__transform__": "vector:total",
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- trend analysis (via proxy) ---")
+	fmt.Println(trends.Text)
+
+	// Attempting to touch Brand B's data is intercepted before the engine.
+	blocked, _ := client.CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT * FROM brand_b_sales",
+	})
+	fmt.Println("\n--- cross-brand access attempt ---")
+	fmt.Println(blocked.Text)
+}
+
+// buildStore creates the two-brand retail database with two weeks of
+// history so the trend analysis has a series to work on.
+func buildStore() *sqldb.Engine {
+	engine := sqldb.NewEngine("chainstore")
+	root := engine.NewSession("root")
+	root.MustExec(`CREATE TABLE brand_a_items (
+		id INT PRIMARY KEY, name TEXT NOT NULL, price REAL)`)
+	root.MustExec(`CREATE TABLE brand_a_sales (
+		order_id INT PRIMARY KEY, item_id INT REFERENCES brand_a_items(id),
+		qty INT NOT NULL, amount REAL, day INT)`)
+	root.MustExec(`CREATE TABLE brand_a_refunds (
+		refund_id INT PRIMARY KEY, order_id INT, amount REAL, day INT)`)
+	root.MustExec(`CREATE TABLE brand_b_sales (
+		order_id INT PRIMARY KEY, amount REAL, day INT)`)
+
+	root.MustExec(`INSERT INTO brand_a_items VALUES (1, 'shirt', 19.99), (2, 'jeans', 49.50), (3, 'socks', 7.99)`)
+	// 14 days of gently rising sales with a refund every few days.
+	oid, rid := 1000, 100
+	for day := 1; day <= 14; day++ {
+		for k := 0; k < 2+day/4; k++ {
+			oid++
+			item := 1 + (oid % 3)
+			amount := 20.0 + float64(day)*1.5 + float64(k)*3
+			root.MustExec(fmt.Sprintf(
+				"INSERT INTO brand_a_sales VALUES (%d, %d, 1, %.2f, %d)", oid, item, amount, day))
+		}
+		if day%3 == 0 {
+			rid++
+			root.MustExec(fmt.Sprintf(
+				"INSERT INTO brand_a_refunds VALUES (%d, %d, %.2f, %d)", rid, oid, 9.5, day))
+		}
+	}
+	root.MustExec(`INSERT INTO brand_b_sales VALUES (1, 100.0, 1), (2, 120.0, 2)`)
+	return engine
+}

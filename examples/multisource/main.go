@@ -1,0 +1,97 @@
+// Multisource demonstrates the paper's §2.6 claim that BridgeScope is
+// database-agnostic: the same toolkit, tools, and agent-facing behaviour
+// over two different data sources — the embedded SQL engine and a directory
+// of CSV files — plus a proxy unit that joins insight across them.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bridgescope/internal/core"
+	"bridgescope/internal/csvdb"
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/mltools"
+	"bridgescope/internal/sqldb"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// Datasource 1: the embedded relational engine with live sales.
+	engine := sqldb.NewEngine("warehouse")
+	root := engine.NewSession("root")
+	root.MustExec(`CREATE TABLE sales (day INT PRIMARY KEY, revenue REAL)`)
+	for day := 1; day <= 10; day++ {
+		root.MustExec(fmt.Sprintf("INSERT INTO sales VALUES (%d, %f)", day, 100+float64(day)*12))
+	}
+	engine.Grants().GrantAll("analyst", "sales")
+	sqlToolkit := core.New(core.NewSQLDBConn(engine, "analyst"), core.Policy{})
+
+	// Datasource 2: a directory of CSV exports (e.g. from another team).
+	dir, err := os.MkdirTemp("", "csv-source")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	csvBody := "day,refunds\n1,12.5\n2,11.0\n3,14.0\n4,16.5\n5,18.0\n6,21.0\n7,22.5\n8,25.0\n9,27.5\n10,31.0\n"
+	if err := os.WriteFile(filepath.Join(dir, "refunds.csv"), []byte(csvBody), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	store, err := csvdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.Grants().GrantAll("analyst", "refunds")
+	csvToolkit := core.New(store.Conn("analyst"), core.Policy{})
+
+	// The exact same tool names and semantics on both sources.
+	fmt.Println("--- SQL-engine source, get_schema ---")
+	printTool(ctx, sqlToolkit, "get_schema", nil)
+	fmt.Println("\n--- CSV source, get_schema ---")
+	printTool(ctx, csvToolkit, "get_schema", nil)
+
+	// A cross-source workflow: the CSV toolkit's registry also gets the
+	// sales table exposed via a bridge tool registered from the other
+	// toolkit, and trend_analyze consumes both series through one proxy.
+	mltools.NewServer(1).RegisterTools(csvToolkit.Registry())
+	csvToolkit.Registry().Register(&mcp.Tool{
+		Name:        "warehouse_select",
+		Description: "Run a SELECT against the warehouse SQL datasource.",
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			res, err := sqlToolkit.Client().CallTool(ctx, "select", args)
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+
+	fmt.Println("\n--- cross-source trend analysis via proxy ---")
+	printTool(ctx, csvToolkit, "proxy", map[string]any{
+		"target_tool": "trend_analyze",
+		"tool_args": map[string]any{
+			"sales": map[string]any{
+				"__tool__":      "warehouse_select",
+				"__args__":      map[string]any{"sql": "SELECT revenue FROM sales ORDER BY day"},
+				"__transform__": "vector:revenue",
+			},
+			"refunds": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": "SELECT refunds FROM refunds ORDER BY day"},
+				"__transform__": "vector:refunds",
+			},
+		},
+	})
+}
+
+func printTool(ctx context.Context, tk *core.Toolkit, tool string, args map[string]any) {
+	res, err := tk.Client().CallTool(ctx, tool, args)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text)
+}

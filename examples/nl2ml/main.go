@@ -1,0 +1,94 @@
+// NL2ML runs one data-intensive workflow end-to-end with a simulated agent:
+// extract thousands of rows from the housing database, normalize, train a
+// regression model, and predict — comparing BridgeScope's proxy routing
+// against the baseline PG-MCP toolkit, which must squeeze the data through
+// the model's context window (and fails).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bridgescope/internal/agent"
+	"bridgescope/internal/bench/nl2ml"
+	"bridgescope/internal/core"
+	"bridgescope/internal/llm"
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/mltools"
+	"bridgescope/internal/pgmcp"
+)
+
+func main() {
+	const seed = 7
+	// A smaller table than the benchmark's 20,000 rows keeps the example
+	// quick; it is still far too large to route through a context window.
+	engine := nl2ml.BuildHouseEngine(seed, 20000)
+	user := nl2ml.SetupUser(engine)
+
+	// A level-3 task: extract -> normalize -> train -> predict.
+	var t = nl2ml.GenerateTasks()[20] // first level-3 task
+	fmt.Println("Task:", t.NL)
+
+	model := llm.NewSim(llm.Claude4(), seed)
+
+	// --- BridgeScope: the agent abstracts the workflow into a proxy unit.
+	conn := core.NewSQLDBConn(engine, user)
+	tk := core.New(conn, core.Policy{})
+	mltools.NewServer(seed).RegisterTools(tk.Registry())
+	a := &agent.Agent{Model: model, Client: tk.Client(), SystemPrompt: tk.SystemPrompt()}
+	met, err := a.Run(context.Background(), t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== BridgeScope ===")
+	printMetrics(met)
+
+	// --- PG-MCP: the same task fails when the extracted rows no longer
+	// fit in the context window.
+	conn2 := core.NewSQLDBConn(engine, user)
+	base := pgmcp.New(conn2, pgmcp.Options{WithSchemaTool: true})
+	mltools.NewServer(seed).RegisterTools(base.Registry())
+	a2 := &agent.Agent{
+		Model:        model,
+		Client:       mcp.NewClient(mcp.NewServer(base.Registry())),
+		SystemPrompt: base.SystemPrompt(),
+	}
+	met2, err := a2.Run(context.Background(), t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== PG-MCP (baseline) ===")
+	printMetrics(met2)
+}
+
+func printMetrics(m *agent.Metrics) {
+	switch {
+	case m.Completed:
+		fmt.Println("outcome:        completed")
+		fmt.Println("final answer:  ", firstLine(m.FinalAnswer))
+	case m.ContextExhausted:
+		fmt.Println("outcome:        FAILED — context window exhausted routing data through the LLM")
+	case m.Aborted:
+		fmt.Println("outcome:        aborted —", m.AbortReason)
+	default:
+		fmt.Println("outcome:        did not finish")
+	}
+	fmt.Printf("LLM calls:      %d\n", m.LLMCalls)
+	fmt.Printf("tokens:         %d (prompt %d, completion %d)\n",
+		m.TotalTokens(), m.PromptTokens, m.CompletionTokens)
+	fmt.Printf("tool calls:     %d\n", m.ToolCalls)
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			// The result payload follows; show only the headline.
+			if i+1 < len(s) {
+				return s[i+1:]
+			}
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+// Quickstart: stand up an embedded database, wrap it in a BridgeScope
+// toolkit, and drive the tools the way an LLM agent would — schema
+// retrieval, exemplar lookup, per-action SQL execution, and a transaction.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bridgescope/internal/core"
+	"bridgescope/internal/sqldb"
+)
+
+func main() {
+	// 1. An embedded database with a schema, some data, and a user.
+	engine := sqldb.NewEngine("quickstart")
+	root := engine.NewSession("root")
+	root.MustExec(`CREATE TABLE products (
+		id INT PRIMARY KEY, name TEXT NOT NULL, category TEXT, price REAL)`)
+	root.MustExec(`INSERT INTO products VALUES
+		(1, 'shirt', 'women', 19.99),
+		(2, 'jeans', 'men', 49.50),
+		(3, 'sneakers', 'shoes', 79.00)`)
+	engine.Grants().GrantAll("alice", "products")
+
+	// 2. A BridgeScope toolkit bound to alice's connection.
+	conn := core.NewSQLDBConn(engine, "alice")
+	toolkit := core.New(conn, core.Policy{})
+	client := toolkit.Client()
+	ctx := context.Background()
+
+	// 3. Context retrieval: the schema arrives annotated with alice's
+	// privileges.
+	schema, err := client.CallTool(ctx, "get_schema", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- get_schema ---")
+	fmt.Println(schema.Text)
+
+	// 4. Exemplar retrieval grounds value predicates.
+	values, err := client.CallTool(ctx, "get_value", map[string]any{
+		"table": "products", "column": "category", "key": "women's wear",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- get_value ---")
+	fmt.Println(values.Text)
+
+	// 5. Fine-grained SQL execution: the select tool accepts only SELECT.
+	rows, err := client.CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT name, price FROM products WHERE category = 'women'",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- select ---")
+	fmt.Println(rows.Text)
+
+	// Statement-type mismatches are rejected before touching the database.
+	bad, _ := client.CallTool(ctx, "select", map[string]any{
+		"sql": "DROP TABLE products",
+	})
+	fmt.Println("\n--- select with a DROP statement ---")
+	fmt.Println(bad.Text)
+
+	// 6. Transactions: atomically add a product and reprice the range.
+	for _, step := range []struct {
+		tool string
+		args map[string]any
+	}{
+		{"begin", nil},
+		{"insert", map[string]any{"sql": "INSERT INTO products VALUES (4, 'scarf', 'women', 9.99)"}},
+		{"update", map[string]any{"sql": "UPDATE products SET price = price * 1.1 WHERE category = 'women'"}},
+		{"commit", nil},
+	} {
+		res, err := client.CallTool(ctx, step.tool, step.args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- %s ---\n%s\n", step.tool, res.Text)
+	}
+
+	final, err := client.CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT * FROM products ORDER BY id",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- final state ---")
+	fmt.Println(final.Text)
+}

@@ -1,0 +1,95 @@
+// Security demonstrates BridgeScope's two-level security model (paper
+// §2.3): database-side privileges decide which SQL tools each user even
+// sees, user-side policies hide sensitive objects and block dangerous
+// tools, and object-level verification intercepts anything that slips
+// through — including prompt-injection-style statements.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"bridgescope/internal/core"
+	"bridgescope/internal/sqldb"
+)
+
+func main() {
+	engine := sqldb.NewEngine("hr")
+	root := engine.NewSession("root")
+	root.MustExec(`CREATE TABLE employees (id INT PRIMARY KEY, name TEXT, dept TEXT)`)
+	root.MustExec(`CREATE TABLE salaries (emp_id INT REFERENCES employees(id), amount REAL, id INT PRIMARY KEY)`)
+	root.MustExec(`CREATE TABLE projects (id INT PRIMARY KEY, name TEXT, budget REAL)`)
+	root.MustExec(`INSERT INTO employees VALUES (1, 'Ada', 'eng'), (2, 'Grace', 'eng'), (3, 'Alan', 'ops')`)
+	root.MustExec(`INSERT INTO salaries VALUES (1, 180000, 1), (2, 175000, 2), (3, 120000, 3)`)
+	root.MustExec(`INSERT INTO projects VALUES (1, 'atlas', 50000), (2, 'borealis', 120000)`)
+
+	g := engine.Grants()
+	g.Grant("analyst", sqldb.ActionSelect, "employees")
+	g.Grant("analyst", sqldb.ActionSelect, "projects")
+	g.GrantAll("hr_admin", "*")
+
+	ctx := context.Background()
+
+	// --- 1. Tool exposure follows privileges: the read-only analyst gets
+	// only the select tool; the admin receives full CRUD.
+	analystTk := core.New(core.NewSQLDBConn(engine, "analyst"), core.Policy{})
+	adminTk := core.New(core.NewSQLDBConn(engine, "hr_admin"), core.Policy{})
+	fmt.Println("analyst SQL tools: ", analystTk.ExposedSQLTools())
+	fmt.Println("hr_admin SQL tools:", adminTk.ExposedSQLTools())
+
+	// --- 2. User-side policy: hide the salary table from the LLM entirely
+	// and block the drop tool even for the admin.
+	guarded := core.New(core.NewSQLDBConn(engine, "hr_admin"), core.Policy{
+		ObjectBlacklist: []string{"salaries"},
+		ToolBlacklist:   []string{"drop_table"},
+	})
+	fmt.Println("\nguarded admin SQL tools:", guarded.ExposedSQLTools())
+	schema, err := guarded.Client().CallTool(ctx, "get_schema", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- schema as the guarded admin sees it (no salaries) ---")
+	fmt.Println(schema.Text)
+
+	// --- 3. Object-level verification intercepts policy violations before
+	// the engine sees them — e.g. a prompt-injected salary exfiltration.
+	injected, _ := guarded.Client().CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT name, amount FROM employees, salaries WHERE employees.id = salaries.emp_id",
+	})
+	fmt.Println("\n--- injected salary query ---")
+	fmt.Println(injected.Text)
+
+	// --- 4. The analyst's missing privileges are likewise caught at the
+	// tool layer, sparing the database the rejected statement.
+	denied, _ := analystTk.Client().CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT * FROM salaries",
+	})
+	fmt.Println("\n--- analyst probing salaries ---")
+	fmt.Println(denied.Text)
+
+	// --- 5. And a destructive statement cannot reach the engine at all:
+	// the guarded admin has no drop tool, and the select tool refuses
+	// non-SELECT statements.
+	smuggled, _ := guarded.Client().CallTool(ctx, "select", map[string]any{
+		"sql": "DROP TABLE employees",
+	})
+	fmt.Println("\n--- smuggled DROP statement ---")
+	fmt.Println(smuggled.Text)
+
+	if _, err := guarded.Client().CallTool(ctx, "drop_table", map[string]any{
+		"sql": "DROP TABLE employees",
+	}); err != nil {
+		fmt.Println("\n--- drop_table tool ---")
+		fmt.Println("unavailable:", err)
+	}
+
+	// The data is intact.
+	check, err := adminTk.Client().CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT COUNT(*) FROM employees",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nemployees table still holds:", check.Text)
+}

@@ -1,0 +1,177 @@
+package birdext
+
+import (
+	"strings"
+	"testing"
+
+	"bridgescope/internal/sqldb"
+	"bridgescope/internal/task"
+)
+
+func TestSuiteShape(t *testing.T) {
+	s := GenerateSuite(42)
+	if len(s.ReadTasks) != NumReadTasks {
+		t.Fatalf("read tasks = %d, want %d", len(s.ReadTasks), NumReadTasks)
+	}
+	if len(s.WriteTasks) != NumWriteTasks {
+		t.Fatalf("write tasks = %d, want %d", len(s.WriteTasks), NumWriteTasks)
+	}
+	counts := map[task.Kind]int{}
+	for _, wt := range s.WriteTasks {
+		counts[wt.Kind]++
+	}
+	for _, k := range []task.Kind{task.Insert, task.Update, task.Delete} {
+		if counts[k] != 50 {
+			t.Fatalf("%s tasks = %d, want 50", k, counts[k])
+		}
+	}
+}
+
+func TestAllGoldSQLExecutes(t *testing.T) {
+	s := GenerateSuite(42)
+	for _, tk := range s.Tasks {
+		e := s.BuildEngine()
+		sess := e.NewSession("root")
+		for _, q := range tk.GoldSQL {
+			if _, err := sess.Exec(q); err != nil {
+				t.Fatalf("task %s gold SQL %q failed: %v", tk.ID, q, err)
+			}
+		}
+		if tk.VerifySQL == "" {
+			t.Fatalf("task %s has no verification query", tk.ID)
+		}
+		if _, err := sess.Exec(tk.VerifySQL); err != nil {
+			t.Fatalf("task %s verify SQL failed: %v", tk.ID, err)
+		}
+		if tk.Expected == "" {
+			t.Fatalf("task %s has no expected result", tk.ID)
+		}
+	}
+}
+
+func TestCorruptVariantsFail(t *testing.T) {
+	s := GenerateSuite(42)
+	e := s.BuildEngine()
+	sess := e.NewSession("root")
+	failures := 0
+	for _, tk := range s.ReadTasks {
+		if len(tk.CorruptIdentSQL) == 0 {
+			t.Fatalf("task %s lacks corrupt variant", tk.ID)
+		}
+		if tk.CorruptIdentSQL[0] == tk.GoldSQL[0] {
+			t.Fatalf("task %s corrupt variant equals gold: %s", tk.ID, tk.GoldSQL[0])
+		}
+		if _, err := sess.Exec(tk.CorruptIdentSQL[0]); err != nil {
+			failures++
+		}
+	}
+	// Every corrupt identifier must actually raise an engine error.
+	if failures != len(s.ReadTasks) {
+		t.Fatalf("only %d/%d corrupt variants error out", failures, len(s.ReadTasks))
+	}
+}
+
+func TestWrongValueVariantsRunButDiffer(t *testing.T) {
+	s := GenerateSuite(42)
+	e := s.BuildEngine()
+	sess := e.NewSession("root")
+	for _, tk := range s.ReadTasks {
+		if !tk.NeedsValue {
+			continue
+		}
+		if len(tk.WrongValueSQL) == 0 {
+			t.Fatalf("value task %s lacks wrong-value variant", tk.ID)
+		}
+		r, err := sess.Exec(tk.WrongValueSQL[0])
+		if err != nil {
+			t.Fatalf("task %s wrong-value SQL must execute, got %v (%s)", tk.ID, err, tk.WrongValueSQL[0])
+		}
+		if r.Text() == tk.Expected {
+			t.Fatalf("task %s wrong-value result equals gold result", tk.ID)
+		}
+	}
+}
+
+func TestSemanticVariantsDiffer(t *testing.T) {
+	s := GenerateSuite(42)
+	e := s.BuildEngine()
+	sess := e.NewSession("root")
+	n := 0
+	for _, tk := range s.ReadTasks {
+		if tk.SemanticWrongSQL == nil {
+			continue
+		}
+		n++
+		if _, err := sess.Exec(tk.SemanticWrongSQL[0]); err != nil {
+			t.Fatalf("task %s semantic variant must execute, got %v (%s)", tk.ID, err, tk.SemanticWrongSQL[0])
+		}
+	}
+	if n < 50 {
+		t.Fatalf("too few semantic variants: %d", n)
+	}
+}
+
+func TestRolesAndFeasibility(t *testing.T) {
+	e := BuildEngine(42)
+	admin := SetupRole(e, RoleAdmin)
+	normal := SetupRole(e, RoleNormal)
+	other := SetupRole(e, RoleIrrelevant)
+	g := e.Grants()
+
+	if !g.Has(admin, sqldb.ActionInsert, "sales") || !g.Has(admin, sqldb.ActionSelect, "schools") {
+		t.Fatal("admin must hold full privileges")
+	}
+	if !g.Has(normal, sqldb.ActionSelect, "sales") || g.Has(normal, sqldb.ActionInsert, "sales") {
+		t.Fatal("normal user must be read-only")
+	}
+	if g.Has(other, sqldb.ActionSelect, "sales") || !g.Has(other, sqldb.ActionSelect, "audit_log") {
+		t.Fatal("irrelevant user privileges wrong")
+	}
+
+	if !Feasible(RoleAdmin, true) || !Feasible(RoleNormal, false) {
+		t.Fatal("feasibility matrix wrong for permitted cases")
+	}
+	if Feasible(RoleNormal, true) || Feasible(RoleIrrelevant, false) {
+		t.Fatal("feasibility matrix wrong for denied cases")
+	}
+}
+
+func TestValueTasksKeyMatchesStored(t *testing.T) {
+	// Each value task's wrong value must be absent from the stored domain,
+	// so the wrong-value query returns a different (usually empty) result.
+	s := GenerateSuite(42)
+	e := s.BuildEngine()
+	for _, tk := range s.Tasks {
+		if !tk.NeedsValue {
+			continue
+		}
+		vals, err := e.ColumnValues(tk.ValueTable, tk.ValueColumn, 0)
+		if err != nil {
+			t.Fatalf("task %s: %v", tk.ID, err)
+		}
+		for _, v := range vals {
+			if strings.EqualFold(v.S, tk.ValueKey) {
+				t.Fatalf("task %s wrong value %q actually exists in %s.%s",
+					tk.ID, tk.ValueKey, tk.ValueTable, tk.ValueColumn)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := BuildEngine(7)
+	b := BuildEngine(7)
+	sa := a.NewSession("root")
+	sb := b.NewSession("root")
+	for _, q := range []string{
+		"SELECT COUNT(*), SUM(enrollment) FROM schools",
+		"SELECT SUM(amount) FROM sales",
+		"SELECT COUNT(*) FROM loans WHERE status = 'defaulted'",
+	} {
+		ra := sa.MustExec(q).Text()
+		rb := sb.MustExec(q).Text()
+		if ra != rb {
+			t.Fatalf("nondeterministic build for %q: %s vs %s", q, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package nl2ml synthesizes the NL2ML benchmark (paper §3.1): end-to-end
+// model-training tasks over a California-Housing-style table of 20,000 rows
+// and 10 columns. Its 30 tasks come in three complexity levels of 10 tasks
+// each, corresponding to one, two, and three layers of proxy-unit
+// abstraction:
+//
+//	level 1: query data  -> train model
+//	level 2: query data  -> z-score normalize -> train model
+//	level 3: query data  -> normalize -> train -> predict house prices
+//
+// The Kaggle dataset itself is not redistributable; the generator produces
+// rows of the same shape and scale from a seeded price model, which is all
+// the data-transfer experiment (§3.4) depends on.
+package nl2ml
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bridgescope/internal/sqldb"
+	"bridgescope/internal/task"
+)
+
+// Table sizes: the paper's full table and the PG-MCP-S reduction.
+const (
+	FullRows  = 20000
+	SmallRows = 20
+)
+
+// FeatureColumns are the numeric predictors; TargetColumn is the label.
+var (
+	AllFeatures = []string{
+		"longitude", "latitude", "housing_median_age", "total_rooms",
+		"total_bedrooms", "population", "households", "median_income",
+	}
+	TargetColumn = "median_house_value"
+)
+
+// BuildHouseEngine creates the housing database with the given number of
+// rows. The price model links the target to the features so regression is
+// learnable.
+func BuildHouseEngine(seed int64, rows int) *sqldb.Engine {
+	e := sqldb.NewEngine("california_housing")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE house (
+		id INT PRIMARY KEY,
+		longitude REAL, latitude REAL, housing_median_age REAL,
+		total_rooms REAL, total_bedrooms REAL, population REAL,
+		households REAL, median_income REAL, median_house_value REAL)`)
+
+	rng := rand.New(rand.NewSource(seed))
+	var batch []string
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.MustExec("INSERT INTO house VALUES " + strings.Join(batch, ", "))
+		batch = batch[:0]
+	}
+	for i := 1; i <= rows; i++ {
+		lon := -124.3 + rng.Float64()*10.0
+		lat := 32.5 + rng.Float64()*9.5
+		age := 1 + rng.Float64()*51
+		roomsC := 500 + rng.Float64()*6000
+		bedrooms := roomsC * (0.15 + rng.Float64()*0.1)
+		pop := 300 + rng.Float64()*5000
+		households := pop / (2 + rng.Float64()*2)
+		income := 0.5 + rng.Float64()*14.5
+		// Price: income dominates, coastal (west) premium, age wear,
+		// plus noise — shaped like the real dataset's dependencies.
+		price := 35000*income + 120000 - 8000*(lon+120) - 300*age +
+			12*roomsC/(1+pop/1000) + rng.NormFloat64()*25000
+		if price < 15000 {
+			price = 15000 + rng.Float64()*5000
+		}
+		batch = append(batch, fmt.Sprintf("(%d, %.4f, %.4f, %.1f, %.1f, %.1f, %.1f, %.1f, %.4f, %.1f)",
+			i, lon, lat, age, roomsC, bedrooms, pop, households, income, price))
+		if len(batch) == 500 {
+			flush()
+		}
+	}
+	flush()
+	return e
+}
+
+// SetupUser grants the analyst read access to the housing data and returns
+// the user name.
+func SetupUser(e *sqldb.Engine) string {
+	e.Grants().Grant("analyst", sqldb.ActionSelect, "house")
+	return "analyst"
+}
+
+// featureSets are the predictor subsets the tasks sweep over (5–8 of the
+// table's predictors, like the dataset's standard regression setups).
+var featureSets = [][]string{
+	{"longitude", "latitude", "housing_median_age", "total_rooms", "total_bedrooms", "population", "households", "median_income"},
+	{"median_income", "housing_median_age", "total_rooms", "total_bedrooms", "population", "households"},
+	{"median_income", "longitude", "latitude", "housing_median_age", "population"},
+	{"median_income", "housing_median_age", "total_rooms", "population", "households", "longitude", "latitude"},
+	{"median_income", "total_rooms", "total_bedrooms", "households", "housing_median_age", "population"},
+}
+
+// GenerateTasks builds the 30 NL2ML tasks (10 per level).
+func GenerateTasks() []*task.Task {
+	var out []*task.Task
+	models := []string{"train_linear_regression", "train_random_forest"}
+	modelNames := map[string]string{
+		"train_linear_regression": "a linear regression model",
+		"train_random_forest":     "a random forest model",
+	}
+	for level := 1; level <= 3; level++ {
+		for i := 0; i < 10; i++ {
+			fs := featureSets[i%len(featureSets)]
+			model := models[i%2]
+			cols := strings.Join(append(append([]string{}, fs...), TargetColumn), ", ")
+			dataSQL := "SELECT " + cols + " FROM house"
+			p := &task.Pipeline{
+				Level:       level,
+				DataSQL:     dataSQL,
+				FeatureCols: fs,
+				TargetCol:   TargetColumn,
+				Normalize:   level >= 2,
+				ModelTool:   model,
+			}
+			nl := fmt.Sprintf("Train %s to predict house values from %s.",
+				modelNames[model], strings.Join(fs, ", "))
+			if level >= 2 {
+				nl = fmt.Sprintf("Normalize the features (%s) with z-scores, then train %s to predict house values.",
+					strings.Join(fs, ", "), modelNames[model])
+			}
+			if level == 3 {
+				p.Predict = true
+				p.PredictSQL = "SELECT " + strings.Join(fs, ", ") + " FROM house ORDER BY id DESC LIMIT 10"
+				nl += " Finally, predict the prices of the 10 most recently listed houses."
+			}
+			out = append(out, &task.Task{
+				ID:       fmt.Sprintf("nl2ml-L%d-%02d", level, i+1),
+				NL:       nl,
+				Kind:     task.Read,
+				Tables:   []string{"house"},
+				GoldSQL:  []string{dataSQL},
+				Pipeline: p,
+			})
+		}
+	}
+	return out
+}

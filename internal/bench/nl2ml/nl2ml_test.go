@@ -1,0 +1,111 @@
+package nl2ml
+
+import (
+	"strings"
+	"testing"
+
+	"bridgescope/internal/sqldb"
+)
+
+func TestGenerateTasksShape(t *testing.T) {
+	tasks := GenerateTasks()
+	if len(tasks) != 30 {
+		t.Fatalf("want 30 tasks, got %d", len(tasks))
+	}
+	perLevel := map[int]int{}
+	for _, tk := range tasks {
+		if tk.Pipeline == nil {
+			t.Fatalf("task %s has no pipeline", tk.ID)
+		}
+		perLevel[tk.Pipeline.Level]++
+		if tk.Pipeline.Level >= 2 && !tk.Pipeline.Normalize {
+			t.Fatalf("task %s: level %d must normalize", tk.ID, tk.Pipeline.Level)
+		}
+		if (tk.Pipeline.Level == 3) != tk.Pipeline.Predict {
+			t.Fatalf("task %s: predict flag wrong for level %d", tk.ID, tk.Pipeline.Level)
+		}
+		if len(tk.Pipeline.FeatureCols) < 5 {
+			t.Fatalf("task %s: feature set too small", tk.ID)
+		}
+	}
+	for lvl := 1; lvl <= 3; lvl++ {
+		if perLevel[lvl] != 10 {
+			t.Fatalf("level %d has %d tasks, want 10", lvl, perLevel[lvl])
+		}
+	}
+}
+
+func TestHouseEngineShape(t *testing.T) {
+	e := BuildHouseEngine(3, 500)
+	root := e.NewSession("root")
+	r := root.MustExec("SELECT COUNT(*) FROM house")
+	if r.Rows[0][0].I != 500 {
+		t.Fatalf("row count = %v", r.Rows[0][0])
+	}
+	tab, _ := e.Table("house")
+	if len(tab.Columns) != 10 {
+		t.Fatalf("house should have 10 columns, got %d", len(tab.Columns))
+	}
+	// Price correlates with income: top-income houses cost more on average.
+	r = root.MustExec(`SELECT AVG(median_house_value) FROM house WHERE median_income > 10`)
+	high := r.Rows[0][0].F
+	r = root.MustExec(`SELECT AVG(median_house_value) FROM house WHERE median_income < 3`)
+	low := r.Rows[0][0].F
+	if high <= low {
+		t.Fatalf("price model broken: high-income avg %.0f <= low-income avg %.0f", high, low)
+	}
+}
+
+func TestHouseEngineDeterminism(t *testing.T) {
+	a := BuildHouseEngine(9, 200)
+	b := BuildHouseEngine(9, 200)
+	ra := a.NewSession("root").MustExec("SELECT SUM(median_house_value), SUM(total_rooms) FROM house").Text()
+	rb := b.NewSession("root").MustExec("SELECT SUM(median_house_value), SUM(total_rooms) FROM house").Text()
+	if ra != rb {
+		t.Fatalf("nondeterministic generation: %s vs %s", ra, rb)
+	}
+}
+
+func TestAllTaskSQLExecutes(t *testing.T) {
+	e := BuildHouseEngine(3, 300)
+	root := e.NewSession("root")
+	for _, tk := range GenerateTasks() {
+		if _, err := root.Exec(tk.Pipeline.DataSQL); err != nil {
+			t.Fatalf("task %s data SQL failed: %v", tk.ID, err)
+		}
+		if tk.Pipeline.Predict {
+			if _, err := root.Exec(tk.Pipeline.PredictSQL); err != nil {
+				t.Fatalf("task %s predict SQL failed: %v", tk.ID, err)
+			}
+		}
+	}
+}
+
+func TestSetupUser(t *testing.T) {
+	e := BuildHouseEngine(3, 50)
+	user := SetupUser(e)
+	if !e.Grants().Has(user, sqldb.ActionSelect, "house") {
+		t.Fatal("analyst must be able to read house")
+	}
+	if e.Grants().Has(user, sqldb.ActionDelete, "house") {
+		t.Fatal("analyst must not write")
+	}
+	sess := e.NewSession(user)
+	if _, err := sess.Exec("SELECT COUNT(*) FROM house"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("DELETE FROM house"); err == nil {
+		t.Fatal("delete should be denied")
+	}
+}
+
+func TestTaskNLIncludesWorkflow(t *testing.T) {
+	for _, tk := range GenerateTasks() {
+		if tk.Pipeline.Level >= 2 && !strings.Contains(tk.NL, "ormalize") {
+			t.Fatalf("task %s NL should mention normalization: %s", tk.ID, tk.NL)
+		}
+		if tk.Pipeline.Level == 3 && !strings.Contains(tk.NL, "predict") {
+			t.Fatalf("task %s NL should mention prediction: %s", tk.ID, tk.NL)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/sqldb"
+)
+
+func benchToolkit(b *testing.B) *Toolkit {
+	b.Helper()
+	e := sqldb.NewEngine("bench")
+	root := e.NewSession("root")
+	root.MustExec(`CREATE TABLE data (id INT PRIMARY KEY, grp INT, val REAL)`)
+	batch := ""
+	for i := 0; i < 2000; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %f)", i, i%20, float64(i))
+		if (i+1)%500 == 0 {
+			root.MustExec("INSERT INTO data VALUES " + batch)
+			batch = ""
+		}
+	}
+	e.Grants().GrantAll("u", "*")
+	return New(NewSQLDBConn(e, "u"), Policy{})
+}
+
+func BenchmarkGetSchemaTool(b *testing.B) {
+	tk := benchToolkit(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tk.Client().CallTool(ctx, "get_schema", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectToolOverhead(b *testing.B) {
+	// Measures verification + MCP round-trip + execution for a small query.
+	tk := benchToolkit(b)
+	ctx := context.Background()
+	args := map[string]any{"sql": "SELECT COUNT(*) FROM data WHERE grp = 3"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tk.Client().CallTool(ctx, "select", args)
+		if err != nil || res.IsErr {
+			b.Fatalf("%v %s", err, res.Text)
+		}
+	}
+}
+
+func BenchmarkProxyTwoProducers(b *testing.B) {
+	tk := benchToolkit(b)
+	tk.Registry().Register(&mcp.Tool{
+		Name: "pair",
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			return map[string]any{"ok": true}, nil
+		},
+	})
+	ctx := context.Background()
+	args := map[string]any{
+		"target_tool": "pair",
+		"tool_args": map[string]any{
+			"a": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": "SELECT val FROM data WHERE grp = 1"},
+				"__transform__": "vector:val",
+			},
+			"b": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": "SELECT val FROM data WHERE grp = 2"},
+				"__transform__": "vector:val",
+			},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tk.Client().CallTool(ctx, "proxy", args)
+		if err != nil || res.IsErr {
+			b.Fatalf("%v %s", err, res.Text)
+		}
+	}
+}
+
+func BenchmarkTransformMatrix(b *testing.B) {
+	rows := make([]any, 1000)
+	for i := range rows {
+		rows[i] = []any{float64(i), float64(i * 2), float64(i * 3)}
+	}
+	v := map[string]any{"columns": []any{"a", "b", "c"}, "rows": rows}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApplyTransform("matrix:a,c", v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

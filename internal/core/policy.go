@@ -1,0 +1,95 @@
+package core
+
+import "strings"
+
+// Policy is the user-side security configuration (paper §2.2–2.3): object
+// white/black lists restrict which database objects the LLM may see or
+// touch; tool white/black lists restrict which SQL-action tools are exposed
+// at all (e.g. blocking drop_table regardless of database privileges).
+//
+// The zero Policy permits everything the database-side privileges permit.
+type Policy struct {
+	// ObjectWhitelist, when non-empty, hides every object not listed.
+	ObjectWhitelist []string
+	// ObjectBlacklist hides the listed objects even from whitelisted sets.
+	ObjectBlacklist []string
+
+	// ToolWhitelist, when non-empty, exposes only the listed SQL tools.
+	ToolWhitelist []string
+	// ToolBlacklist removes the listed SQL tools (e.g. "drop_table").
+	ToolBlacklist []string
+
+	// SchemaThreshold is the paper's n: databases with at most this many
+	// named objects return full schemas from get_schema; larger ones
+	// switch to hierarchical retrieval (names only + get_object). Zero
+	// means the default of 20.
+	SchemaThreshold int
+
+	// ValueTopK is the default k for get_value. Zero means 5.
+	ValueTopK int
+
+	// DisablePrivilegeAnnotations removes the "-- Access / Permissions"
+	// annotations from schema output (ablation).
+	DisablePrivilegeAnnotations bool
+
+	// DisableVerification removes object-level tool verification
+	// (ablation; database-side checks still apply).
+	DisableVerification bool
+
+	// DisableParallelProxy executes sibling proxy producers sequentially
+	// (ablation).
+	DisableParallelProxy bool
+}
+
+func (p *Policy) schemaThreshold() int {
+	if p.SchemaThreshold <= 0 {
+		return 20
+	}
+	return p.SchemaThreshold
+}
+
+func (p *Policy) valueTopK() int {
+	if p.ValueTopK <= 0 {
+		return 5
+	}
+	return p.ValueTopK
+}
+
+// ObjectPermitted applies the object white/black lists.
+func (p *Policy) ObjectPermitted(name string) bool {
+	lo := strings.ToLower(name)
+	for _, b := range p.ObjectBlacklist {
+		if strings.ToLower(b) == lo {
+			return false
+		}
+	}
+	if len(p.ObjectWhitelist) == 0 {
+		return true
+	}
+	for _, w := range p.ObjectWhitelist {
+		if strings.ToLower(w) == lo {
+			return true
+		}
+	}
+	return false
+}
+
+// ToolPermitted applies the tool white/black lists to a SQL-action tool
+// name.
+func (p *Policy) ToolPermitted(name string) bool {
+	lo := strings.ToLower(name)
+	for _, b := range p.ToolBlacklist {
+		if strings.ToLower(b) == lo {
+			return false
+		}
+	}
+	if len(p.ToolWhitelist) == 0 {
+		return true
+	}
+	for _, w := range p.ToolWhitelist {
+		if strings.ToLower(w) == lo {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bridgescope/internal/mcp"
+)
+
+// Proxy-spec keys, matching the paper's Figure 3.
+const (
+	proxyToolKey      = "__tool__"
+	proxyArgsKey      = "__args__"
+	proxyTransformKey = "__transform__"
+)
+
+func (t *Toolkit) registerProxyTool() {
+	t.reg.Register(&mcp.Tool{
+		Name: "proxy",
+		Description: "Execute target_tool with tool_args, where any argument value may be a producer " +
+			"spec {\"__tool__\": name, \"__args__\": {...}, \"__transform__\": expr} whose output is " +
+			"routed directly into the argument without passing through you. Producer specs nest " +
+			"arbitrarily; sibling producers run in parallel. Use this whenever one tool's (possibly " +
+			"large) output feeds another tool. Transform expressions: identity | rows | field:<name> | " +
+			"column:<name> | matrix:<c1,c2,...> | vector:<col> | first | count | flatten, chainable " +
+			"with '|'. \"lambda x: x\" is accepted as identity.",
+		InputSchema: map[string]any{
+			"type": "object",
+			"properties": map[string]any{
+				"target_tool": map[string]any{"type": "string"},
+				"tool_args":   map[string]any{"type": "object"},
+			},
+			"required": []any{"target_tool", "tool_args"},
+		},
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			target, _ := args["target_tool"].(string)
+			if target == "" {
+				return nil, fmt.Errorf("proxy: missing required argument \"target_tool\"")
+			}
+			toolArgs, _ := args["tool_args"].(map[string]any)
+			return t.runProxyUnit(ctx, target, toolArgs)
+		},
+	})
+}
+
+// runProxyUnit executes one proxy unit ⟨p, c, f⟩ (paper §2.5): resolve every
+// producer (bottom-up, siblings in parallel), apply the adaptation
+// functions, then invoke the consumer and return its result to the caller.
+func (t *Toolkit) runProxyUnit(ctx context.Context, target string, args map[string]any) (any, error) {
+	resolved, err := t.resolveArgs(ctx, args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.client.CallTool(ctx, target, resolved)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: consumer %q: %w", target, err)
+	}
+	if res.IsErr {
+		return nil, fmt.Errorf("proxy: consumer %q failed: %s", target, strings.TrimPrefix(res.Text, "ERROR: "))
+	}
+	return res, nil
+}
+
+// resolveArgs replaces every producer spec in args with its produced,
+// transformed value. Sibling producers execute concurrently unless the
+// policy disables parallelism.
+func (t *Toolkit) resolveArgs(ctx context.Context, args map[string]any) (map[string]any, error) {
+	out := make(map[string]any, len(args))
+	type job struct {
+		key  string
+		spec map[string]any
+	}
+	var jobs []job
+	for k, v := range args {
+		if spec, ok := producerSpec(v); ok {
+			jobs = append(jobs, job{key: k, spec: spec})
+		} else {
+			out[k] = v
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].key < jobs[j].key })
+
+	if t.policy.DisableParallelProxy || len(jobs) <= 1 {
+		for _, j := range jobs {
+			v, err := t.runProducer(ctx, j.spec)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: argument %q: %w", j.key, err)
+			}
+			out[j.key] = v
+		}
+		return out, nil
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := t.runProducer(ctx, j.spec)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("proxy: argument %q: %w", j.key, err)
+				}
+				return
+			}
+			out[j.key] = v
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// producerSpec recognizes {"__tool__": ..., ...} maps.
+func producerSpec(v any) (map[string]any, bool) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := m[proxyToolKey].(string); !ok {
+		return nil, false
+	}
+	return m, true
+}
+
+// runProducer executes one producer: resolve its own arguments recursively
+// (this is what makes proxy units hierarchical), call the tool, then apply
+// the adaptation function f.
+func (t *Toolkit) runProducer(ctx context.Context, spec map[string]any) (any, error) {
+	name, _ := spec[proxyToolKey].(string)
+	rawArgs, _ := spec[proxyArgsKey].(map[string]any)
+	resolved, err := t.resolveArgs(ctx, rawArgs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.client.CallTool(ctx, name, resolved)
+	if err != nil {
+		return nil, fmt.Errorf("producer %q: %w", name, err)
+	}
+	if res.IsErr {
+		return nil, fmt.Errorf("producer %q failed: %s", name, strings.TrimPrefix(res.Text, "ERROR: "))
+	}
+	var value any
+	if len(res.Data) > 0 {
+		if err := json.Unmarshal(res.Data, &value); err != nil {
+			return nil, fmt.Errorf("producer %q returned unparseable data: %w", name, err)
+		}
+	} else {
+		value = res.Text
+	}
+	transform, _ := spec[proxyTransformKey].(string)
+	return ApplyTransform(transform, value)
+}
+
+// ApplyTransform evaluates a transform expression against a produced value.
+// Expressions chain with '|': "field:features|matrix" first extracts the
+// "features" field, then coerces it to a float matrix.
+func ApplyTransform(expr string, v any) (any, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" || expr == "identity" || expr == "lambda x: x" {
+		return v, nil
+	}
+	if strings.HasPrefix(expr, "lambda") {
+		return nil, fmt.Errorf("unsupported lambda transform %q: only \"lambda x: x\" (identity) is recognized; use the named transforms", expr)
+	}
+	cur := v
+	for _, step := range strings.Split(expr, "|") {
+		var err error
+		cur, err = applyOneTransform(strings.TrimSpace(step), cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func applyOneTransform(step string, v any) (any, error) {
+	name, arg := step, ""
+	if i := strings.IndexByte(step, ':'); i >= 0 {
+		name, arg = step[:i], step[i+1:]
+	}
+	switch name {
+	case "", "identity":
+		return v, nil
+	case "rows":
+		rows, _, err := resultRows(v)
+		if err != nil {
+			return nil, err
+		}
+		return rows, nil
+	case "field":
+		m, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("transform field:%s: value is %T, not an object", arg, v)
+		}
+		fv, ok := m[arg]
+		if !ok {
+			return nil, fmt.Errorf("transform field:%s: no such field (have %s)", arg, mapKeys(m))
+		}
+		return fv, nil
+	case "column":
+		rows, cols, err := resultRows(v)
+		if err != nil {
+			return nil, err
+		}
+		ci := indexOfFold(cols, arg)
+		if ci < 0 {
+			return nil, fmt.Errorf("transform column:%s: no such column (have %v)", arg, cols)
+		}
+		out := make([]any, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, r[ci])
+		}
+		return out, nil
+	case "matrix":
+		rows, cols, err := resultRows(v)
+		if err != nil {
+			// Accept a bare [][] value too.
+			if m, mErr := toFloatMatrix(v); mErr == nil {
+				return m, nil
+			}
+			return nil, err
+		}
+		var idx []int
+		if arg == "" {
+			for i := range cols {
+				idx = append(idx, i)
+			}
+		} else {
+			for _, c := range strings.Split(arg, ",") {
+				ci := indexOfFold(cols, strings.TrimSpace(c))
+				if ci < 0 {
+					return nil, fmt.Errorf("transform matrix: no column %q (have %v)", c, cols)
+				}
+				idx = append(idx, ci)
+			}
+		}
+		out := make([][]float64, 0, len(rows))
+		for ri, r := range rows {
+			fr := make([]float64, len(idx))
+			for j, ci := range idx {
+				f, ok := toFloat(r[ci])
+				if !ok {
+					return nil, fmt.Errorf("transform matrix: row %d column %q is not numeric", ri, cols[ci])
+				}
+				fr[j] = f
+			}
+			out = append(out, fr)
+		}
+		return out, nil
+	case "vector":
+		rows, cols, err := resultRows(v)
+		if err != nil {
+			if vec, vErr := toFloatVector(v); vErr == nil {
+				return vec, nil
+			}
+			return nil, err
+		}
+		ci := 0
+		if arg != "" {
+			ci = indexOfFold(cols, arg)
+			if ci < 0 {
+				return nil, fmt.Errorf("transform vector: no column %q (have %v)", arg, cols)
+			}
+		}
+		out := make([]float64, 0, len(rows))
+		for ri, r := range rows {
+			f, ok := toFloat(r[ci])
+			if !ok {
+				return nil, fmt.Errorf("transform vector: row %d is not numeric", ri)
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	case "first":
+		rows, _, err := resultRows(v)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("transform first: empty result")
+		}
+		return rows[0], nil
+	case "count":
+		rows, _, err := resultRows(v)
+		if err != nil {
+			return nil, err
+		}
+		return len(rows), nil
+	case "flatten":
+		rows, _, err := resultRows(v)
+		if err != nil {
+			return nil, err
+		}
+		var out []any
+		for _, r := range rows {
+			out = append(out, r...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown transform %q", step)
+}
+
+// resultRows interprets a produced value as a tabular result
+// ({"columns": [...], "rows": [[...]]}) and returns rows plus column names.
+func resultRows(v any) ([][]any, []string, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, nil, fmt.Errorf("value is %T, not a tabular result", v)
+	}
+	rawRows, ok := m["rows"].([]any)
+	if !ok {
+		if rr, ok2 := m["rows"].([][]any); ok2 {
+			cols, _ := toStringSlice(m["columns"])
+			return rr, cols, nil
+		}
+		return nil, nil, fmt.Errorf("tabular result has no rows field")
+	}
+	rows := make([][]any, 0, len(rawRows))
+	for _, r := range rawRows {
+		switch rv := r.(type) {
+		case []any:
+			rows = append(rows, rv)
+		default:
+			rows = append(rows, []any{rv})
+		}
+	}
+	cols, _ := toStringSlice(m["columns"])
+	return rows, cols, nil
+}
+
+func toStringSlice(v any) ([]string, bool) {
+	switch s := v.(type) {
+	case []string:
+		return s, true
+	case []any:
+		out := make([]string, 0, len(s))
+		for _, e := range s {
+			str, ok := e.(string)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, str)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func toFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int64:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func toFloatMatrix(v any) ([][]float64, error) {
+	rows, ok := v.([]any)
+	if !ok {
+		if m, ok2 := v.([][]float64); ok2 {
+			return m, nil
+		}
+		return nil, fmt.Errorf("value is %T, not a matrix", v)
+	}
+	out := make([][]float64, 0, len(rows))
+	for i, r := range rows {
+		cols, ok := r.([]any)
+		if !ok {
+			return nil, fmt.Errorf("row %d is %T, not a list", i, r)
+		}
+		fr := make([]float64, len(cols))
+		for j, c := range cols {
+			f, ok := toFloat(c)
+			if !ok {
+				return nil, fmt.Errorf("value at (%d,%d) is not numeric", i, j)
+			}
+			fr[j] = f
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+func toFloatVector(v any) ([]float64, error) {
+	items, ok := v.([]any)
+	if !ok {
+		if vec, ok2 := v.([]float64); ok2 {
+			return vec, nil
+		}
+		return nil, fmt.Errorf("value is %T, not a vector", v)
+	}
+	out := make([]float64, len(items))
+	for i, it := range items {
+		f, ok := toFloat(it)
+		if !ok {
+			return nil, fmt.Errorf("element %d is not numeric", i)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func indexOfFold(list []string, want string) int {
+	for i, s := range list {
+		if strings.EqualFold(s, want) {
+			return i
+		}
+	}
+	return -1
+}
+
+func mapKeys(m map[string]any) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

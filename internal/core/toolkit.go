@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"bridgescope/internal/mcp"
+)
+
+// sqlToolSpec maps each SQL-action tool to the privilege it requires and the
+// statement verb it accepts (paper §2.3, action-level tool modularization).
+type sqlToolSpec struct {
+	name        string
+	action      string // privilege action keyword
+	verb        string // statement verb the tool accepts
+	description string
+}
+
+var sqlToolSpecs = []sqlToolSpec{
+	{"select", "SELECT", "SELECT",
+		"Execute a single SELECT statement. Only SELECT is accepted; use the matching tool for other operations."},
+	{"insert", "INSERT", "INSERT",
+		"Execute a single INSERT statement. Only INSERT is accepted."},
+	{"update", "UPDATE", "UPDATE",
+		"Execute a single UPDATE statement. Only UPDATE is accepted."},
+	{"delete", "DELETE", "DELETE",
+		"Execute a single DELETE statement. Only DELETE is accepted."},
+	{"create_table", "CREATE", "CREATE",
+		"Execute a single CREATE TABLE or CREATE INDEX statement."},
+	{"drop_table", "DROP", "DROP",
+		"Execute a single DROP TABLE statement."},
+	{"alter_table", "ALTER", "ALTER",
+		"Execute a single ALTER TABLE statement."},
+}
+
+// Toolkit is a configured BridgeScope instance bound to one database
+// connection (hence one user) and one security policy.
+type Toolkit struct {
+	conn   Conn
+	policy Policy
+	reg    *mcp.Registry
+	client *mcp.Client // loops back to reg; used by the proxy tool
+}
+
+// New builds a BridgeScope toolkit over conn with the given policy. The
+// returned toolkit's Registry contains exactly the tools this user may see
+// (paper §2.3: selective exposure).
+func New(conn Conn, policy Policy) *Toolkit {
+	t := &Toolkit{conn: conn, policy: policy, reg: mcp.NewRegistry()}
+	t.client = mcp.NewClient(mcp.NewServer(t.reg))
+	t.registerContextTools()
+	t.registerSQLTools()
+	t.registerTxnTools()
+	t.registerProxyTool()
+	return t
+}
+
+// Registry returns the toolkit's tool registry. Additional domain tools
+// (e.g. ML tools) may be registered into it; the proxy tool can then route
+// data to them.
+func (t *Toolkit) Registry() *mcp.Registry { return t.reg }
+
+// Client returns an MCP client bound to the toolkit's registry.
+func (t *Toolkit) Client() *mcp.Client { return t.client }
+
+// Conn returns the underlying database connection.
+func (t *Toolkit) Conn() Conn { return t.conn }
+
+// ExposedSQLTools lists the SQL-action tools this user received, sorted.
+func (t *Toolkit) ExposedSQLTools() []string {
+	var out []string
+	for _, spec := range sqlToolSpecs {
+		if _, ok := t.reg.Get(spec.name); ok {
+			out = append(out, spec.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exposeSQLTool reports whether a SQL-action tool should be exposed: the
+// user must hold the action on at least one permitted object (or the
+// database for CREATE), and the tool must pass the policy lists.
+func (t *Toolkit) exposeSQLTool(spec sqlToolSpec) bool {
+	if !t.policy.ToolPermitted(spec.name) {
+		return false
+	}
+	if spec.action == "CREATE" {
+		return t.conn.HasPrivilege("CREATE", "*")
+	}
+	for _, obj := range t.conn.ListObjects() {
+		if !t.policy.ObjectPermitted(obj.Name) {
+			continue
+		}
+		if t.conn.HasPrivilege(spec.action, obj.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Toolkit) registerSQLTools() {
+	for _, spec := range sqlToolSpecs {
+		if !t.exposeSQLTool(spec) {
+			continue
+		}
+		spec := spec
+		t.reg.Register(&mcp.Tool{
+			Name:        spec.name,
+			Description: spec.description,
+			InputSchema: map[string]any{
+				"type": "object",
+				"properties": map[string]any{
+					"sql": map[string]any{"type": "string", "description": "the SQL statement"},
+				},
+				"required": []any{"sql"},
+			},
+			Handler: func(ctx context.Context, args map[string]any) (any, error) {
+				sql, _ := args["sql"].(string)
+				if strings.TrimSpace(sql) == "" {
+					return nil, fmt.Errorf("%s: missing required argument \"sql\"", spec.name)
+				}
+				return t.execSQL(spec, sql)
+			},
+		})
+	}
+}
+
+// execSQL enforces statement-type matching and object-level verification
+// before touching the database (paper §2.3(2)): hallucinated or injected
+// statements are intercepted here, reducing load on the engine and adding a
+// policy layer the database cannot provide.
+func (t *Toolkit) execSQL(spec sqlToolSpec, sql string) (any, error) {
+	verb, tables, err := t.conn.ClassifySQL(sql)
+	if err != nil {
+		return nil, fmt.Errorf("%s: cannot parse statement: %v", spec.name, err)
+	}
+	if verb != spec.verb {
+		return nil, fmt.Errorf("%s tool only accepts %s statements; got %s (use the matching tool)",
+			spec.name, spec.verb, verb)
+	}
+	if !t.policy.DisableVerification {
+		for i, tbl := range tables {
+			if !t.policy.ObjectPermitted(tbl) {
+				return nil, fmt.Errorf("access to object %q is blocked by the user security policy", tbl)
+			}
+			// The statement's main table needs the tool's action; other
+			// referenced tables need SELECT.
+			need := spec.action
+			if i > 0 && spec.verb != "SELECT" {
+				need = "SELECT"
+			}
+			if !t.conn.HasPrivilege(need, tbl) {
+				return nil, fmt.Errorf("permission denied: user %q lacks %s on %q (verified before execution)",
+					t.conn.User(), need, tbl)
+			}
+		}
+	}
+	res, err := t.conn.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	return mcpResult(res), nil
+}
+
+// mcpResult packages a database result so the text reaches the LLM while
+// the structured payload remains available for proxy data transfer.
+func mcpResult(res *Result) mcp.CallResult {
+	cr := mcp.CallResult{Text: res.Text()}
+	if len(res.Columns) > 0 {
+		raw, err := jsonMarshal(map[string]any{"columns": res.Columns, "rows": res.Rows})
+		if err == nil {
+			cr.Data = raw
+		}
+	}
+	return cr
+}
+
+func (t *Toolkit) registerTxnTools() {
+	// Transaction tools appear only when the user can modify data at all.
+	hasWrite := false
+	for _, spec := range sqlToolSpecs {
+		if spec.name == "select" {
+			continue
+		}
+		if _, ok := t.reg.Get(spec.name); ok {
+			hasWrite = true
+			break
+		}
+	}
+	if !hasWrite {
+		return
+	}
+	t.reg.Register(&mcp.Tool{
+		Name:        "begin",
+		Description: "Begin a new transaction. Wrap multi-statement database modifications in begin/commit for atomicity.",
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			if err := t.conn.Begin(); err != nil {
+				return nil, err
+			}
+			return "BEGIN", nil
+		},
+	})
+	t.reg.Register(&mcp.Tool{
+		Name:        "commit",
+		Description: "Commit the current transaction, making its changes permanent.",
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			if err := t.conn.Commit(); err != nil {
+				return nil, err
+			}
+			return "COMMIT", nil
+		},
+	})
+	t.reg.Register(&mcp.Tool{
+		Name:        "rollback",
+		Description: "Roll back the current transaction, discarding its changes.",
+		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			if err := t.conn.Rollback(); err != nil {
+				return nil, err
+			}
+			return "ROLLBACK", nil
+		},
+	})
+}

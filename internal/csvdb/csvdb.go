@@ -1,0 +1,277 @@
+// Package csvdb adapts directories of CSV files into BridgeScope
+// connections, demonstrating the paper's §2.6 claim that the toolkit is
+// database-agnostic: any data source that can satisfy core.Conn gets the
+// full BridgeScope tool suite (annotated schema retrieval, per-action SQL
+// tools, transactions, proxy) with no toolkit changes.
+//
+// A Store loads every *.csv file in a directory as a table (header row =
+// column names, types inferred per column), executes SQL against it through
+// the embedded engine, and can persist modified tables back to disk.
+package csvdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bridgescope/internal/core"
+	"bridgescope/internal/sqldb"
+)
+
+// Store is a CSV-backed datasource.
+type Store struct {
+	dir    string
+	engine *sqldb.Engine
+}
+
+// Open loads every .csv file in dir as a table named after the file.
+func Open(dir string) (*Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("csvdb: %w", err)
+	}
+	engine := sqldb.NewEngine("csv:" + filepath.Base(dir))
+	root := engine.NewSession("root")
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := loadCSV(root, filepath.Join(dir, name)); err != nil {
+			return nil, fmt.Errorf("csvdb: loading %s: %w", name, err)
+		}
+	}
+	return &Store{dir: dir, engine: engine}, nil
+}
+
+// Engine exposes the underlying engine (e.g. to configure grants).
+func (s *Store) Engine() *sqldb.Engine { return s.engine }
+
+// Grants exposes the privilege store.
+func (s *Store) Grants() *sqldb.Grants { return s.engine.Grants() }
+
+// Conn opens a BridgeScope-compatible connection as user.
+func (s *Store) Conn(user string) core.Conn {
+	return core.NewSQLDBConn(s.engine, user)
+}
+
+// TableName derives the table name from a CSV file name.
+func TableName(file string) string {
+	base := filepath.Base(file)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	var sb strings.Builder
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r + ('a' - 'A'))
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	name := sb.String()
+	if name == "" || name[0] >= '0' && name[0] <= '9' {
+		name = "t_" + name
+	}
+	return name
+}
+
+func loadCSV(root *sqldb.Session, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	records, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("empty file")
+	}
+	header := records[0]
+	rows := records[1:]
+	kinds := inferKinds(header, rows)
+
+	table := TableName(path)
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "CREATE TABLE %s (", table)
+	for i, col := range header {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "%s %s", sanitizeIdent(col), kindSQL(kinds[i]))
+	}
+	ddl.WriteString(")")
+	if _, err := root.Exec(ddl.String()); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	var ins strings.Builder
+	fmt.Fprintf(&ins, "INSERT INTO %s VALUES ", table)
+	for ri, rec := range rows {
+		if ri > 0 {
+			ins.WriteString(", ")
+		}
+		ins.WriteString("(")
+		for ci := range header {
+			if ci > 0 {
+				ins.WriteString(", ")
+			}
+			cell := ""
+			if ci < len(rec) {
+				cell = rec[ci]
+			}
+			ins.WriteString(renderCell(cell, kinds[ci]))
+		}
+		ins.WriteString(")")
+	}
+	_, err = root.Exec(ins.String())
+	return err
+}
+
+func sanitizeIdent(s string) string {
+	s = strings.TrimSpace(s)
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			sb.WriteRune(r + ('a' - 'A'))
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "c_" + out
+	}
+	return out
+}
+
+func inferKinds(header []string, rows [][]string) []sqldb.Kind {
+	kinds := make([]sqldb.Kind, len(header))
+	for c := range header {
+		kind := sqldb.KindInt
+		sawValue := false
+		for _, rec := range rows {
+			if c >= len(rec) {
+				continue
+			}
+			cell := strings.TrimSpace(rec[c])
+			if cell == "" {
+				continue
+			}
+			sawValue = true
+			switch kind {
+			case sqldb.KindInt:
+				if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+					continue
+				}
+				kind = sqldb.KindFloat
+				fallthrough
+			case sqldb.KindFloat:
+				if _, err := strconv.ParseFloat(cell, 64); err == nil {
+					continue
+				}
+				kind = sqldb.KindText
+			}
+			if kind == sqldb.KindText {
+				break
+			}
+		}
+		if !sawValue {
+			kind = sqldb.KindText
+		}
+		kinds[c] = kind
+	}
+	return kinds
+}
+
+func kindSQL(k sqldb.Kind) string {
+	switch k {
+	case sqldb.KindInt:
+		return "INTEGER"
+	case sqldb.KindFloat:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}
+
+func renderCell(cell string, k sqldb.Kind) string {
+	cell = strings.TrimSpace(cell)
+	if cell == "" {
+		return "NULL"
+	}
+	switch k {
+	case sqldb.KindInt, sqldb.KindFloat:
+		return cell
+	default:
+		return "'" + strings.ReplaceAll(cell, "'", "''") + "'"
+	}
+}
+
+// Save writes every table back to dir as <table>.csv, persisting any
+// modifications made through the toolkit.
+func (s *Store) Save(dir string) error {
+	if dir == "" {
+		dir = s.dir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	root := s.engine.NewSession("root")
+	for _, name := range s.engine.TableNames() {
+		res, err := root.Exec("SELECT * FROM " + name)
+		if err != nil {
+			return fmt.Errorf("csvdb: dumping %s: %w", name, err)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(res.Columns); err != nil {
+			f.Close()
+			return err
+		}
+		for _, row := range res.Rows {
+			rec := make([]string, len(row))
+			for i, v := range row {
+				if v.IsNull() {
+					rec[i] = ""
+				} else {
+					rec[i] = v.String()
+				}
+			}
+			if err := w.Write(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package csvdb
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bridgescope/internal/core"
+)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"orders.csv":     "id,item,qty,price\n1,shirt,2,19.99\n2,jeans,1,49.5\n3,mug,4,7.25\n",
+		"Events Log.csv": "ts,kind,note\n100,start,boot ok\n200,stop,\n",
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestOpenAndQuery(t *testing.T) {
+	store, err := Open(writeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := store.Engine().NewSession("root")
+	r := root.MustExec("SELECT COUNT(*), SUM(qty) FROM orders")
+	if r.Rows[0][0].I != 3 || r.Rows[0][1].I != 7 {
+		t.Fatalf("orders not loaded: %v", r.Rows)
+	}
+	// File names with spaces/case become valid identifiers.
+	r = root.MustExec("SELECT COUNT(*) FROM events_log")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("events_log not loaded: %v", r.Rows)
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	store, err := Open(writeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := store.Engine().Table("orders")
+	if !ok {
+		t.Fatal("orders table missing")
+	}
+	wantTypes := map[string]string{"id": "INTEGER", "item": "TEXT", "qty": "INTEGER", "price": "REAL"}
+	for _, c := range tab.Columns {
+		if got := c.Type.String(); got != wantTypes[c.Name] {
+			t.Fatalf("column %s inferred as %s, want %s", c.Name, got, wantTypes[c.Name])
+		}
+	}
+	// Empty cells load as NULL.
+	root := store.Engine().NewSession("root")
+	r := root.MustExec("SELECT COUNT(*) FROM events_log WHERE note IS NULL")
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("empty cell should be NULL: %v", r.Rows)
+	}
+}
+
+func TestBridgeScopeOverCSV(t *testing.T) {
+	store, err := Open(writeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Grants().GrantAll("analyst", "orders")
+	tk := core.New(store.Conn("analyst"), core.Policy{})
+	ctx := context.Background()
+
+	schema, err := tk.Client().CallTool(ctx, "get_schema", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(schema.Text, "CREATE TABLE orders") ||
+		!strings.Contains(schema.Text, "-- Access: True") {
+		t.Fatalf("annotated CSV schema wrong:\n%s", schema.Text)
+	}
+	// events_log is visible but inaccessible — same annotation semantics
+	// as any other backend.
+	if !strings.Contains(schema.Text, "-- Access: False") {
+		t.Fatalf("inaccessible CSV table should be annotated:\n%s", schema.Text)
+	}
+
+	rows, err := tk.Client().CallTool(ctx, "select", map[string]any{
+		"sql": "SELECT item FROM orders WHERE price > 10 ORDER BY price DESC",
+	})
+	if err != nil || rows.IsErr {
+		t.Fatalf("select over CSV failed: %v %s", err, rows.Text)
+	}
+	if !strings.Contains(rows.Text, "jeans") {
+		t.Fatalf("unexpected rows: %s", rows.Text)
+	}
+
+	// Transactions work over CSV-backed tables too.
+	for _, step := range []struct {
+		tool string
+		args map[string]any
+	}{
+		{"begin", nil},
+		{"update", map[string]any{"sql": "UPDATE orders SET qty = qty + 1 WHERE id = 1"}},
+		{"commit", nil},
+	} {
+		res, err := tk.Client().CallTool(ctx, step.tool, step.args)
+		if err != nil || res.IsErr {
+			t.Fatalf("%s failed: %v %s", step.tool, err, res.Text)
+		}
+	}
+}
+
+func TestSaveRoundTrip(t *testing.T) {
+	dir := writeFixture(t)
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := store.Engine().NewSession("root")
+	root.MustExec("INSERT INTO orders VALUES (4, 'hat', 1, 12.5)")
+	root.MustExec("DELETE FROM orders WHERE id = 2")
+
+	out := t.TempDir()
+	if err := store.Save(out); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := re.Engine().NewSession("root").MustExec("SELECT COUNT(*), SUM(qty) FROM orders")
+	if r.Rows[0][0].I != 3 || r.Rows[0][1].I != 7 {
+		t.Fatalf("round trip lost modifications: %v", r.Rows)
+	}
+	r = re.Engine().NewSession("root").MustExec("SELECT item FROM orders WHERE id = 4")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "hat" {
+		t.Fatalf("inserted row lost: %v", r.Rows)
+	}
+}
+
+func TestTableName(t *testing.T) {
+	cases := map[string]string{
+		"orders.csv":     "orders",
+		"Events Log.csv": "events_log",
+		"2024data.csv":   "t_2024data",
+		"UPPER.CSV":      "upper",
+	}
+	for in, want := range cases {
+		if got := TableName(in); got != want {
+			t.Errorf("TableName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing directory must error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("empty csv must error")
+	}
+}

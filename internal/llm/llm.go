@@ -1,0 +1,157 @@
+// Package llm implements the LLM substrate: a behavioural simulator of the
+// two models the paper evaluates (GPT-4o and Claude-4) driving a ReAct
+// agent.
+//
+// Real model APIs are unavailable offline, so the simulator reproduces the
+// *mechanisms* that generate every number in the paper's evaluation:
+//
+//   - schema/predicate hallucination when context was not retrieved first,
+//     followed by error-driven repair (futile retries, §3.2(1));
+//   - transaction awareness that depends on whether explicit begin/commit
+//     tools are exposed (§3.2(3));
+//   - privilege reasoning from schema annotations and from the exposed tool
+//     set, enabling early aborts of infeasible tasks (§3.3);
+//   - bounded context windows that data-heavy observations exhaust (§3.4);
+//   - proxy-unit construction for data-intensive workflows (§2.5).
+//
+// All stochastic choices derive from a hash of (seed, task id, decision
+// point), so runs are reproducible and independent of evaluation order.
+package llm
+
+import (
+	"encoding/json"
+	"hash/fnv"
+
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/task"
+)
+
+// ToolCall is one tool invocation the model requests.
+type ToolCall struct {
+	Tool string         `json:"tool"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Decision is the output of one LLM call. A decision either issues tool
+// calls (possibly several, executed in order) or terminates the task with
+// Final text / an Abort.
+type Decision struct {
+	Thought string
+	Calls   []ToolCall
+	Final   string
+	Abort   bool
+	// AbortReason explains an abort ("insufficient privileges", ...).
+	AbortReason string
+}
+
+// Render serializes the decision the way it would appear in a completion,
+// for token accounting.
+func (d *Decision) Render() string {
+	out := d.Thought
+	for _, c := range d.Calls {
+		raw, err := json.Marshal(c)
+		if err == nil {
+			out += "\n" + string(raw)
+		}
+	}
+	if d.Final != "" {
+		out += "\n" + d.Final
+	}
+	if d.Abort {
+		out += "\nABORT: " + d.AbortReason
+	}
+	return out
+}
+
+// Step records one executed tool call and its observation, as the agent
+// feeds it back to the model.
+type Step struct {
+	Call        ToolCall
+	ArgsText    string // serialized args (counted in history tokens)
+	Observation string
+	IsError     bool
+}
+
+// State is everything the model can see when deciding: the task text, the
+// system prompt, the tool list, and the conversation so far.
+type State struct {
+	Task         *task.Task
+	SystemPrompt string
+	Tools        []mcp.ToolInfo
+	Steps        []Step
+}
+
+// HasTool reports whether a tool name is visible in the state.
+func (s *State) HasTool(name string) bool {
+	for _, t := range s.Tools {
+		if t.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Called reports whether a tool has been invoked (successfully or not).
+func (s *State) Called(name string) bool {
+	for _, st := range s.Steps {
+		if st.Call.Tool == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CallCount counts invocations of a tool.
+func (s *State) CallCount(name string) int {
+	n := 0
+	for _, st := range s.Steps {
+		if st.Call.Tool == name {
+			n++
+		}
+	}
+	return n
+}
+
+// LastObservation returns the most recent step, or nil.
+func (s *State) LastObservation() *Step {
+	if len(s.Steps) == 0 {
+		return nil
+	}
+	return &s.Steps[len(s.Steps)-1]
+}
+
+// Observation returns the first observation produced by a tool, or "".
+func (s *State) Observation(tool string) string {
+	for _, st := range s.Steps {
+		if st.Call.Tool == tool && !st.IsError {
+			return st.Observation
+		}
+	}
+	return ""
+}
+
+// Model is the LLM interface the agent drives.
+type Model interface {
+	// Name identifies the model ("gpt-4o-sim", "claude-4-sim").
+	Name() string
+	// ContextWindow is the maximum prompt size in tokens.
+	ContextWindow() int
+	// Decide produces the next decision for the visible state.
+	Decide(st *State) (*Decision, error)
+}
+
+// draw returns a deterministic pseudo-uniform value in [0,1) keyed by
+// (seed, task id, decision point). Keying by semantic decision point rather
+// than call order makes behaviour stable under workflow changes.
+func draw(seed int64, taskID, key string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(taskID))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return float64(h.Sum64()%1_000_000) / 1_000_000
+}

@@ -1,0 +1,288 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"bridgescope/internal/mcp"
+	"bridgescope/internal/task"
+)
+
+func bridgeTools(names ...string) []mcp.ToolInfo {
+	base := []string{"get_schema", "get_object", "get_value", "proxy"}
+	var out []mcp.ToolInfo
+	for _, n := range append(base, names...) {
+		out = append(out, mcp.ToolInfo{Name: n})
+	}
+	return out
+}
+
+func readTask() *task.Task {
+	return &task.Task{
+		ID: "t-read", NL: "count items", Kind: task.Read,
+		Tables:  []string{"items"},
+		GoldSQL: []string{"SELECT COUNT(*) FROM items"},
+	}
+}
+
+func writeTask() *task.Task {
+	return &task.Task{
+		ID: "t-write", NL: "insert a row", Kind: task.Insert,
+		Tables:  []string{"items"},
+		GoldSQL: []string{"INSERT INTO items (id) VALUES (1)"},
+	}
+}
+
+func decide(t *testing.T, m *Sim, st *State) *Decision {
+	t.Helper()
+	d, err := m.Decide(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestModularSchemaFirst(t *testing.T) {
+	m := NewSim(Claude4(), 1)
+	st := &State{Task: readTask(), Tools: bridgeTools("select")}
+	d := decide(t, m, st)
+	if len(d.Calls) != 1 || d.Calls[0].Tool != "get_schema" {
+		t.Fatalf("first decision should retrieve schema, got %+v", d)
+	}
+}
+
+func TestModularAbortsWithoutWriteTool(t *testing.T) {
+	m := NewSim(Claude4(), 1) // Claude profile: high early-abort skill
+	st := &State{Task: writeTask(), Tools: bridgeTools("select")}
+	d := decide(t, m, st)
+	// Either aborts immediately or checks schema once then aborts.
+	if !d.Abort {
+		if len(d.Calls) != 1 || d.Calls[0].Tool != "get_schema" {
+			t.Fatalf("expected abort or schema check, got %+v", d)
+		}
+		st.Steps = append(st.Steps, Step{Call: d.Calls[0], Observation: accessibleSchema()})
+		d = decide(t, m, st)
+		if !d.Abort {
+			t.Fatalf("must abort after schema double-check, got %+v", d)
+		}
+	}
+	if !strings.Contains(d.AbortReason, "insert") {
+		t.Fatalf("abort reason should name the missing operation: %q", d.AbortReason)
+	}
+}
+
+func accessibleSchema() string {
+	return "-- Access: True, Permissions: ALL\nCREATE TABLE items (\n  id INTEGER PRIMARY KEY\n);"
+}
+
+func TestModularAbortsOnAccessFalse(t *testing.T) {
+	m := NewSim(GPT4o(), 1)
+	st := &State{Task: readTask(), Tools: bridgeTools("select")}
+	st.Steps = append(st.Steps, Step{
+		Call:        ToolCall{Tool: "get_schema"},
+		Observation: "-- Access: False\nCREATE TABLE items (...);",
+	})
+	d := decide(t, m, st)
+	if !d.Abort {
+		t.Fatalf("Access: False must trigger abort, got %+v", d)
+	}
+}
+
+func TestModularAbortsOnMissingPermission(t *testing.T) {
+	m := NewSim(GPT4o(), 1)
+	st := &State{Task: writeTask(), Tools: bridgeTools("select", "insert", "begin", "commit", "rollback")}
+	st.Steps = append(st.Steps, Step{
+		Call:        ToolCall{Tool: "get_schema"},
+		Observation: "-- Access: True, Permissions: SELECT\nCREATE TABLE items (\n  id INTEGER PRIMARY KEY\n);",
+	})
+	d := decide(t, m, st)
+	if !d.Abort {
+		t.Fatalf("SELECT-only permissions must abort an insert task, got %+v", d)
+	}
+}
+
+func TestModularWritesUseTransaction(t *testing.T) {
+	m := NewSim(Claude4(), 1) // TxnAwarenessExplicit = 1.0
+	st := &State{Task: writeTask(), Tools: bridgeTools("select", "insert", "begin", "commit", "rollback")}
+	st.Steps = append(st.Steps, Step{Call: ToolCall{Tool: "get_schema"}, Observation: accessibleSchema()})
+	d := decide(t, m, st)
+	if len(d.Calls) < 3 || d.Calls[0].Tool != "begin" || d.Calls[len(d.Calls)-1].Tool != "commit" {
+		t.Fatalf("write should be wrapped in begin/commit, got %+v", d.Calls)
+	}
+	if d.Calls[1].Tool != "insert" {
+		t.Fatalf("insert statement should use the insert tool, got %+v", d.Calls[1])
+	}
+}
+
+func TestModularValueRetrievalBeforeSQL(t *testing.T) {
+	m := NewSim(Claude4(), 1)
+	tk := readTask()
+	tk.NeedsValue = true
+	tk.ValueTable, tk.ValueColumn, tk.ValueKey = "items", "category", "women's wear"
+	st := &State{Task: tk, Tools: bridgeTools("select")}
+	st.Steps = append(st.Steps, Step{Call: ToolCall{Tool: "get_schema"}, Observation: accessibleSchema()})
+	d := decide(t, m, st)
+	if len(d.Calls) != 1 || d.Calls[0].Tool != "get_value" {
+		t.Fatalf("value-dependent task should call get_value, got %+v", d)
+	}
+}
+
+func TestModularHierarchicalSchemaFetchesObjects(t *testing.T) {
+	m := NewSim(GPT4o(), 1)
+	st := &State{Task: readTask(), Tools: bridgeTools("select")}
+	st.Steps = append(st.Steps, Step{
+		Call:        ToolCall{Tool: "get_schema"},
+		Observation: "The database has 30 objects. Call get_object(name) for details.\n- items (table, accessible)\n",
+	})
+	d := decide(t, m, st)
+	if len(d.Calls) != 1 || d.Calls[0].Tool != "get_object" {
+		t.Fatalf("hierarchical schema should trigger get_object, got %+v", d)
+	}
+}
+
+func TestGenericDiscoversPrivilegeViolationLate(t *testing.T) {
+	m := NewSim(Claude4(), 1)
+	tools := []mcp.ToolInfo{{Name: "get_schema"}, {Name: "execute_sql"}}
+	st := &State{Task: writeTask(), Tools: tools}
+	// Turn 1: schema.
+	d := decide(t, m, st)
+	if d.Calls[0].Tool != "get_schema" {
+		t.Fatalf("generic flow should retrieve schema, got %+v", d)
+	}
+	st.Steps = append(st.Steps, Step{Call: d.Calls[0], Observation: "CREATE TABLE items (\n  id INTEGER PRIMARY KEY\n);"})
+	// Turn 2: it tries the write (no privilege info available).
+	d = decide(t, m, st)
+	if d.Abort || len(d.Calls) == 0 || d.Calls[len(d.Calls)-1].Tool != "execute_sql" {
+		t.Fatalf("generic flow should attempt the write, got %+v", d)
+	}
+	st.Steps = append(st.Steps, Step{
+		Call:        d.Calls[len(d.Calls)-1],
+		Observation: `ERROR: permission denied: user "u" may not INSERT on "items"`,
+		IsError:     true,
+	})
+	// Turn 3+: eventually aborts (possibly after one stubborn retry).
+	d = decide(t, m, st)
+	if !d.Abort {
+		st.Steps = append(st.Steps, Step{
+			Call:        d.Calls[len(d.Calls)-1],
+			Observation: `ERROR: permission denied: user "u" may not INSERT on "items"`,
+			IsError:     true,
+		})
+		d = decide(t, m, st)
+		if !d.Abort {
+			t.Fatalf("generic flow must abort after repeated denials, got %+v", d)
+		}
+	}
+}
+
+func TestPipelineProxySpecLevels(t *testing.T) {
+	m := NewSim(Claude4(), 1)
+	mk := func(level int) *task.Task {
+		p := &task.Pipeline{
+			Level:       level,
+			DataSQL:     "SELECT a, b, y FROM house",
+			FeatureCols: []string{"a", "b"},
+			TargetCol:   "y",
+			Normalize:   level >= 2,
+			ModelTool:   "train_linear_regression",
+		}
+		if level == 3 {
+			p.Predict = true
+			p.PredictSQL = "SELECT a, b FROM house LIMIT 5"
+		}
+		return &task.Task{ID: "ml", NL: "train", Kind: task.Read, Tables: []string{"house"}, Pipeline: p}
+	}
+	for level := 1; level <= 3; level++ {
+		st := &State{Task: mk(level), Tools: bridgeTools("select")}
+		st.Steps = append(st.Steps, Step{Call: ToolCall{Tool: "get_schema"}, Observation: accessibleSchema()})
+		st.Steps = append(st.Steps, Step{Call: ToolCall{Tool: "get_object"}, Observation: "CREATE TABLE house (...)"})
+		d := decide(t, m, st)
+		if len(d.Calls) != 1 || d.Calls[0].Tool != "proxy" {
+			t.Fatalf("level %d: expected proxy call, got %+v", level, d)
+		}
+		spec := d.Calls[0].Args
+		depth := proxyDepth(spec["tool_args"])
+		if depth != level {
+			t.Fatalf("level %d: proxy nesting depth = %d", level, depth)
+		}
+	}
+}
+
+// proxyDepth measures the deepest chain of __tool__ specs.
+func proxyDepth(v any) int {
+	max := 0
+	if m, ok := v.(map[string]any); ok {
+		for k, child := range m {
+			d := proxyDepth(child)
+			if k == "__tool__" && d == 0 {
+				d = 0
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if _, isProducer := m["__tool__"]; isProducer {
+			inner := proxyDepth(m["__args__"])
+			if inner+1 > max {
+				max = inner + 1
+			}
+		}
+	}
+	return max
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	a := draw(1, "task-1", "txn")
+	b := draw(1, "task-1", "txn")
+	if a != b {
+		t.Fatal("draws must be deterministic")
+	}
+	if draw(1, "task-1", "txn") == draw(1, "task-2", "txn") &&
+		draw(1, "task-1", "other") == draw(1, "task-1", "txn") {
+		t.Fatal("draws should vary with task and key")
+	}
+	if a < 0 || a >= 1 {
+		t.Fatalf("draw out of range: %v", a)
+	}
+}
+
+func TestParseAccessBlock(t *testing.T) {
+	obs := "-- Access: True, Permissions: SELECT, INSERT\nCREATE TABLE sales (\n  id INTEGER\n);\n\n" +
+		"-- Access: False\nCREATE TABLE salaries (...);"
+	acc, perms, found := parseAccessBlock(obs, "sales")
+	if !found || !acc || !strings.Contains(perms, "INSERT") {
+		t.Fatalf("sales parse wrong: %v %q %v", acc, perms, found)
+	}
+	acc, _, found = parseAccessBlock(obs, "salaries")
+	if !found || acc {
+		t.Fatalf("salaries should be found and inaccessible: %v %v", acc, found)
+	}
+	// "sales" must not match "salesX" blocks.
+	_, _, found = parseAccessBlock("CREATE TABLE salesx (\n);", "sales")
+	if found {
+		t.Fatal("word-boundary matching failed")
+	}
+	if _, _, found := parseAccessBlock(obs, "missing"); found {
+		t.Fatal("missing table reported found")
+	}
+}
+
+func TestPermsAllow(t *testing.T) {
+	if !permsAllow("ALL", task.Delete) || !permsAllow("SELECT, INSERT", task.Insert) {
+		t.Fatal("permsAllow false negatives")
+	}
+	if permsAllow("SELECT", task.Update) || permsAllow("", task.Read) {
+		t.Fatal("permsAllow false positives")
+	}
+}
+
+func TestDecisionRender(t *testing.T) {
+	d := &Decision{
+		Thought: "thinking",
+		Calls:   []ToolCall{{Tool: "select", Args: map[string]any{"sql": "SELECT 1"}}},
+	}
+	r := d.Render()
+	if !strings.Contains(r, "thinking") || !strings.Contains(r, "SELECT 1") {
+		t.Fatalf("render incomplete: %q", r)
+	}
+}

@@ -1,0 +1,102 @@
+package llm
+
+// Profile parameterizes a simulated model's behaviour. The two built-in
+// profiles are calibrated so the experiment harness reproduces the shapes
+// (and approximate magnitudes) of the paper's Figures 5–6 and Tables 1–2.
+type Profile struct {
+	// ModelName identifies the profile.
+	ModelName string
+
+	// Window is the context window in tokens (GPT-4o 128k, Claude-4 200k).
+	Window int
+
+	// SQLSkill is the probability of semantically correct SQL once the
+	// needed context is available. Residual mistakes hit both toolkits
+	// equally (Fig 5b shows comparable accuracy).
+	SQLSkill float64
+
+	// SchemaHallucination is the probability of inventing identifiers when
+	// generating SQL before retrieving the schema (PG-MCP⁻ path, Fig 5a).
+	SchemaHallucination float64
+
+	// RetryBlind is the probability that, after an unknown-identifier
+	// error, the model retries another guessed statement before thinking
+	// to introspect the catalog (adds futile retries).
+	RetryBlind float64
+
+	// ValueHallucination is the probability of writing a predicate value
+	// that does not match stored data when exemplars were not retrieved.
+	ValueHallucination float64
+
+	// ValueRecovery is the probability of noticing an implausible empty
+	// result and issuing a discovery query (SELECT DISTINCT ...) to repair
+	// the predicate.
+	ValueRecovery float64
+
+	// TxnAwarenessExplicit is the probability of wrapping a write task in
+	// a transaction when explicit begin/commit tools exist (≈1 with
+	// BridgeScope's prompt).
+	TxnAwarenessExplicit float64
+
+	// TxnAwarenessGeneric is the same probability when only a generic
+	// execute_sql tool exists (PG-MCP "rarely recognizes the need").
+	TxnAwarenessGeneric float64
+
+	// EarlyAbortSkill is the probability of recognizing, from the exposed
+	// tool set alone, that a write task is infeasible — before any tool
+	// call (the (N, write) fast path of §3.3).
+	EarlyAbortSkill float64
+
+	// MisjudgeAbort is the probability of wrongly aborting a feasible
+	// write task (the small gap below ratio 1.0 in Fig 5c).
+	MisjudgeAbort float64
+
+	// InspectExtra is the probability of an extra context call
+	// (get_object / get_value) beyond the minimum on data-intensive tasks
+	// (the +0.4 calls above 3 in Table 2).
+	InspectExtra float64
+
+	// ThoughtTokens approximates the reasoning text emitted per decision.
+	ThoughtTokens int
+}
+
+// GPT4o returns the calibrated GPT-4o profile.
+func GPT4o() Profile {
+	return Profile{
+		ModelName:            "gpt-4o-sim",
+		Window:               128_000,
+		SQLSkill:             0.86,
+		SchemaHallucination:  0.85,
+		RetryBlind:           0.60,
+		ValueHallucination:   0.55,
+		ValueRecovery:        0.80,
+		TxnAwarenessExplicit: 0.99,
+		TxnAwarenessGeneric:  0.12,
+		EarlyAbortSkill:      0.55,
+		MisjudgeAbort:        0.03,
+		InspectExtra:         0.37,
+		ThoughtTokens:        60,
+	}
+}
+
+// Claude4 returns the calibrated Claude-4 profile. Its stronger reasoning
+// shows up as earlier aborts on infeasible tasks and better repair
+// behaviour, matching the paper's observation that improvements are "more
+// pronounced for Claude-4".
+func Claude4() Profile {
+	return Profile{
+		ModelName:            "claude-4-sim",
+		Window:               200_000,
+		SQLSkill:             0.90,
+		SchemaHallucination:  0.80,
+		RetryBlind:           0.40,
+		ValueHallucination:   0.45,
+		ValueRecovery:        0.92,
+		TxnAwarenessExplicit: 1.0,
+		TxnAwarenessGeneric:  0.10,
+		EarlyAbortSkill:      0.90,
+		MisjudgeAbort:        0.02,
+		InspectExtra:         0.40,
+		ThoughtTokens:        80,
+	}
+}

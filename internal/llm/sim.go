@@ -1,0 +1,548 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"bridgescope/internal/task"
+)
+
+// Sim is the simulated model. It is stateless across Decide calls: every
+// choice is derived from the visible State plus deterministic draws, so a
+// run can be replayed or resumed.
+type Sim struct {
+	profile Profile
+	seed    int64
+}
+
+// NewSim creates a simulated model with the given behaviour profile; seed
+// namespaces all stochastic draws.
+func NewSim(profile Profile, seed int64) *Sim {
+	return &Sim{profile: profile, seed: seed}
+}
+
+// Name implements Model.
+func (m *Sim) Name() string { return m.profile.ModelName }
+
+// ContextWindow implements Model.
+func (m *Sim) ContextWindow() int { return m.profile.Window }
+
+// Profile returns the behaviour profile.
+func (m *Sim) Profile() Profile { return m.profile }
+
+func (m *Sim) draw(t *task.Task, key string) float64 {
+	return draw(m.seed, t.ID, key)
+}
+
+// thought pads a phase description to roughly the profile's reasoning
+// verbosity, for realistic completion-token accounting.
+func (m *Sim) thought(text string) string {
+	words := strings.Count(text, " ") + 1
+	need := m.profile.ThoughtTokens*3/4 - words // ~0.75 words per token
+	if need > 0 {
+		text += strings.Repeat(" considering the database state and the task requirements", (need+7)/8)
+	}
+	return text
+}
+
+// Decide implements Model.
+func (m *Sim) Decide(st *State) (*Decision, error) {
+	if st.Task == nil {
+		return nil, fmt.Errorf("sim: state has no task")
+	}
+	if st.Task.Pipeline != nil {
+		return m.decidePipeline(st), nil
+	}
+	if m.modularToolkit(st) {
+		return m.decideBirdModular(st), nil
+	}
+	if st.HasTool("execute_sql") {
+		return m.decideBirdGeneric(st), nil
+	}
+	return &Decision{
+		Thought:     m.thought("No database tools are available."),
+		Abort:       true,
+		AbortReason: "no database tools available",
+	}, nil
+}
+
+func (m *Sim) modularToolkit(st *State) bool {
+	for _, name := range []string{"select", "insert", "update", "delete"} {
+		if st.HasTool(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func toolForKind(k task.Kind) string {
+	switch k {
+	case task.Insert:
+		return "insert"
+	case task.Update:
+		return "update"
+	case task.Delete:
+		return "delete"
+	}
+	return "select"
+}
+
+// sqlToolNames are the tools whose calls count as "executing task SQL".
+var sqlToolNames = map[string]bool{
+	"select": true, "insert": true, "update": true, "delete": true,
+	"create_table": true, "drop_table": true, "alter_table": true,
+	"execute_sql": true,
+}
+
+// mainSQLAttempts counts turns that executed one of the task's statement
+// variants (not discovery queries).
+func mainSQLAttempts(st *State) int {
+	variants := map[string]bool{}
+	for _, group := range [][]string{st.Task.GoldSQL, st.Task.CorruptIdentSQL, st.Task.WrongValueSQL, st.Task.SemanticWrongSQL} {
+		for _, s := range group {
+			variants[s] = true
+		}
+	}
+	n := 0
+	for _, step := range st.Steps {
+		if !sqlToolNames[step.Call.Tool] {
+			continue
+		}
+		if sql, ok := step.Call.Args["sql"].(string); ok && variants[sql] {
+			n++
+		}
+	}
+	return n
+}
+
+// lastMainSQLSucceeded reports whether the final statement of the task's
+// most recent attempt executed without error.
+func lastMainSQLSucceeded(st *State) bool {
+	variants := map[string]bool{}
+	for _, group := range [][]string{st.Task.GoldSQL, st.Task.WrongValueSQL, st.Task.SemanticWrongSQL} {
+		for _, s := range group {
+			variants[s] = true
+		}
+	}
+	for i := len(st.Steps) - 1; i >= 0; i-- {
+		step := st.Steps[i]
+		if !sqlToolNames[step.Call.Tool] {
+			continue
+		}
+		if sql, ok := step.Call.Args["sql"].(string); ok && variants[sql] {
+			return !step.IsError
+		}
+	}
+	return false
+}
+
+func isPermissionText(s string) bool {
+	lo := strings.ToLower(s)
+	return strings.Contains(lo, "permission denied") || strings.Contains(lo, "lacks")
+}
+
+func isUnknownIdentText(s string) bool {
+	lo := strings.ToLower(s)
+	return strings.Contains(lo, "does not exist") || strings.Contains(lo, "unknown column") ||
+		strings.Contains(lo, "unknown table")
+}
+
+// --- BridgeScope (modular toolkit) flow ---
+
+func (m *Sim) decideBirdModular(st *State) *Decision {
+	t := st.Task
+	p := m.profile
+
+	// Infeasibility visible from the exposed tool set: the action tool for
+	// a write task is simply absent (paper §3.3, the (N, write) case).
+	if need := toolForKind(t.Kind); !st.HasTool(need) {
+		if st.Called("get_schema") || m.draw(t, "earlyabort") < p.EarlyAbortSkill {
+			return &Decision{
+				Thought:     m.thought(fmt.Sprintf("The %s tool is not exposed to me, so I cannot perform this task.", need)),
+				Abort:       true,
+				AbortReason: fmt.Sprintf("infeasible: the %s operation is not available under current privileges", need),
+			}
+		}
+		// A weaker model double-checks the schema before concluding.
+		return &Decision{
+			Thought: m.thought("Let me inspect the schema before judging feasibility."),
+			Calls:   []ToolCall{{Tool: "get_schema"}},
+		}
+	}
+
+	if !st.Called("get_schema") {
+		return &Decision{
+			Thought: m.thought("First retrieve the database schema to ground the SQL."),
+			Calls:   []ToolCall{{Tool: "get_schema"}},
+		}
+	}
+	schemaObs := st.Observation("get_schema")
+
+	// Hierarchical schema mode: fetch details for the task's tables.
+	if strings.Contains(schemaObs, "get_object") && !st.Called("get_object") {
+		var calls []ToolCall
+		for _, tbl := range t.Tables {
+			calls = append(calls, ToolCall{Tool: "get_object", Args: map[string]any{"object": tbl}})
+		}
+		return &Decision{
+			Thought: m.thought("The schema listing is names-only; fetch the task's objects."),
+			Calls:   calls,
+		}
+	}
+
+	// Privilege-aware feasibility from annotations (paper §2.2/§3.3).
+	for _, tbl := range t.Tables {
+		access, perms, found := m.tableAccess(st, tbl)
+		if !found {
+			return &Decision{
+				Thought:     m.thought(fmt.Sprintf("Table %s is not visible in the schema; the task cannot proceed.", tbl)),
+				Abort:       true,
+				AbortReason: fmt.Sprintf("infeasible: object %q is not accessible", tbl),
+			}
+		}
+		if !access {
+			return &Decision{
+				Thought:     m.thought(fmt.Sprintf("Table %s is annotated Access: False.", tbl)),
+				Abort:       true,
+				AbortReason: fmt.Sprintf("infeasible: no access to object %q", tbl),
+			}
+		}
+		if !permsAllow(perms, t.Kind) {
+			return &Decision{
+				Thought:     m.thought(fmt.Sprintf("My privileges on %s (%s) do not cover this task.", tbl, perms)),
+				Abort:       true,
+				AbortReason: fmt.Sprintf("infeasible: %s not permitted on %q", t.Kind, tbl),
+			}
+		}
+	}
+
+	attempts := mainSQLAttempts(st)
+
+	// Occasional wrong abort of a feasible write (Fig 5c's gap below 1.0).
+	if t.Kind.IsWrite() && attempts == 0 && m.draw(t, "misjudge") < p.MisjudgeAbort {
+		return &Decision{
+			Thought:     m.thought("On reflection this modification looks out of scope for my role."),
+			Abort:       true,
+			AbortReason: "model judged the task infeasible",
+		}
+	}
+
+	// Exemplar retrieval for value-dependent predicates.
+	if t.NeedsValue && st.HasTool("get_value") && !st.Called("get_value") {
+		return &Decision{
+			Thought: m.thought("The predicate depends on stored values; retrieve exemplars first."),
+			Calls: []ToolCall{{Tool: "get_value", Args: map[string]any{
+				"table": t.ValueTable, "column": t.ValueColumn, "key": t.ValueKey,
+			}}},
+		}
+	}
+
+	// React to an execution error.
+	if last := st.LastObservation(); last != nil && last.IsError && sqlToolNames[last.Call.Tool] {
+		if isPermissionText(last.Observation) {
+			return m.abortAfterDenial(st)
+		}
+		if attempts >= 2 {
+			return m.rollbackAndAbort(st, "repeated execution failures")
+		}
+		// Retry once with the correct statements.
+		return m.executeTurn(st, t.GoldSQL, "Retry with corrected statements.")
+	}
+
+	if attempts == 0 {
+		return m.executeTurn(st, m.chooseBirdSQL(st), "Execute the task's SQL.")
+	}
+	if !lastMainSQLSucceeded(st) && attempts < 2 {
+		return m.executeTurn(st, t.GoldSQL, "Retry with corrected statements.")
+	}
+
+	return m.finalize(st)
+}
+
+// executeTurn emits the task's statements through the matching action
+// tools, wrapped in a transaction for write tasks when the model's
+// transaction awareness fires.
+func (m *Sim) executeTurn(st *State, sqls []string, note string) *Decision {
+	t := st.Task
+	p := m.profile
+	var calls []ToolCall
+	useTxn := false
+	if t.Kind.IsWrite() && st.HasTool("begin") {
+		useTxn = m.draw(t, "txn") < p.TxnAwarenessExplicit
+	}
+	if useTxn {
+		calls = append(calls, ToolCall{Tool: "begin"})
+	}
+	for _, sql := range sqls {
+		calls = append(calls, ToolCall{Tool: toolForSQL(sql, t), Args: map[string]any{"sql": sql}})
+	}
+	if useTxn {
+		calls = append(calls, ToolCall{Tool: "commit"})
+	}
+	return &Decision{Thought: m.thought(note), Calls: calls}
+}
+
+// toolForSQL picks the action tool matching a statement's verb.
+func toolForSQL(sql string, t *task.Task) string {
+	verb := strings.ToUpper(firstWord(sql))
+	switch verb {
+	case "SELECT":
+		return "select"
+	case "INSERT":
+		return "insert"
+	case "UPDATE":
+		return "update"
+	case "DELETE":
+		return "delete"
+	case "CREATE":
+		return "create_table"
+	case "DROP":
+		return "drop_table"
+	case "ALTER":
+		return "alter_table"
+	}
+	return toolForKind(t.Kind)
+}
+
+func firstWord(s string) string {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// chooseBirdSQL selects which statement variant the model emits, given the
+// context it has gathered.
+func (m *Sim) chooseBirdSQL(st *State) []string {
+	t := st.Task
+	p := m.profile
+	valueResolved := !t.NeedsValue || st.Called("get_value") || m.discoveredValues(st)
+	if !valueResolved && m.draw(t, "halluc_value") < p.ValueHallucination && len(t.WrongValueSQL) > 0 {
+		return t.WrongValueSQL
+	}
+	if m.draw(t, "semantic") >= p.SQLSkill && len(t.SemanticWrongSQL) > 0 {
+		return t.SemanticWrongSQL
+	}
+	return t.GoldSQL
+}
+
+// discoveredValues reports whether a value-discovery query already ran.
+func (m *Sim) discoveredValues(st *State) bool {
+	for _, step := range st.Steps {
+		if sql, ok := step.Call.Args["sql"].(string); ok &&
+			strings.Contains(strings.ToUpper(sql), "DISTINCT") && !step.IsError {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Sim) abortAfterDenial(st *State) *Decision {
+	if st.Task.Kind.IsWrite() && m.inTxn(st) {
+		return &Decision{
+			Thought: m.thought("Permission was denied mid-task; roll back so nothing persists."),
+			Calls:   []ToolCall{{Tool: "rollback"}},
+		}
+	}
+	return &Decision{
+		Thought:     m.thought("The database denied the operation; the task is infeasible."),
+		Abort:       true,
+		AbortReason: "infeasible: permission denied by the database",
+	}
+}
+
+func (m *Sim) rollbackAndAbort(st *State, reason string) *Decision {
+	if m.inTxn(st) {
+		return &Decision{
+			Thought: m.thought("Execution keeps failing; roll back."),
+			Calls:   []ToolCall{{Tool: "rollback"}},
+		}
+	}
+	return &Decision{
+		Thought:     m.thought("Execution keeps failing; abort."),
+		Abort:       true,
+		AbortReason: reason,
+	}
+}
+
+// inTxn reports whether a begin succeeded without a later commit/rollback.
+func (m *Sim) inTxn(st *State) bool {
+	open := false
+	for _, step := range st.Steps {
+		switch step.Call.Tool {
+		case "begin":
+			if !step.IsError {
+				open = true
+			}
+		case "commit", "rollback":
+			if !step.IsError {
+				open = false
+			}
+		case "execute_sql":
+			if sql, ok := step.Call.Args["sql"].(string); ok && !step.IsError {
+				switch strings.ToUpper(firstWord(sql)) {
+				case "BEGIN":
+					open = true
+				case "COMMIT", "ROLLBACK":
+					open = false
+				}
+			}
+		}
+	}
+	return open
+}
+
+// finalize ends the task. If a rollback just happened, abort; otherwise
+// report the outcome, quoting the last query result for read tasks.
+func (m *Sim) finalize(st *State) *Decision {
+	if last := st.LastObservation(); last != nil &&
+		(last.Call.Tool == "rollback" || isRollbackSQL(last)) && !last.IsError {
+		return &Decision{
+			Thought:     m.thought("Changes were rolled back."),
+			Abort:       true,
+			AbortReason: "task aborted after rollback",
+		}
+	}
+	answer := "Task completed."
+	if st.Task.Kind == task.Read {
+		if obs := m.lastQueryResult(st); obs != "" {
+			answer = "Query result:\n" + obs
+		}
+	} else {
+		answer = "The requested database modification was applied successfully."
+	}
+	return &Decision{Thought: m.thought("Summarize the outcome."), Final: answer}
+}
+
+func isRollbackSQL(step *Step) bool {
+	sql, ok := step.Call.Args["sql"].(string)
+	return ok && strings.EqualFold(firstWord(sql), "ROLLBACK")
+}
+
+// lastQueryResult returns the observation of the most recent successful
+// main-statement query.
+func (m *Sim) lastQueryResult(st *State) string {
+	variants := map[string]bool{}
+	for _, group := range [][]string{st.Task.GoldSQL, st.Task.WrongValueSQL, st.Task.SemanticWrongSQL} {
+		for _, s := range group {
+			variants[s] = true
+		}
+	}
+	for i := len(st.Steps) - 1; i >= 0; i-- {
+		step := st.Steps[i]
+		if step.IsError || !sqlToolNames[step.Call.Tool] {
+			continue
+		}
+		if sql, ok := step.Call.Args["sql"].(string); ok && variants[sql] {
+			return step.Observation
+		}
+	}
+	return ""
+}
+
+// tableAccess parses privilege annotations for a table out of schema /
+// get_object observations.
+func (m *Sim) tableAccess(st *State, table string) (access bool, perms string, found bool) {
+	// Prefer a get_object observation for the table.
+	for _, step := range st.Steps {
+		if step.Call.Tool != "get_object" || step.IsError {
+			continue
+		}
+		if obj, ok := step.Call.Args["object"].(string); ok && strings.EqualFold(obj, table) {
+			return parseAccessBlock(step.Observation, table)
+		}
+	}
+	obs := st.Observation("get_schema")
+	if obs == "" {
+		return false, "", false
+	}
+	// Hierarchical listing: "- name (table, accessible|no access)".
+	if strings.Contains(obs, "get_object") {
+		for _, line := range strings.Split(obs, "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "- ") {
+				continue
+			}
+			rest := strings.TrimPrefix(line, "- ")
+			name := rest
+			if i := strings.IndexByte(rest, ' '); i >= 0 {
+				name = rest[:i]
+			}
+			if strings.EqualFold(name, table) {
+				if strings.Contains(rest, "no access") {
+					return false, "", true
+				}
+				// Accessible, but exact permissions unknown at this level:
+				// assume permitted and let execution confirm.
+				return true, "ALL", true
+			}
+		}
+		return false, "", false
+	}
+	return parseAccessBlock(obs, table)
+}
+
+// parseAccessBlock scans annotated DDL text for the block describing table
+// and extracts its Access/Permissions annotation. Schema output without
+// annotations (baseline or ablation) reports full access for any table that
+// appears at all.
+func parseAccessBlock(obs, table string) (bool, string, bool) {
+	blocks := strings.Split(obs, "\n\n")
+	needle := "CREATE TABLE " + table
+	for _, b := range blocks {
+		idx := indexFold(b, needle)
+		if idx < 0 {
+			continue
+		}
+		// The char after the table name must not extend the identifier.
+		after := idx + len(needle)
+		if after < len(b) && isIdentChar(b[after]) {
+			continue
+		}
+		if !strings.Contains(b, "-- Access:") {
+			return true, "ALL", true
+		}
+		if strings.Contains(b, "-- Access: False") {
+			return false, "", true
+		}
+		perms := "ALL"
+		if i := strings.Index(b, "Permissions: "); i >= 0 {
+			rest := b[i+len("Permissions: "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				rest = rest[:j]
+			}
+			perms = strings.TrimSpace(rest)
+		}
+		return true, perms, true
+	}
+	return false, "", false
+}
+
+func indexFold(haystack, needle string) int {
+	return strings.Index(strings.ToLower(haystack), strings.ToLower(needle))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// permsAllow checks whether an annotation's permission list covers a task
+// kind.
+func permsAllow(perms string, k task.Kind) bool {
+	if strings.Contains(perms, "ALL") {
+		return true
+	}
+	var need string
+	switch k {
+	case task.Read:
+		need = "SELECT"
+	case task.Insert:
+		need = "INSERT"
+	case task.Update:
+		need = "UPDATE"
+	case task.Delete:
+		need = "DELETE"
+	}
+	return strings.Contains(strings.ToUpper(perms), need)
+}

@@ -1,0 +1,325 @@
+package llm
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+)
+
+// decidePipeline handles NL2ML tasks (paper §3.4). With BridgeScope the
+// model abstracts the whole workflow into one (possibly nested) proxy unit;
+// with the generic toolkit it must route every byte of data through its own
+// context, reading observations and re-emitting them as tool arguments.
+func (m *Sim) decidePipeline(st *State) *Decision {
+	if st.HasTool("proxy") {
+		return m.decidePipelineProxy(st)
+	}
+	return m.decidePipelineManual(st)
+}
+
+// --- BridgeScope: proxy-unit construction ---
+
+func (m *Sim) decidePipelineProxy(st *State) *Decision {
+	t := st.Task
+
+	if !st.Called("get_schema") {
+		return &Decision{
+			Thought: m.thought("Retrieve the schema to ground the extraction query."),
+			Calls:   []ToolCall{{Tool: "get_schema"}},
+		}
+	}
+	// Occasional extra inspection call (the fraction above the 3-call
+	// minimum in Table 2).
+	if m.draw(t, "inspectextra") < m.profile.InspectExtra && !st.Called("get_object") && st.HasTool("get_object") {
+		table := "house"
+		if len(t.Tables) > 0 {
+			table = t.Tables[0]
+		}
+		return &Decision{
+			Thought: m.thought("Double-check the table's column details before building the workflow."),
+			Calls:   []ToolCall{{Tool: "get_object", Args: map[string]any{"object": table}}},
+		}
+	}
+	if !st.Called("proxy") {
+		spec := m.buildProxySpec(st)
+		return &Decision{
+			Thought: m.thought("Abstract the workflow into a proxy unit so the data never flows through me."),
+			Calls:   []ToolCall{{Tool: "proxy", Args: spec}},
+		}
+	}
+	last := st.LastObservation()
+	if last != nil && last.IsError {
+		if st.CallCount("proxy") >= 2 {
+			return &Decision{
+				Thought:     m.thought("The workflow keeps failing."),
+				Abort:       true,
+				AbortReason: "pipeline execution failed",
+			}
+		}
+		spec := m.buildProxySpec(st)
+		return &Decision{
+			Thought: m.thought("Fix the proxy unit and retry."),
+			Calls:   []ToolCall{{Tool: "proxy", Args: spec}},
+		}
+	}
+	answer := "Workflow completed."
+	if last != nil {
+		answer = "Workflow completed. Result:\n" + last.Observation
+	}
+	return &Decision{Thought: m.thought("Report the workflow result."), Final: answer}
+}
+
+// buildProxySpec constructs the nested proxy unit for the task's pipeline,
+// matching the paper's Figure 3 / §2.5 structure:
+//
+//	level 1: train(features <- select, target <- select)
+//	level 2: train(features <- zscore(features <- select), target <- select)
+//	level 3: predict(model_id <- train(...level 2...), features <- select)
+func (m *Sim) buildProxySpec(st *State) map[string]any {
+	p := st.Task.Pipeline
+
+	featureSel := map[string]any{
+		"__tool__":      "select",
+		"__args__":      map[string]any{"sql": p.DataSQL},
+		"__transform__": "matrix:" + strings.Join(p.FeatureCols, ","),
+	}
+	targetSel := map[string]any{
+		"__tool__":      "select",
+		"__args__":      map[string]any{"sql": p.DataSQL},
+		"__transform__": "vector:" + p.TargetCol,
+	}
+
+	var features any = featureSel
+	if p.Normalize {
+		features = map[string]any{
+			"__tool__":      "zscore_normalize",
+			"__args__":      map[string]any{"features": featureSel},
+			"__transform__": "lambda x: x",
+		}
+	}
+
+	trainArgs := map[string]any{"features": features, "target": targetSel}
+	if !p.Predict {
+		return map[string]any{"target_tool": p.ModelTool, "tool_args": trainArgs}
+	}
+	return map[string]any{
+		"target_tool": "predict",
+		"tool_args": map[string]any{
+			"model_id": map[string]any{
+				"__tool__":      p.ModelTool,
+				"__args__":      trainArgs,
+				"__transform__": "field:model_id",
+			},
+			"features": map[string]any{
+				"__tool__":      "select",
+				"__args__":      map[string]any{"sql": p.PredictSQL},
+				"__transform__": "matrix:" + strings.Join(p.FeatureCols, ","),
+			},
+		},
+	}
+}
+
+// --- PG-MCP: manual data routing through the model's own context ---
+
+func (m *Sim) decidePipelineManual(st *State) *Decision {
+	t := st.Task
+	p := t.Pipeline
+
+	if st.HasTool("get_schema") && !st.Called("get_schema") {
+		return &Decision{
+			Thought: m.thought("Retrieve the schema to ground the extraction query."),
+			Calls:   []ToolCall{{Tool: "get_schema"}},
+		}
+	}
+	if last := st.LastObservation(); last != nil && last.IsError {
+		return &Decision{
+			Thought:     m.thought("A pipeline step failed and I cannot reroute the data."),
+			Abort:       true,
+			AbortReason: "pipeline execution failed",
+		}
+	}
+
+	// Step 1: extract the data (and, for prediction tasks, the prediction
+	// rows in the same turn).
+	if m.manualSelectObs(st, p.DataSQL) == "" {
+		calls := []ToolCall{{Tool: "execute_sql", Args: map[string]any{"sql": p.DataSQL}}}
+		if p.Predict {
+			calls = append(calls, ToolCall{Tool: "execute_sql", Args: map[string]any{"sql": p.PredictSQL}})
+		}
+		return &Decision{Thought: m.thought("Query the training data."), Calls: calls}
+	}
+
+	// Step 2: parse the query observation back out of context — this is
+	// the "LLM as data router" anti-pattern the proxy eliminates.
+	features, target, perr := m.parseDataObservation(st, p.DataSQL, p.FeatureCols, p.TargetCol)
+	if perr != "" {
+		return &Decision{
+			Thought:     m.thought("The query result in my context is too large or garbled to copy reliably."),
+			Abort:       true,
+			AbortReason: perr,
+		}
+	}
+
+	// Step 3: optional normalization.
+	var trainFeatures any = features
+	if p.Normalize {
+		obs := st.Observation("zscore_normalize")
+		if obs == "" {
+			return &Decision{
+				Thought: m.thought("Normalize the features, copying the data into the tool call."),
+				Calls: []ToolCall{{Tool: "zscore_normalize", Args: map[string]any{
+					"features": features,
+				}}},
+			}
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(obs), &parsed); err != nil {
+			return &Decision{
+				Thought:     m.thought("I cannot recover the normalized matrix from context."),
+				Abort:       true,
+				AbortReason: "failed to route normalized data",
+			}
+		}
+		trainFeatures = parsed
+	}
+
+	// Step 4: training.
+	trainObs := st.Observation(p.ModelTool)
+	if trainObs == "" {
+		return &Decision{
+			Thought: m.thought("Train the model, copying the feature matrix into the call."),
+			Calls: []ToolCall{{Tool: p.ModelTool, Args: map[string]any{
+				"features": trainFeatures,
+				"target":   target,
+			}}},
+		}
+	}
+
+	// Step 5: optional prediction.
+	if p.Predict && !st.Called("predict") {
+		modelID := extractJSONField(trainObs, "model_id")
+		if modelID == "" {
+			return &Decision{
+				Thought:     m.thought("The training result lacks a model handle."),
+				Abort:       true,
+				AbortReason: "failed to route model handle",
+			}
+		}
+		predFeatures, _, perr := m.parseDataObservation(st, p.PredictSQL, p.FeatureCols, "")
+		if perr != "" {
+			return &Decision{Thought: m.thought("Cannot recover prediction rows."), Abort: true, AbortReason: perr}
+		}
+		return &Decision{
+			Thought: m.thought("Predict with the trained model."),
+			Calls: []ToolCall{{Tool: "predict", Args: map[string]any{
+				"model_id": modelID,
+				"features": predFeatures,
+			}}},
+		}
+	}
+
+	last := st.LastObservation()
+	answer := "Workflow completed."
+	if last != nil && !last.IsError {
+		answer = "Workflow completed. Result:\n" + last.Observation
+	}
+	return &Decision{Thought: m.thought("Report the workflow result."), Final: answer}
+}
+
+// manualSelectObs finds the observation of a specific executed query.
+func (m *Sim) manualSelectObs(st *State, sql string) string {
+	for _, step := range st.Steps {
+		if step.IsError {
+			continue
+		}
+		if got, ok := step.Call.Args["sql"].(string); ok && got == sql {
+			return step.Observation
+		}
+	}
+	return ""
+}
+
+// parseDataObservation re-reads a tabular observation into a feature matrix
+// and target vector — simulating the LLM copying data out of its own
+// context window. targetCol may be empty (features only).
+func (m *Sim) parseDataObservation(st *State, sql string, featureCols []string, targetCol string) ([][]float64, []float64, string) {
+	obs := m.manualSelectObs(st, sql)
+	if obs == "" {
+		return nil, nil, "query result not found in context"
+	}
+	lines := strings.Split(obs, "\n")
+	if len(lines) < 2 {
+		return nil, nil, "query result has no rows to copy"
+	}
+	header := strings.Split(lines[0], " | ")
+	colIdx := func(name string) int {
+		for i, h := range header {
+			if strings.EqualFold(strings.TrimSpace(h), name) {
+				return i
+			}
+		}
+		return -1
+	}
+	var fIdx []int
+	for _, c := range featureCols {
+		i := colIdx(c)
+		if i < 0 {
+			return nil, nil, "column " + c + " not present in copied result"
+		}
+		fIdx = append(fIdx, i)
+	}
+	tIdx := -1
+	if targetCol != "" {
+		tIdx = colIdx(targetCol)
+		if tIdx < 0 {
+			return nil, nil, "column " + targetCol + " not present in copied result"
+		}
+	}
+	var features [][]float64
+	var target []float64
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "(") {
+			continue
+		}
+		parts := strings.Split(line, " | ")
+		if len(parts) < len(header) {
+			continue
+		}
+		row := make([]float64, len(fIdx))
+		ok := true
+		for j, i := range fIdx {
+			f, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			row[j] = f
+		}
+		if !ok {
+			continue
+		}
+		if tIdx >= 0 {
+			f, err := strconv.ParseFloat(strings.TrimSpace(parts[tIdx]), 64)
+			if err != nil {
+				continue
+			}
+			target = append(target, f)
+		}
+		features = append(features, row)
+	}
+	if len(features) == 0 {
+		return nil, nil, "no usable rows recovered from context"
+	}
+	return features, target, ""
+}
+
+// extractJSONField pulls a string field out of a JSON observation.
+func extractJSONField(obs, field string) string {
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(obs), &parsed); err != nil {
+		return ""
+	}
+	v, _ := parsed[field].(string)
+	return v
+}

@@ -1,0 +1,444 @@
+// Package mltools is the analytics substrate: the data-consumer tools the
+// NL2ML benchmark attaches to the agent (paper §3.4). It implements linear
+// regression via normal equations, random-forest regression (CART trees
+// with bootstrap sampling and random feature subsets), z-score
+// normalization, train/test splitting, regression metrics, and the
+// moving-average trend detector used by the chain-store scenario.
+//
+// Everything is deterministic given a seed, stdlib only.
+package mltools
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// --- preprocessing ---
+
+// ZScoreNormalize standardizes each feature column to zero mean and unit
+// variance, returning the normalized matrix plus the per-column means and
+// standard deviations (needed to transform prediction inputs consistently).
+func ZScoreNormalize(x [][]float64) (norm [][]float64, means, stds []float64, err error) {
+	if len(x) == 0 {
+		return nil, nil, nil, fmt.Errorf("empty matrix")
+	}
+	cols := len(x[0])
+	means = make([]float64, cols)
+	stds = make([]float64, cols)
+	for _, row := range x {
+		if len(row) != cols {
+			return nil, nil, nil, fmt.Errorf("ragged matrix: row has %d columns, want %d", len(row), cols)
+		}
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range means {
+		means[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - means[j]
+			stds[j] += d * d
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / n)
+		if stds[j] == 0 {
+			stds[j] = 1 // constant column: leave centered values at 0
+		}
+	}
+	norm = make([][]float64, len(x))
+	for i, row := range x {
+		nr := make([]float64, cols)
+		for j, v := range row {
+			nr[j] = (v - means[j]) / stds[j]
+		}
+		norm[i] = nr
+	}
+	return norm, means, stds, nil
+}
+
+// ApplyZScore transforms rows with previously computed means/stds.
+func ApplyZScore(x [][]float64, means, stds []float64) ([][]float64, error) {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(means) {
+			return nil, fmt.Errorf("row %d has %d columns, want %d", i, len(row), len(means))
+		}
+		nr := make([]float64, len(row))
+		for j, v := range row {
+			nr[j] = (v - means[j]) / stds[j]
+		}
+		out[i] = nr
+	}
+	return out, nil
+}
+
+// TrainTestSplit partitions (x, y) with the given test fraction, shuffled
+// deterministically by seed.
+func TrainTestSplit(x [][]float64, y []float64, testFrac float64, seed int64) (xTrain, xTest [][]float64, yTrain, yTest []float64, err error) {
+	if len(x) != len(y) {
+		return nil, nil, nil, nil, fmt.Errorf("x has %d rows, y has %d", len(x), len(y))
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, nil, nil, fmt.Errorf("test fraction must be in (0,1), got %g", testFrac)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(len(x))
+	nTest := int(float64(len(x)) * testFrac)
+	for i, p := range idx {
+		if i < nTest {
+			xTest = append(xTest, x[p])
+			yTest = append(yTest, y[p])
+		} else {
+			xTrain = append(xTrain, x[p])
+			yTrain = append(yTrain, y[p])
+		}
+	}
+	return xTrain, xTest, yTrain, yTest, nil
+}
+
+// --- linear regression ---
+
+// LinearModel is a fitted ordinary-least-squares model.
+type LinearModel struct {
+	Intercept float64   `json:"intercept"`
+	Coef      []float64 `json:"coef"`
+}
+
+// TrainLinearRegression fits OLS via the normal equations with Gaussian
+// elimination and partial pivoting. A tiny ridge term keeps near-singular
+// systems solvable.
+func TrainLinearRegression(x [][]float64, y []float64) (*LinearModel, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("need matching non-empty x (%d rows) and y (%d)", len(x), len(y))
+	}
+	p := len(x[0]) + 1 // +1 for intercept
+	// Build X'X (p×p) and X'y (p).
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r, row := range x {
+		if len(row) != p-1 {
+			return nil, fmt.Errorf("ragged matrix at row %d", r)
+		}
+		aug := make([]float64, p)
+		aug[0] = 1
+		copy(aug[1:], row)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += aug[i] * aug[j]
+			}
+			xty[i] += aug[i] * y[r]
+		}
+	}
+	for i := 1; i < p; i++ {
+		xtx[i][i] += 1e-8 // ridge against singularity
+	}
+	beta, err := solveLinear(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearModel{Intercept: beta[0], Coef: beta[1:]}, nil
+}
+
+// Predict evaluates the model on feature rows.
+func (m *LinearModel) Predict(x [][]float64) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(m.Coef) {
+			return nil, fmt.Errorf("row %d has %d features, model expects %d", i, len(row), len(m.Coef))
+		}
+		v := m.Intercept
+		for j, c := range m.Coef {
+			v += c * row[j]
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// solveLinear solves Ax = b with Gaussian elimination and partial pivoting.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := m[i][n]
+		for j := i + 1; j < n; j++ {
+			v -= m[i][j] * x[j]
+		}
+		x[i] = v / m[i][i]
+	}
+	return x, nil
+}
+
+// --- random forest regression ---
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	Trees       int // number of trees (default 20)
+	MaxDepth    int // tree depth limit (default 8)
+	MinLeaf     int // minimum samples per leaf (default 5)
+	FeatureFrac float64
+	Seed        int64
+}
+
+func (c *ForestConfig) defaults() {
+	if c.Trees <= 0 {
+		c.Trees = 20
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.FeatureFrac <= 0 || c.FeatureFrac > 1 {
+		c.FeatureFrac = 0.6
+	}
+}
+
+// Forest is a trained random-forest regressor.
+type Forest struct {
+	Trees []*treeNode `json:"trees"`
+}
+
+type treeNode struct {
+	Feature int       `json:"f"`
+	Thresh  float64   `json:"t"`
+	Value   float64   `json:"v"`
+	Left    *treeNode `json:"l,omitempty"`
+	Right   *treeNode `json:"r,omitempty"`
+	Leaf    bool      `json:"leaf"`
+}
+
+// TrainRandomForest fits a forest of CART regression trees on bootstrap
+// samples with random feature subsets per split.
+func TrainRandomForest(x [][]float64, y []float64, cfg ForestConfig) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("need matching non-empty x (%d rows) and y (%d)", len(x), len(y))
+	}
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{}
+	n := len(x)
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		tree := buildTree(x, y, idx, cfg, rng, 0)
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+func buildTree(x [][]float64, y []float64, idx []int, cfg ForestConfig, rng *rand.Rand, depth int) *treeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf {
+		return &treeNode{Leaf: true, Value: mean}
+	}
+	nFeat := len(x[0])
+	k := int(float64(nFeat) * cfg.FeatureFrac)
+	if k < 1 {
+		k = 1
+	}
+	feats := rng.Perm(nFeat)[:k]
+
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	vals := make([]float64, len(idx))
+	for _, fi := range feats {
+		for j, i := range idx {
+			vals[j] = x[i][fi]
+		}
+		sorted := append([]float64{}, vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds at a handful of quantiles: fast and good
+		// enough for regression splits.
+		for q := 1; q <= 8; q++ {
+			thresh := sorted[len(sorted)*q/9]
+			score := splitSSE(x, y, idx, fi, thresh, cfg.MinLeaf)
+			if score < bestScore {
+				bestScore, bestFeat, bestThresh = score, fi, thresh
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{Leaf: true, Value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinLeaf || len(right) < cfg.MinLeaf {
+		return &treeNode{Leaf: true, Value: mean}
+	}
+	return &treeNode{
+		Feature: bestFeat,
+		Thresh:  bestThresh,
+		Left:    buildTree(x, y, left, cfg, rng, depth+1),
+		Right:   buildTree(x, y, right, cfg, rng, depth+1),
+	}
+}
+
+// splitSSE computes the total within-partition sum of squared errors for a
+// candidate split, or +Inf when a side is under the leaf minimum.
+func splitSSE(x [][]float64, y []float64, idx []int, feat int, thresh float64, minLeaf int) float64 {
+	var nL, nR float64
+	var sumL, sumR, sqL, sqR float64
+	for _, i := range idx {
+		v := y[i]
+		if x[i][feat] <= thresh {
+			nL++
+			sumL += v
+			sqL += v * v
+		} else {
+			nR++
+			sumR += v
+			sqR += v * v
+		}
+	}
+	if int(nL) < minLeaf || int(nR) < minLeaf {
+		return math.Inf(1)
+	}
+	sseL := sqL - sumL*sumL/nL
+	sseR := sqR - sumR*sumR/nR
+	return sseL + sseR
+}
+
+// Predict averages the per-tree predictions.
+func (f *Forest) Predict(x [][]float64) ([]float64, error) {
+	if len(f.Trees) == 0 {
+		return nil, fmt.Errorf("empty forest")
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		sum := 0.0
+		for _, t := range f.Trees {
+			sum += t.eval(row)
+		}
+		out[i] = sum / float64(len(f.Trees))
+	}
+	return out, nil
+}
+
+func (n *treeNode) eval(row []float64) float64 {
+	for !n.Leaf {
+		if n.Feature < len(row) && row[n.Feature] <= n.Thresh {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Value
+}
+
+// --- metrics ---
+
+// RMSE is the root-mean-square error between predictions and truth.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("need matching non-empty slices (%d vs %d)", len(pred), len(truth))
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// R2 is the coefficient of determination.
+func R2(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0, fmt.Errorf("need matching non-empty slices (%d vs %d)", len(pred), len(truth))
+	}
+	mean := 0.0
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i := range truth {
+		ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i])
+		ssTot += (truth[i] - mean) * (truth[i] - mean)
+	}
+	if ssTot == 0 {
+		return 0, fmt.Errorf("constant target")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// --- trend analysis (chain-store scenario, paper Figure 3) ---
+
+// Trend summarizes a series' direction.
+type Trend struct {
+	Direction string  `json:"direction"` // "rising", "falling", "flat"
+	Slope     float64 `json:"slope"`
+	Mean      float64 `json:"mean"`
+	Last      float64 `json:"last"`
+}
+
+// AnalyzeTrend fits a least-squares line over the series and classifies the
+// direction; slopes within ±2% of the mean per step count as flat.
+func AnalyzeTrend(series []float64) (*Trend, error) {
+	if len(series) < 2 {
+		return nil, fmt.Errorf("need at least 2 points, got %d", len(series))
+	}
+	n := float64(len(series))
+	var sx, sy, sxy, sxx float64
+	for i, v := range series {
+		xi := float64(i)
+		sx += xi
+		sy += v
+		sxy += xi * v
+		sxx += xi * xi
+	}
+	den := n*sxx - sx*sx
+	slope := (n*sxy - sx*sy) / den
+	mean := sy / n
+	dir := "flat"
+	threshold := math.Abs(mean) * 0.02
+	switch {
+	case slope > threshold:
+		dir = "rising"
+	case slope < -threshold:
+		dir = "falling"
+	}
+	return &Trend{Direction: dir, Slope: slope, Mean: mean, Last: series[len(series)-1]}, nil
+}

@@ -1,0 +1,352 @@
+package mltools
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bridgescope/internal/mcp"
+)
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	// y = 3 + 2*x1 - 0.5*x2, no noise: OLS must recover it exactly.
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{x1, x2})
+		y = append(y, 3+2*x1-0.5*x2)
+	}
+	m, err := TrainLinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-3) > 1e-6 || math.Abs(m.Coef[0]-2) > 1e-6 || math.Abs(m.Coef[1]+0.5) > 1e-6 {
+		t.Fatalf("coefficients wrong: %+v", m)
+	}
+	pred, err := m.Predict([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-4) > 1e-6 {
+		t.Fatalf("prediction wrong: %v", pred[0])
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := TrainLinearRegression(nil, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := TrainLinearRegression([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched sizes must error")
+	}
+	m := &LinearModel{Intercept: 0, Coef: []float64{1, 2}}
+	if _, err := m.Predict([][]float64{{1}}); err == nil {
+		t.Fatal("wrong feature width must error")
+	}
+}
+
+func TestRandomForestBeatsMeanBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, a*a+3*b+rng.NormFloat64())
+	}
+	xTr, xTe, yTr, yTe, err := TrainTestSplit(x, y, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := TrainRandomForest(xTr, yTr, ForestConfig{Trees: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := f.Predict(xTe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := R2(pred, yTe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.7 {
+		t.Fatalf("forest R2 = %.3f, expected a real fit on a learnable function", r2)
+	}
+}
+
+func TestForestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * 5
+		x = append(x, []float64{a})
+		y = append(y, 2*a)
+	}
+	f1, _ := TrainRandomForest(x, y, ForestConfig{Trees: 5, Seed: 9})
+	f2, _ := TrainRandomForest(x, y, ForestConfig{Trees: 5, Seed: 9})
+	p1, _ := f1.Predict(x[:10])
+	p2, _ := f2.Predict(x[:10])
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("same seed must give identical forests")
+		}
+	}
+}
+
+func TestZScoreProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		cols := 1 + rng.Intn(4)
+		x := make([][]float64, n)
+		for i := range x {
+			row := make([]float64, cols)
+			for j := range row {
+				row[j] = rng.NormFloat64()*50 + 10
+			}
+			x[i] = row
+		}
+		norm, means, stds, err := ZScoreNormalize(x)
+		if err != nil {
+			return false
+		}
+		// Normalized columns have ~zero mean and ~unit variance.
+		for j := 0; j < cols; j++ {
+			var sum, sq float64
+			for i := range norm {
+				sum += norm[i][j]
+			}
+			mean := sum / float64(n)
+			for i := range norm {
+				d := norm[i][j] - mean
+				sq += d * d
+			}
+			std := math.Sqrt(sq / float64(n))
+			if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+				return false
+			}
+		}
+		// ApplyZScore with the returned stats reproduces the output.
+		again, err := ApplyZScore(x, means, stds)
+		if err != nil {
+			return false
+		}
+		for i := range norm {
+			for j := range norm[i] {
+				if math.Abs(norm[i][j]-again[i][j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZScoreConstantColumn(t *testing.T) {
+	norm, _, _, err := ZScoreNormalize([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range norm {
+		if norm[i][0] != 0 {
+			t.Fatalf("constant column should normalize to 0, got %v", norm[i][0])
+		}
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	x := make([][]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = float64(i)
+	}
+	xTr, xTe, yTr, yTe, err := TrainTestSplit(x, y, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xTe) != 20 || len(xTr) != 80 || len(yTe) != 20 || len(yTr) != 80 {
+		t.Fatalf("split sizes wrong: %d/%d", len(xTr), len(xTe))
+	}
+	// Pairing preserved.
+	for i := range xTr {
+		if xTr[i][0] != yTr[i] {
+			t.Fatal("x/y pairing broken by split")
+		}
+	}
+	if _, _, _, _, err := TrainTestSplit(x, y, 1.5, 1); err == nil {
+		t.Fatal("bad fraction must error")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 3}
+	rmse, err := RMSE(pred, truth)
+	if err != nil || rmse != 0 {
+		t.Fatalf("perfect RMSE should be 0: %v %v", rmse, err)
+	}
+	r2, err := R2(pred, truth)
+	if err != nil || r2 != 1 {
+		t.Fatalf("perfect R2 should be 1: %v %v", r2, err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}
+
+func TestAnalyzeTrend(t *testing.T) {
+	up, err := AnalyzeTrend([]float64{1, 2, 3, 4, 5})
+	if err != nil || up.Direction != "rising" {
+		t.Fatalf("rising series misclassified: %+v %v", up, err)
+	}
+	down, _ := AnalyzeTrend([]float64{10, 8, 6, 4})
+	if down.Direction != "falling" {
+		t.Fatalf("falling series misclassified: %+v", down)
+	}
+	flat, _ := AnalyzeTrend([]float64{5, 5.001, 4.999, 5})
+	if flat.Direction != "flat" {
+		t.Fatalf("flat series misclassified: %+v", flat)
+	}
+	if _, err := AnalyzeTrend([]float64{1}); err == nil {
+		t.Fatal("single point must error")
+	}
+}
+
+// --- tool server ---
+
+func serverClient(t *testing.T) *mcp.Client {
+	t.Helper()
+	reg := mcp.NewRegistry()
+	NewServer(11).RegisterTools(reg)
+	return mcp.NewClient(mcp.NewServer(reg))
+}
+
+func TestServerTrainPredictRoundTrip(t *testing.T) {
+	client := serverClient(t)
+	ctx := context.Background()
+	features := make([]any, 0, 60)
+	target := make([]any, 0, 60)
+	for i := 0; i < 60; i++ {
+		f := float64(i)
+		features = append(features, []any{f, f * 2})
+		target = append(target, 3*f+1)
+	}
+	res, err := client.CallTool(ctx, "train_linear_regression", map[string]any{
+		"features": features, "target": target,
+	})
+	if err != nil || res.IsErr {
+		t.Fatalf("train failed: %v %s", err, res.Text)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(res.Data, &out); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := out["model_id"].(string)
+	if id == "" {
+		t.Fatalf("no model_id in %s", res.Text)
+	}
+	pres, err := client.CallTool(ctx, "predict", map[string]any{
+		"model_id": id,
+		"features": []any{[]any{10.0, 20.0}},
+	})
+	if err != nil || pres.IsErr {
+		t.Fatalf("predict failed: %v %s", err, pres.Text)
+	}
+	var pout map[string][]float64
+	if err := json.Unmarshal(pres.Data, &pout); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pout["predictions"][0]-31) > 1e-6 {
+		t.Fatalf("prediction = %v, want 31", pout["predictions"][0])
+	}
+}
+
+func TestServerZScoreIntoTrain(t *testing.T) {
+	client := serverClient(t)
+	ctx := context.Background()
+	features := []any{}
+	target := []any{}
+	for i := 0; i < 50; i++ {
+		f := float64(i)
+		features = append(features, []any{f * 100, f})
+		target = append(target, 5*f)
+	}
+	zres, err := client.CallTool(ctx, "zscore_normalize", map[string]any{"features": features})
+	if err != nil || zres.IsErr {
+		t.Fatalf("zscore failed: %v %s", err, zres.Text)
+	}
+	var zout map[string]any
+	if err := json.Unmarshal(zres.Data, &zout); err != nil {
+		t.Fatal(err)
+	}
+	// Pass the whole zscore result as features: the train tool accepts it
+	// and stores means/stds for later prediction.
+	tres, err := client.CallTool(ctx, "train_linear_regression", map[string]any{
+		"features": zout, "target": target,
+	})
+	if err != nil || tres.IsErr {
+		t.Fatalf("train on normalized failed: %v %s", err, tres.Text)
+	}
+	var tout map[string]any
+	_ = json.Unmarshal(tres.Data, &tout)
+	id, _ := tout["model_id"].(string)
+	// Predict applies the stored normalization to raw inputs.
+	pres, err := client.CallTool(ctx, "predict", map[string]any{
+		"model_id": id, "features": []any{[]any{2500.0, 25.0}},
+	})
+	if err != nil || pres.IsErr {
+		t.Fatalf("predict failed: %v %s", err, pres.Text)
+	}
+	var pout map[string][]float64
+	_ = json.Unmarshal(pres.Data, &pout)
+	if math.Abs(pout["predictions"][0]-125) > 1.0 {
+		t.Fatalf("normalized round trip prediction = %v, want ~125", pout["predictions"][0])
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	client := serverClient(t)
+	ctx := context.Background()
+	res, _ := client.CallTool(ctx, "predict", map[string]any{
+		"model_id": "model-999", "features": []any{[]any{1.0}},
+	})
+	if !res.IsErr || !strings.Contains(res.Text, "unknown model_id") {
+		t.Fatalf("unknown model must error: %s", res.Text)
+	}
+	res, _ = client.CallTool(ctx, "train_linear_regression", map[string]any{
+		"features": []any{[]any{1.0}}, "target": []any{1.0, 2.0},
+	})
+	if !res.IsErr {
+		t.Fatalf("mismatched rows must error: %s", res.Text)
+	}
+	res, _ = client.CallTool(ctx, "trend_analyze", map[string]any{})
+	if !res.IsErr {
+		t.Fatalf("empty trend args must error: %s", res.Text)
+	}
+}
+
+func TestServerTrend(t *testing.T) {
+	client := serverClient(t)
+	res, err := client.CallTool(context.Background(), "trend_analyze", map[string]any{
+		"sales":   []any{1.0, 2.0, 3.0, 4.0},
+		"refunds": []any{4.0, 3.0, 2.0, 1.0},
+	})
+	if err != nil || res.IsErr {
+		t.Fatalf("trend failed: %v %s", err, res.Text)
+	}
+	if !strings.Contains(res.Text, `"rising"`) || !strings.Contains(res.Text, `"falling"`) {
+		t.Fatalf("trend directions missing: %s", res.Text)
+	}
+}

@@ -1,0 +1,11 @@
+package pgmcp
+
+import "encoding/json"
+
+func jsonMarshal(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

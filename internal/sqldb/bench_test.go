@@ -1,0 +1,132 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchEngine(b *testing.B, rows int, withIndex bool) (*Engine, *Session) {
+	b.Helper()
+	e := NewEngine("bench")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, grp INT, val REAL, name TEXT)`)
+	s.MustExec(`CREATE TABLE child (id INT PRIMARY KEY, t_id INT REFERENCES t(id), x REAL)`)
+	if withIndex {
+		s.MustExec(`CREATE INDEX idx_grp ON t (grp)`)
+	}
+	batch := ""
+	for i := 0; i < rows; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %f, 'name%d')", i, i%50, float64(i)*1.5, i)
+		if (i+1)%500 == 0 || i == rows-1 {
+			s.MustExec("INSERT INTO t VALUES " + batch)
+			batch = ""
+		}
+	}
+	for i := 0; i < rows/2; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %f)", i, i*2, float64(i))
+		if (i+1)%500 == 0 || i == rows/2-1 {
+			s.MustExec("INSERT INTO child VALUES " + batch)
+			batch = ""
+		}
+	}
+	b.ResetTimer()
+	return e, s
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	const q = `SELECT a.name, SUM(b.x) AS total FROM t a JOIN child b ON a.id = b.t_id WHERE a.grp BETWEEN 3 AND 17 AND a.name LIKE 'name%' GROUP BY a.name HAVING SUM(b.x) > 10 ORDER BY total DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSingleRow(b *testing.B) {
+	_, s := benchEngine(b, 1000, false)
+	for i := 0; i < b.N; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1, 1.0, 'x')", 10_000+i))
+	}
+}
+
+func BenchmarkSelectFullScan(b *testing.B) {
+	_, s := benchEngine(b, 5000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7")
+		if r.Rows[0][0].I == 0 {
+			b.Fatal("no rows matched")
+		}
+	}
+}
+
+func BenchmarkSelectIndexed(b *testing.B) {
+	_, s := benchEngine(b, 5000, true)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7")
+		if r.Rows[0][0].I == 0 {
+			b.Fatal("no rows matched")
+		}
+	}
+}
+
+func BenchmarkSelectPKLookup(b *testing.B) {
+	_, s := benchEngine(b, 5000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec(fmt.Sprintf("SELECT val FROM t WHERE id = %d", i%5000))
+		if len(r.Rows) != 1 {
+			b.Fatal("pk lookup missed")
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	_, s := benchEngine(b, 2000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT COUNT(*) FROM t JOIN child ON t.id = child.t_id")
+		if r.Rows[0][0].I == 0 {
+			b.Fatal("join empty")
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	_, s := benchEngine(b, 5000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT grp, COUNT(*), AVG(val) FROM t GROUP BY grp")
+		if len(r.Rows) != 50 {
+			b.Fatalf("want 50 groups, got %d", len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkOrderByLimit(b *testing.B) {
+	_, s := benchEngine(b, 5000, false)
+	for i := 0; i < b.N; i++ {
+		s.MustExec("SELECT name, val FROM t ORDER BY val DESC LIMIT 10")
+	}
+}
+
+func BenchmarkTransactionCommit(b *testing.B) {
+	_, s := benchEngine(b, 1000, false)
+	for i := 0; i < b.N; i++ {
+		s.MustExec("BEGIN")
+		s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1, 1.0, 'x')", 100_000+i))
+		s.MustExec(fmt.Sprintf("UPDATE t SET val = val + 1 WHERE id = %d", 100_000+i))
+		s.MustExec("COMMIT")
+	}
+}
+
+func BenchmarkTransactionRollback(b *testing.B) {
+	_, s := benchEngine(b, 1000, false)
+	for i := 0; i < b.N; i++ {
+		s.MustExec("BEGIN")
+		s.MustExec("UPDATE t SET val = val * 1.01 WHERE grp < 10")
+		s.MustExec("ROLLBACK")
+	}
+}

@@ -1,0 +1,488 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name       string
+	Type       Kind
+	NotNull    bool
+	PrimaryKey bool
+	Unique     bool
+	Default    Expr // nil when absent
+}
+
+// ForeignKey is a FOREIGN KEY constraint on a table.
+type ForeignKey struct {
+	Columns       []string
+	ParentTable   string
+	ParentColumns []string
+}
+
+// rowEntry is one stored row. Deleted rows are tombstoned (dead=true) so an
+// open transaction can resurrect them on rollback; they are compacted once
+// no transaction can reference them.
+type rowEntry struct {
+	id   int64
+	vals []Value
+	dead bool
+}
+
+// Index is a single-column hash index.
+type Index struct {
+	Name   string
+	Column string
+	Unique bool
+	col    int                // column position
+	m      map[string][]int64 // value key -> live row ids
+}
+
+// Table is an in-memory heap of rows plus secondary structures.
+type Table struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+
+	rows    []*rowEntry
+	byID    map[int64]*rowEntry
+	nextID  int64
+	deadCnt int
+
+	indexes map[string]*Index // keyed by lower-case column name
+	pkCols  []int             // resolved PK column positions
+	pkMap   map[string]int64  // composite PK key -> row id
+}
+
+func newTable(name string, cols []Column, pk []string, fks []ForeignKey) (*Table, error) {
+	t := &Table{
+		Name:        name,
+		Columns:     cols,
+		PrimaryKey:  pk,
+		ForeignKeys: fks,
+		byID:        map[int64]*rowEntry{},
+		indexes:     map[string]*Index{},
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lo := strings.ToLower(c.Name)
+		if seen[lo] {
+			return nil, fmt.Errorf("duplicate column %q in table %q", c.Name, name)
+		}
+		seen[lo] = true
+	}
+	for _, pc := range pk {
+		i := t.ColIndex(pc)
+		if i < 0 {
+			return nil, fmt.Errorf("primary key column %q not found in table %q", pc, name)
+		}
+		t.pkCols = append(t.pkCols, i)
+	}
+	if len(t.pkCols) > 0 {
+		t.pkMap = map[string]int64{}
+	}
+	// Auto-index UNIQUE columns.
+	for _, c := range cols {
+		if c.Unique && !c.PrimaryKey {
+			t.addIndex(&Index{Name: name + "_" + c.Name + "_key", Column: c.Name, Unique: true})
+		}
+	}
+	return t, nil
+}
+
+// ColIndex returns the position of a column by case-insensitive name, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames lists the column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return len(t.rows) - t.deadCnt }
+
+// liveRows iterates over live rows in insertion order.
+func (t *Table) liveRows(fn func(*rowEntry) error) error {
+	for _, r := range t.rows {
+		if r.dead {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) addIndex(ix *Index) {
+	ix.col = t.ColIndex(ix.Column)
+	ix.m = map[string][]int64{}
+	for _, r := range t.rows {
+		if !r.dead {
+			ix.add(r.vals[ix.col].Key(), r.id)
+		}
+	}
+	t.indexes[strings.ToLower(ix.Column)] = ix
+}
+
+func (ix *Index) add(key string, id int64) { ix.m[key] = append(ix.m[key], id) }
+
+func (ix *Index) remove(key string, id int64) {
+	ids := ix.m[key]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ix.m[key] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+func (t *Table) pkKey(vals []Value) string {
+	var sb strings.Builder
+	for _, i := range t.pkCols {
+		sb.WriteString(vals[i].Key())
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// insertEntry appends a row that already passed constraint checks.
+func (t *Table) insertEntry(vals []Value) *rowEntry {
+	t.nextID++
+	e := &rowEntry{id: t.nextID, vals: vals}
+	t.rows = append(t.rows, e)
+	t.byID[e.id] = e
+	t.hookAdd(e)
+	return e
+}
+
+// markDead tombstones a row.
+func (t *Table) markDead(e *rowEntry) {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	t.deadCnt++
+	t.hookRemove(e)
+}
+
+// resurrect undoes markDead.
+func (t *Table) resurrect(e *rowEntry) {
+	if !e.dead {
+		return
+	}
+	e.dead = false
+	t.deadCnt--
+	t.hookAdd(e)
+}
+
+// replaceVals swaps a live row's values, keeping secondary structures
+// consistent.
+func (t *Table) replaceVals(e *rowEntry, vals []Value) {
+	t.hookRemove(e)
+	e.vals = vals
+	t.hookAdd(e)
+}
+
+func (t *Table) hookAdd(e *rowEntry) {
+	if t.pkMap != nil {
+		t.pkMap[t.pkKey(e.vals)] = e.id
+	}
+	for _, ix := range t.indexes {
+		ix.add(e.vals[ix.col].Key(), e.id)
+	}
+}
+
+func (t *Table) hookRemove(e *rowEntry) {
+	if t.pkMap != nil {
+		k := t.pkKey(e.vals)
+		if t.pkMap[k] == e.id {
+			delete(t.pkMap, k)
+		}
+	}
+	for _, ix := range t.indexes {
+		ix.remove(e.vals[ix.col].Key(), e.id)
+	}
+}
+
+// compact removes tombstoned rows. Only safe when no transaction may
+// reference them.
+func (t *Table) compact() {
+	if t.deadCnt == 0 {
+		return
+	}
+	live := t.rows[:0]
+	for _, r := range t.rows {
+		if r.dead {
+			delete(t.byID, r.id)
+			continue
+		}
+		live = append(live, r)
+	}
+	t.rows = live
+	t.deadCnt = 0
+}
+
+// lookupEq returns ids of live rows whose column equals v, using an index,
+// the PK map, or nil when no access path exists (caller falls back to scan).
+func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
+	if len(t.pkCols) == 1 && t.pkCols[0] == col {
+		if id, ok := t.pkMap[v.Key()+"|"]; ok {
+			return []int64{id}, true
+		}
+		return nil, true
+	}
+	if ix, ok := t.indexes[strings.ToLower(t.Columns[col].Name)]; ok {
+		return ix.m[v.Key()], true
+	}
+	return nil, false
+}
+
+// Engine is a single logical database: a catalog of tables, the privilege
+// store, and the execution entry points. An Engine corresponds to one
+// PostgreSQL database in the paper's setup.
+type Engine struct {
+	Name string
+
+	mu         sync.Mutex        // serializes statement execution
+	tables     map[string]*Table // lower-case name -> table
+	tableOrder []string          // creation order of lower-case names
+	views      map[string]*View  // lower-case name -> view
+	viewOrder  []string
+	grants     *Grants
+}
+
+// View is a named stored query.
+type View struct {
+	Name  string
+	Query *SelectStmt
+}
+
+// NewEngine creates an empty database. The special user "root" is always a
+// superuser.
+func NewEngine(name string) *Engine {
+	return &Engine{
+		Name:   name,
+		tables: map[string]*Table{},
+		views:  map[string]*View{},
+		grants: newGrants(),
+	}
+}
+
+// Grants exposes the privilege store for direct configuration.
+func (e *Engine) Grants() *Grants { return e.grants }
+
+// Table returns a table by case-insensitive name.
+func (e *Engine) Table(name string) (*Table, bool) {
+	t, ok := e.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists tables in creation order.
+func (e *Engine) TableNames() []string {
+	out := make([]string, 0, len(e.tableOrder))
+	for _, lo := range e.tableOrder {
+		out = append(out, e.tables[lo].Name)
+	}
+	return out
+}
+
+// ViewByName returns a view by case-insensitive name.
+func (e *Engine) ViewByName(name string) (*View, bool) {
+	v, ok := e.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// ViewNames lists views in creation order.
+func (e *Engine) ViewNames() []string {
+	out := make([]string, 0, len(e.viewOrder))
+	for _, lo := range e.viewOrder {
+		out = append(out, e.views[lo].Name)
+	}
+	return out
+}
+
+func (e *Engine) createView(v *View) error {
+	lo := strings.ToLower(v.Name)
+	if _, exists := e.tables[lo]; exists {
+		return fmt.Errorf("table %q already exists", v.Name)
+	}
+	if _, exists := e.views[lo]; exists {
+		return fmt.Errorf("view %q already exists", v.Name)
+	}
+	e.views[lo] = v
+	e.viewOrder = append(e.viewOrder, lo)
+	return nil
+}
+
+func (e *Engine) dropView(name string) (*View, error) {
+	lo := strings.ToLower(name)
+	v, ok := e.views[lo]
+	if !ok {
+		return nil, &NotFoundError{Kind: "view", Name: name}
+	}
+	delete(e.views, lo)
+	for i, n := range e.viewOrder {
+		if n == lo {
+			e.viewOrder = append(e.viewOrder[:i], e.viewOrder[i+1:]...)
+			break
+		}
+	}
+	return v, nil
+}
+
+// createTable registers a table in the catalog.
+func (e *Engine) createTable(t *Table) error {
+	lo := strings.ToLower(t.Name)
+	if _, exists := e.tables[lo]; exists {
+		return fmt.Errorf("table %q already exists", t.Name)
+	}
+	if _, exists := e.views[lo]; exists {
+		return fmt.Errorf("view %q already exists", t.Name)
+	}
+	e.tables[lo] = t
+	e.tableOrder = append(e.tableOrder, lo)
+	return nil
+}
+
+// dropTable removes a table from the catalog and returns it (for undo).
+func (e *Engine) dropTable(name string) (*Table, error) {
+	lo := strings.ToLower(name)
+	t, ok := e.tables[lo]
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", name)
+	}
+	// Refuse when another table references this one.
+	for _, other := range e.tables {
+		if strings.EqualFold(other.Name, name) {
+			continue
+		}
+		for _, fk := range other.ForeignKeys {
+			if strings.EqualFold(fk.ParentTable, name) {
+				return nil, fmt.Errorf("cannot drop table %q: table %q references it", name, other.Name)
+			}
+		}
+	}
+	delete(e.tables, lo)
+	for i, n := range e.tableOrder {
+		if n == lo {
+			e.tableOrder = append(e.tableOrder[:i], e.tableOrder[i+1:]...)
+			break
+		}
+	}
+	return t, nil
+}
+
+// childFKs lists (table, fk) pairs that reference parent.
+func (e *Engine) childFKs(parent string) []childFK {
+	var out []childFK
+	for _, lo := range e.tableOrder {
+		t := e.tables[lo]
+		for i := range t.ForeignKeys {
+			if strings.EqualFold(t.ForeignKeys[i].ParentTable, parent) {
+				out = append(out, childFK{table: t, fk: &t.ForeignKeys[i]})
+			}
+		}
+	}
+	return out
+}
+
+type childFK struct {
+	table *Table
+	fk    *ForeignKey
+}
+
+// SchemaSQL renders a table's definition as LLM-readable CREATE TABLE text,
+// matching the representation in the paper's Figure 3.
+func SchemaSQL(t *Table) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CREATE TABLE %s (\n", t.Name)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "  %s %s", c.Name, c.Type)
+		if c.PrimaryKey && len(t.PrimaryKey) <= 1 {
+			sb.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull && !c.PrimaryKey {
+			sb.WriteString(" NOT NULL")
+		}
+		if c.Unique {
+			sb.WriteString(" UNIQUE")
+		}
+		if c.Default != nil {
+			sb.WriteString(" DEFAULT " + c.Default.String())
+		}
+		if i < len(t.Columns)-1 || len(t.PrimaryKey) > 1 || len(t.ForeignKeys) > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.PrimaryKey) > 1 {
+		fmt.Fprintf(&sb, "  PRIMARY KEY (%s)", strings.Join(t.PrimaryKey, ", "))
+		if len(t.ForeignKeys) > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	for i, fk := range t.ForeignKeys {
+		fmt.Fprintf(&sb, "  FOREIGN KEY (%s) REFERENCES %s(%s)",
+			strings.Join(fk.Columns, ", "), fk.ParentTable, strings.Join(fk.ParentColumns, ", "))
+		if i < len(t.ForeignKeys)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString(");")
+	return sb.String()
+}
+
+// ColumnValues returns the distinct live values of a column, sorted by their
+// canonical keys, capped at limit (0 = unlimited). Used by the get_value
+// exemplar tool.
+func (e *Engine) ColumnValues(table, column string, limit int) ([]Value, error) {
+	t, ok := e.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("table %q does not exist", table)
+	}
+	ci := t.ColIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("column %q does not exist in table %q", column, table)
+	}
+	seen := map[string]Value{}
+	_ = t.liveRows(func(r *rowEntry) error {
+		v := r.vals[ci]
+		if !v.IsNull() {
+			seen[v.Key()] = v
+		}
+		return nil
+	})
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Value, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}

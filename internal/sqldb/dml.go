@@ -1,0 +1,624 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// execInsert validates and appends rows. All constraint checks (types,
+// NOT NULL, PK/UNIQUE, foreign keys) run per row; a failure aborts the whole
+// statement via the statement undo scope.
+func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
+	t, ok := s.engine.Table(st.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	// Resolve target column positions.
+	var target []int
+	if len(st.Columns) == 0 {
+		target = make([]int, len(t.Columns))
+		for i := range t.Columns {
+			target[i] = i
+		}
+	} else {
+		for _, c := range st.Columns {
+			i := t.ColIndex(c)
+			if i < 0 {
+				return nil, &NotFoundError{Kind: "column", Name: st.Table + "." + c}
+			}
+			target = append(target, i)
+		}
+	}
+	s.bindInsertSubqueries(st)
+	inserted := 0
+	for _, rowExprs := range st.Rows {
+		if len(rowExprs) != len(target) {
+			return nil, fmt.Errorf("INSERT has %d values but %d columns", len(rowExprs), len(target))
+		}
+		vals := make([]Value, len(t.Columns))
+		assigned := make([]bool, len(t.Columns))
+		for i, e := range rowExprs {
+			v, err := e.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[target[i]] = v
+			assigned[target[i]] = true
+		}
+		for i := range vals {
+			if !assigned[i] {
+				if t.Columns[i].Default != nil {
+					dv, err := t.Columns[i].Default.Eval(nil)
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = dv
+				} else {
+					vals[i] = Null()
+				}
+			}
+		}
+		if err := s.checkRowConstraints(t, vals, nil); err != nil {
+			return nil, err
+		}
+		e := t.insertEntry(vals)
+		s.record(undoOp{kind: undoInsert, table: t, entry: e})
+		inserted++
+	}
+	return &Result{Affected: inserted, Message: fmt.Sprintf("INSERT 0 %d", inserted)}, nil
+}
+
+func (s *Session) bindInsertSubqueries(st *InsertStmt) {
+	for _, row := range st.Rows {
+		s.bindSubqueries(row...)
+	}
+}
+
+// checkRowConstraints validates a candidate row. self is non-nil for
+// updates, to exclude the row being replaced from uniqueness checks.
+func (s *Session) checkRowConstraints(t *Table, vals []Value, self *rowEntry) error {
+	// Types + NOT NULL.
+	for i, c := range t.Columns {
+		cv, err := CoerceTo(vals[i], c.Type)
+		if err != nil {
+			return fmt.Errorf("column %q: %w", c.Name, err)
+		}
+		vals[i] = cv
+		if cv.IsNull() && (c.NotNull || c.PrimaryKey || contains(t.PrimaryKey, c.Name)) {
+			return fmt.Errorf("null value in column %q of table %q violates not-null constraint", c.Name, t.Name)
+		}
+	}
+	// Primary key uniqueness.
+	if t.pkMap != nil {
+		k := t.pkKey(vals)
+		if id, ok := t.pkMap[k]; ok && (self == nil || id != self.id) {
+			return fmt.Errorf("duplicate key value violates primary key constraint on table %q", t.Name)
+		}
+	}
+	// UNIQUE columns (auto-indexed at table creation).
+	for _, ix := range t.indexes {
+		if !ix.Unique {
+			continue
+		}
+		v := vals[ix.col]
+		if v.IsNull() {
+			continue
+		}
+		for _, id := range ix.m[v.Key()] {
+			if self == nil || id != self.id {
+				return fmt.Errorf("duplicate key value violates unique constraint on %q.%q", t.Name, ix.Column)
+			}
+		}
+	}
+	// Foreign keys: child side must reference an existing parent row.
+	for _, fk := range t.ForeignKeys {
+		if err := s.checkFKParentExists(t, &fk, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) checkFKParentExists(t *Table, fk *ForeignKey, vals []Value) error {
+	parent, ok := s.engine.Table(fk.ParentTable)
+	if !ok {
+		return &NotFoundError{Kind: "table", Name: fk.ParentTable}
+	}
+	childVals := make([]Value, len(fk.Columns))
+	for i, c := range fk.Columns {
+		ci := t.ColIndex(c)
+		if ci < 0 {
+			return &NotFoundError{Kind: "column", Name: t.Name + "." + c}
+		}
+		childVals[i] = vals[ci]
+		if childVals[i].IsNull() {
+			return nil // NULL FK values are always permitted
+		}
+	}
+	parentCols := fk.ParentColumns
+	if len(parentCols) == 0 {
+		parentCols = parent.PrimaryKey
+	}
+	if len(parentCols) != len(fk.Columns) {
+		return fmt.Errorf("foreign key on %q has mismatched column count", t.Name)
+	}
+	pIdx := make([]int, len(parentCols))
+	for i, c := range parentCols {
+		pi := parent.ColIndex(c)
+		if pi < 0 {
+			return &NotFoundError{Kind: "column", Name: parent.Name + "." + c}
+		}
+		pIdx[i] = pi
+	}
+	// Fast path: FK targets the parent's whole primary key.
+	if samePKCols(parent, pIdx) {
+		var kb strings.Builder
+		for _, v := range childVals {
+			kb.WriteString(v.Key())
+			kb.WriteByte('|')
+		}
+		if _, ok := parent.pkMap[kb.String()]; ok {
+			return nil
+		}
+		return fkViolation(t, fk, childVals)
+	}
+	found := false
+	_ = parent.liveRows(func(r *rowEntry) error {
+		if found {
+			return nil
+		}
+		match := true
+		for i, pi := range pIdx {
+			if !Equal(r.vals[pi], childVals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		return fkViolation(t, fk, childVals)
+	}
+	return nil
+}
+
+func fkViolation(t *Table, fk *ForeignKey, vals []Value) error {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return fmt.Errorf("insert or update on table %q violates foreign key constraint: key (%s)=(%s) is not present in table %q",
+		t.Name, strings.Join(fk.Columns, ", "), strings.Join(parts, ", "), fk.ParentTable)
+}
+
+func samePKCols(t *Table, idx []int) bool {
+	if t.pkMap == nil || len(idx) != len(t.pkCols) {
+		return false
+	}
+	for i, v := range idx {
+		if t.pkCols[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkNoChildRefs enforces RESTRICT semantics when deleting or re-keying a
+// parent row.
+func (s *Session) checkNoChildRefs(parent *Table, parentVals []Value) error {
+	for _, cf := range s.engine.childFKs(parent.Name) {
+		parentCols := cf.fk.ParentColumns
+		if len(parentCols) == 0 {
+			parentCols = parent.PrimaryKey
+		}
+		keyVals := make([]Value, len(parentCols))
+		skip := false
+		for i, c := range parentCols {
+			pi := parent.ColIndex(c)
+			if pi < 0 {
+				skip = true
+				break
+			}
+			keyVals[i] = parentVals[pi]
+		}
+		if skip {
+			continue
+		}
+		cIdx := make([]int, len(cf.fk.Columns))
+		ok := true
+		for i, c := range cf.fk.Columns {
+			ci := cf.table.ColIndex(c)
+			if ci < 0 {
+				ok = false
+				break
+			}
+			cIdx[i] = ci
+		}
+		if !ok {
+			continue
+		}
+		violated := false
+		_ = cf.table.liveRows(func(r *rowEntry) error {
+			if violated {
+				return nil
+			}
+			match := true
+			for i, ci := range cIdx {
+				if r.vals[ci].IsNull() || !Equal(r.vals[ci], keyVals[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				violated = true
+			}
+			return nil
+		})
+		if violated {
+			return fmt.Errorf("update or delete on table %q violates foreign key constraint on table %q",
+				parent.Name, cf.table.Name)
+		}
+	}
+	return nil
+}
+
+func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
+	t, ok := s.engine.Table(st.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	for _, a := range st.Set {
+		if t.ColIndex(a.Column) < 0 {
+			return nil, &NotFoundError{Kind: "column", Name: st.Table + "." + a.Column}
+		}
+		s.bindSubqueries(a.Expr)
+	}
+	s.bindSubqueries(st.Where)
+	matches, err := s.matchRows(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	envCols := tableEnvCols(t)
+	for _, e := range matches {
+		env := &Env{cols: envCols, vals: e.vals}
+		newVals := append([]Value{}, e.vals...)
+		for _, a := range st.Set {
+			v, err := a.Expr.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			newVals[t.ColIndex(a.Column)] = v
+		}
+		if err := s.checkRowConstraints(t, newVals, e); err != nil {
+			return nil, err
+		}
+		// If this row is a FK parent and its key columns changed, enforce
+		// RESTRICT against children referencing the old key.
+		if keyChanged(t, s.engine, e.vals, newVals) {
+			if err := s.checkNoChildRefs(t, e.vals); err != nil {
+				return nil, err
+			}
+		}
+		old := append([]Value{}, e.vals...)
+		t.replaceVals(e, newVals)
+		s.record(undoOp{kind: undoUpdate, table: t, entry: e, oldVals: old})
+	}
+	return &Result{Affected: len(matches), Message: fmt.Sprintf("UPDATE %d", len(matches))}, nil
+}
+
+// keyChanged reports whether any column referenced by a child FK changed.
+func keyChanged(t *Table, e *Engine, oldVals, newVals []Value) bool {
+	for _, cf := range e.childFKs(t.Name) {
+		parentCols := cf.fk.ParentColumns
+		if len(parentCols) == 0 {
+			parentCols = t.PrimaryKey
+		}
+		for _, c := range parentCols {
+			pi := t.ColIndex(c)
+			if pi >= 0 && !Equal(oldVals[pi], newVals[pi]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
+	t, ok := s.engine.Table(st.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	s.bindSubqueries(st.Where)
+	matches, err := s.matchRows(t, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range matches {
+		if err := s.checkNoChildRefs(t, e.vals); err != nil {
+			return nil, err
+		}
+		t.markDead(e)
+		s.record(undoOp{kind: undoDelete, table: t, entry: e})
+	}
+	return &Result{Affected: len(matches), Message: fmt.Sprintf("DELETE %d", len(matches))}, nil
+}
+
+// matchRows snapshots the live rows matching a WHERE clause.
+func (s *Session) matchRows(t *Table, where Expr) ([]*rowEntry, error) {
+	envCols := tableEnvCols(t)
+	var out []*rowEntry
+	var evalErr error
+	_ = t.liveRows(func(r *rowEntry) error {
+		if evalErr != nil {
+			return nil
+		}
+		if where != nil {
+			env := &Env{cols: envCols, vals: r.vals}
+			v, err := where.Eval(env)
+			if err != nil {
+				evalErr = err
+				return nil
+			}
+			if v.IsNull() || !v.Truthy() {
+				return nil
+			}
+		}
+		out = append(out, r)
+		return nil
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+func tableEnvCols(t *Table) []envCol {
+	out := make([]envCol, len(t.Columns))
+	lo := strings.ToLower(t.Name)
+	for i, c := range t.Columns {
+		out[i] = envCol{table: lo, name: strings.ToLower(c.Name)}
+	}
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- DDL ---
+
+func (s *Session) execCreateTable(st *CreateTableStmt) (*Result, error) {
+	if _, exists := s.engine.Table(st.Table); exists {
+		if st.IfNotExists {
+			return &Result{Message: "CREATE TABLE (exists, skipped)"}, nil
+		}
+		return nil, fmt.Errorf("table %q already exists", st.Table)
+	}
+	cols := make([]Column, len(st.Columns))
+	var pk []string
+	fks := append([]ForeignKeyDef{}, st.ForeignKeys...)
+	for i, cd := range st.Columns {
+		cols[i] = Column{
+			Name:       cd.Name,
+			Type:       cd.Type,
+			NotNull:    cd.NotNull,
+			PrimaryKey: cd.PrimaryKey,
+			Unique:     cd.Unique,
+			Default:    cd.Default,
+		}
+		if cd.PrimaryKey {
+			pk = append(pk, cd.Name)
+		}
+		if cd.References != nil {
+			fks = append(fks, *cd.References)
+		}
+	}
+	if len(st.PrimaryKey) > 0 {
+		if len(pk) > 0 {
+			return nil, fmt.Errorf("multiple primary keys for table %q", st.Table)
+		}
+		pk = st.PrimaryKey
+		for i := range cols {
+			if contains(pk, cols[i].Name) {
+				cols[i].PrimaryKey = true
+			}
+		}
+	}
+	var tableFKs []ForeignKey
+	for _, fk := range fks {
+		parent, ok := s.engine.Table(fk.ParentTable)
+		if !ok {
+			return nil, &NotFoundError{Kind: "table", Name: fk.ParentTable}
+		}
+		parentCols := fk.ParentColumns
+		if len(parentCols) == 0 {
+			parentCols = parent.PrimaryKey
+			if len(parentCols) == 0 {
+				return nil, fmt.Errorf("referenced table %q has no primary key", fk.ParentTable)
+			}
+		}
+		tableFKs = append(tableFKs, ForeignKey{
+			Columns:       fk.Columns,
+			ParentTable:   parent.Name,
+			ParentColumns: parentCols,
+		})
+	}
+	t, err := newTable(st.Table, cols, pk, tableFKs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.engine.createTable(t); err != nil {
+		return nil, err
+	}
+	s.record(undoOp{kind: undoCreate, table: t})
+	return &Result{Message: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execDropTable(st *DropTableStmt) (*Result, error) {
+	if _, exists := s.engine.Table(st.Table); !exists {
+		if st.IfExists {
+			return &Result{Message: "DROP TABLE (absent, skipped)"}, nil
+		}
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	pos := -1
+	lo := strings.ToLower(st.Table)
+	for i, n := range s.engine.tableOrder {
+		if n == lo {
+			pos = i
+			break
+		}
+	}
+	t, err := s.engine.dropTable(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	s.record(undoOp{kind: undoDrop, table: t, tablePos: pos})
+	return &Result{Message: "DROP TABLE"}, nil
+}
+
+func (s *Session) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
+	t, ok := s.engine.Table(st.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	ci := t.ColIndex(st.Column)
+	if ci < 0 {
+		return nil, &NotFoundError{Kind: "column", Name: st.Table + "." + st.Column}
+	}
+	key := strings.ToLower(st.Column)
+	if _, exists := t.indexes[key]; exists {
+		return nil, fmt.Errorf("an index on %q.%q already exists", st.Table, st.Column)
+	}
+	if st.Unique {
+		seen := map[string]bool{}
+		var dup bool
+		_ = t.liveRows(func(r *rowEntry) error {
+			v := r.vals[ci]
+			if v.IsNull() {
+				return nil
+			}
+			k := v.Key()
+			if seen[k] {
+				dup = true
+			}
+			seen[k] = true
+			return nil
+		})
+		if dup {
+			return nil, fmt.Errorf("cannot create unique index: duplicate values in %q.%q", st.Table, st.Column)
+		}
+	}
+	t.addIndex(&Index{Name: st.Name, Column: st.Column, Unique: st.Unique})
+	s.record(undoOp{kind: undoIndex, table: t, indexCol: key})
+	return &Result{Message: "CREATE INDEX"}, nil
+}
+
+func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
+	if s.txn != nil {
+		return nil, fmt.Errorf("ALTER TABLE cannot run inside a transaction")
+	}
+	t, ok := s.engine.Table(st.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: st.Table}
+	}
+	switch {
+	case st.AddColumn != nil:
+		cd := st.AddColumn
+		if t.ColIndex(cd.Name) >= 0 {
+			return nil, fmt.Errorf("column %q already exists in table %q", cd.Name, st.Table)
+		}
+		if cd.NotNull && cd.Default == nil && t.RowCount() > 0 {
+			return nil, fmt.Errorf("cannot add NOT NULL column %q without a default", cd.Name)
+		}
+		var fill Value = Null()
+		if cd.Default != nil {
+			dv, err := cd.Default.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			fill = dv
+		}
+		t.Columns = append(t.Columns, Column{
+			Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull,
+			Unique: cd.Unique, Default: cd.Default,
+		})
+		for _, r := range t.rows {
+			r.vals = append(r.vals, fill)
+		}
+		return &Result{Message: "ALTER TABLE ADD COLUMN"}, nil
+	case st.RenameTo != "":
+		if _, exists := s.engine.Table(st.RenameTo); exists {
+			return nil, fmt.Errorf("table %q already exists", st.RenameTo)
+		}
+		oldLo, newLo := strings.ToLower(t.Name), strings.ToLower(st.RenameTo)
+		delete(s.engine.tables, oldLo)
+		t.Name = st.RenameTo
+		s.engine.tables[newLo] = t
+		for i, n := range s.engine.tableOrder {
+			if n == oldLo {
+				s.engine.tableOrder[i] = newLo
+			}
+		}
+		return &Result{Message: "ALTER TABLE RENAME"}, nil
+	}
+	return nil, fmt.Errorf("unsupported ALTER TABLE action")
+}
+
+func (s *Session) execGrant(st *GrantStmt) (*Result, error) {
+	actions := st.Actions
+	if actions == nil {
+		actions = AllActions
+	}
+	for i, a := range actions {
+		if st.Columns != nil && i < len(st.Columns) && st.Columns[i] != nil {
+			s.engine.grants.GrantColumns(st.Grantee, a, st.Table, st.Columns[i])
+			continue
+		}
+		s.engine.grants.Grant(st.Grantee, a, st.Table)
+	}
+	return &Result{Message: "GRANT"}, nil
+}
+
+func (s *Session) execCreateView(st *CreateViewStmt) (*Result, error) {
+	v := &View{Name: st.Name, Query: st.Query}
+	if err := s.engine.createView(v); err != nil {
+		return nil, err
+	}
+	s.record(undoOp{kind: undoCreateView, view: v})
+	return &Result{Message: "CREATE VIEW"}, nil
+}
+
+func (s *Session) execDropView(st *DropViewStmt) (*Result, error) {
+	if _, exists := s.engine.ViewByName(st.Name); !exists {
+		if st.IfExists {
+			return &Result{Message: "DROP VIEW (absent, skipped)"}, nil
+		}
+		return nil, &NotFoundError{Kind: "view", Name: st.Name}
+	}
+	v, err := s.engine.dropView(st.Name)
+	if err != nil {
+		return nil, err
+	}
+	s.record(undoOp{kind: undoDropView, view: v})
+	return &Result{Message: "DROP VIEW"}, nil
+}
+
+func (s *Session) execRevoke(st *RevokeStmt) (*Result, error) {
+	actions := st.Actions
+	if actions == nil {
+		actions = AllActions
+	}
+	for _, a := range actions {
+		s.engine.grants.Revoke(st.Grantee, a, st.Table)
+	}
+	return &Result{Message: "REVOKE"}, nil
+}

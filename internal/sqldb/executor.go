@@ -1,0 +1,1056 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Exec parses and executes one SQL statement under the session's user.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("syntax error: %w", err)
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error.
+func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return nil, fmt.Errorf("syntax error: %w", err)
+	}
+	var out []*Result
+	for _, st := range stmts {
+		r, err := s.ExecStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// MustExec executes a statement and panics on error; intended for test and
+// benchmark fixtures.
+func (s *Session) MustExec(sql string) *Result {
+	r, err := s.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("MustExec(%q): %v", sql, err))
+	}
+	return r
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
+	s.engine.mu.Lock()
+	defer s.engine.mu.Unlock()
+
+	if err := s.checkStmtPrivileges(stmt); err != nil {
+		return nil, err
+	}
+
+	// Transaction control bypasses the statement undo scope.
+	switch stmt.(type) {
+	case *BeginStmt:
+		if err := s.Begin(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "BEGIN"}, nil
+	case *CommitStmt:
+		if err := s.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "COMMIT"}, nil
+	case *RollbackStmt:
+		if err := s.Rollback(); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "ROLLBACK"}, nil
+	}
+
+	s.beginStmt()
+	res, err := s.dispatch(stmt)
+	s.endStmt(err)
+	return res, err
+}
+
+func (s *Session) dispatch(stmt Stmt) (*Result, error) {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		return s.execSelect(st, nil)
+	case *InsertStmt:
+		return s.execInsert(st)
+	case *UpdateStmt:
+		return s.execUpdate(st)
+	case *DeleteStmt:
+		return s.execDelete(st)
+	case *CreateTableStmt:
+		return s.execCreateTable(st)
+	case *DropTableStmt:
+		return s.execDropTable(st)
+	case *CreateViewStmt:
+		return s.execCreateView(st)
+	case *DropViewStmt:
+		return s.execDropView(st)
+	case *CreateIndexStmt:
+		return s.execCreateIndex(st)
+	case *AlterTableStmt:
+		return s.execAlterTable(st)
+	case *GrantStmt:
+		return s.execGrant(st)
+	case *RevokeStmt:
+		return s.execRevoke(st)
+	}
+	return nil, fmt.Errorf("unsupported statement type %T", stmt)
+}
+
+// checkStmtPrivileges enforces database-side privileges before execution
+// (the engine's native security layer; BridgeScope's tool-side verification
+// in internal/core is an additional, earlier gate).
+func (s *Session) checkStmtPrivileges(stmt Stmt) error {
+	g := s.engine.grants
+	switch st := stmt.(type) {
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return nil
+	case *GrantStmt, *RevokeStmt:
+		if !g.IsSuperuser(s.user) {
+			return &PermissionError{User: s.user, Action: ActionGrant, Object: "database"}
+		}
+		return nil
+	case *CreateTableStmt:
+		if !g.Has(s.user, ActionCreate, "*") {
+			return &PermissionError{User: s.user, Action: ActionCreate, Object: st.Table}
+		}
+		return nil
+	case *CreateViewStmt:
+		if !g.Has(s.user, ActionCreate, "*") {
+			return &PermissionError{User: s.user, Action: ActionCreate, Object: st.Name}
+		}
+		// Creating a view requires SELECT on its underlying tables.
+		for _, tbl := range ReferencedTables(st.Query) {
+			if !g.Has(s.user, ActionSelect, tbl) {
+				return &PermissionError{User: s.user, Action: ActionSelect, Object: tbl}
+			}
+		}
+		return nil
+	case *DropViewStmt:
+		if !g.Has(s.user, ActionDrop, st.Name) {
+			return &PermissionError{User: s.user, Action: ActionDrop, Object: st.Name}
+		}
+		return nil
+	case *CreateIndexStmt:
+		if !g.Has(s.user, ActionCreate, "*") && !g.Has(s.user, ActionAlter, st.Table) {
+			return &PermissionError{User: s.user, Action: ActionCreate, Object: st.Table}
+		}
+		return nil
+	}
+	action := stmt.StmtAction()
+	for _, tbl := range ReferencedTables(stmt) {
+		// Reads embedded in writes (subqueries) need SELECT; the main table
+		// needs the statement action.
+		need := action
+		if _, ok := stmt.(*SelectStmt); !ok {
+			if !strings.EqualFold(tbl, mainTable(stmt)) {
+				need = ActionSelect
+			}
+		}
+		if !g.Has(s.user, need, tbl) {
+			return &PermissionError{User: s.user, Action: need, Object: tbl}
+		}
+	}
+	return nil
+}
+
+func mainTable(stmt Stmt) string {
+	switch st := stmt.(type) {
+	case *InsertStmt:
+		return st.Table
+	case *UpdateStmt:
+		return st.Table
+	case *DeleteStmt:
+		return st.Table
+	case *DropTableStmt:
+		return st.Table
+	case *AlterTableStmt:
+		return st.Table
+	}
+	return ""
+}
+
+// bindSubqueries wires every SubqueryExpr in the statement to this session.
+func (s *Session) bindSubqueries(exprs ...Expr) {
+	for _, e := range exprs {
+		walkExpr(e, func(x Expr) {
+			if sq, ok := x.(*SubqueryExpr); ok {
+				sq.run = func(q *SelectStmt, outer *Env) ([][]Value, error) {
+					r, err := s.execSelect(q, outer)
+					if err != nil {
+						return nil, err
+					}
+					return r.Rows, nil
+				}
+			}
+		})
+	}
+}
+
+// rowSet is an intermediate relation: qualified column names plus rows.
+type rowSet struct {
+	cols []string
+	rows [][]Value
+}
+
+func (s *Session) scanTable(name, alias string) (*rowSet, error) {
+	t, ok := s.engine.Table(name)
+	if !ok {
+		// Views expand to their stored query's result, aliased under the
+		// view's name (owner-style privileges: the outer statement needed
+		// SELECT on the view itself, not on its underlying tables).
+		if v, isView := s.engine.ViewByName(name); isView {
+			return s.scanView(v, alias)
+		}
+		return nil, &NotFoundError{Kind: "table", Name: name}
+	}
+	q := strings.ToLower(alias)
+	if q == "" {
+		q = strings.ToLower(name)
+	}
+	rs := &rowSet{}
+	for _, c := range t.Columns {
+		rs.cols = append(rs.cols, q+"."+strings.ToLower(c.Name))
+	}
+	_ = t.liveRows(func(r *rowEntry) error {
+		rs.rows = append(rs.rows, r.vals)
+		return nil
+	})
+	return rs, nil
+}
+
+// scanView materializes a view into a rowSet.
+func (s *Session) scanView(v *View, alias string) (*rowSet, error) {
+	res, err := s.execSelect(v.Query, nil)
+	if err != nil {
+		return nil, fmt.Errorf("view %q: %w", v.Name, err)
+	}
+	q := strings.ToLower(alias)
+	if q == "" {
+		q = strings.ToLower(v.Name)
+	}
+	rs := &rowSet{}
+	for _, c := range res.Columns {
+		rs.cols = append(rs.cols, q+"."+strings.ToLower(c))
+	}
+	rs.rows = res.Rows
+	return rs, nil
+}
+
+// execSelect runs a SELECT and returns its result. outer provides the
+// enclosing row for correlated subqueries.
+func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
+	var collect []Expr
+	for _, it := range st.Items {
+		collect = append(collect, it.Expr)
+	}
+	collect = append(collect, st.Where, st.Having, st.Limit, st.Offset)
+	for _, k := range st.OrderBy {
+		collect = append(collect, k.Expr)
+	}
+	for _, g := range st.GroupBy {
+		collect = append(collect, g)
+	}
+	s.bindSubqueries(collect...)
+
+	if err := s.checkColumnPrivileges(st); err != nil {
+		return nil, err
+	}
+
+	// FROM-less SELECT evaluates once against the outer env.
+	if len(st.From) == 0 {
+		env := &Env{outer: outer}
+		cols, row, err := projectRow(st.Items, env, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: cols, Rows: [][]Value{row}}, nil
+	}
+
+	src, err := s.buildFromIndexed(st, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE filter (the index fast path may already have narrowed src).
+	filtered, err := s.applyWhere(st, src, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	aggregated := len(st.GroupBy) > 0 || selectHasAggregate(st)
+	var outCols []string
+	var outRows [][]Value
+	var orderEnvs []*Env
+
+	if aggregated {
+		groups, err := groupRows(st, filtered, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			env := &Env{cols: toEnvCols(filtered.cols), vals: g.firstRow, agg: g.agg, outer: outer}
+			if st.Having != nil {
+				hv, err := st.Having.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				if hv.IsNull() || !hv.Truthy() {
+					continue
+				}
+			}
+			cols, row, err := projectRow(st.Items, env, filtered.cols)
+			if err != nil {
+				return nil, err
+			}
+			outCols = row2cols(outCols, cols)
+			outRows = append(outRows, row)
+			orderEnvs = append(orderEnvs, env)
+		}
+		if len(outCols) == 0 {
+			cols, err := projectColsOnly(st.Items, filtered.cols)
+			if err != nil {
+				return nil, err
+			}
+			outCols = cols
+		}
+	} else {
+		for _, vals := range filtered.rows {
+			env := &Env{cols: toEnvCols(filtered.cols), vals: vals, outer: outer}
+			cols, row, err := projectRow(st.Items, env, filtered.cols)
+			if err != nil {
+				return nil, err
+			}
+			outCols = row2cols(outCols, cols)
+			outRows = append(outRows, row)
+			orderEnvs = append(orderEnvs, env)
+		}
+		if len(outCols) == 0 {
+			cols, err := projectColsOnly(st.Items, filtered.cols)
+			if err != nil {
+				return nil, err
+			}
+			outCols = cols
+		}
+	}
+
+	if st.Distinct {
+		outRows, orderEnvs = distinctRows(outRows, orderEnvs)
+	}
+
+	if len(st.OrderBy) > 0 {
+		if err := orderRows(st.OrderBy, outCols, outRows, orderEnvs); err != nil {
+			return nil, err
+		}
+	}
+
+	outRows, err = applyLimitOffset(st, outRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: outCols, Rows: outRows}, nil
+}
+
+func row2cols(existing, cols []string) []string {
+	if existing == nil {
+		return cols
+	}
+	return existing
+}
+
+func toEnvCols(qualified []string) []envCol {
+	out := make([]envCol, len(qualified))
+	for i, q := range qualified {
+		tbl, name := "", q
+		if j := strings.IndexByte(q, '.'); j >= 0 {
+			tbl, name = q[:j], q[j+1:]
+		}
+		out[i] = envCol{table: tbl, name: name}
+	}
+	return out
+}
+
+// buildFrom evaluates the FROM clause into a joined rowSet.
+func (s *Session) buildFrom(refs []TableRef, outer *Env) (*rowSet, error) {
+	acc, err := s.scanTable(refs[0].Table, refs[0].Alias)
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range refs[1:] {
+		right, err := s.scanTable(ref.Table, ref.Alias)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = s.joinSets(acc, right, ref, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowSet, error) {
+	out := &rowSet{cols: append(append([]string{}, left.cols...), right.cols...)}
+	envCols := toEnvCols(out.cols)
+
+	// Hash-join fast path for INNER JOIN on a simple column equality.
+	if ref.JoinKind == JoinInner && ref.On != nil {
+		if li, ri, ok := equiJoinCols(ref.On, left.cols, right.cols); ok {
+			ht := make(map[string][]int, len(right.rows))
+			for idx, rrow := range right.rows {
+				k := rrow[ri].Key()
+				ht[k] = append(ht[k], idx)
+			}
+			for _, lrow := range left.rows {
+				lv := lrow[li]
+				if lv.IsNull() {
+					continue
+				}
+				for _, idx := range ht[lv.Key()] {
+					combined := make([]Value, 0, len(lrow)+len(right.rows[idx]))
+					combined = append(combined, lrow...)
+					combined = append(combined, right.rows[idx]...)
+					out.rows = append(out.rows, combined)
+				}
+			}
+			return out, nil
+		}
+	}
+
+	s.bindSubqueries(ref.On)
+	for _, lrow := range left.rows {
+		matched := false
+		for _, rrow := range right.rows {
+			combined := make([]Value, 0, len(lrow)+len(rrow))
+			combined = append(combined, lrow...)
+			combined = append(combined, rrow...)
+			if ref.On != nil {
+				env := &Env{cols: envCols, vals: combined, outer: outer}
+				ov, err := ref.On.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				if ov.IsNull() || !ov.Truthy() {
+					continue
+				}
+			}
+			matched = true
+			out.rows = append(out.rows, combined)
+		}
+		if ref.JoinKind == JoinLeft && !matched {
+			combined := make([]Value, 0, len(lrow)+len(right.cols))
+			combined = append(combined, lrow...)
+			for range right.cols {
+				combined = append(combined, Null())
+			}
+			out.rows = append(out.rows, combined)
+		}
+	}
+	return out, nil
+}
+
+// equiJoinCols recognizes `a.x = b.y` ON clauses and resolves the two sides
+// to left/right column positions.
+func equiJoinCols(on Expr, leftCols, rightCols []string) (int, int, bool) {
+	be, ok := on.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		return 0, 0, false
+	}
+	lc, ok1 := be.Left.(*ColumnRef)
+	rc, ok2 := be.Right.(*ColumnRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	li := resolveIn(lc, leftCols)
+	ri := resolveIn(rc, rightCols)
+	if li >= 0 && ri >= 0 {
+		return li, ri, true
+	}
+	// The ON clause may name them in the other order.
+	li = resolveIn(rc, leftCols)
+	ri = resolveIn(lc, rightCols)
+	if li >= 0 && ri >= 0 {
+		return li, ri, true
+	}
+	return 0, 0, false
+}
+
+func resolveIn(c *ColumnRef, cols []string) int {
+	want := strings.ToLower(c.Name)
+	qual := strings.ToLower(c.Table)
+	hit := -1
+	for i, q := range cols {
+		tbl, name := "", q
+		if j := strings.IndexByte(q, '.'); j >= 0 {
+			tbl, name = q[:j], q[j+1:]
+		}
+		if name != want {
+			continue
+		}
+		if qual != "" && tbl != qual {
+			continue
+		}
+		if hit >= 0 {
+			return -1 // ambiguous
+		}
+		hit = i
+	}
+	return hit
+}
+
+// buildFromIndexed evaluates the FROM clause. For a plain single-table scan
+// whose WHERE contains an indexable `col = literal` conjunct, it reads only
+// the matching rows through the index or PK map instead of materializing
+// the whole table.
+func (s *Session) buildFromIndexed(st *SelectStmt, outer *Env) (*rowSet, error) {
+	if len(st.From) == 1 && st.Where != nil && st.From[0].Table != "" {
+		if t, ok := s.engine.Table(st.From[0].Table); ok {
+			q := strings.ToLower(st.From[0].Alias)
+			if q == "" {
+				q = strings.ToLower(st.From[0].Table)
+			}
+			cols := make([]string, len(t.Columns))
+			for i, c := range t.Columns {
+				cols[i] = q + "." + strings.ToLower(c.Name)
+			}
+			if col, val, ok := indexableEq(st.Where, cols); ok {
+				if ids, usable := t.lookupEq(col, val); usable {
+					rs := &rowSet{cols: cols}
+					// Preserve insertion order for determinism.
+					sorted := append([]int64{}, ids...)
+					sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+					for _, id := range sorted {
+						if e, ok := t.byID[id]; ok && !e.dead {
+							rs.rows = append(rs.rows, e.vals)
+						}
+					}
+					return rs, nil
+				}
+			}
+		}
+	}
+	return s.buildFrom(st.From, outer)
+}
+
+// applyWhere filters the rowSet by the WHERE predicate. Pre-narrowed rows
+// are still re-checked against the full predicate (the index only covered
+// one conjunct).
+func (s *Session) applyWhere(st *SelectStmt, src *rowSet, outer *Env) (*rowSet, error) {
+	if st.Where == nil {
+		return src, nil
+	}
+	envCols := toEnvCols(src.cols)
+	out := &rowSet{cols: src.cols}
+	for _, vals := range src.rows {
+		env := &Env{cols: envCols, vals: vals, outer: outer}
+		v, err := st.Where.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsNull() && v.Truthy() {
+			out.rows = append(out.rows, vals)
+		}
+	}
+	return out, nil
+}
+
+// indexableEq finds a top-level `col = literal` conjunct and resolves the
+// column position.
+func indexableEq(where Expr, cols []string) (int, Value, bool) {
+	switch e := where.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case "AND":
+			if c, v, ok := indexableEq(e.Left, cols); ok {
+				return c, v, ok
+			}
+			return indexableEq(e.Right, cols)
+		case "=":
+			if cr, ok := e.Left.(*ColumnRef); ok {
+				if lit, ok2 := e.Right.(*Literal); ok2 {
+					if i := resolveIn(cr, cols); i >= 0 {
+						return i, lit.Val, true
+					}
+				}
+			}
+			if cr, ok := e.Right.(*ColumnRef); ok {
+				if lit, ok2 := e.Left.(*Literal); ok2 {
+					if i := resolveIn(cr, cols); i >= 0 {
+						return i, lit.Val, true
+					}
+				}
+			}
+		}
+	}
+	return 0, Value{}, false
+}
+
+func selectHasAggregate(st *SelectStmt) bool {
+	for _, it := range st.Items {
+		if it.Expr != nil && HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	if st.Having != nil && HasAggregate(st.Having) {
+		return true
+	}
+	for _, k := range st.OrderBy {
+		if HasAggregate(k.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+type groupResult struct {
+	firstRow []Value
+	rows     [][]Value
+	agg      map[Expr]Value
+}
+
+// groupRows partitions rows by the GROUP BY keys and computes every
+// aggregate node once per group.
+func groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) {
+	envCols := toEnvCols(src.cols)
+	var aggNodes []*FuncExpr
+	seen := map[*FuncExpr]bool{}
+	scan := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			if f, ok := x.(*FuncExpr); ok && f.IsAggregate() && !seen[f] {
+				seen[f] = true
+				aggNodes = append(aggNodes, f)
+			}
+		})
+	}
+	for _, it := range st.Items {
+		scan(it.Expr)
+	}
+	scan(st.Having)
+	for _, k := range st.OrderBy {
+		scan(k.Expr)
+	}
+
+	keyed := map[string]*groupResult{}
+	var order []string
+	for _, vals := range src.rows {
+		env := &Env{cols: envCols, vals: vals, outer: outer}
+		var kb strings.Builder
+		for _, ge := range st.GroupBy {
+			gv, err := ge.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(gv.Key())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		g, ok := keyed[k]
+		if !ok {
+			g = &groupResult{firstRow: vals}
+			keyed[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, vals)
+	}
+	// A query like SELECT COUNT(*) FROM empty (no GROUP BY) yields one
+	// group over zero rows.
+	if len(order) == 0 && len(st.GroupBy) == 0 {
+		g := &groupResult{firstRow: make([]Value, len(src.cols))}
+		for i := range g.firstRow {
+			g.firstRow[i] = Null()
+		}
+		keyed[""] = g
+		order = append(order, "")
+	}
+
+	var out []*groupResult
+	for _, k := range order {
+		g := keyed[k]
+		g.agg = map[Expr]Value{}
+		for _, f := range aggNodes {
+			v, err := computeAggregate(f, g.rows, envCols, outer)
+			if err != nil {
+				return nil, err
+			}
+			g.agg[f] = v
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func computeAggregate(f *FuncExpr, rows [][]Value, envCols []envCol, outer *Env) (Value, error) {
+	if f.Star {
+		if f.Name != "COUNT" {
+			return Value{}, fmt.Errorf("%s(*) is not supported", f.Name)
+		}
+		return NewInt(int64(len(rows))), nil
+	}
+	if len(f.Args) != 1 {
+		return Value{}, fmt.Errorf("%s expects exactly one argument", f.Name)
+	}
+	var vals []Value
+	distinct := map[string]bool{}
+	for _, row := range rows {
+		env := &Env{cols: envCols, vals: row, outer: outer}
+		v, err := f.Args[0].Eval(env)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if f.Distinct {
+			k := v.Key()
+			if distinct[k] {
+				continue
+			}
+			distinct[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch f.Name {
+	case "COUNT":
+		return NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		sum := 0.0
+		allInt := true
+		for _, v := range vals {
+			fv, ok := v.AsFloat()
+			if !ok {
+				return Value{}, fmt.Errorf("%s requires numeric values, got %s", f.Name, v.Kind)
+			}
+			if v.Kind != KindInt {
+				allInt = false
+			}
+			sum += fv
+		}
+		if f.Name == "AVG" {
+			return NewFloat(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return NewInt(int64(sum)), nil
+		}
+		return NewFloat(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := Compare(v, best)
+			if err != nil {
+				return Value{}, err
+			}
+			if (f.Name == "MIN" && c < 0) || (f.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return Value{}, fmt.Errorf("unknown aggregate %s", f.Name)
+}
+
+// projectRow evaluates the select list against one row environment.
+func projectRow(items []SelectItem, env *Env, srcCols []string) ([]string, []Value, error) {
+	var cols []string
+	var row []Value
+	for _, it := range items {
+		if it.Star {
+			for i, q := range srcCols {
+				tbl, name := splitQualified(q)
+				if it.Table != "" && !strings.EqualFold(tbl, it.Table) {
+					continue
+				}
+				cols = append(cols, name)
+				row = append(row, env.vals[i])
+			}
+			continue
+		}
+		v, err := it.Expr.Eval(env)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols = append(cols, itemName(it))
+		row = append(row, v)
+	}
+	return cols, row, nil
+}
+
+// projectColsOnly computes output column names for an empty result.
+func projectColsOnly(items []SelectItem, srcCols []string) ([]string, error) {
+	var cols []string
+	for _, it := range items {
+		if it.Star {
+			for _, q := range srcCols {
+				tbl, name := splitQualified(q)
+				if it.Table != "" && !strings.EqualFold(tbl, it.Table) {
+					continue
+				}
+				cols = append(cols, name)
+			}
+			continue
+		}
+		cols = append(cols, itemName(it))
+	}
+	return cols, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.String()
+}
+
+func splitQualified(q string) (table, name string) {
+	if j := strings.IndexByte(q, '.'); j >= 0 {
+		return q[:j], q[j+1:]
+	}
+	return "", q
+}
+
+func distinctRows(rows [][]Value, envs []*Env) ([][]Value, []*Env) {
+	seen := map[string]bool{}
+	var outRows [][]Value
+	var outEnvs []*Env
+	for i, row := range rows {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(v.Key())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		outRows = append(outRows, row)
+		if envs != nil {
+			outEnvs = append(outEnvs, envs[i])
+		}
+	}
+	return outRows, outEnvs
+}
+
+// orderRows sorts rows in place by the ORDER BY keys. Keys may reference
+// source columns (via the saved row envs), output aliases, or 1-based
+// ordinals.
+func orderRows(keys []OrderKey, outCols []string, rows [][]Value, envs []*Env) error {
+	type sortKey struct{ vals []Value }
+	sk := make([]sortKey, len(rows))
+	lowerOut := make([]string, len(outCols))
+	for i, c := range outCols {
+		lowerOut[i] = strings.ToLower(c)
+	}
+	for i := range rows {
+		for _, k := range keys {
+			var v Value
+			// Ordinal reference: ORDER BY 2.
+			if lit, ok := k.Expr.(*Literal); ok && lit.Val.Kind == KindInt {
+				idx := int(lit.Val.I) - 1
+				if idx < 0 || idx >= len(rows[i]) {
+					return fmt.Errorf("ORDER BY position %d is out of range", lit.Val.I)
+				}
+				v = rows[i][idx]
+			} else {
+				// Try output alias first, then the source environment.
+				resolved := false
+				if cr, ok := k.Expr.(*ColumnRef); ok && cr.Table == "" {
+					for j, c := range lowerOut {
+						if c == strings.ToLower(cr.Name) {
+							v = rows[i][j]
+							resolved = true
+							break
+						}
+					}
+				}
+				if !resolved {
+					ev, err := k.Expr.Eval(envs[i])
+					if err != nil {
+						// Fall back to alias-only resolution failure.
+						return err
+					}
+					v = ev
+				}
+			}
+			sk[i].vals = append(sk[i].vals, v)
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for ki, k := range keys {
+			va, vb := sk[idx[a]].vals[ki], sk[idx[b]].vals[ki]
+			c, null := compareForOrder(va, vb, k.Desc)
+			if null {
+				continue
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	// Apply the permutation.
+	sortedRows := make([][]Value, len(rows))
+	for i, j := range idx {
+		sortedRows[i] = rows[j]
+	}
+	copy(rows, sortedRows)
+	_ = sortErr
+	return nil
+}
+
+// compareForOrder compares with PostgreSQL null ordering: NULLs sort last
+// ascending, first descending. Returns null=true when both are NULL.
+func compareForOrder(a, b Value, desc bool) (int, bool) {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0, true
+	case a.IsNull():
+		if desc {
+			return -1, false
+		}
+		return 1, false
+	case b.IsNull():
+		if desc {
+			return 1, false
+		}
+		return -1, false
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0, true
+	}
+	return c, false
+}
+
+func applyLimitOffset(st *SelectStmt, rows [][]Value) ([][]Value, error) {
+	evalInt := func(e Expr, what string) (int, error) {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return 0, err
+		}
+		if v.Kind != KindInt || v.I < 0 {
+			return 0, fmt.Errorf("%s must be a non-negative integer", what)
+		}
+		return int(v.I), nil
+	}
+	if st.Offset != nil {
+		n, err := evalInt(st.Offset, "OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[n:]
+		}
+	}
+	if st.Limit != nil {
+		n, err := evalInt(st.Limit, "LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}
+
+// checkColumnPrivileges enforces PostgreSQL-style column grants: when a
+// user's SELECT on a table is restricted to named columns, referencing any
+// other column (or `*`) is a permission error.
+func (s *Session) checkColumnPrivileges(st *SelectStmt) error {
+	g := s.engine.grants
+	type restricted struct {
+		alias   string
+		table   string
+		allowed map[string]bool
+	}
+	var rs []restricted
+	for _, ref := range st.From {
+		allowed := g.AllowedColumns(s.user, ActionSelect, ref.Table)
+		if allowed == nil {
+			continue
+		}
+		alias := strings.ToLower(ref.Alias)
+		if alias == "" {
+			alias = strings.ToLower(ref.Table)
+		}
+		rs = append(rs, restricted{alias: alias, table: ref.Table, allowed: allowed})
+	}
+	if len(rs) == 0 {
+		return nil
+	}
+	for _, it := range st.Items {
+		if it.Star {
+			for _, r := range rs {
+				if it.Table == "" || strings.EqualFold(it.Table, r.alias) {
+					return &PermissionError{User: s.user, Action: ActionSelect,
+						Object: r.table + ".*"}
+				}
+			}
+		}
+	}
+	var bad error
+	checkRef := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			cr, ok := x.(*ColumnRef)
+			if !ok || bad != nil {
+				return
+			}
+			for _, r := range rs {
+				if cr.Table != "" && !strings.EqualFold(cr.Table, r.alias) {
+					continue
+				}
+				// An unqualified ref may belong to another table; only
+				// reject when this restricted table has the column.
+				if t, ok := s.engine.Table(r.table); ok && t.ColIndex(cr.Name) < 0 {
+					continue
+				}
+				if !r.allowed[strings.ToLower(cr.Name)] {
+					bad = &PermissionError{User: s.user, Action: ActionSelect,
+						Object: r.table + "." + cr.Name}
+				}
+			}
+		})
+	}
+	for _, it := range st.Items {
+		checkRef(it.Expr)
+	}
+	checkRef(st.Where)
+	checkRef(st.Having)
+	for _, k := range st.OrderBy {
+		checkRef(k.Expr)
+	}
+	for _, ge := range st.GroupBy {
+		checkRef(ge)
+	}
+	return bad
+}

@@ -1,0 +1,218 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // $1 style placeholders (reserved, unused)
+	tokInvalid
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, idents keep original case
+	pos  int
+}
+
+// keywords recognized by the lexer. Anything else alphabetic is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true,
+	"DESC": true, "DISTINCT": true, "AS": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INDEX": true, "VIEW": true,
+	"PRIMARY": true, "KEY": true, "FOREIGN": true, "REFERENCES": true,
+	"UNIQUE": true, "DEFAULT": true, "CHECK": true, "CONSTRAINT": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"GRANT": true, "REVOKE": true, "TO": true, "ALL": true, "PRIVILEGES": true,
+	"INTEGER": true, "INT": true, "BIGINT": true, "REAL": true, "FLOAT": true,
+	"DOUBLE": true, "TEXT": true, "VARCHAR": true, "CHAR": true,
+	"BOOLEAN": true, "BOOL": true, "NUMERIC": true, "DECIMAL": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"EXISTS": true, "IF": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "ALTER": true, "ADD": true,
+	"COLUMN": true, "RENAME": true, "TRUNCATE": true, "CROSS": true,
+	"USING": true, "RETURNING": true, "WITH": true, "OPTION": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func lexSQL(src string) ([]token, error) {
+	lx := lexer{src: src}
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		lx.pos++
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		word := lx.src[start:lx.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9', c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		return lx.lexNumber()
+	case c == '\'':
+		return lx.lexString()
+	case c == '"':
+		// Quoted identifier.
+		lx.pos++
+		qs := lx.pos
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			return token{}, fmt.Errorf("unterminated quoted identifier at %d", start)
+		}
+		word := lx.src[qs:lx.pos]
+		lx.pos++
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	default:
+		return lx.lexOp()
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				lx.pos++
+			}
+			lx.pos += 2
+			if lx.pos > len(lx.src) {
+				lx.pos = len(lx.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.pos]
+	if seenDot || seenExp {
+		return token{kind: tokFloat, text: text, pos: start}, nil
+	}
+	return token{kind: tokInt, text: text, pos: start}, nil
+}
+
+func (lx *lexer) lexString() (token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return token{}, fmt.Errorf("unterminated string literal at %d", start)
+}
+
+func (lx *lexer) lexOp() (token, error) {
+	start := lx.pos
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>", "||":
+		lx.pos += 2
+		if two == "<>" {
+			two = "!="
+		}
+		return token{kind: tokOp, text: two, pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+		lx.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("unexpected character %q at %d", string(c), start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

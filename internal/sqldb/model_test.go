@@ -1,0 +1,266 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// This file model-checks the engine: a long random sequence of inserts,
+// updates, deletes, transactions, commits and rollbacks runs both against
+// the engine and against a trivial in-memory model; after every barrier
+// (commit/rollback/auto-commit) the two must agree exactly, and the PK map
+// and indexes must stay consistent with the heap.
+
+type modelRow struct {
+	id int64 // PK
+	v  int64
+	s  string
+}
+
+type model struct {
+	rows map[int64]modelRow
+}
+
+func (m *model) snapshot() map[int64]modelRow {
+	out := make(map[int64]modelRow, len(m.rows))
+	for k, v := range m.rows {
+		out[k] = v
+	}
+	return out
+}
+
+func TestEngineMatchesModelUnderRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runModelCheck(t, seed, 400)
+		})
+	}
+}
+
+func runModelCheck(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := NewEngine("model")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)`)
+	s.MustExec(`CREATE INDEX idx_v ON t (v)`)
+
+	m := &model{rows: map[int64]modelRow{}}
+	var pending map[int64]modelRow // state at txn start, nil when no txn
+
+	for step := 0; step < steps; step++ {
+		op := rng.Intn(100)
+		switch {
+		case op < 35: // insert
+			id := int64(rng.Intn(60))
+			v := int64(rng.Intn(10))
+			str := fmt.Sprintf("s%d", rng.Intn(5))
+			_, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, '%s')", id, v, str))
+			_, exists := m.rows[id]
+			if exists && err == nil {
+				t.Fatalf("step %d: duplicate PK %d accepted", step, id)
+			}
+			if !exists && err != nil {
+				t.Fatalf("step %d: valid insert rejected: %v", step, err)
+			}
+			if err == nil {
+				m.rows[id] = modelRow{id: id, v: v, s: str}
+			}
+		case op < 55: // update by value predicate
+			oldV := int64(rng.Intn(10))
+			newV := int64(rng.Intn(10))
+			res, err := s.Exec(fmt.Sprintf("UPDATE t SET v = %d WHERE v = %d", newV, oldV))
+			if err != nil {
+				t.Fatalf("step %d: update failed: %v", step, err)
+			}
+			n := 0
+			for id, r := range m.rows {
+				if r.v == oldV {
+					r.v = newV
+					m.rows[id] = r
+					n++
+				}
+			}
+			if res.Affected != n {
+				t.Fatalf("step %d: update affected %d, model %d", step, res.Affected, n)
+			}
+		case op < 70: // delete by predicate
+			v := int64(rng.Intn(10))
+			res, err := s.Exec(fmt.Sprintf("DELETE FROM t WHERE v = %d", v))
+			if err != nil {
+				t.Fatalf("step %d: delete failed: %v", step, err)
+			}
+			n := 0
+			for id, r := range m.rows {
+				if r.v == v {
+					delete(m.rows, id)
+					n++
+				}
+			}
+			if res.Affected != n {
+				t.Fatalf("step %d: delete affected %d, model %d", step, res.Affected, n)
+			}
+		case op < 80: // begin
+			if pending == nil {
+				s.MustExec("BEGIN")
+				pending = m.snapshot()
+			}
+		case op < 90: // commit
+			if pending != nil {
+				s.MustExec("COMMIT")
+				pending = nil
+			}
+		default: // rollback
+			if pending != nil {
+				s.MustExec("ROLLBACK")
+				m.rows = pending
+				pending = nil
+			}
+		}
+		// Outside transactions the engine must match the model exactly.
+		if pending == nil {
+			compareState(t, step, s, m)
+		}
+	}
+	if pending != nil {
+		s.MustExec("ROLLBACK")
+		m.rows = pending
+	}
+	compareState(t, steps, s, m)
+}
+
+func compareState(t *testing.T, step int, s *Session, m *model) {
+	t.Helper()
+	r := s.MustExec("SELECT id, v, s FROM t ORDER BY id")
+	if len(r.Rows) != len(m.rows) {
+		t.Fatalf("step %d: engine has %d rows, model %d", step, len(r.Rows), len(m.rows))
+	}
+	ids := make([]int64, 0, len(m.rows))
+	for id := range m.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		want := m.rows[id]
+		got := r.Rows[i]
+		if got[0].I != want.id || got[1].I != want.v || got[2].S != want.s {
+			t.Fatalf("step %d: row %d mismatch: engine (%v,%v,%v) model %+v",
+				step, i, got[0], got[1], got[2], want)
+		}
+	}
+	// The index access path must agree with a full scan.
+	for v := int64(0); v < 10; v++ {
+		idx := s.MustExec(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE v = %d", v)).Rows[0][0].I
+		n := int64(0)
+		for _, row := range m.rows {
+			if row.v == v {
+				n++
+			}
+		}
+		if idx != n {
+			t.Fatalf("step %d: index count for v=%d is %d, model %d", step, v, idx, n)
+		}
+	}
+}
+
+// Property: Value Key equality is consistent with Compare equality for
+// numeric values (the invariant indexes and GROUP BY rely on). Like any
+// engine comparing int64 against float64, this holds on the float64-exact
+// integer range (|v| <= 2^53); beyond it cross-type comparison is lossy.
+func TestValueKeyConsistencyProperty(t *testing.T) {
+	const exact = int64(1) << 53
+	clamp := func(v int64) int64 { return v % exact }
+	f := func(a, b int64) bool {
+		va, vb := NewInt(clamp(a)), NewInt(clamp(b))
+		c, err := Compare(va, vb)
+		if err != nil {
+			return false
+		}
+		return (c == 0) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a int64) bool {
+		// An integral float and the same int share one index key.
+		v := clamp(a)
+		return NewFloat(float64(v)).Key() == NewInt(v).Key()
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LIKE matching agrees with a naive recursive implementation.
+func TestLikeMatchProperty(t *testing.T) {
+	naive := func(s, p string) bool {
+		var rec func(si, pi int) bool
+		rec = func(si, pi int) bool {
+			if pi == len(p) {
+				return si == len(s)
+			}
+			if p[pi] == '%' {
+				for k := si; k <= len(s); k++ {
+					if rec(k, pi+1) {
+						return true
+					}
+				}
+				return false
+			}
+			if si == len(s) {
+				return false
+			}
+			if p[pi] == '_' || p[pi] == s[si] {
+				return rec(si+1, pi+1)
+			}
+			return false
+		}
+		return rec(0, 0)
+	}
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("ab%_")
+	for i := 0; i < 3000; i++ {
+		s := randString(rng, alphabet[:2], 8)
+		p := randString(rng, alphabet, 6)
+		if likeMatch(s, p) != naive(s, p) {
+			t.Fatalf("likeMatch(%q, %q) = %v, naive = %v", s, p, likeMatch(s, p), naive(s, p))
+		}
+	}
+}
+
+func randString(rng *rand.Rand, alphabet []byte, maxLen int) string {
+	n := rng.Intn(maxLen + 1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// Property: parsing a rendered literal returns the same value.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(i int64, s string) bool {
+		for _, v := range []Value{NewInt(i), NewText(s), NewBool(i%2 == 0), Null()} {
+			stmt, err := Parse("SELECT " + v.SQLLiteral())
+			if err != nil {
+				return false
+			}
+			sel := stmt.(*SelectStmt)
+			lit, ok := sel.Items[0].Expr.(*Literal)
+			if !ok {
+				return false
+			}
+			if !Equal(lit.Val, v) && !(lit.Val.IsNull() && v.IsNull()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,1380 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SQL statement. A trailing semicolon is allowed.
+func Parse(sql string) (Stmt, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon(s).
+	for p.peekOp(";") {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("unexpected trailing input near %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// ParseScript splits and parses a semicolon-separated script.
+func ParseScript(sql string) ([]Stmt, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Stmt
+	for {
+		for p.peekOp(";") {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			return out, nil
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+	}
+}
+
+// StatementVerb returns the leading SQL verb ("SELECT", "INSERT", ...) of a
+// statement string without fully parsing it. Used by toolkits to classify
+// statements cheaply.
+func StatementVerb(sql string) string {
+	toks, err := lexSQL(sql)
+	if err != nil || len(toks) == 0 {
+		return ""
+	}
+	for _, t := range toks {
+		if t.kind == tokKeyword {
+			return t.text
+		}
+		if t.kind != tokOp || t.text != ";" {
+			break
+		}
+	}
+	return ""
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(n int) token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("expected %s near %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.peekOp(op) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("expected %q near %q", op, p.peek().text)
+	}
+	return nil
+}
+
+// expectIdent accepts an identifier or a non-reserved keyword used as a
+// name (e.g. a column named "key" or "min").
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		p.next()
+		return t.text, nil
+	}
+	// Allow a few keywords in identifier position.
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "KEY", "MIN", "MAX", "COUNT", "SUM", "AVG", "VIEW", "INDEX",
+			"COLUMN", "CHECK", "OPTION", "IF", "END":
+			p.next()
+			return strings.ToLower(t.text), nil
+		}
+	}
+	return "", fmt.Errorf("expected identifier near %q", t.text)
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("expected a SQL statement near %q", t.text)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "ALTER":
+		return p.parseAlter()
+	case "BEGIN":
+		p.next()
+		p.acceptKeyword("TRANSACTION")
+		return &BeginStmt{}, nil
+	case "COMMIT":
+		p.next()
+		p.acceptKeyword("TRANSACTION")
+		return &CommitStmt{}, nil
+	case "ROLLBACK":
+		p.next()
+		p.acceptKeyword("TRANSACTION")
+		return &RollbackStmt{}, nil
+	case "GRANT":
+		return p.parseGrantRevoke(true)
+	case "REVOKE":
+		return p.parseGrantRevoke(false)
+	case "TRUNCATE":
+		// TRUNCATE t is parsed as DELETE FROM t (delete privilege).
+		p.next()
+		p.acceptKeyword("TABLE")
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DeleteStmt{Table: name}, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %q", t.text)
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if p.acceptKeyword("DISTINCT") {
+		st.Distinct = true
+	}
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		refs, err := p.parseFrom()
+		if err != nil {
+			return nil, err
+		}
+		st.From = refs
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	// `*` or `tbl.*`
+	if p.peekOp("*") {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	if p.peek().kind == tokIdent && p.peekAt(1).kind == tokOp && p.peekAt(1).text == "." &&
+		p.peekAt(2).kind == tokOp && p.peekAt(2).text == "*" {
+		tbl := p.next().text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom() ([]TableRef, error) {
+	var refs []TableRef
+	first, err := p.parseTableRef(JoinNone)
+	if err != nil {
+		return nil, err
+	}
+	refs = append(refs, first)
+	for {
+		switch {
+		case p.acceptOp(","):
+			r, err := p.parseTableRef(JoinCross)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		case p.peekKeyword("JOIN") || p.peekKeyword("INNER"):
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef(JoinInner)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.On = on
+			refs = append(refs, r)
+		case p.peekKeyword("LEFT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef(JoinLeft)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.On = on
+			refs = append(refs, r)
+		case p.peekKeyword("CROSS"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseTableRef(JoinCross)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, r)
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *parser) parseTableRef(kind JoinKind) (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, JoinKind: kind}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: name}
+	if p.acceptOp("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, Assignment{Column: col, Expr: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreate() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex(unique)
+	case !unique && p.acceptKeyword("VIEW"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		query, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateViewStmt{Name: name, Query: query}, nil
+	}
+	return nil, fmt.Errorf("unsupported CREATE near %q", p.peek().text)
+}
+
+func (p *parser) parseCreateTable() (*CreateTableStmt, error) {
+	st := &CreateTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekKeyword("PRIMARY"):
+			p.next()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			st.PrimaryKey = cols
+		case p.peekKeyword("FOREIGN"):
+			p.next()
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			fk, err := p.parseReferences()
+			if err != nil {
+				return nil, err
+			}
+			fk.Columns = cols
+			st.ForeignKeys = append(st.ForeignKeys, *fk)
+		default:
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+func (p *parser) parseReferences() (*ForeignKeyDef, error) {
+	if err := p.expectKeyword("REFERENCES"); err != nil {
+		return nil, err
+	}
+	parent, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fk := &ForeignKeyDef{ParentTable: parent}
+	if p.peekOp("(") {
+		cols, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		fk.ParentColumns = cols
+	}
+	return fk, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	kind, err := p.parseType()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	col := ColumnDef{Name: name, Type: kind}
+	for {
+		switch {
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			col.PrimaryKey = true
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			col.NotNull = true
+		case p.acceptKeyword("UNIQUE"):
+			col.Unique = true
+		case p.acceptKeyword("DEFAULT"):
+			e, err := p.parseExpr()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			col.Default = e
+		case p.peekKeyword("REFERENCES"):
+			fk, err := p.parseReferences()
+			if err != nil {
+				return ColumnDef{}, err
+			}
+			fk.Columns = []string{name}
+			col.References = fk
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) parseType() (Kind, error) {
+	t := p.peek()
+	if t.kind != tokKeyword {
+		return 0, fmt.Errorf("expected a type near %q", t.text)
+	}
+	var kind Kind
+	switch t.text {
+	case "INT", "INTEGER", "BIGINT":
+		kind = KindInt
+	case "REAL", "FLOAT", "DOUBLE", "NUMERIC", "DECIMAL":
+		kind = KindFloat
+	case "TEXT", "VARCHAR", "CHAR":
+		kind = KindText
+	case "BOOLEAN", "BOOL":
+		kind = KindBool
+	default:
+		return 0, fmt.Errorf("unsupported type %q", t.text)
+	}
+	p.next()
+	// Optional length/precision, e.g. VARCHAR(255) or NUMERIC(10,2).
+	if p.acceptOp("(") {
+		for !p.peekOp(")") && p.peek().kind != tokEOF {
+			p.next()
+		}
+		if err := p.expectOp(")"); err != nil {
+			return 0, err
+		}
+	}
+	return kind, nil
+}
+
+func (p *parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseIdentList()
+	if err != nil {
+		return nil, err
+	}
+	if len(cols) != 1 {
+		return nil, fmt.Errorf("only single-column indexes are supported")
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: cols[0], Unique: unique}, nil
+}
+
+func (p *parser) parseDrop() (Stmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	isView := false
+	switch {
+	case p.acceptKeyword("TABLE"):
+	case p.acceptKeyword("VIEW"):
+		isView = true
+	default:
+		return nil, fmt.Errorf("only DROP TABLE and DROP VIEW are supported, near %q", p.peek().text)
+	}
+	ifExists := false
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		ifExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if isView {
+		return &DropViewStmt{Name: name, IfExists: ifExists}, nil
+	}
+	return &DropTableStmt{Table: name, IfExists: ifExists}, nil
+}
+
+func (p *parser) parseAlter() (Stmt, error) {
+	if err := p.expectKeyword("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &AlterTableStmt{Table: name}
+	switch {
+	case p.acceptKeyword("ADD"):
+		p.acceptKeyword("COLUMN")
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		st.AddColumn = &col
+	case p.acceptKeyword("RENAME"):
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.RenameTo = to
+	default:
+		return nil, fmt.Errorf("unsupported ALTER TABLE action near %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseGrantRevoke(isGrant bool) (Stmt, error) {
+	p.next() // GRANT or REVOKE
+	var actions []Action
+	var columns [][]string
+	if p.acceptKeyword("ALL") {
+		p.acceptKeyword("PRIVILEGES")
+		actions = nil // ALL
+	} else {
+		for {
+			t := p.peek()
+			if t.kind != tokKeyword {
+				return nil, fmt.Errorf("expected a privilege action near %q", t.text)
+			}
+			a, ok := actionFromKeyword(t.text)
+			if !ok {
+				return nil, fmt.Errorf("unknown privilege action %q", t.text)
+			}
+			p.next()
+			actions = append(actions, a)
+			// Optional column restriction: GRANT SELECT (a, b) ON ...
+			if isGrant && p.peekOp("(") {
+				cols, err := p.parseIdentList()
+				if err != nil {
+					return nil, err
+				}
+				columns = append(columns, cols)
+			} else {
+				columns = append(columns, nil)
+			}
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	p.acceptKeyword("TABLE")
+	var table string
+	if p.acceptOp("*") {
+		table = "*"
+	} else if p.acceptKeyword("ALL") {
+		// GRANT ... ON ALL TABLES
+		// "TABLES" lexes as an identifier since it's not a keyword.
+		if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, "TABLES") {
+			p.next()
+		}
+		table = "*"
+	} else {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		table = name
+	}
+	kw := "TO"
+	if !isGrant {
+		kw = "FROM"
+	}
+	if isGrant {
+		if err := p.expectKeyword(kw); err != nil {
+			return nil, err
+		}
+	} else {
+		// REVOKE ... FROM user ("FROM" is a keyword).
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+	}
+	grantee, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if isGrant {
+		return &GrantStmt{Actions: actions, Columns: columns, Table: table, Grantee: grantee}, nil
+	}
+	return &RevokeStmt{Actions: actions, Table: table, Grantee: grantee}, nil
+}
+
+func actionFromKeyword(kw string) (Action, bool) {
+	switch kw {
+	case "SELECT":
+		return ActionSelect, true
+	case "INSERT":
+		return ActionInsert, true
+	case "UPDATE":
+		return ActionUpdate, true
+	case "DELETE":
+		return ActionDelete, true
+	case "CREATE":
+		return ActionCreate, true
+	case "DROP":
+		return ActionDrop, true
+	case "ALTER":
+		return ActionAlter, true
+	}
+	return 0, false
+}
+
+// --- expression parsing, precedence climbing ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", Operand: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.peekOp("=") || p.peekOp("!=") || p.peekOp("<") || p.peekOp("<=") || p.peekOp(">") || p.peekOp(">="):
+			op := p.next().text
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		case p.peekKeyword("IS"):
+			p.next()
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{Operand: left, Not: not}
+		case p.peekKeyword("LIKE"):
+			p.next()
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &LikeExpr{Operand: left, Pattern: pat}
+		case p.peekKeyword("IN"):
+			p.next()
+			in, err := p.parseInTail(left, false)
+			if err != nil {
+				return nil, err
+			}
+			left = in
+		case p.peekKeyword("BETWEEN"):
+			p.next()
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{Operand: left, Low: lo, High: hi}
+		case p.peekKeyword("NOT"):
+			// NOT LIKE / NOT IN / NOT BETWEEN
+			save := p.pos
+			p.next()
+			switch {
+			case p.acceptKeyword("LIKE"):
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{Operand: left, Pattern: pat, Not: true}
+			case p.acceptKeyword("IN"):
+				in, err := p.parseInTail(left, true)
+				if err != nil {
+					return nil, err
+				}
+				left = in
+			case p.acceptKeyword("BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &BetweenExpr{Operand: left, Low: lo, High: hi, Not: true}
+			default:
+				p.pos = save
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseInTail(operand Expr, not bool) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("SELECT") {
+		sub, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Operand: operand, Subquery: &SubqueryExpr{Query: sub}, Not: not}, nil
+	}
+	var list []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &InExpr{Operand: operand, List: list, Not: not}, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("+") || p.peekOp("-") || p.peekOp("||") {
+		op := p.next().text
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("*") || p.peekOp("/") || p.peekOp("%") {
+		op := p.next().text
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals so "-3" is a literal, not an expression.
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Val.Kind {
+			case KindInt:
+				return &Literal{Val: NewInt(-lit.Val.I)}, nil
+			case KindFloat:
+				return &Literal{Val: NewFloat(-lit.Val.F)}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", Operand: e}, nil
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		p.next()
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer literal %q", t.text)
+		}
+		return &Literal{Val: NewInt(i)}, nil
+	case tokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad numeric literal %q", t.text)
+		}
+		return &Literal{Val: NewFloat(f)}, nil
+	case tokString:
+		p.next()
+		return &Literal{Val: NewText(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: Null()}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return p.parseFuncCall()
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "SELECT":
+			// Bare subquery in expression position (scalar).
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Query: sub}, nil
+		}
+		return nil, fmt.Errorf("unexpected keyword %q in expression", t.text)
+	case tokIdent:
+		// Function call or column reference.
+		if p.peekAt(1).kind == tokOp && p.peekAt(1).text == "(" {
+			return p.parseFuncCall()
+		}
+		p.next()
+		if p.peekOp(".") {
+			p.next()
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Name: col}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			p.next()
+			if p.peekKeyword("SELECT") {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Query: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseFuncCall() (Expr, error) {
+	name := strings.ToUpper(p.next().text)
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{Name: name}
+	if p.acceptOp("*") {
+		fn.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fn, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fn.Distinct = true
+	}
+	if !p.peekOp(")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fn, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	kind, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{Operand: e, Target: kind}, nil
+}
+
+// CastExpr converts a value to a target kind at evaluation time.
+type CastExpr struct {
+	Operand Expr
+	Target  Kind
+}
+
+// Eval converts the operand, parsing numeric text when needed.
+func (c *CastExpr) Eval(env *Env) (Value, error) {
+	v, err := c.Operand.Eval(env)
+	if err != nil {
+		return Value{}, err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	switch c.Target {
+	case KindInt:
+		switch v.Kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			return NewInt(int64(v.F)), nil
+		case KindText:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("cannot cast %q to INTEGER", v.S)
+			}
+			return NewInt(i), nil
+		case KindBool:
+			if v.B {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		}
+	case KindFloat:
+		switch v.Kind {
+		case KindInt:
+			return NewFloat(float64(v.I)), nil
+		case KindFloat:
+			return v, nil
+		case KindText:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("cannot cast %q to REAL", v.S)
+			}
+			return NewFloat(f), nil
+		}
+	case KindText:
+		return NewText(v.String()), nil
+	case KindBool:
+		switch v.Kind {
+		case KindBool:
+			return v, nil
+		case KindInt:
+			return NewBool(v.I != 0), nil
+		}
+	}
+	return Value{}, fmt.Errorf("cannot cast %s to %s", v.Kind, c.Target)
+}
+
+func (c *CastExpr) String() string {
+	return "CAST(" + c.Operand.String() + " AS " + c.Target.String() + ")"
+}

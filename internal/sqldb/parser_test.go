@@ -1,0 +1,183 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexerComments(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `
+		-- leading comment
+		SELECT COUNT(*) /* inline
+		block comment */ FROM items -- trailing
+	`)
+	if r.Rows[0][0].I != 5 {
+		t.Fatalf("comments broke parsing: %v", r.Rows)
+	}
+}
+
+func TestLexerQuotedIdentifiers(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `SELECT "name" FROM "items" WHERE "id" = 1`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "shirt" {
+		t.Fatalf("quoted identifiers wrong: %v", r.Rows)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	e := NewEngine("esc")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 'women''s wear')`)
+	r := mustQuery(t, s, `SELECT v FROM t WHERE v = 'women''s wear'`)
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "women's wear" {
+		t.Fatalf("escaped quote wrong: %v", r.Rows)
+	}
+}
+
+func TestNumericLiteralForms(t *testing.T) {
+	e := NewEngine("num")
+	s := e.NewSession("root")
+	r := mustQuery(t, s, `SELECT 1.5e2, .5, -3, 2e-1`)
+	if r.Rows[0][0].F != 150 || r.Rows[0][1].F != 0.5 || r.Rows[0][2].I != -3 || r.Rows[0][3].F != 0.2 {
+		t.Fatalf("numeric literals wrong: %v", r.Rows[0])
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e := NewEngine("prec")
+	s := e.NewSession("root")
+	r := mustQuery(t, s, `SELECT 2 + 3 * 4, (2 + 3) * 4, 10 - 2 - 3, 7 % 3, TRUE OR FALSE AND FALSE`)
+	row := r.Rows[0]
+	if row[0].I != 14 || row[1].I != 20 || row[2].I != 5 || row[3].I != 1 {
+		t.Fatalf("arithmetic precedence wrong: %v", row)
+	}
+	// OR binds looser than AND: TRUE OR (FALSE AND FALSE) = TRUE.
+	if !row[4].B {
+		t.Fatalf("boolean precedence wrong: %v", row[4])
+	}
+}
+
+func TestNotPrecedence(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE NOT category = 'clothes'`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("NOT precedence wrong: %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE NOT (category = 'clothes' OR price > 20)`)
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("NOT with parens wrong: %v", r.Rows[0][0])
+	}
+}
+
+func TestNotVariants(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE id NOT IN (1, 2)`)
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("NOT IN wrong: %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE price NOT BETWEEN 5 AND 25`)
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("NOT BETWEEN wrong: %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE name NOT LIKE 's%'`)
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("NOT LIKE wrong: %v", r.Rows[0][0])
+	}
+}
+
+func TestConcatAndFunctionsInPredicates(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `SELECT COUNT(*) FROM items WHERE UPPER(name) = 'SHIRT'`)
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("function predicate wrong: %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, s, `SELECT name || '-' || category FROM items WHERE id = 1`)
+	if r.Rows[0][0].S != "shirt-clothes" {
+		t.Fatalf("concat wrong: %v", r.Rows[0][0])
+	}
+}
+
+func TestCastForms(t *testing.T) {
+	e := NewEngine("cast")
+	s := e.NewSession("root")
+	r := mustQuery(t, s, `SELECT CAST(3.7 AS INTEGER), CAST('2.5' AS REAL), CAST(42 AS TEXT), CAST(0 AS BOOLEAN)`)
+	row := r.Rows[0]
+	if row[0].I != 3 || row[1].F != 2.5 || row[2].S != "42" || row[3].B {
+		t.Fatalf("casts wrong: %v", row)
+	}
+	if _, err := s.Exec(`SELECT CAST('abc' AS INTEGER)`); err == nil {
+		t.Fatal("bad cast must error")
+	}
+}
+
+func TestVarcharPrecisionSyntax(t *testing.T) {
+	e := NewEngine("vc")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (a VARCHAR(255) NOT NULL, b NUMERIC(10, 2), c INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES ('x', 1.25, 1)`)
+	r := mustQuery(t, s, `SELECT a, b FROM t`)
+	if r.Rows[0][0].S != "x" || r.Rows[0][1].F != 1.25 {
+		t.Fatalf("typed insert wrong: %v", r.Rows)
+	}
+}
+
+func TestParseScriptSplitsStatements(t *testing.T) {
+	stmts, err := ParseScript(`SELECT 1; SELECT 2;; SELECT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("want 3 statements, got %d", len(stmts))
+	}
+}
+
+func TestOffsetPagination(t *testing.T) {
+	_, s := newTestEngine(t)
+	r := mustQuery(t, s, `SELECT id FROM items ORDER BY id LIMIT 2 OFFSET 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 3 {
+		t.Fatalf("offset wrong: %v", r.Rows)
+	}
+	r = mustQuery(t, s, `SELECT id FROM items ORDER BY id LIMIT 10 OFFSET 10`)
+	if len(r.Rows) != 0 {
+		t.Fatalf("offset past end should be empty: %v", r.Rows)
+	}
+}
+
+func TestTruncateAliasesToDelete(t *testing.T) {
+	_, s := newTestEngine(t)
+	s.MustExec(`TRUNCATE TABLE sales`)
+	r := mustQuery(t, s, `SELECT COUNT(*) FROM sales`)
+	if r.Rows[0][0].I != 0 {
+		t.Fatalf("truncate left rows: %v", r.Rows[0][0])
+	}
+}
+
+func TestRenderSelectRoundTrip(t *testing.T) {
+	queries := []string{
+		`SELECT DISTINCT a.name, COUNT(*) AS n FROM items a JOIN sales b ON a.id = b.item_id WHERE a.price > 10 GROUP BY a.name HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 5 OFFSET 1`,
+		`SELECT * FROM items WHERE category IN ('a', 'b') AND price BETWEEN 1 AND 2`,
+		`SELECT name FROM items WHERE name LIKE 's%' OR name IS NOT NULL`,
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		rendered := RenderSelect(stmt.(*SelectStmt))
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("re-parse of %q failed: %v", rendered, err)
+		}
+	}
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	_, s := newTestEngine(t)
+	// Both items and sales could own an unqualified conflicting name when
+	// self-joining; ambiguity must be reported, not silently resolved.
+	if _, err := s.Exec(`SELECT id FROM items a, items b`); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous reference should error, got %v", err)
+	}
+}

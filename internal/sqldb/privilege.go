@@ -1,0 +1,219 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is a database privilege action, mirroring PostgreSQL's table
+// privileges plus DDL actions.
+type Action uint8
+
+// The privilege actions.
+const (
+	ActionNone Action = iota
+	ActionSelect
+	ActionInsert
+	ActionUpdate
+	ActionDelete
+	ActionCreate
+	ActionDrop
+	ActionAlter
+	ActionGrant
+)
+
+// AllActions lists every grantable action.
+var AllActions = []Action{
+	ActionSelect, ActionInsert, ActionUpdate, ActionDelete,
+	ActionCreate, ActionDrop, ActionAlter,
+}
+
+// String returns the SQL keyword for the action.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "NONE"
+	case ActionSelect:
+		return "SELECT"
+	case ActionInsert:
+		return "INSERT"
+	case ActionUpdate:
+		return "UPDATE"
+	case ActionDelete:
+		return "DELETE"
+	case ActionCreate:
+		return "CREATE"
+	case ActionDrop:
+		return "DROP"
+	case ActionAlter:
+		return "ALTER"
+	case ActionGrant:
+		return "GRANT"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// ParseAction converts a SQL keyword to an Action.
+func ParseAction(s string) (Action, bool) {
+	return actionFromKeyword(strings.ToUpper(strings.TrimSpace(s)))
+}
+
+type actionSet uint16
+
+func (s actionSet) has(a Action) bool { return s&(1<<a) != 0 }
+func (s *actionSet) add(a Action)     { *s |= 1 << a }
+func (s *actionSet) remove(a Action)  { *s &^= 1 << a }
+
+// Grants is the privilege store: per-user action sets per object, optional
+// column restrictions, and superuser flags. The object "*" stands for all
+// tables (and for CREATE, the database itself).
+type Grants struct {
+	super map[string]bool                 // user -> superuser
+	objs  map[string]map[string]actionSet // user -> object(lower) -> actions
+	// cols restricts an (user, object, action) grant to named columns.
+	// Absent entry means all columns.
+	cols map[string]map[string]map[Action]map[string]bool
+}
+
+func newGrants() *Grants {
+	return &Grants{
+		super: map[string]bool{"root": true},
+		objs:  map[string]map[string]actionSet{},
+		cols:  map[string]map[string]map[Action]map[string]bool{},
+	}
+}
+
+// SetSuperuser marks or unmarks a user as superuser.
+func (g *Grants) SetSuperuser(user string, super bool) {
+	g.super[strings.ToLower(user)] = super
+}
+
+// IsSuperuser reports whether the user bypasses privilege checks.
+func (g *Grants) IsSuperuser(user string) bool {
+	return g.super[strings.ToLower(user)]
+}
+
+// Grant adds an action on an object ("*" = all tables) for a user.
+func (g *Grants) Grant(user string, action Action, object string) {
+	u, o := strings.ToLower(user), strings.ToLower(object)
+	if g.objs[u] == nil {
+		g.objs[u] = map[string]actionSet{}
+	}
+	set := g.objs[u][o]
+	set.add(action)
+	g.objs[u][o] = set
+}
+
+// GrantAll grants every action on an object to a user.
+func (g *Grants) GrantAll(user, object string) {
+	for _, a := range AllActions {
+		g.Grant(user, a, object)
+	}
+}
+
+// Revoke removes an action on an object from a user (and drops any column
+// restriction bound to it).
+func (g *Grants) Revoke(user string, action Action, object string) {
+	u, o := strings.ToLower(user), strings.ToLower(object)
+	if g.objs[u] == nil {
+		return
+	}
+	set := g.objs[u][o]
+	set.remove(action)
+	if set == 0 {
+		delete(g.objs[u], o)
+	} else {
+		g.objs[u][o] = set
+	}
+	if g.cols[u] != nil && g.cols[u][o] != nil {
+		delete(g.cols[u][o], action)
+	}
+}
+
+// RevokeAll removes every action on an object from a user.
+func (g *Grants) RevokeAll(user, object string) {
+	for _, a := range AllActions {
+		g.Revoke(user, a, object)
+	}
+}
+
+// GrantColumns grants an action on an object restricted to the given
+// columns (PostgreSQL column privileges).
+func (g *Grants) GrantColumns(user string, action Action, object string, columns []string) {
+	g.Grant(user, action, object)
+	u, o := strings.ToLower(user), strings.ToLower(object)
+	if g.cols[u] == nil {
+		g.cols[u] = map[string]map[Action]map[string]bool{}
+	}
+	if g.cols[u][o] == nil {
+		g.cols[u][o] = map[Action]map[string]bool{}
+	}
+	set := map[string]bool{}
+	for _, c := range columns {
+		set[strings.ToLower(c)] = true
+	}
+	g.cols[u][o][action] = set
+}
+
+// Has reports whether the user may perform action on object. Superusers may
+// do anything; "*" grants cover every object.
+func (g *Grants) Has(user string, action Action, object string) bool {
+	if action == ActionNone {
+		return true
+	}
+	u, o := strings.ToLower(user), strings.ToLower(object)
+	if g.super[u] {
+		return true
+	}
+	if m := g.objs[u]; m != nil {
+		if m[o].has(action) || m["*"].has(action) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowedColumns returns the column restriction for (user, action, object):
+// nil means all columns are allowed (or no grant at all — pair with Has).
+func (g *Grants) AllowedColumns(user string, action Action, object string) map[string]bool {
+	u, o := strings.ToLower(user), strings.ToLower(object)
+	if g.super[u] {
+		return nil
+	}
+	if g.cols[u] == nil || g.cols[u][o] == nil {
+		return nil
+	}
+	return g.cols[u][o][action]
+}
+
+// ObjectActions returns the actions a user holds on a specific object,
+// including via "*" grants, sorted for stable output.
+func (g *Grants) ObjectActions(user, object string) []Action {
+	var out []Action
+	for _, a := range AllActions {
+		if g.Has(user, a, object) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HasAny reports whether the user holds at least one action on the object.
+func (g *Grants) HasAny(user, object string) bool {
+	return len(g.ObjectActions(user, object)) > 0
+}
+
+// ActionStrings formats a list of actions, or "ALL" when the list covers
+// every grantable action.
+func ActionStrings(actions []Action) string {
+	if len(actions) == len(AllActions) {
+		return "ALL"
+	}
+	parts := make([]string, len(actions))
+	for i, a := range actions {
+		parts[i] = a.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,93 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderSelect prints a SelectStmt back as SQL. It is used for view DDL in
+// schema output and round-trips through the parser.
+func RenderSelect(st *SelectStmt) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if st.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range st.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			sb.WriteString(it.Table + ".*")
+		case it.Star:
+			sb.WriteString("*")
+		default:
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if len(st.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, ref := range st.From {
+			if i > 0 {
+				switch ref.JoinKind {
+				case JoinInner:
+					sb.WriteString(" JOIN ")
+				case JoinLeft:
+					sb.WriteString(" LEFT JOIN ")
+				default:
+					sb.WriteString(", ")
+				}
+			}
+			sb.WriteString(ref.Table)
+			if ref.Alias != "" {
+				sb.WriteString(" " + ref.Alias)
+			}
+			if ref.On != nil {
+				sb.WriteString(" ON " + ref.On.String())
+			}
+		}
+	}
+	if st.Where != nil {
+		sb.WriteString(" WHERE " + st.Where.String())
+	}
+	if len(st.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range st.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if st.Having != nil {
+		sb.WriteString(" HAVING " + st.Having.String())
+	}
+	if len(st.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, k := range st.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k.Expr.String())
+			if k.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if st.Limit != nil {
+		sb.WriteString(" LIMIT " + st.Limit.String())
+	}
+	if st.Offset != nil {
+		sb.WriteString(" OFFSET " + st.Offset.String())
+	}
+	return sb.String()
+}
+
+// ViewSQL renders a view definition as DDL.
+func ViewSQL(v *View) string {
+	return fmt.Sprintf("CREATE VIEW %s AS %s;", v.Name, RenderSelect(v.Query))
+}

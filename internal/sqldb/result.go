@@ -1,0 +1,63 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	Columns  []string  // result column names (SELECT only)
+	Rows     [][]Value // result rows (SELECT only)
+	Affected int       // rows affected by INSERT/UPDATE/DELETE
+	Message  string    // human-readable status
+}
+
+// Text renders the result as a compact table for tool outputs. This is what
+// flows back through the MCP layer into the LLM context, so its size is what
+// token accounting measures.
+func (r *Result) Text() string {
+	if len(r.Columns) == 0 {
+		if r.Message != "" {
+			return r.Message
+		}
+		return fmt.Sprintf("OK, %d row(s) affected", r.Affected)
+	}
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Columns, " | "))
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, " | "))
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "(%d rows)", len(r.Rows))
+	return sb.String()
+}
+
+// PermissionError reports a privilege violation. Toolkits detect it with
+// errors.As to distinguish security rejections from execution failures.
+type PermissionError struct {
+	User   string
+	Action Action
+	Object string
+}
+
+// Error implements error.
+func (e *PermissionError) Error() string {
+	return fmt.Sprintf("permission denied: user %q may not %s on %q", e.User, e.Action, e.Object)
+}
+
+// NotFoundError reports a missing catalog object.
+type NotFoundError struct {
+	Kind string // "table", "column", ...
+	Name string
+}
+
+// Error implements error.
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("%s %q does not exist", e.Kind, e.Name)
+}

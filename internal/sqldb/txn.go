@@ -1,0 +1,193 @@
+package sqldb
+
+import "fmt"
+
+// undoKind identifies the inverse operation recorded in the undo log.
+type undoKind uint8
+
+const (
+	undoInsert     undoKind = iota // row was inserted -> tombstone it
+	undoDelete                     // row was tombstoned -> resurrect it
+	undoUpdate                     // row was updated -> restore old values
+	undoCreate                     // table was created -> drop it
+	undoDrop                       // table was dropped -> restore it
+	undoIndex                      // index was created -> remove it
+	undoCreateView                 // view was created -> drop it
+	undoDropView                   // view was dropped -> restore it
+)
+
+type undoOp struct {
+	kind    undoKind
+	table   *Table
+	entry   *rowEntry
+	oldVals []Value
+	// for undoDrop: the catalog position so ordering is restored
+	tablePos int
+	indexCol string
+	view     *View
+}
+
+// Txn is an open transaction: an undo log replayed in reverse on rollback.
+// ACID notes for this single-node engine: atomicity and consistency come
+// from the undo log plus statement-level rollback; isolation is
+// serializable because the engine mutex admits one statement at a time;
+// durability is process-lifetime (in-memory store).
+type Txn struct {
+	undo []undoOp
+}
+
+func (tx *Txn) record(op undoOp) { tx.undo = append(tx.undo, op) }
+
+// rollback applies the undo log in reverse order against the engine.
+func (tx *Txn) rollback(e *Engine) {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		op := tx.undo[i]
+		switch op.kind {
+		case undoInsert:
+			op.table.markDead(op.entry)
+		case undoDelete:
+			op.table.resurrect(op.entry)
+		case undoUpdate:
+			op.table.replaceVals(op.entry, op.oldVals)
+		case undoCreate:
+			lo := lowerName(op.table.Name)
+			delete(e.tables, lo)
+			for j, n := range e.tableOrder {
+				if n == lo {
+					e.tableOrder = append(e.tableOrder[:j], e.tableOrder[j+1:]...)
+					break
+				}
+			}
+		case undoDrop:
+			lo := lowerName(op.table.Name)
+			e.tables[lo] = op.table
+			pos := op.tablePos
+			if pos < 0 || pos > len(e.tableOrder) {
+				pos = len(e.tableOrder)
+			}
+			e.tableOrder = append(e.tableOrder[:pos],
+				append([]string{lo}, e.tableOrder[pos:]...)...)
+		case undoIndex:
+			delete(op.table.indexes, op.indexCol)
+		case undoCreateView:
+			_, _ = e.dropView(op.view.Name)
+		case undoDropView:
+			_ = e.createView(op.view)
+		}
+	}
+	tx.undo = nil
+}
+
+// Session is one connection: a user identity plus optional open
+// transaction. Sessions are not safe for concurrent use; create one per
+// goroutine.
+type Session struct {
+	engine *Engine
+	user   string
+	txn    *Txn
+	// stmtUndo accumulates undo ops for the statement being executed, so a
+	// mid-statement failure (e.g. a constraint violation on the third row
+	// of a multi-row INSERT) rolls back just that statement.
+	stmtUndo *Txn
+}
+
+// NewSession opens a session for user.
+func (e *Engine) NewSession(user string) *Session {
+	return &Session{engine: e, user: user}
+}
+
+// User returns the session's user name.
+func (s *Session) User() string { return s.user }
+
+// Engine returns the engine the session is bound to.
+func (s *Session) Engine() *Engine { return s.engine }
+
+// InTransaction reports whether a transaction is open.
+func (s *Session) InTransaction() bool { return s.txn != nil }
+
+// Begin starts a transaction.
+func (s *Session) Begin() error {
+	if s.txn != nil {
+		return fmt.Errorf("a transaction is already in progress")
+	}
+	s.txn = &Txn{}
+	return nil
+}
+
+// Commit makes the transaction's effects permanent.
+func (s *Session) Commit() error {
+	if s.txn == nil {
+		return fmt.Errorf("no transaction is in progress")
+	}
+	// Dead rows tombstoned by this txn can now be compacted.
+	touched := map[*Table]bool{}
+	for _, op := range s.txn.undo {
+		if op.table != nil {
+			touched[op.table] = true
+		}
+	}
+	for t := range touched {
+		t.compact()
+	}
+	s.txn = nil
+	return nil
+}
+
+// Rollback reverts every change made inside the transaction.
+func (s *Session) Rollback() error {
+	if s.txn == nil {
+		return fmt.Errorf("no transaction is in progress")
+	}
+	s.txn.rollback(s.engine)
+	s.txn = nil
+	return nil
+}
+
+// record routes an undo entry to the statement-level log.
+func (s *Session) record(op undoOp) {
+	if s.stmtUndo != nil {
+		s.stmtUndo.record(op)
+	}
+}
+
+// beginStmt opens the statement-level undo scope.
+func (s *Session) beginStmt() { s.stmtUndo = &Txn{} }
+
+// endStmt closes the statement scope: on error the statement is rolled
+// back; on success its undo ops are promoted to the open transaction or
+// discarded (auto-commit).
+func (s *Session) endStmt(execErr error) {
+	st := s.stmtUndo
+	s.stmtUndo = nil
+	if st == nil {
+		return
+	}
+	if execErr != nil {
+		st.rollback(s.engine)
+		return
+	}
+	if s.txn != nil {
+		s.txn.undo = append(s.txn.undo, st.undo...)
+		return
+	}
+	// Auto-commit: compact tombstones now.
+	touched := map[*Table]bool{}
+	for _, op := range st.undo {
+		if op.table != nil {
+			touched[op.table] = true
+		}
+	}
+	for t := range touched {
+		t.compact()
+	}
+}
+
+func lowerName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,218 @@
+// Package sqldb implements an embedded relational database engine: a SQL
+// lexer/parser, an expression evaluator, an executor with joins and
+// aggregates, ACID transactions backed by an undo log, PK/FK/NOT NULL
+// constraints, hash indexes, and a PostgreSQL-style privilege system.
+//
+// It is the database substrate for the BridgeScope reproduction. The toolkit
+// layers (internal/core, internal/pgmcp) only touch it through the
+// database-agnostic adapter in internal/core, mirroring the paper's §2.6
+// claim that all tools are built on a unified set of database interfaces.
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the SQL NULL marker.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "REAL"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// NewInt wraps an int64 as a Value.
+func NewInt(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// NewFloat wraps a float64 as a Value.
+func NewFloat(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// NewText wraps a string as a Value.
+func NewText(s string) Value { return Value{Kind: KindText, S: s} }
+
+// NewBool wraps a bool as a Value.
+func NewBool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// AsFloat converts numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Truthy reports whether v counts as true in a WHERE clause. NULL is false.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.B
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// String renders the value for result sets and error messages.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindText:
+		return v.S
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// SQLLiteral renders the value as a literal that the parser accepts back.
+func (v Value) SQLLiteral() string {
+	switch v.Kind {
+	case KindText:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// Compare orders two non-NULL values. Numeric kinds compare numerically
+// across int/float; text lexicographically; bool false < true. Comparing
+// incompatible kinds is an error.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("cannot compare NULL values")
+	}
+	af, aNum := a.AsFloat()
+	bf, bNum := b.AsFloat()
+	switch {
+	case aNum && bNum:
+		if af < bf {
+			return -1, nil
+		}
+		if af > bf {
+			return 1, nil
+		}
+		return 0, nil
+	case a.Kind == KindText && b.Kind == KindText:
+		return strings.Compare(a.S, b.S), nil
+	case a.Kind == KindBool && b.Kind == KindBool:
+		switch {
+		case a.B == b.B:
+			return 0, nil
+		case !a.B:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot compare %s with %s", a.Kind, b.Kind)
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+// Two NULLs are considered equal here (used for grouping and index keys,
+// matching SQL's IS NOT DISTINCT FROM), unlike the = operator which yields
+// NULL.
+func Equal(a, b Value) bool {
+	if a.IsNull() && b.IsNull() {
+		return true
+	}
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Key returns a canonical string key for hashing a value in indexes and
+// GROUP BY maps. Numeric values that are integral share one key across
+// int/float so that index lookups match Compare semantics.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "\x01" + strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		if v.F == float64(int64(v.F)) {
+			return "\x01" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "\x02" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindText:
+		return "\x03" + v.S
+	case KindBool:
+		if v.B {
+			return "\x04t"
+		}
+		return "\x04f"
+	}
+	return "\x05?"
+}
+
+// CoerceTo converts v to the column type t where a lossless conversion
+// exists (int→float, numeric text forms are NOT auto-converted). NULL passes
+// through any type.
+func CoerceTo(v Value, t Kind) (Value, error) {
+	if v.IsNull() || v.Kind == t {
+		return v, nil
+	}
+	switch {
+	case t == KindFloat && v.Kind == KindInt:
+		return NewFloat(float64(v.I)), nil
+	case t == KindInt && v.Kind == KindFloat && v.F == float64(int64(v.F)):
+		return NewInt(int64(v.F)), nil
+	case t == KindText:
+		return NewText(v.String()), nil
+	}
+	return Value{}, fmt.Errorf("cannot store %s value %s in %s column", v.Kind, v, t)
+}

@@ -1,0 +1,116 @@
+// Package task defines the benchmark task model shared by the agent, the
+// LLM simulator, and the two benchmarks (BIRD-Ext and NL2ML).
+//
+// A Task carries the natural-language request plus the ground truth a
+// competent model would produce: the gold SQL, the corrupted variants a
+// hallucinating model produces when it skipped context retrieval, and the
+// verification query the harness uses to score correctness. The LLM
+// simulator chooses between these variants according to its behavioural
+// profile; the database execution itself is always real.
+package task
+
+// Kind classifies a task by its primary database action.
+type Kind int
+
+// Task kinds.
+const (
+	Read Kind = iota
+	Insert
+	Update
+	Delete
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Insert:
+		return "insert"
+	case Update:
+		return "update"
+	case Delete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// IsWrite reports whether the task modifies the database.
+func (k Kind) IsWrite() bool { return k != Read }
+
+// Task is one benchmark item.
+type Task struct {
+	ID   string
+	NL   string // natural-language request
+	Kind Kind
+
+	// Tables the task touches (used for privilege feasibility).
+	Tables []string
+
+	// GoldSQL is the correct statement sequence (multiple statements for
+	// composite write tasks, which therefore require a transaction).
+	GoldSQL []string
+
+	// CorruptIdentSQL mirrors GoldSQL with hallucinated identifiers
+	// (mis-remembered column/table names). Executing it raises an engine
+	// error — the "futile retry" path of §3.2(1).
+	CorruptIdentSQL []string
+
+	// WrongValueSQL mirrors GoldSQL with a plausible but wrong text
+	// predicate value (e.g. category = 'women''s wear' instead of
+	// 'women'). It executes without error but returns an empty or wrong
+	// result — the exemplar-hallucination path of §2.2.
+	WrongValueSQL []string
+
+	// SemanticWrongSQL mirrors GoldSQL with subtly wrong logic (dropped
+	// condition). It models residual SQL-generation mistakes that no
+	// context retrieval fixes; both toolkits suffer it equally (Fig 5b).
+	SemanticWrongSQL []string
+
+	// NeedsValue marks tasks whose predicates depend on knowing actual
+	// column values; ValueTable/ValueColumn/ValueKey parameterize the
+	// get_value call that resolves them.
+	NeedsValue  bool
+	ValueTable  string
+	ValueColumn string
+	ValueKey    string
+
+	// VerifySQL + Expected check post-run database state for write tasks.
+	// For read tasks the harness compares the agent's answer against the
+	// gold result computed before the run.
+	VerifySQL string
+	Expected  string
+
+	// Pipeline is set for NL2ML tasks; nil for BIRD-Ext.
+	Pipeline *Pipeline
+}
+
+// Pipeline describes an NL2ML data-intensive workflow: extract data from
+// the database, optionally process it, train a model, and optionally
+// predict. Level is the proxy-unit nesting depth from the paper's §3.1:
+// 1 = query+train, 2 = +processing, 3 = +prediction.
+type Pipeline struct {
+	Level int
+
+	// DataSQL extracts the training data (feature columns then target
+	// column, in that order).
+	DataSQL     string
+	FeatureCols []string
+	TargetCol   string
+
+	// Normalize inserts a z-score normalization stage (level >= 2).
+	Normalize bool
+
+	// ModelTool is the training tool: "train_linear_regression" or
+	// "train_random_forest".
+	ModelTool string
+
+	// Predict adds a prediction stage over PredictSQL rows (level 3).
+	Predict    bool
+	PredictSQL string
+}
+
+// MultiStatement reports whether the task executes more than one SQL
+// statement and therefore needs explicit transaction management for
+// atomicity.
+func (t *Task) MultiStatement() bool { return len(t.GoldSQL) > 1 }

@@ -1,0 +1,178 @@
+// Package textsim implements lightweight lexical-semantic similarity for the
+// get_value exemplar tool (paper §2.2): given a task-specific key such as
+// "women", it ranks a column's domain values so the LLM sees "women" before
+// "women's wear" or "menswear". It combines character-trigram cosine
+// similarity, normalized edit distance, and token overlap — an offline
+// stand-in for embedding similarity that preserves the ranking behaviour
+// the tool needs.
+package textsim
+
+import (
+	"sort"
+	"strings"
+)
+
+// Match is one ranked candidate.
+type Match struct {
+	Value string
+	Score float64
+}
+
+// Score returns a similarity in [0, 1]; higher is more similar. It is
+// symmetric and case-insensitive.
+func Score(a, b string) float64 {
+	a = normalize(a)
+	b = normalize(b)
+	if a == b {
+		return 1
+	}
+	if a == "" || b == "" {
+		return 0
+	}
+	tri := trigramCosine(a, b)
+	ed := 1 - float64(editDistance(a, b))/float64(max(len(a), len(b)))
+	tok := tokenOverlap(a, b)
+	// Containment bumps the score: "women" vs "women's wear".
+	contain := 0.0
+	if strings.Contains(a, b) || strings.Contains(b, a) {
+		contain = 0.35
+	}
+	s := 0.4*tri + 0.25*ed + 0.25*tok + contain
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// TopK ranks candidates by similarity to key and returns the best k
+// (all of them when k <= 0). Ties break lexicographically for determinism.
+func TopK(key string, candidates []string, k int) []Match {
+	out := make([]Match, 0, len(candidates))
+	for _, c := range candidates {
+		out = append(out, Match{Value: c, Score: Score(key, c)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Value < out[j].Value
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func normalize(s string) string {
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+func trigrams(s string) map[string]int {
+	padded := "  " + s + " "
+	out := map[string]int{}
+	for i := 0; i+3 <= len(padded); i++ {
+		out[padded[i:i+3]]++
+	}
+	return out
+}
+
+func trigramCosine(a, b string) float64 {
+	ta, tb := trigrams(a), trigrams(b)
+	dot, na, nb := 0, 0, 0
+	for g, ca := range ta {
+		na += ca * ca
+		if cb, ok := tb[g]; ok {
+			dot += ca * cb
+		}
+	}
+	for _, cb := range tb {
+		nb += cb * cb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float64(dot) / (sqrtf(float64(na)) * sqrtf(float64(nb)))
+}
+
+func sqrtf(x float64) float64 {
+	// Newton iterations are plenty for similarity scoring.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func editDistance(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+func tokenOverlap(a, b string) float64 {
+	ta := strings.FieldsFunc(a, isSep)
+	tb := strings.FieldsFunc(b, isSep)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := map[string]bool{}
+	for _, t := range ta {
+		set[t] = true
+	}
+	common := 0
+	for _, t := range tb {
+		if set[t] {
+			common++
+		}
+	}
+	den := len(ta)
+	if len(tb) > den {
+		den = len(tb)
+	}
+	return float64(common) / float64(den)
+}
+
+func isSep(r rune) bool {
+	return r == ' ' || r == '_' || r == '-' || r == '\'' || r == '.' || r == ','
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package textsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScoreIdentity(t *testing.T) {
+	for _, s := range []string{"women", "a", "hello world", "WOMEN"} {
+		if got := Score(s, s); got != 1 {
+			t.Fatalf("Score(%q, %q) = %v, want 1", s, s, got)
+		}
+	}
+	if Score("Women", "women") != 1 {
+		t.Fatal("scoring must be case-insensitive")
+	}
+}
+
+func TestScoreRankingIntuition(t *testing.T) {
+	// "women" should match "women's wear" better than "men" does.
+	if Score("women's wear", "women") <= Score("women's wear", "men") {
+		t.Fatal("containment should beat shorter overlap")
+	}
+	if Score("wrong sizing", "wrong size") <= Score("wrong sizing", "damaged") {
+		t.Fatal("near-duplicate should beat unrelated")
+	}
+	if Score("frozen status", "frozen") <= Score("frozen status", "active") {
+		t.Fatal("prefix value should beat unrelated value")
+	}
+}
+
+func TestScoreBoundsAndSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		s1 := Score(a, b)
+		s2 := Score(b, a)
+		if s1 < 0 || s1 > 1 {
+			return false
+		}
+		diff := s1 - s2
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	candidates := []string{"men", "women", "kids", "shoes", "accessories"}
+	top := TopK("women's wear", candidates, 2)
+	if len(top) != 2 {
+		t.Fatalf("want 2 results, got %d", len(top))
+	}
+	if top[0].Value != "women" {
+		t.Fatalf("best match should be women, got %q", top[0].Value)
+	}
+	all := TopK("women", candidates, 0)
+	if len(all) != len(candidates) {
+		t.Fatalf("k<=0 should return all, got %d", len(all))
+	}
+	// Deterministic order under ties.
+	again := TopK("women", candidates, 0)
+	for i := range all {
+		if all[i] != again[i] {
+			t.Fatal("TopK is not deterministic")
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package tokens provides the token-count approximation and accounting used
+// for every cost metric in the experiments (Table 1, Table 2, and the
+// idealized-transfer estimate in §3.4 of the paper).
+//
+// Real GPT/Claude tokenizers are unavailable offline, so Count uses the
+// standard approximation blending word count and character count. All
+// comparisons in the paper are relative (BridgeScope vs PG-MCP under the
+// same tokenizer), so the approximation preserves every reported shape.
+package tokens
+
+import (
+	"sync"
+	"unicode"
+)
+
+// Count estimates the number of LLM tokens in s. The estimate is
+// max(words*4/3, chars/4): prose tokenizes near 0.75 words/token and dense
+// numeric or code text near 4 chars/token.
+func Count(s string) int {
+	if s == "" {
+		return 0
+	}
+	words := 0
+	inWord := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			inWord = false
+			continue
+		}
+		if !inWord {
+			words++
+			inWord = true
+		}
+		// Punctuation usually splits into its own token.
+		if unicode.IsPunct(r) || unicode.IsSymbol(r) {
+			words++
+		}
+	}
+	byWords := words * 4 / 3
+	byChars := len(s) / 4
+	if byWords > byChars {
+		return byWords
+	}
+	if byChars == 0 {
+		return 1
+	}
+	return byChars
+}
+
+// Meter accumulates prompt and completion token counts for one agent run.
+// It is safe for concurrent use.
+type Meter struct {
+	mu         sync.Mutex
+	prompt     int
+	completion int
+	calls      int
+}
+
+// AddCall records one LLM invocation with its prompt and completion sizes.
+func (m *Meter) AddCall(promptTokens, completionTokens int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	m.prompt += promptTokens
+	m.completion += completionTokens
+}
+
+// Calls returns the number of LLM invocations recorded.
+func (m *Meter) Calls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+// Prompt returns the accumulated prompt tokens.
+func (m *Meter) Prompt() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prompt
+}
+
+// Completion returns the accumulated completion tokens.
+func (m *Meter) Completion() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.completion
+}
+
+// Total returns prompt + completion tokens.
+func (m *Meter) Total() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prompt + m.completion
+}

@@ -1,0 +1,78 @@
+package tokens
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountBasics(t *testing.T) {
+	if Count("") != 0 {
+		t.Fatal("empty string must count 0")
+	}
+	if Count("a") < 1 {
+		t.Fatal("non-empty string must count at least 1")
+	}
+	prose := Count("the quick brown fox jumps over the lazy dog")
+	if prose < 9 || prose > 20 {
+		t.Fatalf("prose estimate out of range: %d", prose)
+	}
+	dense := Count(strings.Repeat("0.123456789|", 100))
+	if dense < 200 {
+		t.Fatalf("dense numeric text should cost many tokens, got %d", dense)
+	}
+}
+
+func TestCountScalesWithLength(t *testing.T) {
+	small := Count(strings.Repeat("word ", 100))
+	big := Count(strings.Repeat("word ", 10000))
+	if big < 50*small {
+		t.Fatalf("count should scale roughly linearly: %d vs %d", small, big)
+	}
+}
+
+func TestCountNonNegativeProperty(t *testing.T) {
+	f := func(s string) bool { return Count(s) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountSuperadditiveProperty(t *testing.T) {
+	// Concatenation should never count fewer tokens than the longer part.
+	f := func(a, b string) bool {
+		c := Count(a + b)
+		return c >= Count(a) && c >= Count(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.AddCall(100, 10)
+	m.AddCall(200, 20)
+	if m.Calls() != 2 || m.Prompt() != 300 || m.Completion() != 30 || m.Total() != 330 {
+		t.Fatalf("meter wrong: %d %d %d %d", m.Calls(), m.Prompt(), m.Completion(), m.Total())
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				m.AddCall(1, 1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if m.Calls() != 800 || m.Total() != 1600 {
+		t.Fatalf("concurrent meter lost updates: %d calls, %d total", m.Calls(), m.Total())
+	}
+}
