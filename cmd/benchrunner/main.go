@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig5a|fig5b|fig5c|fig6|table1|table2|ideal|ablations] [-seed N] [-sample N]
+//	benchrunner [-exp all|fig5a|fig5b|fig5c|fig6|table1|table2|ideal|ablations|engine] [-seed N] [-sample N]
 //
 // -sample runs every Nth task for a faster pass; the defaults reproduce the
 // full benchmark.
@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 
 	"bridgescope/internal/experiments"
+	"bridgescope/internal/sqldb"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5a, fig5b, fig5c, fig6, table1, table2, ideal, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5a, fig5b, fig5c, fig6, table1, table2, ideal, ablations, engine")
 	seed := flag.Int64("seed", 42, "benchmark and behaviour seed")
 	sample := flag.Int("sample", 1, "run every Nth task (1 = all)")
 	rows := flag.Int("housing-rows", 0, "override NL2ML full-table size (0 = 20000)")
@@ -44,6 +46,7 @@ func main() {
 	run("table2", printTable2)
 	run("ideal", printIdeal)
 	run("ablations", printAblations)
+	run("engine", func(experiments.Config) error { return printEngine() })
 }
 
 func header(title string) {
@@ -173,6 +176,72 @@ func printIdeal(cfg experiments.Config) error {
 	fmt.Printf("idealized agent (2 transfers): >= %d tokens\n", r.IdealizedAgentTokens)
 	fmt.Printf("BridgeScope measured average:  %.1f tokens\n", r.BridgeScopeTokens)
 	fmt.Printf("ratio:                         %.0fx\n", r.Ratio)
+	return nil
+}
+
+// printEngine measures the embedded engine's query path directly: full scan
+// vs index scan (the planner's access-path selection) and single-session vs
+// parallel sessions (the shared read lock). These are the microbenchmarks
+// behind the planner refactor; `go test -bench . ./internal/sqldb` runs the
+// full suite.
+func printEngine() error {
+	header("Engine — planner access paths and concurrent read sessions")
+
+	setup := func(rows int, withIndex bool) (*sqldb.Engine, *sqldb.Session) {
+		e := sqldb.NewEngine("bench")
+		s := e.NewSession("root")
+		s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, grp INT, val REAL)`)
+		if withIndex {
+			s.MustExec(`CREATE INDEX idx_grp ON t (grp)`)
+		}
+		for i := 0; i < rows; i += 500 {
+			batch := ""
+			for j := i; j < i+500 && j < rows; j++ {
+				if batch != "" {
+					batch += ", "
+				}
+				batch += fmt.Sprintf("(%d, %d, %f)", j, j%50, float64(j))
+			}
+			s.MustExec("INSERT INTO t VALUES " + batch)
+		}
+		return e, s
+	}
+	const rows = 5000
+	const query = "SELECT COUNT(*) FROM t WHERE grp = 7"
+
+	report := func(name string, r testing.BenchmarkResult) {
+		fmt.Printf("%-28s %10d ops %12.0f ns/op\n", name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+
+	_, scan := setup(rows, false)
+	report("SelectFullScan", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scan.MustExec(query)
+		}
+	}))
+
+	eIdx, idx := setup(rows, true)
+	report("SelectIndexed", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.MustExec(query)
+		}
+	}))
+
+	report("ParallelSelect", testing.Benchmark(func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			s := eIdx.NewSession("root")
+			for pb.Next() {
+				s.MustExec(query)
+			}
+		})
+	}))
+
+	plan, err := eIdx.NewSession("root").Plan(query)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nchosen plan for the indexed query:")
+	fmt.Println(plan.Explain())
 	return nil
 }
 

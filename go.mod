@@ -1,0 +1,3 @@
+module bridgescope
+
+go 1.24

@@ -98,6 +98,11 @@ type Conn interface {
 	// ("SELECT", "INSERT", ...) and the tables it references.
 	ClassifySQL(sql string) (verb string, tables []string, err error)
 
+	// Explain returns the backend's chosen execution plan for sql without
+	// executing it, one plan operator per line. It enforces the same
+	// privileges running the statement would.
+	Explain(sql string) (string, error)
+
 	// IsPermissionDenied reports whether an error returned by Exec is a
 	// database-side privilege rejection.
 	IsPermissionDenied(err error) bool
@@ -265,10 +270,21 @@ func (c *SQLDBConn) ClassifySQL(sql string) (string, []string, error) {
 		verb = "ROLLBACK"
 	case *sqldb.GrantStmt, *sqldb.RevokeStmt:
 		verb = "GRANT"
+	case *sqldb.ExplainStmt:
+		verb = "EXPLAIN"
 	default:
 		verb = strings.ToUpper(sqldb.StatementVerb(sql))
 	}
 	return verb, sqldb.ReferencedTables(stmt), nil
+}
+
+// Explain implements Conn using the engine's planner.
+func (c *SQLDBConn) Explain(sql string) (string, error) {
+	plan, err := c.sess.Plan(sql)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(), nil
 }
 
 // IsPermissionDenied implements Conn.

@@ -249,3 +249,32 @@ func TestSystemPromptReflectsTools(t *testing.T) {
 		t.Fatal("admin prompt should list write tools")
 	}
 }
+
+func TestConnExplain(t *testing.T) {
+	e := newStoreEngine(t)
+	e.Grants().Grant("reader", sqldb.ActionSelect, "items")
+	var conn Conn = NewSQLDBConn(e, "reader")
+
+	plan, err := conn.Explain("SELECT name FROM items WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Index Scan on items using primary key (id = 2)") {
+		t.Fatalf("expected pk index scan in plan:\n%s", plan)
+	}
+	if !strings.Contains(plan, "Project: name") {
+		t.Fatalf("expected projection stage in plan:\n%s", plan)
+	}
+
+	// Explain enforces the statement's privileges like execution would.
+	if _, err := conn.Explain("SELECT * FROM secrets"); err == nil {
+		t.Fatal("Explain must enforce SELECT privilege")
+	} else if !conn.IsPermissionDenied(err) {
+		t.Fatalf("want permission error, got %v", err)
+	}
+
+	// An EXPLAIN prefix in the SQL itself is accepted (not double-wrapped).
+	if _, err := conn.Explain("EXPLAIN SELECT name FROM items"); err != nil {
+		t.Fatalf("Explain on EXPLAIN-prefixed sql: %v", err)
+	}
+}

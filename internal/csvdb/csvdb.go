@@ -63,6 +63,14 @@ func (s *Store) Conn(user string) core.Conn {
 	return core.NewSQLDBConn(s.engine, user)
 }
 
+// Explain returns the execution plan the engine would use for sql as user.
+// CSV-backed tables plan exactly like native ones — `CREATE INDEX` on a
+// loaded table upgrades equality scans to index scans — demonstrating that
+// plan metadata flows through the same Conn interface on every backend.
+func (s *Store) Explain(user, sql string) (string, error) {
+	return s.Conn(user).Explain(sql)
+}
+
 // TableName derives the table name from a CSV file name.
 func TableName(file string) string {
 	base := filepath.Base(file)

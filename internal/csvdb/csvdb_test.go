@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"bridgescope/internal/core"
+	"bridgescope/internal/sqldb"
 )
 
 func writeFixture(t *testing.T) string {
@@ -167,4 +168,55 @@ func TestOpenErrors(t *testing.T) {
 	if _, err := Open(dir); err == nil {
 		t.Fatal("empty csv must error")
 	}
+}
+
+func TestExplainOverCSV(t *testing.T) {
+	store, err := Open(writeFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Grants().Grant("analyst", mustAction(t, "SELECT"), "orders")
+
+	// Plan metadata flows through the same Conn interface as the native
+	// backend: a fresh CSV table full-scans...
+	plan, err := store.Explain("analyst", "SELECT item FROM orders WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Seq Scan on orders") {
+		t.Fatalf("expected seq scan over csv table:\n%s", plan)
+	}
+
+	// ...and indexing it upgrades the same query to an index scan.
+	store.Engine().NewSession("root").MustExec("CREATE INDEX idx_id ON orders (id)")
+	plan, err = store.Explain("analyst", "SELECT item FROM orders WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Index Scan on orders using index idx_id (id = 2)") {
+		t.Fatalf("expected index scan over csv table:\n%s", plan)
+	}
+
+	// EXPLAIN enforces privileges: analyst has no grant on events_log.
+	if _, err := store.Explain("analyst", "SELECT * FROM events_log"); err == nil {
+		t.Fatal("EXPLAIN must enforce SELECT privilege on csv tables")
+	}
+
+	// The EXPLAIN statement form works through Conn.Exec too.
+	res, err := store.Conn("analyst").Exec("EXPLAIN SELECT item FROM orders WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("EXPLAIN over Conn returned %v", res.Columns)
+	}
+}
+
+func mustAction(t *testing.T, name string) sqldb.Action {
+	t.Helper()
+	a, ok := sqldb.ParseAction(name)
+	if !ok {
+		t.Fatalf("bad action %q", name)
+	}
+	return a
 }

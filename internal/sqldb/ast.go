@@ -153,6 +153,12 @@ type CommitStmt struct{}
 // RollbackStmt rolls back the current transaction.
 type RollbackStmt struct{}
 
+// ExplainStmt asks for the execution plan of a statement instead of running
+// it.
+type ExplainStmt struct {
+	Stmt Stmt
+}
+
 // GrantStmt grants privileges on a table to a user. Columns[i] optionally
 // restricts Actions[i] to named columns (PostgreSQL column privileges,
 // e.g. GRANT SELECT (id, name) ON t TO u).
@@ -181,6 +187,7 @@ func (*DropTableStmt) stmtNode()   {}
 func (*CreateIndexStmt) stmtNode() {}
 func (*AlterTableStmt) stmtNode()  {}
 func (*BeginStmt) stmtNode()       {}
+func (*ExplainStmt) stmtNode()     {}
 func (*CommitStmt) stmtNode()      {}
 func (*RollbackStmt) stmtNode()    {}
 func (*GrantStmt) stmtNode()       {}
@@ -198,6 +205,7 @@ func (*DropTableStmt) StmtAction() Action   { return ActionDrop }
 func (*CreateIndexStmt) StmtAction() Action { return ActionCreate }
 func (*AlterTableStmt) StmtAction() Action  { return ActionAlter }
 func (*BeginStmt) StmtAction() Action       { return ActionNone }
+func (e *ExplainStmt) StmtAction() Action   { return e.Stmt.StmtAction() }
 func (*CommitStmt) StmtAction() Action      { return ActionNone }
 func (*RollbackStmt) StmtAction() Action    { return ActionNone }
 func (*GrantStmt) StmtAction() Action       { return ActionGrant }
@@ -262,6 +270,10 @@ func ReferencedTables(s Stmt) []string {
 		}
 	case *DropViewStmt:
 		add(st.Name)
+	case *ExplainStmt:
+		for _, t := range ReferencedTables(st.Stmt) {
+			add(t)
+		}
 	}
 	return out
 }

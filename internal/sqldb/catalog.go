@@ -261,7 +261,10 @@ func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
 type Engine struct {
 	Name string
 
-	mu         sync.Mutex        // serializes statement execution
+	// mu guards the catalog and all row data. Read-only statements
+	// (SELECT, EXPLAIN) take the read side so independent sessions can
+	// scan in parallel; every mutating statement takes the write side.
+	mu         sync.RWMutex
 	tables     map[string]*Table // lower-case name -> table
 	tableOrder []string          // creation order of lower-case names
 	views      map[string]*View  // lower-case name -> view
@@ -269,7 +272,9 @@ type Engine struct {
 	grants     *Grants
 }
 
-// View is a named stored query.
+// View is a named stored query. The AST is shared by every scanning
+// session; execution never mutates statement trees (see Env.sess), so no
+// copies are needed.
 type View struct {
 	Name  string
 	Query *SelectStmt

@@ -29,7 +29,6 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 			target = append(target, i)
 		}
 	}
-	s.bindInsertSubqueries(st)
 	inserted := 0
 	for _, rowExprs := range st.Rows {
 		if len(rowExprs) != len(target) {
@@ -37,8 +36,9 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		}
 		vals := make([]Value, len(t.Columns))
 		assigned := make([]bool, len(t.Columns))
+		rowEnv := &Env{sess: s}
 		for i, e := range rowExprs {
-			v, err := e.Eval(nil)
+			v, err := e.Eval(rowEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -66,12 +66,6 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		inserted++
 	}
 	return &Result{Affected: inserted, Message: fmt.Sprintf("INSERT 0 %d", inserted)}, nil
-}
-
-func (s *Session) bindInsertSubqueries(st *InsertStmt) {
-	for _, row := range st.Rows {
-		s.bindSubqueries(row...)
-	}
 }
 
 // checkRowConstraints validates a candidate row. self is non-nil for
@@ -274,16 +268,14 @@ func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
 		if t.ColIndex(a.Column) < 0 {
 			return nil, &NotFoundError{Kind: "column", Name: st.Table + "." + a.Column}
 		}
-		s.bindSubqueries(a.Expr)
 	}
-	s.bindSubqueries(st.Where)
 	matches, err := s.matchRows(t, st.Where)
 	if err != nil {
 		return nil, err
 	}
 	envCols := tableEnvCols(t)
 	for _, e := range matches {
-		env := &Env{cols: envCols, vals: e.vals}
+		env := &Env{cols: envCols, vals: e.vals, sess: s}
 		newVals := append([]Value{}, e.vals...)
 		for _, a := range st.Set {
 			v, err := a.Expr.Eval(env)
@@ -331,7 +323,6 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: st.Table}
 	}
-	s.bindSubqueries(st.Where)
 	matches, err := s.matchRows(t, st.Where)
 	if err != nil {
 		return nil, err
@@ -356,7 +347,7 @@ func (s *Session) matchRows(t *Table, where Expr) ([]*rowEntry, error) {
 			return nil
 		}
 		if where != nil {
-			env := &Env{cols: envCols, vals: r.vals}
+			env := &Env{cols: envCols, vals: r.vals, sess: s}
 			v, err := where.Eval(env)
 			if err != nil {
 				evalErr = err

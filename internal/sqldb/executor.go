@@ -43,10 +43,34 @@ func (s *Session) MustExec(sql string) *Result {
 	return r
 }
 
-// ExecStmt executes a parsed statement.
+// isReadOnly classifies a statement for engine locking: read-only
+// statements run under a shared lock so independent sessions can execute
+// SELECTs (and EXPLAINs) in parallel; everything else — DML, DDL, grants,
+// and transaction control (whose commit/rollback compacts tables) — takes
+// the exclusive lock.
+func isReadOnly(stmt Stmt) bool {
+	switch stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		// EXPLAIN only plans; it never executes the inner statement.
+		return true
+	}
+	return false
+}
+
+// ExecStmt executes a parsed statement. The session lock serializes
+// statements on this session (its transaction state is single-stream, like
+// a database connection); the engine lock is shared for read-only
+// statements so distinct sessions execute SELECTs in parallel.
 func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
-	s.engine.mu.Lock()
-	defer s.engine.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if isReadOnly(stmt) {
+		s.engine.mu.RLock()
+		defer s.engine.mu.RUnlock()
+	} else {
+		s.engine.mu.Lock()
+		defer s.engine.mu.Unlock()
+	}
 
 	if err := s.checkStmtPrivileges(stmt); err != nil {
 		return nil, err
@@ -81,6 +105,12 @@ func (s *Session) dispatch(stmt Stmt) (*Result, error) {
 	switch st := stmt.(type) {
 	case *SelectStmt:
 		return s.execSelect(st, nil)
+	case *ExplainStmt:
+		plan, err := s.planStmt(st.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		return plan.ExplainRows(), nil
 	case *InsertStmt:
 		return s.execInsert(st)
 	case *UpdateStmt:
@@ -115,6 +145,9 @@ func (s *Session) checkStmtPrivileges(stmt Stmt) error {
 	switch st := stmt.(type) {
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
 		return nil
+	case *ExplainStmt:
+		// Explaining a statement requires the privileges to run it.
+		return s.checkStmtPrivileges(st.Stmt)
 	case *GrantStmt, *RevokeStmt:
 		if !g.IsSuperuser(s.user) {
 			return &PermissionError{User: s.user, Action: ActionGrant, Object: "database"}
@@ -180,23 +213,6 @@ func mainTable(stmt Stmt) string {
 	return ""
 }
 
-// bindSubqueries wires every SubqueryExpr in the statement to this session.
-func (s *Session) bindSubqueries(exprs ...Expr) {
-	for _, e := range exprs {
-		walkExpr(e, func(x Expr) {
-			if sq, ok := x.(*SubqueryExpr); ok {
-				sq.run = func(q *SelectStmt, outer *Env) ([][]Value, error) {
-					r, err := s.execSelect(q, outer)
-					if err != nil {
-						return nil, err
-					}
-					return r.Rows, nil
-				}
-			}
-		})
-	}
-}
-
 // rowSet is an intermediate relation: qualified column names plus rows.
 type rowSet struct {
 	cols []string
@@ -229,19 +245,21 @@ func (s *Session) scanTable(name, alias string) (*rowSet, error) {
 	return rs, nil
 }
 
-// scanView materializes a view into a rowSet.
+// scanView materializes a view into a rowSet. The stored AST is shared
+// across sessions, which is safe because execution never mutates statement
+// trees (subqueries run through the Env's session, see Env.sess).
 func (s *Session) scanView(v *View, alias string) (*rowSet, error) {
 	res, err := s.execSelect(v.Query, nil)
 	if err != nil {
 		return nil, fmt.Errorf("view %q: %w", v.Name, err)
 	}
-	q := strings.ToLower(alias)
-	if q == "" {
-		q = strings.ToLower(v.Name)
+	qual := strings.ToLower(alias)
+	if qual == "" {
+		qual = strings.ToLower(v.Name)
 	}
 	rs := &rowSet{}
 	for _, c := range res.Columns {
-		rs.cols = append(rs.cols, q+"."+strings.ToLower(c))
+		rs.cols = append(rs.cols, qual+"."+strings.ToLower(c))
 	}
 	rs.rows = res.Rows
 	return rs, nil
@@ -250,26 +268,17 @@ func (s *Session) scanView(v *View, alias string) (*rowSet, error) {
 // execSelect runs a SELECT and returns its result. outer provides the
 // enclosing row for correlated subqueries.
 func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
-	var collect []Expr
-	for _, it := range st.Items {
-		collect = append(collect, it.Expr)
-	}
-	collect = append(collect, st.Where, st.Having, st.Limit, st.Offset)
-	for _, k := range st.OrderBy {
-		collect = append(collect, k.Expr)
-	}
-	for _, g := range st.GroupBy {
-		collect = append(collect, g)
-	}
-	s.bindSubqueries(collect...)
-
 	if err := s.checkColumnPrivileges(st); err != nil {
 		return nil, err
 	}
 
+	// Lower the statement into a plan (scan/index-scan selection, predicate
+	// pushdown, join strategy) and run it.
+	plan := s.planSelect(st)
+
 	// FROM-less SELECT evaluates once against the outer env.
-	if len(st.From) == 0 {
-		env := &Env{outer: outer}
+	if plan.Source == nil {
+		env := &Env{outer: outer, sess: s}
 		cols, row, err := projectRow(st.Items, env, nil)
 		if err != nil {
 			return nil, err
@@ -277,13 +286,14 @@ func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
 		return &Result{Columns: cols, Rows: [][]Value{row}}, nil
 	}
 
-	src, err := s.buildFromIndexed(st, outer)
+	src, err := plan.Source.run(s, outer)
 	if err != nil {
 		return nil, err
 	}
 
-	// WHERE filter (the index fast path may already have narrowed src).
-	filtered, err := s.applyWhere(st, src, outer)
+	// Residual predicate: conjuncts the planner could not push into the
+	// source tree (multi-source, correlated, or subquery conditions).
+	filtered, err := s.applyFilter(plan.Residual, src, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -294,12 +304,12 @@ func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
 	var orderEnvs []*Env
 
 	if aggregated {
-		groups, err := groupRows(st, filtered, outer)
+		groups, err := s.groupRows(st, filtered, outer)
 		if err != nil {
 			return nil, err
 		}
 		for _, g := range groups {
-			env := &Env{cols: toEnvCols(filtered.cols), vals: g.firstRow, agg: g.agg, outer: outer}
+			env := &Env{cols: toEnvCols(filtered.cols), vals: g.firstRow, agg: g.agg, outer: outer, sess: s}
 			if st.Having != nil {
 				hv, err := st.Having.Eval(env)
 				if err != nil {
@@ -326,7 +336,7 @@ func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
 		}
 	} else {
 		for _, vals := range filtered.rows {
-			env := &Env{cols: toEnvCols(filtered.cols), vals: vals, outer: outer}
+			env := &Env{cols: toEnvCols(filtered.cols), vals: vals, outer: outer, sess: s}
 			cols, row, err := projectRow(st.Items, env, filtered.cols)
 			if err != nil {
 				return nil, err
@@ -354,7 +364,7 @@ func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
 		}
 	}
 
-	outRows, err = applyLimitOffset(st, outRows)
+	outRows, err = s.applyLimitOffset(st, outRows)
 	if err != nil {
 		return nil, err
 	}
@@ -378,25 +388,6 @@ func toEnvCols(qualified []string) []envCol {
 		out[i] = envCol{table: tbl, name: name}
 	}
 	return out
-}
-
-// buildFrom evaluates the FROM clause into a joined rowSet.
-func (s *Session) buildFrom(refs []TableRef, outer *Env) (*rowSet, error) {
-	acc, err := s.scanTable(refs[0].Table, refs[0].Alias)
-	if err != nil {
-		return nil, err
-	}
-	for _, ref := range refs[1:] {
-		right, err := s.scanTable(ref.Table, ref.Alias)
-		if err != nil {
-			return nil, err
-		}
-		acc, err = s.joinSets(acc, right, ref, outer)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return acc, nil
 }
 
 func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowSet, error) {
@@ -427,7 +418,6 @@ func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowS
 		}
 	}
 
-	s.bindSubqueries(ref.On)
 	for _, lrow := range left.rows {
 		matched := false
 		for _, rrow := range right.rows {
@@ -435,7 +425,7 @@ func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowS
 			combined = append(combined, lrow...)
 			combined = append(combined, rrow...)
 			if ref.On != nil {
-				env := &Env{cols: envCols, vals: combined, outer: outer}
+				env := &Env{cols: envCols, vals: combined, outer: outer, sess: s}
 				ov, err := ref.On.Eval(env)
 				if err != nil {
 					return nil, err
@@ -508,52 +498,17 @@ func resolveIn(c *ColumnRef, cols []string) int {
 	return hit
 }
 
-// buildFromIndexed evaluates the FROM clause. For a plain single-table scan
-// whose WHERE contains an indexable `col = literal` conjunct, it reads only
-// the matching rows through the index or PK map instead of materializing
-// the whole table.
-func (s *Session) buildFromIndexed(st *SelectStmt, outer *Env) (*rowSet, error) {
-	if len(st.From) == 1 && st.Where != nil && st.From[0].Table != "" {
-		if t, ok := s.engine.Table(st.From[0].Table); ok {
-			q := strings.ToLower(st.From[0].Alias)
-			if q == "" {
-				q = strings.ToLower(st.From[0].Table)
-			}
-			cols := make([]string, len(t.Columns))
-			for i, c := range t.Columns {
-				cols[i] = q + "." + strings.ToLower(c.Name)
-			}
-			if col, val, ok := indexableEq(st.Where, cols); ok {
-				if ids, usable := t.lookupEq(col, val); usable {
-					rs := &rowSet{cols: cols}
-					// Preserve insertion order for determinism.
-					sorted := append([]int64{}, ids...)
-					sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-					for _, id := range sorted {
-						if e, ok := t.byID[id]; ok && !e.dead {
-							rs.rows = append(rs.rows, e.vals)
-						}
-					}
-					return rs, nil
-				}
-			}
-		}
-	}
-	return s.buildFrom(st.From, outer)
-}
-
-// applyWhere filters the rowSet by the WHERE predicate. Pre-narrowed rows
-// are still re-checked against the full predicate (the index only covered
-// one conjunct).
-func (s *Session) applyWhere(st *SelectStmt, src *rowSet, outer *Env) (*rowSet, error) {
-	if st.Where == nil {
+// applyFilter filters a rowSet by a predicate; a nil predicate passes rows
+// through unchanged.
+func (s *Session) applyFilter(cond Expr, src *rowSet, outer *Env) (*rowSet, error) {
+	if cond == nil {
 		return src, nil
 	}
 	envCols := toEnvCols(src.cols)
 	out := &rowSet{cols: src.cols}
 	for _, vals := range src.rows {
-		env := &Env{cols: envCols, vals: vals, outer: outer}
-		v, err := st.Where.Eval(env)
+		env := &Env{cols: envCols, vals: vals, outer: outer, sess: s}
+		v, err := cond.Eval(env)
 		if err != nil {
 			return nil, err
 		}
@@ -620,7 +575,7 @@ type groupResult struct {
 
 // groupRows partitions rows by the GROUP BY keys and computes every
 // aggregate node once per group.
-func groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) {
+func (s *Session) groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) {
 	envCols := toEnvCols(src.cols)
 	var aggNodes []*FuncExpr
 	seen := map[*FuncExpr]bool{}
@@ -643,7 +598,7 @@ func groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) 
 	keyed := map[string]*groupResult{}
 	var order []string
 	for _, vals := range src.rows {
-		env := &Env{cols: envCols, vals: vals, outer: outer}
+		env := &Env{cols: envCols, vals: vals, outer: outer, sess: s}
 		var kb strings.Builder
 		for _, ge := range st.GroupBy {
 			gv, err := ge.Eval(env)
@@ -678,7 +633,7 @@ func groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) 
 		g := keyed[k]
 		g.agg = map[Expr]Value{}
 		for _, f := range aggNodes {
-			v, err := computeAggregate(f, g.rows, envCols, outer)
+			v, err := s.computeAggregate(f, g.rows, envCols, outer)
 			if err != nil {
 				return nil, err
 			}
@@ -689,7 +644,7 @@ func groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) 
 	return out, nil
 }
 
-func computeAggregate(f *FuncExpr, rows [][]Value, envCols []envCol, outer *Env) (Value, error) {
+func (s *Session) computeAggregate(f *FuncExpr, rows [][]Value, envCols []envCol, outer *Env) (Value, error) {
 	if f.Star {
 		if f.Name != "COUNT" {
 			return Value{}, fmt.Errorf("%s(*) is not supported", f.Name)
@@ -702,7 +657,7 @@ func computeAggregate(f *FuncExpr, rows [][]Value, envCols []envCol, outer *Env)
 	var vals []Value
 	distinct := map[string]bool{}
 	for _, row := range rows {
-		env := &Env{cols: envCols, vals: row, outer: outer}
+		env := &Env{cols: envCols, vals: row, outer: outer, sess: s}
 		v, err := f.Args[0].Eval(env)
 		if err != nil {
 			return Value{}, err
@@ -949,9 +904,9 @@ func compareForOrder(a, b Value, desc bool) (int, bool) {
 	return c, false
 }
 
-func applyLimitOffset(st *SelectStmt, rows [][]Value) ([][]Value, error) {
+func (s *Session) applyLimitOffset(st *SelectStmt, rows [][]Value) ([][]Value, error) {
 	evalInt := func(e Expr, what string) (int, error) {
-		v, err := e.Eval(nil)
+		v, err := e.Eval(&Env{sess: s})
 		if err != nil {
 			return 0, err
 		}

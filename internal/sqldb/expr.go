@@ -15,6 +15,21 @@ type Env struct {
 	// outer allows correlated lookups from subqueries (unused by the
 	// supported subquery forms but kept for resolution fallback).
 	outer *Env
+	// sess is the session evaluating this environment; subqueries execute
+	// through it. Carrying the session here (instead of binding closures
+	// into the AST) keeps parsed statements immutable, so sessions can
+	// share them under the engine's read lock.
+	sess *Session
+}
+
+// session returns the nearest session in the environment chain, or nil.
+func (e *Env) session() *Session {
+	for ; e != nil; e = e.outer {
+		if e.sess != nil {
+			return e.sess
+		}
+	}
+	return nil
 }
 
 type envCol struct {
@@ -520,7 +535,9 @@ func (in *InExpr) String() string {
 		op = " NOT IN "
 	}
 	if in.Subquery != nil {
-		return in.Operand.String() + op + "(" + in.Subquery.String() + ")"
+		// The subquery renders with its own parentheses; doubling them
+		// would parse back as a one-element scalar list.
+		return in.Operand.String() + op + in.Subquery.String()
 	}
 	parts := make([]string, len(in.List))
 	for i, e := range in.List {
@@ -708,12 +725,11 @@ func (c *CaseExpr) String() string {
 	return sb.String()
 }
 
-// SubqueryExpr wraps a scalar or IN-list subquery. The executor injects the
-// run callback when binding a statement to an engine session.
+// SubqueryExpr wraps a scalar or IN-list subquery. It executes through the
+// session carried by the evaluation environment, so the node itself stays
+// immutable and shareable across sessions.
 type SubqueryExpr struct {
 	Query *SelectStmt
-	// run executes the subquery and returns its rows. Set by the executor.
-	run func(*SelectStmt, *Env) ([][]Value, error)
 }
 
 // Eval evaluates the subquery as a scalar: first column of the single row,
@@ -752,10 +768,15 @@ func (s *SubqueryExpr) evalRows(env *Env) ([]Value, error) {
 }
 
 func (s *SubqueryExpr) rows(env *Env) ([][]Value, error) {
-	if s.run == nil {
+	sess := env.session()
+	if sess == nil {
 		return nil, fmt.Errorf("subquery evaluated outside executor context")
 	}
-	return s.run(s.Query, env)
+	r, err := sess.execSelect(s.Query, env)
+	if err != nil {
+		return nil, err
+	}
+	return r.Rows, nil
 }
 
-func (s *SubqueryExpr) String() string { return "SELECT ..." }
+func (s *SubqueryExpr) String() string { return "(" + RenderSelect(s.Query) + ")" }

@@ -48,6 +48,7 @@ var keywords = map[string]bool{
 	"ELSE": true, "END": true, "CAST": true, "ALTER": true, "ADD": true,
 	"COLUMN": true, "RENAME": true, "TRUNCATE": true, "CROSS": true,
 	"USING": true, "RETURNING": true, "WITH": true, "OPTION": true,
+	"EXPLAIN": true,
 }
 
 type lexer struct {

@@ -157,6 +157,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return nil, fmt.Errorf("expected a SQL statement near %q", t.text)
 	}
 	switch t.text {
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, nested := inner.(*ExplainStmt); nested {
+			return nil, fmt.Errorf("cannot nest EXPLAIN")
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":

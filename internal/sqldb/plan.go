@@ -1,0 +1,369 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file defines the plan-node layer of the engine's parse→plan→execute
+// pipeline. The planner (planner.go) lowers a parsed statement into a tree
+// of PlanNodes; the executor runs the tree instead of walking the raw AST.
+// The same tree renders as EXPLAIN output, so what the user sees is exactly
+// what executes.
+
+// PlanNode is one operator in a query plan.
+type PlanNode interface {
+	// Label returns the node's one-line EXPLAIN description.
+	Label() string
+	// Children returns the node's inputs, outermost first.
+	Children() []PlanNode
+}
+
+// SourceNode is a plan node that produces an intermediate relation. Scan,
+// filter, and join nodes are sources; the projection/aggregation pipeline
+// above them is driven by the SelectPlan itself.
+type SourceNode interface {
+	PlanNode
+	run(s *Session, outer *Env) (*rowSet, error)
+	// staticCols returns the qualified output columns when they are known
+	// at plan time (base-table scans and combinations thereof), or nil for
+	// sources resolved at run time (views).
+	staticCols() []string
+}
+
+// SeqScanNode reads every live row of a table (or materializes a view when
+// the name resolves to one at run time).
+type SeqScanNode struct {
+	Table string
+	Alias string
+	cols  []string // nil when the name is not a base table at plan time
+}
+
+// Label implements PlanNode.
+func (n *SeqScanNode) Label() string {
+	if n.Alias != "" && !strings.EqualFold(n.Alias, n.Table) {
+		return fmt.Sprintf("Seq Scan on %s as %s", n.Table, n.Alias)
+	}
+	return "Seq Scan on " + n.Table
+}
+
+// Children implements PlanNode.
+func (n *SeqScanNode) Children() []PlanNode { return nil }
+
+func (n *SeqScanNode) staticCols() []string { return n.cols }
+
+func (n *SeqScanNode) run(s *Session, outer *Env) (*rowSet, error) {
+	return s.scanTable(n.Table, n.Alias)
+}
+
+// ViewScanNode materializes a stored view. Its output columns are only known
+// once the view's query has run.
+type ViewScanNode struct {
+	View  string
+	Alias string
+}
+
+// Label implements PlanNode.
+func (n *ViewScanNode) Label() string {
+	if n.Alias != "" && !strings.EqualFold(n.Alias, n.View) {
+		return fmt.Sprintf("View Scan on %s as %s", n.View, n.Alias)
+	}
+	return "View Scan on " + n.View
+}
+
+// Children implements PlanNode.
+func (n *ViewScanNode) Children() []PlanNode { return nil }
+
+func (n *ViewScanNode) staticCols() []string { return nil }
+
+func (n *ViewScanNode) run(s *Session, outer *Env) (*rowSet, error) {
+	v, ok := s.engine.ViewByName(n.View)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: n.View}
+	}
+	return s.scanView(v, n.Alias)
+}
+
+// IndexScanNode reads only the rows whose indexed column equals a literal,
+// through a hash index or the primary-key map. The consumed conjunct is
+// re-checked by the enclosing FilterNode (the index covers one conjunct of
+// the predicate), so the access path is purely an optimization.
+type IndexScanNode struct {
+	Table  string
+	Alias  string
+	Column string // the indexed column
+	Via    string // "primary key" or "index <name>"
+	Val    Value  // the equality literal
+
+	col  int // column position in the table
+	cols []string
+}
+
+// Label implements PlanNode.
+func (n *IndexScanNode) Label() string {
+	return fmt.Sprintf("Index Scan on %s using %s (%s = %s)",
+		n.Table, n.Via, n.Column, n.Val.SQLLiteral())
+}
+
+// Children implements PlanNode.
+func (n *IndexScanNode) Children() []PlanNode { return nil }
+
+func (n *IndexScanNode) staticCols() []string { return n.cols }
+
+func (n *IndexScanNode) run(s *Session, outer *Env) (*rowSet, error) {
+	t, ok := s.engine.Table(n.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: n.Table}
+	}
+	ids, usable := t.lookupEq(n.col, n.Val)
+	if !usable {
+		// The access path disappeared between plan and execution (e.g. a
+		// replan against a changed catalog); fall back to a full scan.
+		return s.scanTable(n.Table, n.Alias)
+	}
+	rs := &rowSet{cols: n.cols}
+	// Preserve insertion order for determinism.
+	sorted := append([]int64{}, ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, id := range sorted {
+		if e, ok := t.byID[id]; ok && !e.dead {
+			rs.rows = append(rs.rows, e.vals)
+		}
+	}
+	return rs, nil
+}
+
+// FilterNode discards input rows that do not satisfy Cond.
+type FilterNode struct {
+	Cond  Expr
+	Input SourceNode
+}
+
+// Label implements PlanNode.
+func (n *FilterNode) Label() string { return "Filter: " + n.Cond.String() }
+
+// Children implements PlanNode.
+func (n *FilterNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+func (n *FilterNode) staticCols() []string { return n.Input.staticCols() }
+
+func (n *FilterNode) run(s *Session, outer *Env) (*rowSet, error) {
+	src, err := n.Input.run(s, outer)
+	if err != nil {
+		return nil, err
+	}
+	return s.applyFilter(n.Cond, src, outer)
+}
+
+// Join strategies reported in EXPLAIN output.
+const (
+	JoinStrategyHash   = "Hash Join"
+	JoinStrategyNested = "Nested Loop"
+)
+
+// JoinNode combines two sources. Strategy is chosen at plan time when both
+// input column sets are statically known; otherwise the executor falls back
+// to the run-time choice (hash for inner equi-joins, nested loop otherwise).
+type JoinNode struct {
+	Kind     JoinKind
+	On       Expr // nil for cross joins
+	Strategy string
+	Left     SourceNode
+	Right    SourceNode
+
+	cols []string
+}
+
+// Label implements PlanNode.
+func (n *JoinNode) Label() string {
+	strat := n.Strategy
+	if strat == "" {
+		// Inputs with run-time column sets (views): the executor picks the
+		// strategy when it sees the columns, so the plan cannot promise one.
+		strat = "Join"
+	}
+	kind := "inner"
+	switch n.Kind {
+	case JoinLeft:
+		kind = "left"
+	case JoinCross, JoinNone:
+		kind = "cross"
+	}
+	if n.On == nil {
+		return fmt.Sprintf("%s (%s)", strat, kind)
+	}
+	return fmt.Sprintf("%s (%s) on %s", strat, kind, n.On.String())
+}
+
+// Children implements PlanNode.
+func (n *JoinNode) Children() []PlanNode { return []PlanNode{n.Left, n.Right} }
+
+func (n *JoinNode) staticCols() []string { return n.cols }
+
+func (n *JoinNode) run(s *Session, outer *Env) (*rowSet, error) {
+	left, err := n.Left.run(s, outer)
+	if err != nil {
+		return nil, err
+	}
+	right, err := n.Right.run(s, outer)
+	if err != nil {
+		return nil, err
+	}
+	ref := TableRef{JoinKind: n.Kind, On: n.On}
+	return s.joinSets(left, right, ref, outer)
+}
+
+// resultNode is the leaf for FROM-less SELECTs.
+type resultNode struct{}
+
+func (resultNode) Label() string        { return "Result" }
+func (resultNode) Children() []PlanNode { return nil }
+
+// displayNode renders a pipeline stage (project, sort, ...) that the
+// SelectPlan executes itself.
+type displayNode struct {
+	label string
+	child PlanNode
+}
+
+func (d *displayNode) Label() string { return d.label }
+func (d *displayNode) Children() []PlanNode {
+	if d.child == nil {
+		return nil
+	}
+	return []PlanNode{d.child}
+}
+
+// SelectPlan is the executable plan for one SELECT: a source tree producing
+// the working relation, a residual predicate that could not be pushed into
+// the sources, and the statement that drives the projection/aggregation
+// pipeline above them.
+type SelectPlan struct {
+	Stmt     *SelectStmt
+	Source   SourceNode // nil for FROM-less SELECT
+	Residual Expr       // nil when fully pushed down (or no WHERE)
+}
+
+// Tree returns the plan as a display tree, outermost operator first.
+func (p *SelectPlan) Tree() PlanNode {
+	var node PlanNode
+	if p.Source == nil {
+		node = resultNode{}
+	} else {
+		node = p.Source
+	}
+	if p.Residual != nil {
+		node = &displayNode{label: "Filter: " + p.Residual.String(), child: node}
+	}
+	st := p.Stmt
+	if len(st.GroupBy) > 0 || selectHasAggregate(st) {
+		label := "Aggregate"
+		if len(st.GroupBy) > 0 {
+			keys := make([]string, len(st.GroupBy))
+			for i, g := range st.GroupBy {
+				keys[i] = g.String()
+			}
+			label += " (group by: " + strings.Join(keys, ", ") + ")"
+		}
+		if st.Having != nil {
+			label += " having " + st.Having.String()
+		}
+		node = &displayNode{label: label, child: node}
+	}
+	node = &displayNode{label: "Project: " + projectLabel(st.Items), child: node}
+	if st.Distinct {
+		node = &displayNode{label: "Distinct", child: node}
+	}
+	if len(st.OrderBy) > 0 {
+		keys := make([]string, len(st.OrderBy))
+		for i, k := range st.OrderBy {
+			keys[i] = k.Expr.String()
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		node = &displayNode{label: "Sort: " + strings.Join(keys, ", "), child: node}
+	}
+	if st.Limit != nil || st.Offset != nil {
+		label := "Limit"
+		if st.Limit != nil {
+			label += " " + st.Limit.String()
+		}
+		if st.Offset != nil {
+			label += " offset " + st.Offset.String()
+		}
+		node = &displayNode{label: label, child: node}
+	}
+	return node
+}
+
+func projectLabel(items []SelectItem) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		switch {
+		case it.Star && it.Table != "":
+			parts[i] = it.Table + ".*"
+		case it.Star:
+			parts[i] = "*"
+		case it.Alias != "":
+			parts[i] = it.Expr.String() + " AS " + it.Alias
+		default:
+			parts[i] = it.Expr.String()
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Plan is a planned statement, ready to explain or execute.
+type Plan struct {
+	stmt   Stmt
+	sel    *SelectPlan // non-nil for SELECT
+	root   PlanNode
+	header string // extra first line for DML plans ("Insert on t ...")
+}
+
+// Root returns the top plan node.
+func (p *Plan) Root() PlanNode { return p.root }
+
+// Select returns the SELECT pipeline plan, or nil for non-SELECT statements.
+func (p *Plan) Select() *SelectPlan { return p.sel }
+
+// Explain renders the plan tree, one operator per line, indented by depth.
+func (p *Plan) Explain() string {
+	var lines []string
+	if p.header != "" {
+		lines = append(lines, p.header)
+	}
+	var walk func(n PlanNode, depth int)
+	walk = func(n PlanNode, depth int) {
+		indent := strings.Repeat("  ", depth)
+		prefix := ""
+		if depth > 0 || p.header != "" {
+			prefix = "-> "
+		}
+		lines = append(lines, indent+prefix+n.Label())
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	if p.root != nil {
+		depth := 0
+		if p.header != "" {
+			depth = 1
+		}
+		walk(p.root, depth)
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ExplainRows renders the plan as a one-column result set, the shape EXPLAIN
+// statements return.
+func (p *Plan) ExplainRows() *Result {
+	text := p.Explain()
+	res := &Result{Columns: []string{"QUERY PLAN"}}
+	for _, line := range strings.Split(text, "\n") {
+		res.Rows = append(res.Rows, []Value{NewText(line)})
+	}
+	return res
+}

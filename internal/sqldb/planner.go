@@ -1,0 +1,358 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The planner lowers parsed statements into plan trees. For SELECT it
+// performs two classic optimizations on top of straight lowering:
+//
+//   - predicate pushdown: the WHERE clause is split into AND conjuncts and
+//     every conjunct that references a single FROM source is evaluated
+//     directly above that source's scan, before any join multiplies rows;
+//   - access-path selection: a pushed `col = literal` conjunct on a column
+//     with a hash index or a single-column primary key turns the sequential
+//     scan into an index scan (the conjunct is still re-checked by the
+//     filter, so the index is purely a row-count reduction).
+//
+// Pushdown is skipped when the FROM clause contains a LEFT JOIN (filtering
+// the null-supplying side before the join would change results) or a view
+// (whose output columns are only known at run time).
+
+// planSelect lowers a SELECT into a SelectPlan. It only consults the
+// catalog, never row data; callers hold at least a read lock.
+func (s *Session) planSelect(st *SelectStmt) *SelectPlan {
+	if len(st.From) == 0 {
+		return &SelectPlan{Stmt: st}
+	}
+
+	sources := make([]SourceNode, len(st.From))
+	pushable := true
+	for i, ref := range st.From {
+		sources[i] = s.planScan(ref)
+		if sources[i].staticCols() == nil {
+			pushable = false
+		}
+		if i > 0 && ref.JoinKind == JoinLeft {
+			pushable = false
+		}
+	}
+
+	conjuncts := splitConjuncts(st.Where)
+	pushed := make([][]Expr, len(sources))
+	var residual []Expr
+	switch {
+	case st.Where == nil:
+		// nothing to place
+	case len(st.From) == 1:
+		pushed[0] = conjuncts
+	case pushable:
+		for _, c := range conjuncts {
+			if i, ok := owningSource(c, sources); ok {
+				pushed[i] = append(pushed[i], c)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	default:
+		residual = conjuncts
+	}
+
+	for i := range sources {
+		if len(pushed[i]) == 0 {
+			continue
+		}
+		sources[i] = s.chooseAccessPath(st.From[i], sources[i], pushed[i])
+		sources[i] = &FilterNode{Cond: andAll(pushed[i]), Input: sources[i]}
+	}
+
+	acc := sources[0]
+	for i := 1; i < len(sources); i++ {
+		ref := st.From[i]
+		join := &JoinNode{Kind: ref.JoinKind, On: ref.On, Left: acc, Right: sources[i]}
+		if lc, rc := acc.staticCols(), sources[i].staticCols(); lc != nil && rc != nil {
+			join.cols = append(append([]string{}, lc...), rc...)
+			join.Strategy = JoinStrategyNested
+			if ref.JoinKind == JoinInner && ref.On != nil {
+				if _, _, ok := equiJoinCols(ref.On, lc, rc); ok {
+					join.Strategy = JoinStrategyHash
+				}
+			}
+		}
+		acc = join
+	}
+
+	return &SelectPlan{Stmt: st, Source: acc, Residual: andAll(residual)}
+}
+
+// planScan lowers one FROM entry into a scan node.
+func (s *Session) planScan(ref TableRef) SourceNode {
+	if _, ok := s.engine.Table(ref.Table); ok {
+		return &SeqScanNode{Table: ref.Table, Alias: ref.Alias, cols: qualifiedCols(s.engine, ref)}
+	}
+	if _, ok := s.engine.ViewByName(ref.Table); ok {
+		return &ViewScanNode{View: ref.Table, Alias: ref.Alias}
+	}
+	// Unknown name: lower to a seq scan whose execution reports the
+	// NotFoundError, keeping the planner infallible.
+	return &SeqScanNode{Table: ref.Table, Alias: ref.Alias}
+}
+
+// chooseAccessPath upgrades a seq scan to an index scan when one of the
+// pushed conjuncts is `col = literal` on an indexed or primary-key column.
+func (s *Session) chooseAccessPath(ref TableRef, src SourceNode, pushed []Expr) SourceNode {
+	scan, ok := src.(*SeqScanNode)
+	if !ok || scan.cols == nil {
+		return src
+	}
+	t, ok := s.engine.Table(ref.Table)
+	if !ok {
+		return src
+	}
+	col, val, ok := indexableEq(andAll(pushed), scan.cols)
+	if !ok {
+		return src
+	}
+	via, ok := t.eqAccessPath(col)
+	if !ok {
+		return src
+	}
+	return &IndexScanNode{
+		Table:  ref.Table,
+		Alias:  ref.Alias,
+		Column: t.Columns[col].Name,
+		Via:    via,
+		Val:    val,
+		col:    col,
+		cols:   scan.cols,
+	}
+}
+
+// qualifiedCols computes the qualified output columns of a base-table scan.
+func qualifiedCols(e *Engine, ref TableRef) []string {
+	t, ok := e.Table(ref.Table)
+	if !ok {
+		return nil
+	}
+	q := strings.ToLower(ref.Alias)
+	if q == "" {
+		q = strings.ToLower(ref.Table)
+	}
+	cols := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = q + "." + strings.ToLower(c.Name)
+	}
+	return cols
+}
+
+// splitConjuncts flattens a predicate into its top-level AND conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.Left), splitConjuncts(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+// andAll rebuilds a conjunction from its parts; nil for an empty list.
+func andAll(parts []Expr) Expr {
+	if len(parts) == 0 {
+		return nil
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = &BinaryExpr{Op: "AND", Left: out, Right: p}
+	}
+	return out
+}
+
+// owningSource reports the single FROM source a conjunct's column references
+// all resolve to. Conjuncts with subqueries, no column references, outer
+// (correlated) references, or references spanning sources stay residual.
+func owningSource(c Expr, sources []SourceNode) (int, bool) {
+	owner := -1
+	ok := true
+	sawRef := false
+	walkExpr(c, func(x Expr) {
+		if !ok {
+			return
+		}
+		if _, isSub := x.(*SubqueryExpr); isSub {
+			ok = false
+			return
+		}
+		cr, isRef := x.(*ColumnRef)
+		if !isRef {
+			return
+		}
+		sawRef = true
+		hit := -1
+		for i, src := range sources {
+			cols := src.staticCols()
+			if cols == nil {
+				ok = false
+				return
+			}
+			if resolveIn(cr, cols) >= 0 {
+				if hit >= 0 {
+					// Resolves in more than one source: ambiguous.
+					ok = false
+					return
+				}
+				hit = i
+			}
+		}
+		if hit < 0 {
+			// Unresolvable here (outer reference); keep residual so the
+			// enclosing query's environment stays in scope.
+			ok = false
+			return
+		}
+		if owner >= 0 && owner != hit {
+			ok = false
+			return
+		}
+		owner = hit
+	})
+	if !ok || !sawRef || owner < 0 {
+		return 0, false
+	}
+	return owner, true
+}
+
+// eqAccessPath reports how an equality on column col can be served without
+// a full scan: via the single-column primary key or a hash index.
+func (t *Table) eqAccessPath(col int) (string, bool) {
+	if len(t.pkCols) == 1 && t.pkCols[0] == col {
+		return "primary key", true
+	}
+	if ix, ok := t.indexes[strings.ToLower(t.Columns[col].Name)]; ok {
+		return "index " + ix.Name, true
+	}
+	return "", false
+}
+
+// planStmt lowers any explainable statement into a Plan.
+func (s *Session) planStmt(stmt Stmt) (*Plan, error) {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		sel := s.planSelect(st)
+		// Execution reports missing tables lazily; an explained plan should
+		// name the problem up front instead of showing a scan of nothing.
+		if err := checkSourcesExist(sel.Source); err != nil {
+			return nil, err
+		}
+		return &Plan{stmt: st, sel: sel, root: sel.Tree()}, nil
+	case *InsertStmt:
+		if _, ok := s.engine.Table(st.Table); !ok {
+			return nil, &NotFoundError{Kind: "table", Name: st.Table}
+		}
+		return &Plan{stmt: st, header: fmt.Sprintf("Insert on %s (%d rows)", st.Table, len(st.Rows)),
+			root: resultNode{}}, nil
+	case *UpdateStmt:
+		if _, ok := s.engine.Table(st.Table); !ok {
+			return nil, &NotFoundError{Kind: "table", Name: st.Table}
+		}
+		return &Plan{stmt: st, header: "Update on " + st.Table,
+			root: dmlScanTree(s, st.Table, st.Where)}, nil
+	case *DeleteStmt:
+		if _, ok := s.engine.Table(st.Table); !ok {
+			return nil, &NotFoundError{Kind: "table", Name: st.Table}
+		}
+		return &Plan{stmt: st, header: "Delete on " + st.Table,
+			root: dmlScanTree(s, st.Table, st.Where)}, nil
+	case *ExplainStmt:
+		return nil, fmt.Errorf("cannot EXPLAIN an EXPLAIN statement")
+	}
+	return nil, fmt.Errorf("EXPLAIN does not support %s statements", verbOf(stmt))
+}
+
+// checkSourcesExist reports the first scan whose table resolved to nothing
+// at plan time (planScan lowers unknown names to column-less seq scans).
+func checkSourcesExist(n SourceNode) error {
+	switch src := n.(type) {
+	case nil:
+		return nil
+	case *SeqScanNode:
+		if src.cols == nil {
+			return &NotFoundError{Kind: "table", Name: src.Table}
+		}
+	case *FilterNode:
+		return checkSourcesExist(src.Input)
+	case *JoinNode:
+		if err := checkSourcesExist(src.Left); err != nil {
+			return err
+		}
+		return checkSourcesExist(src.Right)
+	}
+	return nil
+}
+
+// dmlScanTree shows the row-matching part of an UPDATE/DELETE, which always
+// scans the whole table today (matchRows has no index path yet).
+func dmlScanTree(s *Session, table string, where Expr) PlanNode {
+	var node PlanNode = &SeqScanNode{Table: table}
+	if where != nil {
+		node = &displayNode{label: "Filter: " + where.String(), child: node}
+	}
+	return node
+}
+
+func verbOf(stmt Stmt) string {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return "SELECT"
+	case *InsertStmt:
+		return "INSERT"
+	case *UpdateStmt:
+		return "UPDATE"
+	case *DeleteStmt:
+		return "DELETE"
+	case *CreateTableStmt:
+		return "CREATE TABLE"
+	case *DropTableStmt:
+		return "DROP TABLE"
+	case *CreateViewStmt:
+		return "CREATE VIEW"
+	case *DropViewStmt:
+		return "DROP VIEW"
+	case *CreateIndexStmt:
+		return "CREATE INDEX"
+	case *AlterTableStmt:
+		return "ALTER TABLE"
+	case *GrantStmt:
+		return "GRANT"
+	case *RevokeStmt:
+		return "REVOKE"
+	case *BeginStmt:
+		return "BEGIN"
+	case *CommitStmt:
+		return "COMMIT"
+	case *RollbackStmt:
+		return "ROLLBACK"
+	case *ExplainStmt:
+		return "EXPLAIN"
+	}
+	return fmt.Sprintf("%T", stmt)
+}
+
+// Plan parses sql and returns the engine's chosen plan without executing it,
+// under the same privilege checks execution would apply.
+func (s *Session) Plan(sql string) (*Plan, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("syntax error: %w", err)
+	}
+	if ex, ok := stmt.(*ExplainStmt); ok {
+		stmt = ex.Stmt
+	}
+	s.engine.mu.RLock()
+	defer s.engine.mu.RUnlock()
+	if err := s.checkStmtPrivileges(stmt); err != nil {
+		return nil, err
+	}
+	return s.planStmt(stmt)
+}

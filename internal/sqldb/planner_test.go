@@ -1,0 +1,237 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func plannerEngine(t *testing.T) *Session {
+	t.Helper()
+	e := NewEngine("plantest")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE dept (id INT PRIMARY KEY, name TEXT)`)
+	s.MustExec(`CREATE TABLE emp (id INT PRIMARY KEY, dept_id INT REFERENCES dept(id), name TEXT, salary REAL)`)
+	s.MustExec(`CREATE INDEX idx_emp_dept ON emp (dept_id)`)
+	s.MustExec(`INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'ops')`)
+	for i := 0; i < 60; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO emp VALUES (%d, %d, 'e%d', %f)", i, i%3+1, i, float64(i)*10))
+	}
+	return s
+}
+
+func mustPlan(t *testing.T, s *Session, sql string) *Plan {
+	t.Helper()
+	p, err := s.Plan(sql)
+	if err != nil {
+		t.Fatalf("Plan(%q): %v", sql, err)
+	}
+	return p
+}
+
+func TestPlannerIndexScanSelection(t *testing.T) {
+	s := plannerEngine(t)
+
+	// Indexed equality must choose the hash index.
+	p := mustPlan(t, s, "SELECT name FROM emp WHERE dept_id = 2")
+	if !strings.Contains(p.Explain(), "Index Scan on emp using index idx_emp_dept (dept_id = 2)") {
+		t.Fatalf("expected index scan, got:\n%s", p.Explain())
+	}
+
+	// Primary-key equality uses the PK map.
+	p = mustPlan(t, s, "SELECT name FROM emp WHERE id = 7")
+	if !strings.Contains(p.Explain(), "Index Scan on emp using primary key (id = 7)") {
+		t.Fatalf("expected pk scan, got:\n%s", p.Explain())
+	}
+
+	// Equality on an unindexed column falls back to a seq scan.
+	p = mustPlan(t, s, "SELECT id FROM emp WHERE name = 'e3'")
+	if !strings.Contains(p.Explain(), "Seq Scan on emp") {
+		t.Fatalf("expected seq scan, got:\n%s", p.Explain())
+	}
+	if strings.Contains(p.Explain(), "Index Scan") {
+		t.Fatalf("unexpected index scan:\n%s", p.Explain())
+	}
+
+	// A range predicate cannot use the hash index.
+	p = mustPlan(t, s, "SELECT id FROM emp WHERE dept_id > 1")
+	if strings.Contains(p.Explain(), "Index Scan") {
+		t.Fatalf("hash index must not serve range predicates:\n%s", p.Explain())
+	}
+}
+
+func TestPlannerPredicatePushdown(t *testing.T) {
+	s := plannerEngine(t)
+
+	// Single-table conjuncts sit below the join; the cross-source equality
+	// is recognized as a hash-join condition via ON.
+	p := mustPlan(t, s,
+		"SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id WHERE d.name = 'eng' AND e.salary > 100")
+	text := p.Explain()
+	sel := p.Select()
+	if sel == nil {
+		t.Fatal("expected a SELECT plan")
+	}
+	if sel.Residual != nil {
+		t.Fatalf("all conjuncts should push down, residual = %s\nplan:\n%s", sel.Residual, text)
+	}
+	if !strings.Contains(text, "Hash Join (inner) on (e.dept_id = d.id)") {
+		t.Fatalf("expected hash join, got:\n%s", text)
+	}
+	// Pushed filters appear below the join, directly over their scans.
+	join, ok := sel.Source.(*JoinNode)
+	if !ok {
+		t.Fatalf("source is %T, want JoinNode", sel.Source)
+	}
+	lf, ok := join.Left.(*FilterNode)
+	if !ok || !strings.Contains(lf.Cond.String(), "salary") {
+		t.Fatalf("left input should filter on salary, got %s", join.Left.Label())
+	}
+	rf, ok := join.Right.(*FilterNode)
+	if !ok || !strings.Contains(rf.Cond.String(), "name") {
+		t.Fatalf("right input should filter on dept name, got %s", join.Right.Label())
+	}
+
+	// A cross-source comparison that is not the ON clause stays residual.
+	p = mustPlan(t, s,
+		"SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id WHERE e.id > d.id")
+	if p.Select().Residual == nil {
+		t.Fatalf("cross-source conjunct must stay residual:\n%s", p.Explain())
+	}
+}
+
+func TestPlannerNoPushdownThroughLeftJoin(t *testing.T) {
+	s := plannerEngine(t)
+	s.MustExec("INSERT INTO dept VALUES (9, 'empty')")
+
+	// Filtering the null-supplying side of a LEFT JOIN before joining would
+	// drop the null-extended row; the planner must keep the WHERE residual.
+	p := mustPlan(t, s,
+		"SELECT d.name FROM dept d LEFT JOIN emp e ON d.id = e.dept_id WHERE d.id = 9")
+	sel := p.Select()
+	if sel.Residual == nil {
+		t.Fatalf("LEFT JOIN queries must not push predicates:\n%s", p.Explain())
+	}
+	r := s.MustExec("SELECT d.name FROM dept d LEFT JOIN emp e ON d.id = e.dept_id WHERE d.id = 9")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "empty" {
+		t.Fatalf("left join result wrong: %v", r.Rows)
+	}
+}
+
+func TestPlannerIndexUnderJoin(t *testing.T) {
+	s := plannerEngine(t)
+	// A pushed equality conjunct enables an index scan below the join —
+	// something the pre-planner executor could not do.
+	p := mustPlan(t, s,
+		"SELECT d.name, e.name FROM dept d JOIN emp e ON d.id = e.dept_id WHERE e.dept_id = 1")
+	if !strings.Contains(p.Explain(), "Index Scan on emp using index idx_emp_dept") {
+		t.Fatalf("expected index scan under join:\n%s", p.Explain())
+	}
+	r := s.MustExec(
+		"SELECT COUNT(*) FROM dept d JOIN emp e ON d.id = e.dept_id WHERE e.dept_id = 1")
+	if r.Rows[0][0].I != 20 {
+		t.Fatalf("want 20 joined rows, got %d", r.Rows[0][0].I)
+	}
+}
+
+func TestPlannerEquivalence(t *testing.T) {
+	s := plannerEngine(t)
+	// Index path and forced-scan path must agree. The LIKE conjunct keeps
+	// the filter honest; dropping the index (different column spelling) is
+	// simulated with an OR that defeats indexableEq.
+	indexed := s.MustExec("SELECT id, name FROM emp WHERE dept_id = 2 AND name LIKE 'e%' ORDER BY id")
+	scanned := s.MustExec("SELECT id, name FROM emp WHERE (dept_id = 2 OR 1 = 0) AND name LIKE 'e%' ORDER BY id")
+	if len(indexed.Rows) != len(scanned.Rows) || len(indexed.Rows) == 0 {
+		t.Fatalf("index vs scan disagree: %d vs %d rows", len(indexed.Rows), len(scanned.Rows))
+	}
+	for i := range indexed.Rows {
+		if !Equal(indexed.Rows[i][0], scanned.Rows[i][0]) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+
+	// Type-coerced equality: the literal 2.0 must match INT dept_id even
+	// through the index path (canonical Value.Key unifies integral floats).
+	a := s.MustExec("SELECT COUNT(*) FROM emp WHERE dept_id = 2.0")
+	b := s.MustExec("SELECT COUNT(*) FROM emp WHERE dept_id = 2")
+	if a.Rows[0][0].I != b.Rows[0][0].I {
+		t.Fatalf("coerced index lookup diverged: %d vs %d", a.Rows[0][0].I, b.Rows[0][0].I)
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	s := plannerEngine(t)
+
+	r := s.MustExec("EXPLAIN SELECT name FROM emp WHERE dept_id = 2 ORDER BY salary DESC LIMIT 5")
+	if len(r.Columns) != 1 || r.Columns[0] != "QUERY PLAN" {
+		t.Fatalf("EXPLAIN columns = %v", r.Columns)
+	}
+	text := r.Text()
+	for _, want := range []string{"Limit 5", "Sort: salary DESC", "Project: name",
+		"Filter: (dept_id = 2)", "Index Scan on emp using index idx_emp_dept"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("EXPLAIN output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Aggregates show up as a pipeline stage.
+	r = s.MustExec("EXPLAIN SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id HAVING COUNT(*) > 1")
+	if !strings.Contains(r.Text(), "Aggregate (group by: dept_id)") {
+		t.Fatalf("missing aggregate stage:\n%s", r.Text())
+	}
+
+	// DML explains: update/delete show the matching scan, insert its arity.
+	r = s.MustExec("EXPLAIN UPDATE emp SET salary = 0 WHERE id = 3")
+	if !strings.Contains(r.Text(), "Update on emp") || !strings.Contains(r.Text(), "Seq Scan on emp") {
+		t.Fatalf("update explain wrong:\n%s", r.Text())
+	}
+	r = s.MustExec("EXPLAIN INSERT INTO dept VALUES (4, 'hr'), (5, 'fin')")
+	if !strings.Contains(r.Text(), "Insert on dept (2 rows)") {
+		t.Fatalf("insert explain wrong:\n%s", r.Text())
+	}
+
+	// EXPLAIN must not execute: the insert above changed nothing.
+	if got := s.MustExec("SELECT COUNT(*) FROM dept").Rows[0][0].I; got != 3 {
+		t.Fatalf("EXPLAIN INSERT executed the insert: %d depts", got)
+	}
+
+	// Unsupported statements and nesting are rejected.
+	if _, err := s.Exec("EXPLAIN CREATE TABLE z (a INT)"); err == nil {
+		t.Fatal("EXPLAIN DDL should error")
+	}
+	if _, err := s.Exec("EXPLAIN EXPLAIN SELECT 1"); err == nil {
+		t.Fatal("nested EXPLAIN should error")
+	}
+}
+
+func TestExplainPrivileges(t *testing.T) {
+	s := plannerEngine(t)
+	s.MustExec("GRANT SELECT ON dept TO intern")
+	intern := s.Engine().NewSession("intern")
+	if _, err := intern.Exec("EXPLAIN SELECT * FROM dept"); err != nil {
+		t.Fatalf("granted EXPLAIN failed: %v", err)
+	}
+	if _, err := intern.Exec("EXPLAIN SELECT * FROM emp"); err == nil {
+		t.Fatal("EXPLAIN must enforce the underlying statement's privileges")
+	}
+	var pe *PermissionError
+	if _, err := intern.Exec("EXPLAIN DELETE FROM dept"); err == nil {
+		t.Fatal("EXPLAIN DELETE without privilege should fail")
+	} else if !errors.As(err, &pe) {
+		t.Fatalf("want PermissionError, got %v", err)
+	}
+}
+
+func TestPlanOnView(t *testing.T) {
+	s := plannerEngine(t)
+	s.MustExec("CREATE VIEW eng AS SELECT id, name FROM emp WHERE dept_id = 1")
+	p := mustPlan(t, s, "SELECT * FROM eng")
+	if !strings.Contains(p.Explain(), "View Scan on eng") {
+		t.Fatalf("expected view scan:\n%s", p.Explain())
+	}
+	r := s.MustExec("SELECT COUNT(*) FROM eng")
+	if r.Rows[0][0].I != 20 {
+		t.Fatalf("view rows = %d, want 20", r.Rows[0][0].I)
+	}
+}

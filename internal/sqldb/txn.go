@@ -1,6 +1,9 @@
 package sqldb
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // undoKind identifies the inverse operation recorded in the undo log.
 type undoKind uint8
@@ -30,8 +33,11 @@ type undoOp struct {
 // Txn is an open transaction: an undo log replayed in reverse on rollback.
 // ACID notes for this single-node engine: atomicity and consistency come
 // from the undo log plus statement-level rollback; isolation is
-// serializable because the engine mutex admits one statement at a time;
-// durability is process-lifetime (in-memory store).
+// statement-level — writes hold the engine lock exclusively while reads
+// share it, so each statement sees a consistent state, but an open
+// transaction's uncommitted statements are visible to other sessions
+// between statements (READ UNCOMMITTED; there are no snapshots or row
+// locks); durability is process-lifetime (in-memory store).
 type Txn struct {
 	undo []undoOp
 }
@@ -79,11 +85,13 @@ func (tx *Txn) rollback(e *Engine) {
 }
 
 // Session is one connection: a user identity plus optional open
-// transaction. Sessions are not safe for concurrent use; create one per
-// goroutine.
+// transaction. Like a database connection, a session serializes its own
+// statements (mu) — callers sharing one session get correct, serialized
+// execution; parallelism comes from opening more sessions.
 type Session struct {
 	engine *Engine
 	user   string
+	mu     sync.Mutex
 	txn    *Txn
 	// stmtUndo accumulates undo ops for the statement being executed, so a
 	// mid-statement failure (e.g. a constraint violation on the third row

@@ -137,3 +137,24 @@ func TestColumnGrantSQL(t *testing.T) {
 		t.Fatal("star must be rejected under column grants")
 	}
 }
+
+func TestViewWithSubquery(t *testing.T) {
+	e := NewEngine("viewsub")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, grp INT)`)
+	s.MustExec(`CREATE TABLE u (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 1), (2, 2), (3, 1)`)
+	s.MustExec(`INSERT INTO u VALUES (1), (3)`)
+	s.MustExec(`CREATE VIEW vs AS SELECT id FROM t WHERE id IN (SELECT id FROM u)`)
+
+	r := s.MustExec("SELECT COUNT(*) FROM vs")
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("view with subquery returned %d rows, want 2", r.Rows[0][0].I)
+	}
+	// Scalar subqueries inside views work too.
+	s.MustExec(`CREATE VIEW vmax AS SELECT id FROM t WHERE grp = (SELECT MAX(grp) FROM t)`)
+	r = s.MustExec("SELECT id FROM vmax")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 2 {
+		t.Fatalf("scalar-subquery view wrong: %v", r.Rows)
+	}
+}

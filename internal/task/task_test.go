@@ -1,0 +1,65 @@
+package task
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Read:     "read",
+		Insert:   "insert",
+		Update:   "update",
+		Delete:   "delete",
+		Kind(42): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestKindIsWrite(t *testing.T) {
+	if Read.IsWrite() {
+		t.Error("read tasks must not count as writes")
+	}
+	for _, k := range []Kind{Insert, Update, Delete} {
+		if !k.IsWrite() {
+			t.Errorf("%s must count as a write", k)
+		}
+	}
+}
+
+func TestMultiStatement(t *testing.T) {
+	single := &Task{GoldSQL: []string{"SELECT 1"}}
+	if single.MultiStatement() {
+		t.Error("one statement is not multi-statement")
+	}
+	composite := &Task{GoldSQL: []string{"INSERT INTO a VALUES (1)", "DELETE FROM b"}}
+	if !composite.MultiStatement() {
+		t.Error("two statements require transaction management")
+	}
+	empty := &Task{}
+	if empty.MultiStatement() {
+		t.Error("no statements is not multi-statement")
+	}
+}
+
+func TestCorruptVariantsMirrorGold(t *testing.T) {
+	// The simulator swaps variants positionally; a task whose variants
+	// drift out of step with GoldSQL would corrupt the benchmark, so the
+	// invariant is worth pinning.
+	tk := &Task{
+		GoldSQL:          []string{"a", "b"},
+		CorruptIdentSQL:  []string{"a'", "b'"},
+		WrongValueSQL:    []string{"a*", "b*"},
+		SemanticWrongSQL: []string{"a~", "b~"},
+	}
+	for name, v := range map[string][]string{
+		"CorruptIdentSQL":  tk.CorruptIdentSQL,
+		"WrongValueSQL":    tk.WrongValueSQL,
+		"SemanticWrongSQL": tk.SemanticWrongSQL,
+	} {
+		if len(v) != len(tk.GoldSQL) {
+			t.Errorf("%s has %d statements, gold has %d", name, len(v), len(tk.GoldSQL))
+		}
+	}
+}
