@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -180,12 +181,14 @@ func printIdeal(cfg experiments.Config) error {
 }
 
 // printEngine measures the embedded engine's query path directly: full scan
-// vs index scan (the planner's access-path selection) and single-session vs
-// parallel sessions (the shared read lock). These are the microbenchmarks
-// behind the planner refactor; `go test -bench . ./internal/sqldb` runs the
-// full suite.
+// vs index scan (the planner's access-path selection), single-session vs
+// parallel sessions (the shared read lock), the planned write path
+// (UPDATE/DELETE access-path selection), and the plan cache. These are the
+// microbenchmarks behind the planner and write-path refactors;
+// `go test -bench . ./internal/sqldb` runs the full suite. Results are also
+// written to BENCH_PR2.json so the perf trajectory is recorded per run.
 func printEngine() error {
-	header("Engine — planner access paths and concurrent read sessions")
+	header("Engine — planner access paths, write planning, plan cache")
 
 	setup := func(rows int, withIndex bool) (*sqldb.Engine, *sqldb.Session) {
 		e := sqldb.NewEngine("bench")
@@ -207,10 +210,19 @@ func printEngine() error {
 		return e, s
 	}
 	const rows = 5000
+	const writeRows = 10000
 	const query = "SELECT COUNT(*) FROM t WHERE grp = 7"
 
+	type benchOut struct {
+		Name    string  `json:"name"`
+		Ops     int     `json:"ops"`
+		NsPerOp float64 `json:"ns_per_op"`
+	}
+	var results []benchOut
 	report := func(name string, r testing.BenchmarkResult) {
-		fmt.Printf("%-28s %10d ops %12.0f ns/op\n", name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		fmt.Printf("%-28s %10d ops %12.0f ns/op\n", name, r.N, ns)
+		results = append(results, benchOut{Name: name, Ops: r.N, NsPerOp: ns})
 	}
 
 	_, scan := setup(rows, false)
@@ -236,12 +248,86 @@ func printEngine() error {
 		})
 	}))
 
+	// Write path: planned UPDATE/DELETE. A PK point update touches one row;
+	// the non-indexed predicate falls back to the full scan, so the rows-
+	// visited gap below is the planner's doing.
+	eW, w := setup(writeRows, true)
+	report("UpdateByPK", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.MustExec(fmt.Sprintf("UPDATE t SET val = val + 1 WHERE id = %d", i%writeRows))
+		}
+	}))
+	report("DeleteIndexed", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 77, 0.0)", writeRows+i))
+			w.MustExec("DELETE FROM t WHERE grp = 77")
+		}
+	}))
+
+	before := eW.DMLRowsVisited()
+	w.MustExec("UPDATE t SET val = val + 1 WHERE id = 5")
+	pkVisited := eW.DMLRowsVisited() - before
+	before = eW.DMLRowsVisited()
+	w.MustExec("UPDATE t SET val = val + 1 WHERE val < -1000000")
+	fullVisited := eW.DMLRowsVisited() - before
+	fmt.Printf("\nrows visited per UPDATE on a %d-row table: by PK %d, non-indexed %d (%.0fx reduction)\n",
+		writeRows, pkVisited, fullVisited, float64(fullVisited)/float64(pkVisited))
+
+	// Plan cache: a fixed statement is served from the cache after its first
+	// execution; varying the SQL text defeats the cache and re-plans.
+	const hot = "SELECT val FROM t WHERE id = 42"
+	w.MustExec(hot)
+	report("PlanCacheHit", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.MustExec(hot)
+		}
+	}))
+	report("PlanCacheCold", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w.MustExec(fmt.Sprintf("SELECT val FROM t WHERE id = %d", i%writeRows))
+		}
+	}))
+	hits, misses := eW.PlanCacheStats()
+
 	plan, err := eIdx.NewSession("root").Plan(query)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nchosen plan for the indexed query:")
 	fmt.Println(plan.Explain())
+
+	upd, err := eW.NewSession("root").Plan("UPDATE t SET val = 0 WHERE id = 5")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nchosen plan for the PK update (the executor runs this exact access path):")
+	fmt.Println(upd.Explain())
+
+	out := struct {
+		Experiment            string     `json:"experiment"`
+		WriteTableRows        int        `json:"write_table_rows"`
+		Benchmarks            []benchOut `json:"benchmarks"`
+		UpdateByPKRowsVisited int64      `json:"update_by_pk_rows_visited"`
+		FullScanRowsVisited   int64      `json:"full_scan_update_rows_visited"`
+		PlanCacheHits         int64      `json:"plan_cache_hits"`
+		PlanCacheMisses       int64      `json:"plan_cache_misses"`
+	}{
+		Experiment:            "engine",
+		WriteTableRows:        writeRows,
+		Benchmarks:            results,
+		UpdateByPKRowsVisited: pkVisited,
+		FullScanRowsVisited:   fullVisited,
+		PlanCacheHits:         hits,
+		PlanCacheMisses:       misses,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_PR2.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_PR2.json")
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	\d <table>      show a table's DDL
 //	\user <name>    switch the session user
 //	\grant <user> <action> <table>   grant a privilege (superuser)
+//	\cache          show plan-cache hit/miss counters and catalog version
 //	\q              quit
 package main
 
@@ -98,6 +99,15 @@ func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) boo
 		}
 		engine.Grants().Grant(fields[1], action, fields[3])
 		fmt.Println("granted")
+	case `\cache`:
+		hits, misses := engine.PlanCacheStats()
+		total := hits + misses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(hits) / float64(total)
+		}
+		fmt.Printf("plan cache: %d hits, %d misses (%.0f%% hit rate), catalog version %d\n",
+			hits, misses, ratio*100, engine.CatalogVersion())
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}

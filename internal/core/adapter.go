@@ -103,6 +103,12 @@ type Conn interface {
 	// privileges running the statement would.
 	Explain(sql string) (string, error)
 
+	// CacheStats reports the backend's prepared-statement cache counters:
+	// executions served from a cached plan (hits) and executions that had to
+	// parse and plan (misses). Backends without a statement cache report
+	// (0, 0).
+	CacheStats() (hits, misses int64)
+
 	// IsPermissionDenied reports whether an error returned by Exec is a
 	// database-side privilege rejection.
 	IsPermissionDenied(err error) bool
@@ -285,6 +291,14 @@ func (c *SQLDBConn) Explain(sql string) (string, error) {
 		return "", err
 	}
 	return plan.Explain(), nil
+}
+
+// CacheStats implements Conn. The counters are engine-wide: the plan cache
+// is shared by every connection to the engine (entries are keyed per user),
+// which is what makes hot agent/proxy traffic skip parse+plan across
+// sessions.
+func (c *SQLDBConn) CacheStats() (hits, misses int64) {
+	return c.sess.Engine().PlanCacheStats()
 }
 
 // IsPermissionDenied implements Conn.

@@ -71,6 +71,13 @@ func (s *Store) Explain(user, sql string) (string, error) {
 	return s.Conn(user).Explain(sql)
 }
 
+// CacheStats reports the store's prepared-statement cache counters. CSV
+// stores get the engine's plan cache for free: repeated queries against
+// loaded files skip parse+plan exactly like native tables.
+func (s *Store) CacheStats() (hits, misses int64) {
+	return s.engine.PlanCacheStats()
+}
+
 // TableName derives the table name from a CSV file name.
 func TableName(file string) string {
 	base := filepath.Base(file)

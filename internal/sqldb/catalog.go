@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column describes one table column.
@@ -157,8 +158,7 @@ func (ix *Index) remove(key string, id int64) {
 func (t *Table) pkKey(vals []Value) string {
 	var sb strings.Builder
 	for _, i := range t.pkCols {
-		sb.WriteString(vals[i].Key())
-		sb.WriteByte('|')
+		writeKeySegment(&sb, vals[i])
 	}
 	return sb.String()
 }
@@ -244,7 +244,9 @@ func (t *Table) compact() {
 // the PK map, or nil when no access path exists (caller falls back to scan).
 func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
 	if len(t.pkCols) == 1 && t.pkCols[0] == col {
-		if id, ok := t.pkMap[v.Key()+"|"]; ok {
+		var sb strings.Builder
+		writeKeySegment(&sb, v)
+		if id, ok := t.pkMap[sb.String()]; ok {
 			return []int64{id}, true
 		}
 		return nil, true
@@ -270,6 +272,20 @@ type Engine struct {
 	views      map[string]*View  // lower-case name -> view
 	viewOrder  []string
 	grants     *Grants
+
+	// catalogVersion counts catalog mutations (DDL and grant changes). The
+	// plan cache keys every entry to the version it was planned against, so
+	// a bump invalidates all cached plans without touching the cache itself.
+	// Atomic because grants can be mutated directly through Grants() without
+	// the engine lock.
+	catalogVersion atomic.Uint64
+	plans          *planCache
+
+	// dmlRowsVisited counts rows the write path inspected while matching
+	// UPDATE/DELETE targets; the gap between an index path (bucket-sized)
+	// and a full scan (table-sized) is asserted in tests and reported by
+	// benchrunner.
+	dmlRowsVisited atomic.Int64
 }
 
 // View is a named stored query. The AST is shared by every scanning
@@ -283,13 +299,31 @@ type View struct {
 // NewEngine creates an empty database. The special user "root" is always a
 // superuser.
 func NewEngine(name string) *Engine {
-	return &Engine{
+	e := &Engine{
 		Name:   name,
 		tables: map[string]*Table{},
 		views:  map[string]*View{},
-		grants: newGrants(),
+		plans:  newPlanCache(),
 	}
+	// Grants share the catalog version counter so privilege changes made
+	// directly through Grants() (fixtures, toolkits) also invalidate plans.
+	e.grants = newGrants(&e.catalogVersion)
+	return e
 }
+
+// bumpCatalog invalidates every cached plan by advancing the version.
+func (e *Engine) bumpCatalog() { e.catalogVersion.Add(1) }
+
+// CatalogVersion returns the current catalog version counter.
+func (e *Engine) CatalogVersion() uint64 { return e.catalogVersion.Load() }
+
+// PlanCacheStats reports the engine's statement-cache counters: hits served
+// without re-parsing/planning, and misses (cold or invalidated lookups).
+func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.stats() }
+
+// DMLRowsVisited returns the cumulative count of rows inspected while
+// matching UPDATE/DELETE targets.
+func (e *Engine) DMLRowsVisited() int64 { return e.dmlRowsVisited.Load() }
 
 // Grants exposes the privilege store for direct configuration.
 func (e *Engine) Grants() *Grants { return e.grants }
@@ -334,6 +368,7 @@ func (e *Engine) createView(v *View) error {
 	}
 	e.views[lo] = v
 	e.viewOrder = append(e.viewOrder, lo)
+	e.bumpCatalog()
 	return nil
 }
 
@@ -350,6 +385,7 @@ func (e *Engine) dropView(name string) (*View, error) {
 			break
 		}
 	}
+	e.bumpCatalog()
 	return v, nil
 }
 
@@ -364,6 +400,7 @@ func (e *Engine) createTable(t *Table) error {
 	}
 	e.tables[lo] = t
 	e.tableOrder = append(e.tableOrder, lo)
+	e.bumpCatalog()
 	return nil
 }
 
@@ -392,6 +429,7 @@ func (e *Engine) dropTable(name string) (*Table, error) {
 			break
 		}
 	}
+	e.bumpCatalog()
 	return t, nil
 }
 

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -200,6 +201,152 @@ func TestConcurrentTransactions(t *testing.T) {
 	committed := int64(movers*((rounds+1)/2)) * 10
 	if b1 != 1000-committed || b2 != 1000+committed {
 		t.Fatalf("balances (%d, %d) do not reflect %d committed transfers", b1, b2, committed)
+	}
+}
+
+// TestConcurrentCachedSelectWithDML hammers the plan cache from parallel
+// readers (all sharing a handful of hot SQL strings, so most executions are
+// cache hits under the read lock) while writers run planner-driven
+// UPDATE/DELETE/INSERT and a DDL goroutine repeatedly bumps the catalog
+// version, invalidating every cached plan mid-flight. Run with -race.
+func TestConcurrentCachedSelectWithDML(t *testing.T) {
+	e := NewEngine("cachedmix")
+	root := e.NewSession("root")
+	root.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, grp INT, val INT)`)
+	root.MustExec(`CREATE INDEX idx_grp ON t (grp)`)
+	for i := 0; i < 300; i++ {
+		root.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d, 0)", i, i%10))
+	}
+
+	hot := []string{
+		"SELECT COUNT(*) FROM t WHERE grp = 4",
+		"SELECT COUNT(*) FROM t",
+		"SELECT val FROM t WHERE id = 17",
+	}
+
+	const readers = 6
+	const writers = 3
+	const rounds = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := e.NewSession("root")
+			for i := 0; i < rounds; i++ {
+				q := hot[(r+i)%len(hot)]
+				res, err := s.Exec(q)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %q: %v", r, q, err)
+					return
+				}
+				if len(res.Rows) == 0 {
+					errs <- fmt.Errorf("reader %d: %q returned no rows", r, q)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := e.NewSession("root")
+			for i := 0; i < rounds; i++ {
+				// Fixed SQL so the write plans are cache hits too.
+				script := []string{
+					"UPDATE t SET val = val + 1 WHERE grp = 4",
+					fmt.Sprintf("DELETE FROM t WHERE id = %d", 1000+w*rounds+i),
+					fmt.Sprintf("INSERT INTO t VALUES (%d, 4, 0)", 1000+w*rounds+i),
+				}
+				for _, q := range script {
+					if _, err := s.Exec(q); err != nil {
+						errs <- fmt.Errorf("writer %d: %q: %v", w, q, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// The invalidator: DDL churn bumps the catalog version so readers and
+	// writers constantly fall off the cache and re-plan.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := e.NewSession("root")
+		for i := 0; i < 20; i++ {
+			if _, err := s.Exec(fmt.Sprintf("CREATE TABLE churn%d (x INT)", i)); err != nil {
+				errs <- fmt.Errorf("ddl: %v", err)
+				return
+			}
+			if _, err := s.Exec(fmt.Sprintf("DROP TABLE churn%d", i)); err != nil {
+				errs <- fmt.Errorf("ddl: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every writer inserts one extra grp-4 row per round (delete precedes
+	// its own insert, so all survive).
+	base := int64(30) // 300 seeded rows, ids ending in grp 4
+	want := base + writers*rounds
+	if n := root.MustExec("SELECT COUNT(*) FROM t WHERE grp = 4").Rows[0][0].I; n != want {
+		t.Fatalf("grp-4 rows = %d, want %d", n, want)
+	}
+	hits, misses := e.PlanCacheStats()
+	if hits == 0 {
+		t.Fatalf("expected cache hits under hot traffic (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+// TestConcurrentDirectGrants mutates privileges through Engine.Grants()
+// (no engine lock, the documented fixture/toolkit path) while sessions
+// execute statements whose privilege checks read the same store; Grants
+// synchronizes itself. Run with -race.
+func TestConcurrentDirectGrants(t *testing.T) {
+	e := NewEngine("grants")
+	root := e.NewSession("root")
+	root.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, x INT)`)
+	root.MustExec(`INSERT INTO t VALUES (1, 10), (2, 20)`)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := e.NewSession("alice")
+			for i := 0; i < 100; i++ {
+				_, err := s.Exec("SELECT COUNT(*) FROM t")
+				// Denials are expected mid-revoke; anything else is not.
+				var pe *PermissionError
+				if err != nil && !errors.As(err, &pe) {
+					errs <- fmt.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			e.Grants().Grant("alice", ActionSelect, "t")
+			e.Grants().GrantColumns("alice", ActionSelect, "t", []string{"id", "x"})
+			e.Grants().Revoke("alice", ActionSelect, "t")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -148,8 +148,7 @@ func (s *Session) checkFKParentExists(t *Table, fk *ForeignKey, vals []Value) er
 	if samePKCols(parent, pIdx) {
 		var kb strings.Builder
 		for _, v := range childVals {
-			kb.WriteString(v.Key())
-			kb.WriteByte('|')
+			writeKeySegment(&kb, v)
 		}
 		if _, ok := parent.pkMap[kb.String()]; ok {
 			return nil
@@ -259,7 +258,9 @@ func (s *Session) checkNoChildRefs(parent *Table, parentVals []Value) error {
 	return nil
 }
 
-func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
+// execUpdate runs an UPDATE. wp is the row-matching plan — cached, or nil to
+// plan now.
+func (s *Session) execUpdate(st *UpdateStmt, wp *WritePlan) (*Result, error) {
 	t, ok := s.engine.Table(st.Table)
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: st.Table}
@@ -269,7 +270,10 @@ func (s *Session) execUpdate(st *UpdateStmt) (*Result, error) {
 			return nil, &NotFoundError{Kind: "column", Name: st.Table + "." + a.Column}
 		}
 	}
-	matches, err := s.matchRows(t, st.Where)
+	if wp == nil {
+		wp = s.planWrite(st.Table, st.Where)
+	}
+	matches, err := wp.matchEntries(s)
 	if err != nil {
 		return nil, err
 	}
@@ -318,12 +322,17 @@ func keyChanged(t *Table, e *Engine, oldVals, newVals []Value) bool {
 	return false
 }
 
-func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
+// execDelete runs a DELETE. wp is the row-matching plan — cached, or nil to
+// plan now.
+func (s *Session) execDelete(st *DeleteStmt, wp *WritePlan) (*Result, error) {
 	t, ok := s.engine.Table(st.Table)
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: st.Table}
 	}
-	matches, err := s.matchRows(t, st.Where)
+	if wp == nil {
+		wp = s.planWrite(st.Table, st.Where)
+	}
+	matches, err := wp.matchEntries(s)
 	if err != nil {
 		return nil, err
 	}
@@ -335,35 +344,6 @@ func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
 		s.record(undoOp{kind: undoDelete, table: t, entry: e})
 	}
 	return &Result{Affected: len(matches), Message: fmt.Sprintf("DELETE %d", len(matches))}, nil
-}
-
-// matchRows snapshots the live rows matching a WHERE clause.
-func (s *Session) matchRows(t *Table, where Expr) ([]*rowEntry, error) {
-	envCols := tableEnvCols(t)
-	var out []*rowEntry
-	var evalErr error
-	_ = t.liveRows(func(r *rowEntry) error {
-		if evalErr != nil {
-			return nil
-		}
-		if where != nil {
-			env := &Env{cols: envCols, vals: r.vals, sess: s}
-			v, err := where.Eval(env)
-			if err != nil {
-				evalErr = err
-				return nil
-			}
-			if v.IsNull() || !v.Truthy() {
-				return nil
-			}
-		}
-		out = append(out, r)
-		return nil
-	})
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	return out, nil
 }
 
 func tableEnvCols(t *Table) []envCol {
@@ -509,6 +489,7 @@ func (s *Session) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 		}
 	}
 	t.addIndex(&Index{Name: st.Name, Column: st.Column, Unique: st.Unique})
+	s.engine.bumpCatalog()
 	s.record(undoOp{kind: undoIndex, table: t, indexCol: key})
 	return &Result{Message: "CREATE INDEX"}, nil
 }
@@ -545,6 +526,7 @@ func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
 		for _, r := range t.rows {
 			r.vals = append(r.vals, fill)
 		}
+		s.engine.bumpCatalog()
 		return &Result{Message: "ALTER TABLE ADD COLUMN"}, nil
 	case st.RenameTo != "":
 		if _, exists := s.engine.Table(st.RenameTo); exists {
@@ -559,6 +541,7 @@ func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
 				s.engine.tableOrder[i] = newLo
 			}
 		}
+		s.engine.bumpCatalog()
 		return &Result{Message: "ALTER TABLE RENAME"}, nil
 	}
 	return nil, fmt.Errorf("unsupported ALTER TABLE action")

@@ -6,13 +6,21 @@ import (
 	"strings"
 )
 
-// Exec parses and executes one SQL statement under the session's user.
+// Exec parses and executes one SQL statement under the session's user. It is
+// the cache-aware entry point: a hot (user, SQL) pair whose plan is still
+// valid against the catalog version skips the lexer, parser, and planner
+// entirely (the engine's prepared-statement layer, see plancache.go).
 func (s *Session) Exec(sql string) (*Result, error) {
+	if ent, ok := s.engine.plans.lookup(s.user, sql); ok {
+		if res, done, err := s.execCached(ent, sql); done {
+			return res, err
+		}
+	}
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("syntax error: %w", err)
 	}
-	return s.ExecStmt(stmt)
+	return s.execStmt(stmt, sql)
 }
 
 // ExecScript executes a semicolon-separated script, stopping at the first
@@ -60,16 +68,24 @@ func isReadOnly(stmt Stmt) bool {
 // ExecStmt executes a parsed statement. The session lock serializes
 // statements on this session (its transaction state is single-stream, like
 // a database connection); the engine lock is shared for read-only
-// statements so distinct sessions execute SELECTs in parallel.
+// statements so distinct sessions execute SELECTs in parallel. With no SQL
+// text to key on, pre-parsed statements never touch the plan cache.
 func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
+	return s.execStmt(stmt, "")
+}
+
+// execStmt is the cold execution path: plan fresh and, when sql is non-empty
+// and the statement is cacheable, record the prepared form for next time.
+func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e := s.engine
 	if isReadOnly(stmt) {
-		s.engine.mu.RLock()
-		defer s.engine.mu.RUnlock()
+		e.mu.RLock()
+		defer e.mu.RUnlock()
 	} else {
-		s.engine.mu.Lock()
-		defer s.engine.mu.Unlock()
+		e.mu.Lock()
+		defer e.mu.Unlock()
 	}
 
 	if err := s.checkStmtPrivileges(stmt); err != nil {
@@ -95,10 +111,110 @@ func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
 		return &Result{Message: "ROLLBACK"}, nil
 	}
 
+	var ent *cachedStmt
+	if sql != "" {
+		if ent = s.prepare(stmt); ent != nil {
+			e.plans.misses.Add(1)
+		}
+	}
 	s.beginStmt()
-	res, err := s.dispatch(stmt)
+	var res *Result
+	var err error
+	if ent != nil {
+		res, err = s.runPrepared(ent)
+	} else {
+		res, err = s.dispatch(stmt)
+	}
 	s.endStmt(err)
+	if err == nil && ent != nil {
+		e.plans.put(s.user, sql, ent)
+	}
 	return res, err
+}
+
+// execCached executes a plan-cache hit under the entry's lock class. done is
+// false when the entry is stale (the catalog version moved since it was
+// planned): the caller falls back to the cold path, which re-plans and
+// replaces the entry. The version check happens under the engine lock, so a
+// fresh entry cannot be invalidated by DDL mid-execution.
+func (s *Session) execCached(ent *cachedStmt, sql string) (res *Result, done bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.engine
+	if ent.readOnly {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+	} else {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+	}
+	if ent.version != e.catalogVersion.Load() {
+		// Evict rather than leave the stale entry riding the LRU: if the
+		// cold path fails (table dropped), nothing would ever replace it.
+		e.plans.remove(s.user, sql)
+		return nil, false, nil
+	}
+	e.plans.hits.Add(1)
+	// Privileges are re-checked on every execution; a grant change also
+	// bumps the catalog version, but direct Grants() mutations make that
+	// bump advisory rather than load-bearing.
+	if err := s.checkStmtPrivileges(ent.stmt); err != nil {
+		return nil, true, err
+	}
+	s.beginStmt()
+	res, err = s.runPrepared(ent)
+	s.endStmt(err)
+	return res, true, err
+}
+
+// prepare builds the cacheable form of a statement pinned to the current
+// catalog version: the SELECT pipeline plan or the UPDATE/DELETE row-match
+// plan. INSERT caches as parsed-only (a hit still skips lexer and parser).
+// Everything else (DDL, grants, EXPLAIN) returns nil and is never cached.
+func (s *Session) prepare(stmt Stmt) *cachedStmt {
+	ent := &cachedStmt{
+		stmt:     stmt,
+		readOnly: isReadOnly(stmt),
+		version:  s.engine.catalogVersion.Load(),
+	}
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		ent.sel = s.planSelect(st)
+	case *UpdateStmt:
+		if _, ok := s.engine.Table(st.Table); !ok {
+			return nil
+		}
+		ent.write = s.planWrite(st.Table, st.Where)
+	case *DeleteStmt:
+		if _, ok := s.engine.Table(st.Table); !ok {
+			return nil
+		}
+		ent.write = s.planWrite(st.Table, st.Where)
+	case *InsertStmt:
+	default:
+		return nil
+	}
+	return ent
+}
+
+// runPrepared executes a prepared statement's stored plan. Plans and
+// statement trees are immutable during execution, so one entry may run in
+// many sessions at once (SELECT hits share the engine read lock).
+func (s *Session) runPrepared(ent *cachedStmt) (*Result, error) {
+	switch st := ent.stmt.(type) {
+	case *SelectStmt:
+		if err := s.checkColumnPrivileges(st); err != nil {
+			return nil, err
+		}
+		return s.runSelectPlan(ent.sel, nil)
+	case *UpdateStmt:
+		return s.execUpdate(st, ent.write)
+	case *DeleteStmt:
+		return s.execDelete(st, ent.write)
+	case *InsertStmt:
+		return s.execInsert(st)
+	}
+	return nil, fmt.Errorf("unsupported statement type %T", ent.stmt)
 }
 
 func (s *Session) dispatch(stmt Stmt) (*Result, error) {
@@ -114,9 +230,9 @@ func (s *Session) dispatch(stmt Stmt) (*Result, error) {
 	case *InsertStmt:
 		return s.execInsert(st)
 	case *UpdateStmt:
-		return s.execUpdate(st)
+		return s.execUpdate(st, nil)
 	case *DeleteStmt:
-		return s.execDelete(st)
+		return s.execDelete(st, nil)
 	case *CreateTableStmt:
 		return s.execCreateTable(st)
 	case *DropTableStmt:
@@ -271,10 +387,16 @@ func (s *Session) execSelect(st *SelectStmt, outer *Env) (*Result, error) {
 	if err := s.checkColumnPrivileges(st); err != nil {
 		return nil, err
 	}
-
 	// Lower the statement into a plan (scan/index-scan selection, predicate
 	// pushdown, join strategy) and run it.
-	plan := s.planSelect(st)
+	return s.runSelectPlan(s.planSelect(st), outer)
+}
+
+// runSelectPlan executes a SELECT plan — freshly built or served from the
+// plan cache — through the source tree and the projection/aggregation
+// pipeline above it.
+func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
+	st := plan.Stmt
 
 	// FROM-less SELECT evaluates once against the outer env.
 	if plan.Source == nil {
@@ -605,8 +727,7 @@ func (s *Session) groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupRe
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(gv.Key())
-			kb.WriteByte('|')
+			writeKeySegment(&kb, gv)
 		}
 		k := kb.String()
 		g, ok := keyed[k]
@@ -788,8 +909,7 @@ func distinctRows(rows [][]Value, envs []*Env) ([][]Value, []*Env) {
 	for i, row := range rows {
 		var kb strings.Builder
 		for _, v := range row {
-			kb.WriteString(v.Key())
-			kb.WriteByte('|')
+			writeKeySegment(&kb, v)
 		}
 		k := kb.String()
 		if seen[k] {

@@ -168,14 +168,13 @@ func compareState(t *testing.T, step int, s *Session, m *model) {
 }
 
 // Property: Value Key equality is consistent with Compare equality for
-// numeric values (the invariant indexes and GROUP BY rely on). Like any
-// engine comparing int64 against float64, this holds on the float64-exact
-// integer range (|v| <= 2^53); beyond it cross-type comparison is lossy.
+// numeric values (the invariant indexes and GROUP BY rely on). Int/int
+// comparison runs in int64 space, so the property holds over the FULL int64
+// range; only int-vs-float unification is limited to the float64-exact
+// range (|v| <= 2^53), like any engine comparing int64 against float64.
 func TestValueKeyConsistencyProperty(t *testing.T) {
-	const exact = int64(1) << 53
-	clamp := func(v int64) int64 { return v % exact }
 	f := func(a, b int64) bool {
-		va, vb := NewInt(clamp(a)), NewInt(clamp(b))
+		va, vb := NewInt(a), NewInt(b)
 		c, err := Compare(va, vb)
 		if err != nil {
 			return false
@@ -185,13 +184,52 @@ func TestValueKeyConsistencyProperty(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
 	}
+	const exact = int64(1) << 53
 	g := func(a int64) bool {
 		// An integral float and the same int share one index key.
-		v := clamp(a)
+		v := a % exact
 		return NewFloat(float64(v)).Key() == NewInt(v).Key()
 	}
 	if err := quick.Check(g, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Int64s above 2^53 are indistinguishable as float64; Compare and Equal
+// must not route both-int comparisons through floats, or WHERE id = <big>
+// would match neighbouring ids and disagree with the exact PK-map keys.
+func TestCompareInt64Above2p53(t *testing.T) {
+	const base = int64(1) << 53 // 9007199254740992
+	a, b := NewInt(base), NewInt(base+1)
+	if float64(base) != float64(base+1) {
+		t.Fatal("test premise broken: values distinguishable as float64")
+	}
+	if c, err := Compare(a, b); err != nil || c != -1 {
+		t.Fatalf("Compare(2^53, 2^53+1) = %d, %v; want -1, nil", c, err)
+	}
+	if c, err := Compare(b, a); err != nil || c != 1 {
+		t.Fatalf("Compare(2^53+1, 2^53) = %d, %v; want 1, nil", c, err)
+	}
+	if Equal(a, b) {
+		t.Fatal("Equal(2^53, 2^53+1) must be false")
+	}
+	if a.Key() == b.Key() {
+		t.Fatal("keys must stay distinct")
+	}
+
+	// End to end: a point predicate at the boundary matches exactly one row,
+	// through both the PK access path and a forced scan.
+	e := NewEngine("bigint")
+	s := e.NewSession("root")
+	s.MustExec("CREATE TABLE big (id INT PRIMARY KEY, tag TEXT)")
+	s.MustExec(fmt.Sprintf("INSERT INTO big VALUES (%d, 'lo'), (%d, 'hi')", base, base+1))
+	r := s.MustExec(fmt.Sprintf("SELECT tag FROM big WHERE id = %d", base+1))
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "hi" {
+		t.Fatalf("PK lookup at 2^53+1 returned %v", r.Rows)
+	}
+	r = s.MustExec(fmt.Sprintf("SELECT tag FROM big WHERE id + 0 = %d", base))
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "lo" {
+		t.Fatalf("scan compare at 2^53 returned %v", r.Rows)
 	}
 }
 

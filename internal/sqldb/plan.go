@@ -315,10 +315,103 @@ func projectLabel(items []SelectItem) string {
 	return strings.Join(parts, ", ")
 }
 
+// WritePlan is the executable row-matching plan for one UPDATE or DELETE:
+// an access path that locates candidate rows plus the full WHERE recheck.
+// EXPLAIN renders its Tree() and the executor fetches rows through the same
+// Access node, so the displayed access path is by construction the one that
+// executes.
+type WritePlan struct {
+	Table  string
+	Access SourceNode // *SeqScanNode or *IndexScanNode
+	Where  Expr       // full predicate; the index covers one conjunct of it
+}
+
+// Tree returns the plan as a display tree (below the "Update on t" header).
+func (p *WritePlan) Tree() PlanNode {
+	var node PlanNode = p.Access
+	if p.Where != nil {
+		node = &displayNode{label: "Filter: " + p.Where.String(), child: node}
+	}
+	return node
+}
+
+// matchEntries snapshots the live rows the access path selects and the
+// WHERE clause accepts. Like SELECT index scans, the index path re-checks
+// the full predicate, so the access path is purely a row-count reduction.
+// Every inspected row is counted in the engine's dmlRowsVisited.
+func (p *WritePlan) matchEntries(s *Session) ([]*rowEntry, error) {
+	t, ok := s.engine.Table(p.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: p.Table}
+	}
+	envCols := tableEnvCols(t)
+	keep := func(e *rowEntry) (bool, error) {
+		if p.Where == nil {
+			return true, nil
+		}
+		env := &Env{cols: envCols, vals: e.vals, sess: s}
+		v, err := p.Where.Eval(env)
+		if err != nil {
+			return false, err
+		}
+		return !v.IsNull() && v.Truthy(), nil
+	}
+
+	if ix, isIndex := p.Access.(*IndexScanNode); isIndex {
+		ids, usable := t.lookupEq(ix.col, ix.Val)
+		if usable {
+			// Preserve insertion order for determinism.
+			sorted := append([]int64{}, ids...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			var out []*rowEntry
+			for _, id := range sorted {
+				e, live := t.byID[id]
+				if !live || e.dead {
+					continue
+				}
+				s.engine.dmlRowsVisited.Add(1)
+				ok, err := keep(e)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, e)
+				}
+			}
+			return out, nil
+		}
+		// The access path disappeared between plan and execution (stale
+		// cached plan against a changed catalog); fall back to a full scan.
+	}
+
+	var out []*rowEntry
+	var evalErr error
+	_ = t.liveRows(func(e *rowEntry) error {
+		if evalErr != nil {
+			return nil
+		}
+		s.engine.dmlRowsVisited.Add(1)
+		ok, err := keep(e)
+		if err != nil {
+			evalErr = err
+			return nil
+		}
+		if ok {
+			out = append(out, e)
+		}
+		return nil
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
 // Plan is a planned statement, ready to explain or execute.
 type Plan struct {
 	stmt   Stmt
 	sel    *SelectPlan // non-nil for SELECT
+	write  *WritePlan  // non-nil for UPDATE/DELETE
 	root   PlanNode
 	header string // extra first line for DML plans ("Insert on t ...")
 }
@@ -328,6 +421,9 @@ func (p *Plan) Root() PlanNode { return p.root }
 
 // Select returns the SELECT pipeline plan, or nil for non-SELECT statements.
 func (p *Plan) Select() *SelectPlan { return p.sel }
+
+// Write returns the UPDATE/DELETE row-matching plan, or nil.
+func (p *Plan) Write() *WritePlan { return p.write }
 
 // Explain renders the plan tree, one operator per line, indented by depth.
 func (p *Plan) Explain() string {

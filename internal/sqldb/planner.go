@@ -106,26 +106,37 @@ func (s *Session) chooseAccessPath(ref TableRef, src SourceNode, pushed []Expr) 
 	if !ok || scan.cols == nil {
 		return src
 	}
-	t, ok := s.engine.Table(ref.Table)
-	if !ok {
-		return src
+	if ix := s.indexScanFor(ref.Table, ref.Alias, andAll(pushed), scan.cols); ix != nil {
+		return ix
 	}
-	col, val, ok := indexableEq(andAll(pushed), scan.cols)
+	return src
+}
+
+// indexScanFor builds an index scan serving a `col = literal` conjunct of
+// where on an indexed or primary-key column, or nil when no access path
+// applies. It is the single access-path selection rule, shared by SELECT
+// scans and the UPDATE/DELETE write planner so the two can never diverge.
+func (s *Session) indexScanFor(table, alias string, where Expr, cols []string) *IndexScanNode {
+	t, ok := s.engine.Table(table)
 	if !ok {
-		return src
+		return nil
+	}
+	col, val, ok := indexableEq(where, cols)
+	if !ok {
+		return nil
 	}
 	via, ok := t.eqAccessPath(col)
 	if !ok {
-		return src
+		return nil
 	}
 	return &IndexScanNode{
-		Table:  ref.Table,
-		Alias:  ref.Alias,
+		Table:  table,
+		Alias:  alias,
 		Column: t.Columns[col].Name,
 		Via:    via,
 		Val:    val,
 		col:    col,
-		cols:   scan.cols,
+		cols:   cols,
 	}
 }
 
@@ -256,14 +267,16 @@ func (s *Session) planStmt(stmt Stmt) (*Plan, error) {
 		if _, ok := s.engine.Table(st.Table); !ok {
 			return nil, &NotFoundError{Kind: "table", Name: st.Table}
 		}
-		return &Plan{stmt: st, header: "Update on " + st.Table,
-			root: dmlScanTree(s, st.Table, st.Where)}, nil
+		wp := s.planWrite(st.Table, st.Where)
+		return &Plan{stmt: st, write: wp, header: "Update on " + st.Table,
+			root: wp.Tree()}, nil
 	case *DeleteStmt:
 		if _, ok := s.engine.Table(st.Table); !ok {
 			return nil, &NotFoundError{Kind: "table", Name: st.Table}
 		}
-		return &Plan{stmt: st, header: "Delete on " + st.Table,
-			root: dmlScanTree(s, st.Table, st.Where)}, nil
+		wp := s.planWrite(st.Table, st.Where)
+		return &Plan{stmt: st, write: wp, header: "Delete on " + st.Table,
+			root: wp.Tree()}, nil
 	case *ExplainStmt:
 		return nil, fmt.Errorf("cannot EXPLAIN an EXPLAIN statement")
 	}
@@ -291,14 +304,20 @@ func checkSourcesExist(n SourceNode) error {
 	return nil
 }
 
-// dmlScanTree shows the row-matching part of an UPDATE/DELETE, which always
-// scans the whole table today (matchRows has no index path yet).
-func dmlScanTree(s *Session, table string, where Expr) PlanNode {
-	var node PlanNode = &SeqScanNode{Table: table}
-	if where != nil {
-		node = &displayNode{label: "Filter: " + where.String(), child: node}
+// planWrite lowers the row-matching half of an UPDATE/DELETE into a
+// WritePlan, applying the same access-path selection SELECT scans get: a
+// `col = literal` conjunct on an indexed or primary-key column upgrades the
+// sequential scan to an index scan (the full WHERE is still re-checked per
+// row). EXPLAIN renders this plan and the executor fetches rows through it,
+// so the displayed access path is the executed one.
+func (s *Session) planWrite(table string, where Expr) *WritePlan {
+	src := s.planScan(TableRef{Table: table})
+	if scan, ok := src.(*SeqScanNode); ok && scan.cols != nil && where != nil {
+		if ix := s.indexScanFor(table, "", where, scan.cols); ix != nil {
+			src = ix
+		}
 	}
-	return node
+	return &WritePlan{Table: table, Access: src, Where: where}
 }
 
 func verbOf(stmt Stmt) string {

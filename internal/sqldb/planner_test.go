@@ -181,10 +181,17 @@ func TestExplainStatement(t *testing.T) {
 		t.Fatalf("missing aggregate stage:\n%s", r.Text())
 	}
 
-	// DML explains: update/delete show the matching scan, insert its arity.
+	// DML explains: update/delete show the real row-matching access path —
+	// the PK point lookup here, a seq scan only when nothing indexes the
+	// predicate — and insert shows its arity.
 	r = s.MustExec("EXPLAIN UPDATE emp SET salary = 0 WHERE id = 3")
-	if !strings.Contains(r.Text(), "Update on emp") || !strings.Contains(r.Text(), "Seq Scan on emp") {
+	if !strings.Contains(r.Text(), "Update on emp") ||
+		!strings.Contains(r.Text(), "Index Scan on emp using primary key (id = 3)") {
 		t.Fatalf("update explain wrong:\n%s", r.Text())
+	}
+	r = s.MustExec("EXPLAIN DELETE FROM emp WHERE name = 'e3'")
+	if !strings.Contains(r.Text(), "Delete on emp") || !strings.Contains(r.Text(), "Seq Scan on emp") {
+		t.Fatalf("delete explain wrong:\n%s", r.Text())
 	}
 	r = s.MustExec("EXPLAIN INSERT INTO dept VALUES (4, 'hr'), (5, 'fin')")
 	if !strings.Contains(r.Text(), "Insert on dept (2 rows)") {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Action is a database privilege action, mirroring PostgreSQL's table
@@ -69,33 +71,61 @@ func (s *actionSet) remove(a Action)  { *s &^= 1 << a }
 // column restrictions, and superuser flags. The object "*" stands for all
 // tables (and for CREATE, the database itself).
 type Grants struct {
+	// mu guards the maps. Grants may be mutated directly through
+	// Engine.Grants() (fixtures, toolkits) without the engine lock, while
+	// sessions holding only the engine read lock check privileges — so the
+	// store synchronizes itself.
+	mu    sync.RWMutex
 	super map[string]bool                 // user -> superuser
 	objs  map[string]map[string]actionSet // user -> object(lower) -> actions
 	// cols restricts an (user, object, action) grant to named columns.
 	// Absent entry means all columns.
 	cols map[string]map[string]map[Action]map[string]bool
+	// version is the engine's catalog version counter; every privilege
+	// mutation bumps it so cached plans (whose privilege checks were made
+	// under the old grants) are re-validated.
+	version *atomic.Uint64
 }
 
-func newGrants() *Grants {
+func newGrants(version *atomic.Uint64) *Grants {
 	return &Grants{
-		super: map[string]bool{"root": true},
-		objs:  map[string]map[string]actionSet{},
-		cols:  map[string]map[string]map[Action]map[string]bool{},
+		super:   map[string]bool{"root": true},
+		objs:    map[string]map[string]actionSet{},
+		cols:    map[string]map[string]map[Action]map[string]bool{},
+		version: version,
+	}
+}
+
+func (g *Grants) bump() {
+	if g.version != nil {
+		g.version.Add(1)
 	}
 }
 
 // SetSuperuser marks or unmarks a user as superuser.
 func (g *Grants) SetSuperuser(user string, super bool) {
+	g.mu.Lock()
 	g.super[strings.ToLower(user)] = super
+	g.mu.Unlock()
+	g.bump()
 }
 
 // IsSuperuser reports whether the user bypasses privilege checks.
 func (g *Grants) IsSuperuser(user string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.super[strings.ToLower(user)]
 }
 
 // Grant adds an action on an object ("*" = all tables) for a user.
 func (g *Grants) Grant(user string, action Action, object string) {
+	g.mu.Lock()
+	g.grantLocked(user, action, object)
+	g.mu.Unlock()
+	g.bump()
+}
+
+func (g *Grants) grantLocked(user string, action Action, object string) {
 	u, o := strings.ToLower(user), strings.ToLower(object)
 	if g.objs[u] == nil {
 		g.objs[u] = map[string]actionSet{}
@@ -115,6 +145,11 @@ func (g *Grants) GrantAll(user, object string) {
 // Revoke removes an action on an object from a user (and drops any column
 // restriction bound to it).
 func (g *Grants) Revoke(user string, action Action, object string) {
+	g.mu.Lock()
+	defer func() {
+		g.mu.Unlock()
+		g.bump()
+	}()
 	u, o := strings.ToLower(user), strings.ToLower(object)
 	if g.objs[u] == nil {
 		return
@@ -141,7 +176,8 @@ func (g *Grants) RevokeAll(user, object string) {
 // GrantColumns grants an action on an object restricted to the given
 // columns (PostgreSQL column privileges).
 func (g *Grants) GrantColumns(user string, action Action, object string, columns []string) {
-	g.Grant(user, action, object)
+	g.mu.Lock()
+	g.grantLocked(user, action, object)
 	u, o := strings.ToLower(user), strings.ToLower(object)
 	if g.cols[u] == nil {
 		g.cols[u] = map[string]map[Action]map[string]bool{}
@@ -154,6 +190,8 @@ func (g *Grants) GrantColumns(user string, action Action, object string, columns
 		set[strings.ToLower(c)] = true
 	}
 	g.cols[u][o][action] = set
+	g.mu.Unlock()
+	g.bump()
 }
 
 // Has reports whether the user may perform action on object. Superusers may
@@ -162,6 +200,8 @@ func (g *Grants) Has(user string, action Action, object string) bool {
 	if action == ActionNone {
 		return true
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	u, o := strings.ToLower(user), strings.ToLower(object)
 	if g.super[u] {
 		return true
@@ -176,7 +216,11 @@ func (g *Grants) Has(user string, action Action, object string) bool {
 
 // AllowedColumns returns the column restriction for (user, action, object):
 // nil means all columns are allowed (or no grant at all — pair with Has).
+// The returned map is never mutated in place (GrantColumns publishes a
+// fresh map), so callers may read it after the lock is released.
 func (g *Grants) AllowedColumns(user string, action Action, object string) map[string]bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	u, o := strings.ToLower(user), strings.ToLower(object)
 	if g.super[u] {
 		return nil

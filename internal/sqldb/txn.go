@@ -64,6 +64,7 @@ func (tx *Txn) rollback(e *Engine) {
 					break
 				}
 			}
+			e.bumpCatalog()
 		case undoDrop:
 			lo := lowerName(op.table.Name)
 			e.tables[lo] = op.table
@@ -73,8 +74,10 @@ func (tx *Txn) rollback(e *Engine) {
 			}
 			e.tableOrder = append(e.tableOrder[:pos],
 				append([]string{lo}, e.tableOrder[pos:]...)...)
+			e.bumpCatalog()
 		case undoIndex:
 			delete(op.table.indexes, op.indexCol)
+			e.bumpCatalog()
 		case undoCreateView:
 			_, _ = e.dropView(op.view.Name)
 		case undoDropView:

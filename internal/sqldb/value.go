@@ -128,10 +128,22 @@ func (v Value) SQLLiteral() string {
 
 // Compare orders two non-NULL values. Numeric kinds compare numerically
 // across int/float; text lexicographically; bool false < true. Comparing
-// incompatible kinds is an error.
+// incompatible kinds is an error. Two ints compare in int64 space —
+// routing them through float64 would collapse values above 2^53 (e.g.
+// 9007199254740993 == 9007199254740992 as float64) and disagree with the
+// exact keys the PK map and indexes store.
 func Compare(a, b Value) (int, error) {
 	if a.IsNull() || b.IsNull() {
 		return 0, fmt.Errorf("cannot compare NULL values")
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		switch {
+		case a.I < b.I:
+			return -1, nil
+		case a.I > b.I:
+			return 1, nil
+		}
+		return 0, nil
 	}
 	af, aNum := a.AsFloat()
 	bf, bNum := b.AsFloat()
@@ -197,6 +209,18 @@ func (v Value) Key() string {
 		return "\x04f"
 	}
 	return "\x05?"
+}
+
+// writeKeySegment appends v's canonical key to b, length-prefixed. Composite
+// hash keys (multi-column PKs, GROUP BY, DISTINCT) concatenate segments;
+// a bare separator would let payloads containing it collide across segment
+// boundaries — ("a", "b|c") vs ("a|b", "c") — so every segment carries its
+// own length instead.
+func writeKeySegment(b *strings.Builder, v Value) {
+	k := v.Key()
+	b.WriteString(strconv.Itoa(len(k)))
+	b.WriteByte(':')
+	b.WriteString(k)
 }
 
 // CoerceTo converts v to the column type t where a lossless conversion

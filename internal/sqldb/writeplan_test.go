@@ -1,0 +1,229 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// writeEngine builds a table large enough for access-path gaps to be
+// unambiguous: rows ids 0..n-1, grp = id%50, an index on grp, none on val.
+func writeEngine(t testing.TB, n int) (*Engine, *Session) {
+	t.Helper()
+	e := NewEngine("write")
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, grp INT, val REAL)`)
+	s.MustExec(`CREATE INDEX idx_grp ON t (grp)`)
+	batch := ""
+	for i := 0; i < n; i++ {
+		if batch != "" {
+			batch += ", "
+		}
+		batch += fmt.Sprintf("(%d, %d, %f)", i, i%50, float64(i))
+		if (i+1)%500 == 0 || i == n-1 {
+			s.MustExec("INSERT INTO t VALUES " + batch)
+			batch = ""
+		}
+	}
+	return e, s
+}
+
+// visited runs one statement and returns how many rows the write path
+// inspected while matching its targets.
+func visited(t *testing.T, e *Engine, s *Session, sql string) int64 {
+	t.Helper()
+	before := e.DMLRowsVisited()
+	s.MustExec(sql)
+	return e.DMLRowsVisited() - before
+}
+
+// TestUpdateByPKVisitsOneRow is the PR's acceptance criterion: on a
+// 10k-row table a PK point UPDATE must visit >=10x fewer rows than the old
+// full-scan path (it visits exactly one), and EXPLAIN must print the very
+// Index Scan the executor used.
+func TestUpdateByPKVisitsOneRow(t *testing.T) {
+	const n = 10000
+	e, s := writeEngine(t, n)
+
+	r := s.MustExec("EXPLAIN UPDATE t SET val = -1 WHERE id = 5")
+	text := r.Text()
+	if !strings.Contains(text, "Update on t") ||
+		!strings.Contains(text, "Index Scan on t using primary key (id = 5)") {
+		t.Fatalf("EXPLAIN UPDATE must show the PK access path:\n%s", text)
+	}
+
+	got := visited(t, e, s, "UPDATE t SET val = -1 WHERE id = 5")
+	if got != 1 {
+		t.Fatalf("PK update visited %d rows, want 1", got)
+	}
+	if got*10 > n {
+		t.Fatalf("acceptance: visited %d rows, need >=10x fewer than %d", got, n)
+	}
+	if r := s.MustExec("SELECT val FROM t WHERE id = 5"); r.Rows[0][0].F != -1 {
+		t.Fatalf("update did not apply: %v", r.Rows[0][0])
+	}
+	// The row with the same value on the unindexed column is untouched.
+	if r := s.MustExec("SELECT COUNT(*) FROM t WHERE val = -1"); r.Rows[0][0].I != 1 {
+		t.Fatalf("update leaked beyond its PK target: %v", r.Rows[0][0])
+	}
+}
+
+func TestDeleteIndexedVisitsBucketOnly(t *testing.T) {
+	const n = 5000
+	e, s := writeEngine(t, n)
+
+	r := s.MustExec("EXPLAIN DELETE FROM t WHERE grp = 7")
+	if !strings.Contains(r.Text(), "Delete on t") ||
+		!strings.Contains(r.Text(), "Index Scan on t using index idx_grp (grp = 7)") {
+		t.Fatalf("EXPLAIN DELETE must show the index access path:\n%s", r.Text())
+	}
+
+	bucket := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7").Rows[0][0].I
+	got := visited(t, e, s, "DELETE FROM t WHERE grp = 7")
+	if got != bucket {
+		t.Fatalf("indexed delete visited %d rows, want the %d-row bucket", got, bucket)
+	}
+	if left := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7").Rows[0][0].I; left != 0 {
+		t.Fatalf("%d rows survived the delete", left)
+	}
+	if total := s.MustExec("SELECT COUNT(*) FROM t").Rows[0][0].I; total != int64(n)-bucket {
+		t.Fatalf("total = %d, want %d", total, int64(n)-bucket)
+	}
+}
+
+// A predicate with no usable equality falls back to the full scan — and
+// EXPLAIN says so instead of advertising an index.
+func TestWritePlanFallbackToSeqScan(t *testing.T) {
+	const n = 2000
+	e, s := writeEngine(t, n)
+
+	for _, sql := range []string{
+		"UPDATE t SET val = 0 WHERE val < 10",         // unindexed column
+		"DELETE FROM t WHERE grp > 48",                // range: hash index unusable
+		"UPDATE t SET val = 1 WHERE id = 1 OR id = 2", // OR defeats indexableEq
+	} {
+		r := s.MustExec("EXPLAIN " + sql)
+		if !strings.Contains(r.Text(), "Seq Scan on t") || strings.Contains(r.Text(), "Index Scan") {
+			t.Fatalf("EXPLAIN %s must show a seq scan:\n%s", sql, r.Text())
+		}
+	}
+
+	// The fallback visits every live row.
+	total := s.MustExec("SELECT COUNT(*) FROM t").Rows[0][0].I
+	if got := visited(t, e, s, "UPDATE t SET val = val WHERE val < -1"); got != total {
+		t.Fatalf("seq-scan update visited %d rows, want %d", got, total)
+	}
+
+	// An unfiltered DELETE also full-scans, once per row.
+	if got := visited(t, e, s, "DELETE FROM t WHERE id >= 0"); got != total {
+		t.Fatalf("range delete visited %d rows, want %d", got, total)
+	}
+}
+
+// The executed access path IS the explained plan: Plan() hands back the
+// WritePlan whose Access node the executor fetches rows through.
+func TestWritePlanExplainMatchesExecution(t *testing.T) {
+	_, s := writeEngine(t, 1000)
+
+	p := mustPlan(t, s, "UPDATE t SET val = 0 WHERE id = 5")
+	wp := p.Write()
+	if wp == nil {
+		t.Fatal("UPDATE plan must carry a WritePlan")
+	}
+	ix, ok := wp.Access.(*IndexScanNode)
+	if !ok {
+		t.Fatalf("access node is %T, want *IndexScanNode", wp.Access)
+	}
+	if !strings.Contains(p.Explain(), ix.Label()) {
+		t.Fatalf("explain text does not render the executable access node:\n%s", p.Explain())
+	}
+
+	p = mustPlan(t, s, "DELETE FROM t WHERE val = 3")
+	if _, ok := p.Write().Access.(*SeqScanNode); !ok {
+		t.Fatalf("unindexed DELETE access node is %T, want *SeqScanNode", p.Write().Access)
+	}
+}
+
+// Rolling back planner-driven writes must restore the PK map and secondary
+// indexes, not just row values: follow-up statements use those structures.
+func TestWriteRollbackRestoresIndexes(t *testing.T) {
+	_, s := writeEngine(t, 500)
+
+	s.MustExec("BEGIN")
+	s.MustExec("UPDATE t SET grp = 99 WHERE grp = 7") // re-keys idx_grp entries
+	s.MustExec("DELETE FROM t WHERE id = 123")        // removes a PK entry
+	s.MustExec("UPDATE t SET id = 9000 WHERE id = 200")
+	if n := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7").Rows[0][0].I; n != 0 {
+		t.Fatalf("pre-rollback: %d rows left in grp 7", n)
+	}
+	s.MustExec("ROLLBACK")
+
+	// Index path: the grp bucket is whole again.
+	if n := s.MustExec("SELECT COUNT(*) FROM t WHERE grp = 7").Rows[0][0].I; n != 10 {
+		t.Fatalf("after rollback: grp 7 has %d rows, want 10", n)
+	}
+	// PK path: both the deleted and the re-keyed row answer to their old ids.
+	if r := s.MustExec("SELECT grp FROM t WHERE id = 123"); len(r.Rows) != 1 {
+		t.Fatal("deleted row not resurrected under its PK")
+	}
+	if r := s.MustExec("SELECT grp FROM t WHERE id = 200"); len(r.Rows) != 1 {
+		t.Fatal("re-keyed row not restored under its old PK")
+	}
+	if r := s.MustExec("SELECT id FROM t WHERE id = 9000"); len(r.Rows) != 0 {
+		t.Fatal("rolled-back key still present in the PK map")
+	}
+
+	// And a planner-driven write straight after rollback behaves: it must
+	// see the restored index, not stale entries.
+	if r := s.MustExec("UPDATE t SET val = -5 WHERE grp = 7"); r.Affected != 10 {
+		t.Fatalf("post-rollback indexed update hit %d rows, want 10", r.Affected)
+	}
+}
+
+// Composite text PKs (and GROUP BY/DISTINCT keys) must not collide when the
+// payload contains the old separator bytes. ("a", "b|\x03c") and
+// ("a|\x03b", "c") concatenate identically without length prefixes.
+func TestCompositeKeySeparatorInjection(t *testing.T) {
+	e := NewEngine("composite")
+	s := e.NewSession("root")
+	s.MustExec("CREATE TABLE pairs (a TEXT, b TEXT, n INT, PRIMARY KEY (a, b))")
+
+	lit := func(raw string) string { return "'" + strings.ReplaceAll(raw, "'", "''") + "'" }
+	a1, b1 := "a", "b|\x03c"
+	a2, b2 := "a|\x03b", "c"
+	s.MustExec(fmt.Sprintf("INSERT INTO pairs VALUES (%s, %s, 1)", lit(a1), lit(b1)))
+	// Before the fix this collided with the first row and was rejected as a
+	// duplicate primary key.
+	s.MustExec(fmt.Sprintf("INSERT INTO pairs VALUES (%s, %s, 2)", lit(a2), lit(b2)))
+	if n := s.MustExec("SELECT COUNT(*) FROM pairs").Rows[0][0].I; n != 2 {
+		t.Fatalf("distinct composite keys stored %d rows, want 2", n)
+	}
+	// A true duplicate is still rejected.
+	if _, err := s.Exec(fmt.Sprintf("INSERT INTO pairs VALUES (%s, %s, 3)", lit(a1), lit(b1))); err == nil {
+		t.Fatal("duplicate composite PK must be rejected")
+	}
+
+	// GROUP BY over the same payloads keeps the two groups apart.
+	r := s.MustExec("SELECT a, b, COUNT(*) FROM pairs GROUP BY a, b")
+	if len(r.Rows) != 2 {
+		t.Fatalf("GROUP BY collapsed colliding keys: %d groups, want 2", len(r.Rows))
+	}
+	// DISTINCT over multi-column rows likewise.
+	r = s.MustExec("SELECT DISTINCT a, b FROM pairs")
+	if len(r.Rows) != 2 {
+		t.Fatalf("DISTINCT collapsed colliding rows: %d, want 2", len(r.Rows))
+	}
+
+	// The FK fast path hashes child values with the same segmented format:
+	// a child key that matches a parent only by concatenation must be
+	// rejected. The parent table holds only ("a", "b|\x03c"); the child
+	// values ("a|\x03b", "c") concatenate to the same bytes without length
+	// prefixes.
+	s.MustExec("CREATE TABLE parent (a TEXT, b TEXT, PRIMARY KEY (a, b))")
+	s.MustExec(fmt.Sprintf("INSERT INTO parent VALUES (%s, %s)", lit(a1), lit(b1)))
+	s.MustExec("CREATE TABLE child (a TEXT, b TEXT, FOREIGN KEY (a, b) REFERENCES parent(a, b))")
+	s.MustExec(fmt.Sprintf("INSERT INTO child VALUES (%s, %s)", lit(a1), lit(b1)))
+	if _, err := s.Exec(fmt.Sprintf("INSERT INTO child VALUES (%s, %s)", lit(a2), lit(b2))); err == nil {
+		t.Fatal("FK check accepted a child key that only matches a parent by concatenation")
+	}
+}
