@@ -181,14 +181,15 @@ func printIdeal(cfg experiments.Config) error {
 }
 
 // printEngine measures the embedded engine's query path directly: full scan
-// vs index scan (the planner's access-path selection), single-session vs
-// parallel sessions (the shared read lock), the planned write path
-// (UPDATE/DELETE access-path selection), and the plan cache. These are the
-// microbenchmarks behind the planner and write-path refactors;
-// `go test -bench . ./internal/sqldb` runs the full suite. Results are also
-// written to BENCH_PR2.json so the perf trajectory is recorded per run.
+// vs index scan (equality) vs index range scan (the ordered face), Top-K
+// ORDER BY/LIMIT fusion, single-session vs parallel sessions (the shared
+// read lock), the planned write path (UPDATE/DELETE access-path selection),
+// and the plan cache. These are the microbenchmarks behind the planner,
+// write-path, and ordered-index refactors; `go test -bench . ./internal/sqldb`
+// runs the full suite. Results are also written to BENCH_PR3.json so the
+// perf trajectory is recorded per run.
 func printEngine() error {
-	header("Engine — planner access paths, write planning, plan cache")
+	header("Engine — access paths, ordered indexes, Top-K, plan cache")
 
 	setup := func(rows int, withIndex bool) (*sqldb.Engine, *sqldb.Session) {
 		e := sqldb.NewEngine("bench")
@@ -212,6 +213,9 @@ func printEngine() error {
 	const rows = 5000
 	const writeRows = 10000
 	const query = "SELECT COUNT(*) FROM t WHERE grp = 7"
+	const rangeQuery = "SELECT COUNT(*) FROM t WHERE grp BETWEEN 3 AND 7"
+	const topkQuery = "SELECT id, val FROM t ORDER BY id DESC LIMIT 10"
+	const orderedQuery = "SELECT id FROM t ORDER BY grp"
 
 	type benchOut struct {
 		Name    string  `json:"name"`
@@ -247,6 +251,46 @@ func printEngine() error {
 			}
 		})
 	}))
+
+	// Range predicates on a 10k-row table: the unindexed baseline walks
+	// every row, the ordered index visits only the in-range ones. The >=10x
+	// gap is PR 3's acceptance criterion.
+	_, rscan := setup(writeRows, false)
+	report("SelectRangeScan", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rscan.MustExec(rangeQuery)
+		}
+	}))
+	eRange, ridx := setup(writeRows, true)
+	report("SelectRangeIndexed", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ridx.MustExec(rangeQuery)
+		}
+	}))
+
+	// ORDER BY/LIMIT: Top-K fuses the sort and the limit into the ordered
+	// scan (10 rows visited on the 10k-row table); the ordered full scan
+	// skips only the sort stage.
+	report("TopKLimit", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ridx.MustExec(topkQuery)
+		}
+	}))
+	report("OrderByIndexed", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ridx.MustExec(orderedQuery)
+		}
+	}))
+
+	// Rows visited by the read path, per query shape.
+	scanBefore := eRange.ScanRowsVisited()
+	ridx.MustExec(rangeQuery)
+	rangeVisited := eRange.ScanRowsVisited() - scanBefore
+	scanBefore = eRange.ScanRowsVisited()
+	ridx.MustExec(topkQuery)
+	topkVisited := eRange.ScanRowsVisited() - scanBefore
+	fmt.Printf("\nrows visited on the %d-row table: BETWEEN via ordered index %d, ORDER BY ... LIMIT 10 via Top-K %d\n",
+		writeRows, rangeVisited, topkVisited)
 
 	// Write path: planned UPDATE/DELETE. A PK point update touches one row;
 	// the non-indexed predicate falls back to the full scan, so the rows-
@@ -296,6 +340,20 @@ func printEngine() error {
 	fmt.Println("\nchosen plan for the indexed query:")
 	fmt.Println(plan.Explain())
 
+	rplan, err := eRange.NewSession("root").Plan(rangeQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nchosen plan for the range query (bounds act as the index condition):")
+	fmt.Println(rplan.Explain())
+
+	tplan, err := eRange.NewSession("root").Plan(topkQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nchosen plan for the Top-K query (sort and limit fused into the scan):")
+	fmt.Println(tplan.Explain())
+
 	upd, err := eW.NewSession("root").Plan("UPDATE t SET val = 0 WHERE id = 5")
 	if err != nil {
 		return err
@@ -307,6 +365,8 @@ func printEngine() error {
 		Experiment            string     `json:"experiment"`
 		WriteTableRows        int        `json:"write_table_rows"`
 		Benchmarks            []benchOut `json:"benchmarks"`
+		RangeScanRowsVisited  int64      `json:"range_scan_rows_visited"`
+		TopKRowsVisited       int64      `json:"topk_rows_visited"`
 		UpdateByPKRowsVisited int64      `json:"update_by_pk_rows_visited"`
 		FullScanRowsVisited   int64      `json:"full_scan_update_rows_visited"`
 		PlanCacheHits         int64      `json:"plan_cache_hits"`
@@ -315,6 +375,8 @@ func printEngine() error {
 		Experiment:            "engine",
 		WriteTableRows:        writeRows,
 		Benchmarks:            results,
+		RangeScanRowsVisited:  rangeVisited,
+		TopKRowsVisited:       topkVisited,
 		UpdateByPKRowsVisited: pkVisited,
 		FullScanRowsVisited:   fullVisited,
 		PlanCacheHits:         hits,
@@ -324,10 +386,10 @@ func printEngine() error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile("BENCH_PR2.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_PR3.json", append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Println("\nwrote BENCH_PR2.json")
+	fmt.Println("\nwrote BENCH_PR3.json")
 	return nil
 }
 

@@ -138,6 +138,56 @@ func BenchmarkOrderByLimit(b *testing.B) {
 	}
 }
 
+// BenchmarkSelectRangeScan is the 10k-row full-scan baseline for a range
+// predicate: without an ordered index every BETWEEN walks the whole table.
+func BenchmarkSelectRangeScan(b *testing.B) {
+	_, s := benchEngine(b, 10_000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT COUNT(*) FROM t WHERE grp BETWEEN 3 AND 7")
+		if r.Rows[0][0].I == 0 {
+			b.Fatal("no rows matched")
+		}
+	}
+}
+
+// BenchmarkSelectRangeIndexed runs the same BETWEEN through the index's
+// ordered face: only the in-range rows are visited. The >=10x gap against
+// BenchmarkSelectRangeScan is this PR's acceptance criterion.
+func BenchmarkSelectRangeIndexed(b *testing.B) {
+	_, s := benchEngine(b, 10_000, true)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT COUNT(*) FROM t WHERE grp BETWEEN 3 AND 7")
+		if r.Rows[0][0].I == 0 {
+			b.Fatal("no rows matched")
+		}
+	}
+}
+
+// BenchmarkTopKLimit fuses ORDER BY + LIMIT into the ordered PK scan: the
+// scan stops after 10 rows instead of materializing and sorting 10k.
+// Compare BenchmarkOrderByLimit, which sorts the whole table.
+func BenchmarkTopKLimit(b *testing.B) {
+	_, s := benchEngine(b, 10_000, false)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT id, name FROM t ORDER BY id DESC LIMIT 10")
+		if len(r.Rows) != 10 {
+			b.Fatal("top-k row count wrong")
+		}
+	}
+}
+
+// BenchmarkOrderByIndexed emits a full table in index order (no LIMIT):
+// the sort stage is skipped but every row is still materialized.
+func BenchmarkOrderByIndexed(b *testing.B) {
+	_, s := benchEngine(b, 10_000, true)
+	for i := 0; i < b.N; i++ {
+		r := s.MustExec("SELECT id FROM t ORDER BY grp")
+		if len(r.Rows) != 10_000 {
+			b.Fatal("ordered scan row count wrong")
+		}
+	}
+}
+
 // BenchmarkUpdateByPK measures the planned write path: a PK point UPDATE
 // visits exactly one row on the 10k-row table instead of scanning all of
 // them. rows-visited/op is reported as a custom metric; the ≥10× reduction

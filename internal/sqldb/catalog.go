@@ -34,13 +34,17 @@ type rowEntry struct {
 	dead bool
 }
 
-// Index is a single-column hash index.
+// Index is a single-column index with two faces: a hash map serving
+// equality lookups in O(1), and a sorted slice of the distinct non-NULL
+// values serving range scans and ordered iteration. Both are maintained
+// together by every INSERT/UPDATE/DELETE (through the table's row hooks).
 type Index struct {
 	Name   string
 	Column string
 	Unique bool
 	col    int                // column position
 	m      map[string][]int64 // value key -> live row ids
+	ord    []Value            // distinct non-NULL values, sorted by orderCompare
 }
 
 // Table is an in-memory heap of rows plus secondary structures.
@@ -58,6 +62,7 @@ type Table struct {
 	indexes map[string]*Index // keyed by lower-case column name
 	pkCols  []int             // resolved PK column positions
 	pkMap   map[string]int64  // composite PK key -> row id
+	pkOrd   []Value           // single-column PK values, sorted (nil otherwise)
 }
 
 func newTable(name string, cols []Column, pk []string, fks []ForeignKey) (*Table, error) {
@@ -131,25 +136,83 @@ func (t *Table) liveRows(fn func(*rowEntry) error) error {
 	return nil
 }
 
+// addIndex builds both faces over the existing rows. The ordered face is
+// bulk-built — hash the rows, then one sort over the distinct values —
+// rather than per-row sorted inserts, which would cost O(n^2) memmove on a
+// populated table.
 func (t *Table) addIndex(ix *Index) {
 	ix.col = t.ColIndex(ix.Column)
 	ix.m = map[string][]int64{}
+	distinct := map[string]Value{}
 	for _, r := range t.rows {
-		if !r.dead {
-			ix.add(r.vals[ix.col].Key(), r.id)
+		if r.dead {
+			continue
+		}
+		v := r.vals[ix.col]
+		key := v.Key()
+		ix.m[key] = append(ix.m[key], r.id)
+		if !v.IsNull() {
+			distinct[key] = v
 		}
 	}
+	ix.ord = make([]Value, 0, len(distinct))
+	for _, v := range distinct {
+		ix.ord = append(ix.ord, v)
+	}
+	sort.Slice(ix.ord, func(i, j int) bool { return orderCompare(ix.ord[i], ix.ord[j]) < 0 })
 	t.indexes[strings.ToLower(ix.Column)] = ix
 }
 
-func (ix *Index) add(key string, id int64) { ix.m[key] = append(ix.m[key], id) }
+// ordSearch returns the position of v in ord, or the insertion point that
+// keeps ord sorted. Within one (coerced) column, orderCompare(a, b) == 0
+// implies a.Key() == b.Key(), so the position is unique.
+func ordSearch(ord []Value, v Value) int {
+	return sort.Search(len(ord), func(i int) bool { return orderCompare(ord[i], v) >= 0 })
+}
 
-func (ix *Index) remove(key string, id int64) {
+// ordInsert adds v to the sorted slice if not already present.
+func ordInsert(ord []Value, v Value) []Value {
+	i := ordSearch(ord, v)
+	if i < len(ord) && orderCompare(ord[i], v) == 0 {
+		return ord
+	}
+	ord = append(ord, Value{})
+	copy(ord[i+1:], ord[i:])
+	ord[i] = v
+	return ord
+}
+
+// ordDelete removes v from the sorted slice if present.
+func ordDelete(ord []Value, v Value) []Value {
+	i := ordSearch(ord, v)
+	if i < len(ord) && orderCompare(ord[i], v) == 0 {
+		return append(ord[:i], ord[i+1:]...)
+	}
+	return ord
+}
+
+func (ix *Index) add(v Value, id int64) {
+	key := v.Key()
 	ids := ix.m[key]
-	for i, v := range ids {
-		if v == id {
+	if len(ids) == 0 && !v.IsNull() {
+		ix.ord = ordInsert(ix.ord, v)
+	}
+	ix.m[key] = append(ids, id)
+}
+
+func (ix *Index) remove(v Value, id int64) {
+	key := v.Key()
+	ids := ix.m[key]
+	for i, got := range ids {
+		if got == id {
 			ids[i] = ids[len(ids)-1]
 			ix.m[key] = ids[:len(ids)-1]
+			if len(ids) == 1 {
+				delete(ix.m, key)
+				if !v.IsNull() {
+					ix.ord = ordDelete(ix.ord, v)
+				}
+			}
 			return
 		}
 	}
@@ -204,9 +267,12 @@ func (t *Table) replaceVals(e *rowEntry, vals []Value) {
 func (t *Table) hookAdd(e *rowEntry) {
 	if t.pkMap != nil {
 		t.pkMap[t.pkKey(e.vals)] = e.id
+		if len(t.pkCols) == 1 {
+			t.pkOrd = ordInsert(t.pkOrd, e.vals[t.pkCols[0]])
+		}
 	}
 	for _, ix := range t.indexes {
-		ix.add(e.vals[ix.col].Key(), e.id)
+		ix.add(e.vals[ix.col], e.id)
 	}
 }
 
@@ -215,10 +281,13 @@ func (t *Table) hookRemove(e *rowEntry) {
 		k := t.pkKey(e.vals)
 		if t.pkMap[k] == e.id {
 			delete(t.pkMap, k)
+			if len(t.pkCols) == 1 {
+				t.pkOrd = ordDelete(t.pkOrd, e.vals[t.pkCols[0]])
+			}
 		}
 	}
 	for _, ix := range t.indexes {
-		ix.remove(e.vals[ix.col].Key(), e.id)
+		ix.remove(e.vals[ix.col], e.id)
 	}
 }
 
@@ -257,6 +326,102 @@ func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
 	return nil, false
 }
 
+// orderedOn returns the sorted distinct values of column col plus a lookup
+// from value to live row ids (NULL included — PK lookups just miss), via
+// the single-column primary key or an ordered secondary index. ok is false
+// when no ordered structure covers the column (caller falls back to
+// scan+sort).
+func (t *Table) orderedOn(col int) (ord []Value, idsFor func(Value) []int64, ok bool) {
+	if len(t.pkCols) == 1 && t.pkCols[0] == col {
+		idsFor = func(v Value) []int64 {
+			var sb strings.Builder
+			writeKeySegment(&sb, v)
+			if id, hit := t.pkMap[sb.String()]; hit {
+				return []int64{id}
+			}
+			return nil
+		}
+		return t.pkOrd, idsFor, true
+	}
+	if ix, hit := t.indexes[strings.ToLower(t.Columns[col].Name)]; hit {
+		idsFor = func(v Value) []int64 {
+			ids := append([]int64{}, ix.m[v.Key()]...)
+			// Buckets are swap-deleted, so restore insertion (id) order.
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		return ix.ord, idsFor, true
+	}
+	return nil, nil, false
+}
+
+// lookupRange returns ids of live rows whose column col falls within
+// [lo, hi] (nil = unbounded, inclusivity per flag), in column order —
+// reversed when desc. usable is false when no ordered structure covers the
+// column. withNulls additionally emits NULL rows at the position ORDER BY
+// gives them (last ascending, first descending; only meaningful for
+// unbounded scans serving a sort). maxRows > 0 stops emission early — the
+// Top-K fast path — and 0 means unlimited.
+func (t *Table) lookupRange(col int, lo, hi *Value, loIncl, hiIncl, desc, withNulls bool, maxRows int) ([]int64, bool) {
+	ord, idsFor, ok := t.orderedOn(col)
+	if !ok {
+		return nil, false
+	}
+	// The NULL bucket is only gathered (copied + sorted) when the scan
+	// actually emits NULL rows; bounded scans and write matching skip it.
+	var nullIDs []int64
+	if withNulls {
+		nullIDs = idsFor(Null())
+	}
+	start, end := 0, len(ord)
+	if lo != nil {
+		start = ordSearch(ord, *lo)
+		if !loIncl && start < len(ord) && orderCompare(ord[start], *lo) == 0 {
+			start++
+		}
+	}
+	if hi != nil {
+		end = ordSearch(ord, *hi)
+		if hiIncl && end < len(ord) && orderCompare(ord[end], *hi) == 0 {
+			end++
+		}
+	}
+	if start > end {
+		start = end
+	}
+	var out []int64
+	full := maxRows <= 0
+	emit := func(ids []int64) bool {
+		for _, id := range ids {
+			out = append(out, id)
+			if !full && len(out) >= maxRows {
+				return false
+			}
+		}
+		return true
+	}
+	if desc && withNulls && !emit(nullIDs) {
+		return out, true
+	}
+	if desc {
+		for i := end - 1; i >= start; i-- {
+			if !emit(idsFor(ord[i])) {
+				return out, true
+			}
+		}
+	} else {
+		for i := start; i < end; i++ {
+			if !emit(idsFor(ord[i])) {
+				return out, true
+			}
+		}
+	}
+	if !desc && withNulls {
+		emit(nullIDs)
+	}
+	return out, true
+}
+
 // Engine is a single logical database: a catalog of tables, the privilege
 // store, and the execution entry points. An Engine corresponds to one
 // PostgreSQL database in the paper's setup.
@@ -286,6 +451,12 @@ type Engine struct {
 	// and a full scan (table-sized) is asserted in tests and reported by
 	// benchrunner.
 	dmlRowsVisited atomic.Int64
+
+	// scanRowsVisited is the read-side counterpart: rows the SELECT path
+	// materialized from base tables (seq scans count the whole table, index
+	// and range scans only their matching rows). Tests assert that a range
+	// predicate on an ordered index visits only in-range rows.
+	scanRowsVisited atomic.Int64
 }
 
 // View is a named stored query. The AST is shared by every scanning
@@ -324,6 +495,11 @@ func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.stats() 
 // DMLRowsVisited returns the cumulative count of rows inspected while
 // matching UPDATE/DELETE targets.
 func (e *Engine) DMLRowsVisited() int64 { return e.dmlRowsVisited.Load() }
+
+// ScanRowsVisited returns the cumulative count of base-table rows the
+// SELECT path materialized (full table per seq scan, matching rows per
+// index/range scan).
+func (e *Engine) ScanRowsVisited() int64 { return e.scanRowsVisited.Load() }
 
 // Grants exposes the privilege store for direct configuration.
 func (e *Engine) Grants() *Grants { return e.grants }

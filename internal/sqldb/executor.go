@@ -11,9 +11,15 @@ import (
 // valid against the catalog version skips the lexer, parser, and planner
 // entirely (the engine's prepared-statement layer, see plancache.go).
 func (s *Session) Exec(sql string) (*Result, error) {
-	if ent, ok := s.engine.plans.lookup(s.user, sql); ok {
-		if res, done, err := s.execCached(ent, sql); done {
-			return res, err
+	// A forced-seq-scan session neither serves nor produces cached plans:
+	// cache entries are shared engine-wide, and an optimized entry would
+	// defeat the forcing just as a forced entry would pessimize everyone
+	// else.
+	if !s.forceSeqScan {
+		if ent, ok := s.engine.plans.lookup(s.user, sql); ok {
+			if res, done, err := s.execCached(ent, sql); done {
+				return res, err
+			}
 		}
 	}
 	stmt, err := Parse(sql)
@@ -172,6 +178,9 @@ func (s *Session) execCached(ent *cachedStmt, sql string) (res *Result, done boo
 // plan. INSERT caches as parsed-only (a hit still skips lexer and parser).
 // Everything else (DDL, grants, EXPLAIN) returns nil and is never cached.
 func (s *Session) prepare(stmt Stmt) *cachedStmt {
+	if s.forceSeqScan {
+		return nil
+	}
 	ent := &cachedStmt{
 		stmt:     stmt,
 		readOnly: isReadOnly(stmt),
@@ -350,7 +359,12 @@ func (s *Session) scanTable(name, alias string) (*rowSet, error) {
 	if q == "" {
 		q = strings.ToLower(name)
 	}
-	rs := &rowSet{}
+	// Preallocate to the table's live size: a seq scan emits exactly
+	// RowCount rows, so growth reallocations are pure waste on large tables.
+	rs := &rowSet{
+		cols: make([]string, 0, len(t.Columns)),
+		rows: make([][]Value, 0, t.RowCount()),
+	}
 	for _, c := range t.Columns {
 		rs.cols = append(rs.cols, q+"."+strings.ToLower(c.Name))
 	}
@@ -358,6 +372,7 @@ func (s *Session) scanTable(name, alias string) (*rowSet, error) {
 		rs.rows = append(rs.rows, r.vals)
 		return nil
 	})
+	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))
 	return rs, nil
 }
 
@@ -424,6 +439,9 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 	var outCols []string
 	var outRows [][]Value
 	var orderEnvs []*Env
+	// Row envs are only kept for the sort stage; an ordered scan that
+	// already emits in ORDER BY order (SortPushed) doesn't need them.
+	needEnvs := len(st.OrderBy) > 0 && !plan.SortPushed
 
 	if aggregated {
 		groups, err := s.groupRows(st, filtered, outer)
@@ -447,7 +465,9 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 			}
 			outCols = row2cols(outCols, cols)
 			outRows = append(outRows, row)
-			orderEnvs = append(orderEnvs, env)
+			if needEnvs {
+				orderEnvs = append(orderEnvs, env)
+			}
 		}
 		if len(outCols) == 0 {
 			cols, err := projectColsOnly(st.Items, filtered.cols)
@@ -457,15 +477,19 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 			outCols = cols
 		}
 	} else {
+		outRows = make([][]Value, 0, len(filtered.rows))
+		envCols := toEnvCols(filtered.cols)
 		for _, vals := range filtered.rows {
-			env := &Env{cols: toEnvCols(filtered.cols), vals: vals, outer: outer, sess: s}
+			env := &Env{cols: envCols, vals: vals, outer: outer, sess: s}
 			cols, row, err := projectRow(st.Items, env, filtered.cols)
 			if err != nil {
 				return nil, err
 			}
 			outCols = row2cols(outCols, cols)
 			outRows = append(outRows, row)
-			orderEnvs = append(orderEnvs, env)
+			if needEnvs {
+				orderEnvs = append(orderEnvs, env)
+			}
 		}
 		if len(outCols) == 0 {
 			cols, err := projectColsOnly(st.Items, filtered.cols)
@@ -480,7 +504,10 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 		outRows, orderEnvs = distinctRows(outRows, orderEnvs)
 	}
 
-	if len(st.OrderBy) > 0 {
+	// SortPushed plans emit rows in ORDER BY order straight from the
+	// ordered index scan; the sort stage is skipped exactly as EXPLAIN
+	// shows (no Sort node in the tree).
+	if len(st.OrderBy) > 0 && !plan.SortPushed {
 		if err := orderRows(st.OrderBy, outCols, outRows, orderEnvs); err != nil {
 			return nil, err
 		}
@@ -516,14 +543,24 @@ func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowS
 	out := &rowSet{cols: append(append([]string{}, left.cols...), right.cols...)}
 	envCols := toEnvCols(out.cols)
 
-	// Hash-join fast path for INNER JOIN on a simple column equality.
+	// Hash-join fast path for INNER JOIN on a simple column equality. The
+	// build side preallocates both the bucket map and a shared index arena
+	// (one int per build row), so building allocates O(1) slices instead of
+	// one per distinct key.
 	if ref.JoinKind == JoinInner && ref.On != nil {
 		if li, ri, ok := equiJoinCols(ref.On, left.cols, right.cols); ok {
 			ht := make(map[string][]int, len(right.rows))
+			arena := make([]int, 0, len(right.rows))
 			for idx, rrow := range right.rows {
 				k := rrow[ri].Key()
-				ht[k] = append(ht[k], idx)
+				if b, hit := ht[k]; hit {
+					ht[k] = append(b, idx)
+				} else {
+					arena = append(arena, idx)
+					ht[k] = arena[len(arena)-1 : len(arena):len(arena)]
+				}
 			}
+			out.rows = make([][]Value, 0, len(left.rows))
 			for _, lrow := range left.rows {
 				lv := lrow[li]
 				if lv.IsNull() {
@@ -1000,21 +1037,20 @@ func orderRows(keys []OrderKey, outCols []string, rows [][]Value, envs []*Env) e
 	return nil
 }
 
-// compareForOrder compares with PostgreSQL null ordering: NULLs sort last
-// ascending, first descending. Returns null=true when both are NULL.
+// compareForOrder compares with PostgreSQL null ordering: NULL is treated
+// as larger than every value, so NULLs sort last ascending and first
+// descending (the desc parameter is kept for call-site symmetry; the
+// caller's direction flip covers it). The desc branch used to return the
+// inverted sign, which sorted NULLs last in both directions, contradicting
+// both this comment and the ordered-index scan path. Returns null=true when
+// both are NULL.
 func compareForOrder(a, b Value, desc bool) (int, bool) {
 	switch {
 	case a.IsNull() && b.IsNull():
 		return 0, true
 	case a.IsNull():
-		if desc {
-			return -1, false
-		}
 		return 1, false
 	case b.IsNull():
-		if desc {
-			return 1, false
-		}
 		return -1, false
 	}
 	c, err := Compare(a, b)

@@ -122,7 +122,7 @@ func (n *IndexScanNode) run(s *Session, outer *Env) (*rowSet, error) {
 		// replan against a changed catalog); fall back to a full scan.
 		return s.scanTable(n.Table, n.Alias)
 	}
-	rs := &rowSet{cols: n.cols}
+	rs := &rowSet{cols: n.cols, rows: make([][]Value, 0, len(ids))}
 	// Preserve insertion order for determinism.
 	sorted := append([]int64{}, ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -131,6 +131,153 @@ func (n *IndexScanNode) run(s *Session, outer *Env) (*rowSet, error) {
 			rs.rows = append(rs.rows, e.vals)
 		}
 	}
+	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))
+	return rs, nil
+}
+
+// IndexRangeScanNode reads the rows whose indexed column falls within a
+// range, in column order, through the ordered face of an index or the
+// single-column primary key. Like the equality scan, consumed conjuncts are
+// re-checked by the enclosing FilterNode, so the bounds are purely a
+// row-count reduction — except that emission ORDER (and the Top-K cutoff,
+// when MaxRows is set) is a promise the executor relies on when the plan
+// skips its sort stage.
+type IndexRangeScanNode struct {
+	Table  string
+	Alias  string
+	Column string // the ordered column
+	Via    string // "primary key" or "index <name>"
+	Lo, Hi *Value // nil = unbounded on that side
+	LoIncl bool
+	HiIncl bool
+	Desc   bool   // emit in descending column order
+	Order  string // non-empty when the scan order serves ORDER BY (label text)
+	// CoversFilter is true when every conjunct pushed onto this scan is
+	// implied by the bounds, i.e. the enclosing filter is a pure re-check
+	// that passes every emitted row. Only then may LIMIT be fused.
+	CoversFilter bool
+	// MaxRows > 0 stops the scan after that many rows (Top-K: LIMIT+OFFSET
+	// fused into the ordered scan). 0 means unlimited.
+	MaxRows int
+
+	col  int // column position in the table
+	cols []string
+}
+
+// Label implements PlanNode.
+func (n *IndexRangeScanNode) Label() string {
+	target := n.Table
+	if n.Alias != "" && !strings.EqualFold(n.Alias, n.Table) {
+		target = n.Table + " as " + n.Alias
+	}
+	s := fmt.Sprintf("Index Range Scan on %s using %s", target, n.Via)
+	if cond := n.condString(); cond != "" {
+		s += " (" + cond + ")"
+	}
+	if n.Order != "" {
+		s += " order: " + n.Order
+	}
+	return s
+}
+
+// condString renders the bound conjunction ("grp >= 3 AND grp <= 17").
+func (n *IndexRangeScanNode) condString() string {
+	var parts []string
+	if n.Lo != nil {
+		op := ">"
+		if n.LoIncl {
+			op = ">="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", n.Column, op, n.Lo.SQLLiteral()))
+	}
+	if n.Hi != nil {
+		op := "<"
+		if n.HiIncl {
+			op = "<="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s %s", n.Column, op, n.Hi.SQLLiteral()))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Children implements PlanNode.
+func (n *IndexRangeScanNode) Children() []PlanNode { return nil }
+
+func (n *IndexRangeScanNode) staticCols() []string { return n.cols }
+
+// withNulls reports whether NULL rows belong in the emission: only for
+// unbounded ordered scans serving a sort (bounded scans exclude them, and
+// the range conjunct in the enclosing filter drops them anyway).
+func (n *IndexRangeScanNode) withNulls() bool {
+	return n.Lo == nil && n.Hi == nil && n.Order != ""
+}
+
+// inBounds replays the bound checks against one row value, mirroring the
+// ordered structure's emission: NULLs pass only when the scan emits them.
+func (n *IndexRangeScanNode) inBounds(v Value) bool {
+	if v.IsNull() {
+		return n.withNulls()
+	}
+	if n.Lo != nil {
+		c := orderCompare(v, *n.Lo)
+		if c < 0 || (c == 0 && !n.LoIncl) {
+			return false
+		}
+	}
+	if n.Hi != nil {
+		c := orderCompare(v, *n.Hi)
+		if c > 0 || (c == 0 && !n.HiIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *IndexRangeScanNode) run(s *Session, outer *Env) (*rowSet, error) {
+	t, ok := s.engine.Table(n.Table)
+	if !ok {
+		return nil, &NotFoundError{Kind: "table", Name: n.Table}
+	}
+	ids, usable := t.lookupRange(n.col, n.Lo, n.Hi, n.LoIncl, n.HiIncl, n.Desc, n.withNulls(), n.MaxRows)
+	if !usable {
+		// Stale plan: the ordered structure disappeared since planning. Fall
+		// back to a full scan, applying the bounds (the plan may have elided
+		// its re-check filter) and re-sorting when the plan promised an
+		// order. Only the MaxRows cutoff is skipped, which over- rather than
+		// under-produces; LIMIT/OFFSET still apply downstream.
+		rs, err := s.scanTable(n.Table, n.Alias)
+		if err != nil {
+			return nil, err
+		}
+		kept := rs.rows[:0]
+		for _, row := range rs.rows {
+			if n.inBounds(row[n.col]) {
+				kept = append(kept, row)
+			}
+		}
+		rs.rows = kept
+		if n.Order == "" {
+			return rs, nil
+		}
+		sort.SliceStable(rs.rows, func(i, j int) bool {
+			c, null := compareForOrder(rs.rows[i][n.col], rs.rows[j][n.col], n.Desc)
+			if null || c == 0 {
+				return false
+			}
+			if n.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		return rs, nil
+	}
+	rs := &rowSet{cols: n.cols, rows: make([][]Value, 0, len(ids))}
+	for _, id := range ids {
+		if e, ok := t.byID[id]; ok && !e.dead {
+			rs.rows = append(rs.rows, e.vals)
+		}
+	}
+	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))
 	return rs, nil
 }
 
@@ -243,6 +390,14 @@ type SelectPlan struct {
 	Stmt     *SelectStmt
 	Source   SourceNode // nil for FROM-less SELECT
 	Residual Expr       // nil when fully pushed down (or no WHERE)
+	// SortPushed is true when the source emits rows already in ORDER BY
+	// order (an ordered index scan); the executor skips its sort stage.
+	SortPushed bool
+	// TopK is true when LIMIT/OFFSET is additionally fused into the ordered
+	// scan (MaxRows on the range scan node): the scan stops after
+	// offset+limit rows instead of materializing the table. The plan's
+	// limit stage still runs — it slices off the OFFSET prefix.
+	TopK bool
 }
 
 // Tree returns the plan as a display tree, outermost operator first.
@@ -275,7 +430,7 @@ func (p *SelectPlan) Tree() PlanNode {
 	if st.Distinct {
 		node = &displayNode{label: "Distinct", child: node}
 	}
-	if len(st.OrderBy) > 0 {
+	if len(st.OrderBy) > 0 && !p.SortPushed {
 		keys := make([]string, len(st.OrderBy))
 		for i, k := range st.OrderBy {
 			keys[i] = k.Expr.String()
@@ -285,7 +440,16 @@ func (p *SelectPlan) Tree() PlanNode {
 		}
 		node = &displayNode{label: "Sort: " + strings.Join(keys, ", "), child: node}
 	}
-	if st.Limit != nil || st.Offset != nil {
+	if p.TopK {
+		// Sort and limit both execute inside the ordered scan: the index
+		// supplies the order and MaxRows stops it after offset+limit rows.
+		label := "Top-K (limit " + st.Limit.String()
+		if st.Offset != nil {
+			label += " offset " + st.Offset.String()
+		}
+		label += "): " + orderKeyLabel(st.OrderBy[0])
+		node = &displayNode{label: label, child: node}
+	} else if st.Limit != nil || st.Offset != nil {
 		label := "Limit"
 		if st.Limit != nil {
 			label += " " + st.Limit.String()
@@ -296,6 +460,15 @@ func (p *SelectPlan) Tree() PlanNode {
 		node = &displayNode{label: label, child: node}
 	}
 	return node
+}
+
+// orderKeyLabel renders one ORDER BY key for plan labels.
+func orderKeyLabel(k OrderKey) string {
+	s := k.Expr.String()
+	if k.Desc {
+		s += " DESC"
+	}
+	return s
 }
 
 func projectLabel(items []SelectItem) string {
@@ -322,7 +495,7 @@ func projectLabel(items []SelectItem) string {
 // executes.
 type WritePlan struct {
 	Table  string
-	Access SourceNode // *SeqScanNode or *IndexScanNode
+	Access SourceNode // *SeqScanNode, *IndexScanNode, or *IndexRangeScanNode
 	Where  Expr       // full predicate; the index covers one conjunct of it
 }
 
@@ -357,32 +530,47 @@ func (p *WritePlan) matchEntries(s *Session) ([]*rowEntry, error) {
 		return !v.IsNull() && v.Truthy(), nil
 	}
 
-	if ix, isIndex := p.Access.(*IndexScanNode); isIndex {
-		ids, usable := t.lookupEq(ix.col, ix.Val)
-		if usable {
+	// Index access paths (equality bucket or ordered range) reduce the
+	// candidate set before the per-row WHERE re-check.
+	var candidateIDs []int64
+	usable := false
+	switch ix := p.Access.(type) {
+	case *IndexScanNode:
+		var ids []int64
+		if ids, usable = t.lookupEq(ix.col, ix.Val); usable {
 			// Preserve insertion order for determinism.
-			sorted := append([]int64{}, ids...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-			var out []*rowEntry
-			for _, id := range sorted {
-				e, live := t.byID[id]
-				if !live || e.dead {
-					continue
-				}
-				s.engine.dmlRowsVisited.Add(1)
-				ok, err := keep(e)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					out = append(out, e)
-				}
-			}
-			return out, nil
+			candidateIDs = append([]int64{}, ids...)
+			sort.Slice(candidateIDs, func(i, j int) bool { return candidateIDs[i] < candidateIDs[j] })
 		}
-		// The access path disappeared between plan and execution (stale
-		// cached plan against a changed catalog); fall back to a full scan.
+	case *IndexRangeScanNode:
+		candidateIDs, usable = t.lookupRange(ix.col, ix.Lo, ix.Hi, ix.LoIncl, ix.HiIncl, false, false, 0)
+		if usable {
+			// Write matching has no ordering contract; restore insertion
+			// order so UPDATE/DELETE touch rows deterministically.
+			sort.Slice(candidateIDs, func(i, j int) bool { return candidateIDs[i] < candidateIDs[j] })
+		}
 	}
+	if usable {
+		var out []*rowEntry
+		for _, id := range candidateIDs {
+			e, live := t.byID[id]
+			if !live || e.dead {
+				continue
+			}
+			s.engine.dmlRowsVisited.Add(1)
+			ok, err := keep(e)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, e)
+			}
+		}
+		return out, nil
+	}
+	// Either a seq-scan plan, or the access path disappeared between plan
+	// and execution (stale cached plan against a changed catalog); fall
+	// back to a full scan.
 
 	var out []*rowEntry
 	var evalErr error

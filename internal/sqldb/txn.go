@@ -100,6 +100,13 @@ type Session struct {
 	// mid-statement failure (e.g. a constraint violation on the third row
 	// of a multi-row INSERT) rolls back just that statement.
 	stmtUndo *Txn
+	// forceSeqScan makes the planner skip every access-path upgrade and
+	// sort/limit pushdown for this session, the engine's equivalent of
+	// PostgreSQL's enable_indexscan=off. Access-path equivalence tests
+	// compare optimized plans against this forced baseline. A forced
+	// session is excluded from the shared plan cache in both directions
+	// (see Session.Exec and prepare).
+	forceSeqScan bool
 }
 
 // NewSession opens a session for user.

@@ -171,6 +171,35 @@ func Compare(a, b Value) (int, error) {
 	return 0, fmt.Errorf("cannot compare %s with %s", a.Kind, b.Kind)
 }
 
+// orderCompare is the total order ordered indexes sort by. It agrees with
+// Compare wherever Compare is defined (same column after coercion: numeric
+// with numeric, text with text, bool with bool) and falls back to ranking by
+// kind for value pairs Compare rejects, so sorted index slices always have a
+// consistent order even if a caller mixes kinds. NULLs order first, though
+// ordered structures exclude them (they live in the hash bucket only).
+func orderCompare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if c, err := Compare(a, b); err == nil {
+		return c
+	}
+	switch {
+	case a.Kind < b.Kind:
+		return -1
+	case a.Kind > b.Kind:
+		return 1
+	}
+	return 0
+}
+
 // Equal reports whether two values are equal under Compare semantics.
 // Two NULLs are considered equal here (used for grouping and index keys,
 // matching SQL's IS NOT DISTINCT FROM), unlike the = operator which yields
