@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"bridgescope/internal/experiments"
@@ -184,10 +186,11 @@ func printIdeal(cfg experiments.Config) error {
 // vs index scan (equality) vs index range scan (the ordered face), Top-K
 // ORDER BY/LIMIT fusion, single-session vs parallel sessions (the shared
 // read lock), the planned write path (UPDATE/DELETE access-path selection),
-// and the plan cache. These are the microbenchmarks behind the planner,
-// write-path, and ordered-index refactors; `go test -bench . ./internal/sqldb`
-// runs the full suite. Results are also written to BENCH_PR3.json so the
-// perf trajectory is recorded per run.
+// the plan cache, and — new with the durability subsystem — commit
+// throughput across WAL sync modes (group commit vs fsync-per-commit vs
+// no-fsync vs in-memory). `go test -bench . ./internal/sqldb` runs the full
+// suite. Results are also written to BENCH_PR4.json so the perf trajectory
+// is recorded per run.
 func printEngine() error {
 	header("Engine — access paths, ordered indexes, Top-K, plan cache")
 
@@ -361,6 +364,94 @@ func printEngine() error {
 	fmt.Println("\nchosen plan for the PK update (the executor runs this exact access path):")
 	fmt.Println(upd.Explain())
 
+	// Durability: commit throughput per WAL sync mode. "always" is the
+	// single-fsync-per-commit baseline; "batch" is group commit under 16
+	// concurrent committers (each still waits for its group's fsync before
+	// the statement is acknowledged); "off" leaves flushing to the OS;
+	// "memory" is the WAL-free engine for reference.
+	fmt.Println()
+	header("Engine — durable commit throughput (WAL sync modes)")
+	openDurable := func(mode sqldb.SyncMode) (*sqldb.Engine, func(), error) {
+		dir, err := os.MkdirTemp("", "benchwal-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := sqldb.OpenEngine(dir, sqldb.Options{Sync: mode, CheckpointEvery: -1})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY, val REAL)`)
+		return e, func() { e.Close(); os.RemoveAll(dir) }, nil
+	}
+
+	var alwaysNs, batchNs float64
+	commitSeq := func(name string, mode sqldb.SyncMode) error {
+		e, cleanup, err := openDurable(mode)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		s := e.NewSession("root")
+		var id atomic.Int64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", id.Add(1)))
+			}
+		})
+		report(name, r)
+		if mode == sqldb.SyncAlways {
+			alwaysNs = results[len(results)-1].NsPerOp
+		}
+		return nil
+	}
+	if err := commitSeq("CommitDurableAlways", sqldb.SyncAlways); err != nil {
+		return err
+	}
+
+	// Group commit: 16 committing goroutines regardless of GOMAXPROCS.
+	eBatch, cleanupBatch, err := openDurable(sqldb.SyncBatch)
+	if err != nil {
+		return err
+	}
+	var batchID atomic.Int64
+	rBatch := testing.Benchmark(func(b *testing.B) {
+		// ~16 goroutines regardless of GOMAXPROCS (RunParallel spawns
+		// p*GOMAXPROCS workers).
+		b.SetParallelism(max(1, (16+runtime.GOMAXPROCS(0)-1)/runtime.GOMAXPROCS(0)))
+		b.RunParallel(func(pb *testing.PB) {
+			s := eBatch.NewSession("root")
+			for pb.Next() {
+				s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", batchID.Add(1)))
+			}
+		})
+	})
+	report("CommitDurableBatch16", rBatch)
+	batchNs = results[len(results)-1].NsPerOp
+	batchStats := eBatch.Durability()
+	cleanupBatch()
+
+	if err := commitSeq("CommitDurableOff", sqldb.SyncOff); err != nil {
+		return err
+	}
+	eMem := sqldb.NewEngine("mem")
+	sMem := eMem.NewSession("root")
+	sMem.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, val REAL)`)
+	var memID atomic.Int64
+	report("CommitMemory", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sMem.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", memID.Add(1)))
+		}
+	}))
+
+	speedup := alwaysNs / batchNs
+	groupSize := 0.0
+	if batchStats.GroupFlushes > 0 {
+		groupSize = float64(batchStats.Commits) / float64(batchStats.GroupFlushes)
+	}
+	fmt.Printf("\ngroup commit: %.1fx the throughput of fsync-per-commit (%.1f commits per fsync, %d commits / %d fsyncs)\n",
+		speedup, groupSize, batchStats.Commits, batchStats.Fsyncs)
+
 	out := struct {
 		Experiment            string     `json:"experiment"`
 		WriteTableRows        int        `json:"write_table_rows"`
@@ -371,6 +462,10 @@ func printEngine() error {
 		FullScanRowsVisited   int64      `json:"full_scan_update_rows_visited"`
 		PlanCacheHits         int64      `json:"plan_cache_hits"`
 		PlanCacheMisses       int64      `json:"plan_cache_misses"`
+		GroupCommitSpeedup    float64    `json:"group_commit_speedup_vs_always"`
+		GroupCommitBatchSize  float64    `json:"group_commit_avg_batch_size"`
+		GroupCommitCommits    int64      `json:"group_commit_commits"`
+		GroupCommitFsyncs     int64      `json:"group_commit_fsyncs"`
 	}{
 		Experiment:            "engine",
 		WriteTableRows:        writeRows,
@@ -381,15 +476,19 @@ func printEngine() error {
 		FullScanRowsVisited:   fullVisited,
 		PlanCacheHits:         hits,
 		PlanCacheMisses:       misses,
+		GroupCommitSpeedup:    speedup,
+		GroupCommitBatchSize:  groupSize,
+		GroupCommitCommits:    batchStats.Commits,
+		GroupCommitFsyncs:     batchStats.Fsyncs,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile("BENCH_PR3.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile("BENCH_PR4.json", append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Println("\nwrote BENCH_PR3.json")
+	fmt.Println("\nwrote BENCH_PR4.json")
 	return nil
 }
 

@@ -1,7 +1,13 @@
 // Command sqlshell is an interactive shell over the embedded sqldb engine.
-// It starts with the BIRD-Ext benchmark database loaded and a superuser
-// session; use \user to switch identities and exercise the privilege
-// system.
+// By default it starts with the BIRD-Ext benchmark database loaded in
+// memory and a superuser session; with -data it opens (or creates) a
+// persistent database instead — every committed statement is written to a
+// write-ahead log under the directory and the full state survives restarts.
+// Use \user to switch identities and exercise the privilege system.
+//
+// Usage:
+//
+//	sqlshell [-seed N] [-data DIR] [-sync off|batch|always]
 //
 // Meta commands:
 //
@@ -10,11 +16,14 @@
 //	\user <name>    switch the session user
 //	\grant <user> <action> <table>   grant a privilege (superuser)
 //	\cache          show plan-cache hit/miss counters and catalog version
-//	\q              quit
+//	\wal            show durability stats (sync mode, commits, fsyncs, ...)
+//	\checkpoint     force a snapshot + WAL truncation (persistent mode)
+//	\q              quit (persistent mode: checkpoint and close cleanly)
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +35,32 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "benchmark data seed")
+	data := flag.String("data", "", "persistent database directory (empty = in-memory BIRD-Ext)")
+	syncMode := flag.String("sync", "batch", "WAL sync mode with -data: off, batch (group commit), always")
 	flag.Parse()
 
-	engine := birdext.BuildEngine(*seed)
+	var engine *sqldb.Engine
+	if *data != "" {
+		mode, ok := sqldb.ParseSyncMode(*syncMode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -sync mode %q (want off, batch, or always)\n", *syncMode)
+			os.Exit(1)
+		}
+		var err error
+		engine, err = sqldb.OpenEngine(*data, sqldb.Options{Sync: mode})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer engine.Close()
+		n := len(engine.TableNames())
+		fmt.Printf("sqlshell — persistent database at %s (sync=%s, %d table(s) recovered, user: root)\n",
+			*data, mode, n)
+	} else {
+		engine = birdext.BuildEngine(*seed)
+		fmt.Println("sqlshell — embedded engine with the BIRD-Ext database (user: root)")
+	}
 	session := engine.NewSession("root")
-	fmt.Println("sqlshell — embedded engine with the BIRD-Ext database (user: root)")
 	fmt.Println(`type SQL terminated by newline, \d to list tables, \q to quit`)
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -108,6 +138,34 @@ func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) boo
 		}
 		fmt.Printf("plan cache: %d hits, %d misses (%.0f%% hit rate), catalog version %d\n",
 			hits, misses, ratio*100, engine.CatalogVersion())
+	case `\wal`:
+		st := engine.Durability()
+		if !st.Durable {
+			fmt.Println("durability: in-memory engine (no WAL; start with -data DIR to persist)")
+			return false
+		}
+		fmt.Printf("durability: dir=%s sync=%s\n", st.Dir, st.Mode)
+		fmt.Printf("  commits %d (records %d), lsn %d\n", st.Commits, st.Records, st.LSN)
+		fmt.Printf("  fsyncs %d, group flushes %d", st.Fsyncs, st.GroupFlushes)
+		if st.GroupFlushes > 0 {
+			fmt.Printf(" (%.1f commits/fsync)", float64(st.Commits)/float64(st.GroupFlushes))
+		}
+		fmt.Println()
+		fmt.Printf("  wal segment %d (%d bytes, %d appended total), checkpoints %d\n",
+			st.Segment, st.WALSize, st.WALBytes, st.Checkpoints)
+	case `\checkpoint`:
+		if !engine.Durability().Durable {
+			fmt.Println("durability: in-memory engine (no WAL; start with -data DIR to persist)")
+			return false
+		}
+		switch err := engine.Checkpoint(); {
+		case errors.Is(err, sqldb.ErrCheckpointSkipped):
+			fmt.Println("checkpoint skipped: a transaction is open (COMMIT or ROLLBACK first)")
+		case err != nil:
+			fmt.Println("error:", err)
+		default:
+			fmt.Println("checkpointed")
+		}
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}

@@ -67,6 +67,18 @@ type ObjectInfo struct {
 	Kind string // "table" (views would add "view")
 }
 
+// DurabilityStats is the backend-agnostic view of a connection's
+// persistence layer (write-ahead logging, group commit, checkpoints).
+type DurabilityStats struct {
+	Durable      bool   `json:"durable"`
+	Mode         string `json:"mode"` // "memory", "off", "batch", "always"
+	Commits      int64  `json:"commits"`
+	Fsyncs       int64  `json:"fsyncs"`
+	GroupFlushes int64  `json:"group_flushes"`
+	WALBytes     int64  `json:"wal_bytes"`
+	Checkpoints  int64  `json:"checkpoints"`
+}
+
 // Conn is the unified database interface all BridgeScope tools are built
 // on. One Conn represents one authenticated connection: it executes under a
 // fixed database user and owns that user's transaction state. Implementing
@@ -108,6 +120,11 @@ type Conn interface {
 	// parse and plan (misses). Backends without a statement cache report
 	// (0, 0).
 	CacheStats() (hits, misses int64)
+
+	// Durability reports the backend's persistence counters: the sync mode
+	// and the WAL/checkpoint activity behind committed writes. Purely
+	// in-memory backends report Durable=false.
+	Durability() DurabilityStats
 
 	// IsPermissionDenied reports whether an error returned by Exec is a
 	// database-side privilege rejection.
@@ -299,6 +316,21 @@ func (c *SQLDBConn) Explain(sql string) (string, error) {
 // sessions.
 func (c *SQLDBConn) CacheStats() (hits, misses int64) {
 	return c.sess.Engine().PlanCacheStats()
+}
+
+// Durability implements Conn. Like CacheStats, the counters are engine-wide:
+// the WAL is shared by every connection to the engine.
+func (c *SQLDBConn) Durability() DurabilityStats {
+	st := c.sess.Engine().Durability()
+	return DurabilityStats{
+		Durable:      st.Durable,
+		Mode:         st.Mode,
+		Commits:      st.Commits,
+		Fsyncs:       st.Fsyncs,
+		GroupFlushes: st.GroupFlushes,
+		WALBytes:     st.WALBytes,
+		Checkpoints:  st.Checkpoints,
+	}
 }
 
 // IsPermissionDenied implements Conn.

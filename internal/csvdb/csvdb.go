@@ -30,11 +30,39 @@ type Store struct {
 
 // Open loads every .csv file in dir as a table named after the file.
 func Open(dir string) (*Store, error) {
-	entries, err := os.ReadDir(dir)
+	engine := sqldb.NewEngine("csv:" + filepath.Base(dir))
+	if err := loadDir(engine, dir); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, engine: engine}, nil
+}
+
+// OpenDurable is Open backed by a persistent engine rooted at stateDir
+// (WAL + snapshots, see sqldb.OpenEngine): recovered state — including any
+// DML applied in earlier runs — takes precedence, and only CSV files whose
+// table does not already exist are (re)loaded. Callers must Close the store
+// to release the directory lock and checkpoint cleanly.
+func OpenDurable(dir, stateDir string, opts sqldb.Options) (*Store, error) {
+	if opts.Name == "" {
+		opts.Name = "csv:" + filepath.Base(dir)
+	}
+	engine, err := sqldb.OpenEngine(stateDir, opts)
 	if err != nil {
 		return nil, fmt.Errorf("csvdb: %w", err)
 	}
-	engine := sqldb.NewEngine("csv:" + filepath.Base(dir))
+	if err := loadDir(engine, dir); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	return &Store{dir: dir, engine: engine}, nil
+}
+
+// loadDir loads each CSV whose table is not already present in the engine.
+func loadDir(engine *sqldb.Engine, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("csvdb: %w", err)
+	}
 	root := engine.NewSession("root")
 	var names []string
 	for _, e := range entries {
@@ -45,11 +73,24 @@ func Open(dir string) (*Store, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if _, exists := engine.Table(TableName(name)); exists {
+			continue // recovered from the durable state; don't re-seed
+		}
 		if err := loadCSV(root, filepath.Join(dir, name)); err != nil {
-			return nil, fmt.Errorf("csvdb: loading %s: %w", name, err)
+			return fmt.Errorf("csvdb: loading %s: %w", name, err)
 		}
 	}
-	return &Store{dir: dir, engine: engine}, nil
+	return nil
+}
+
+// Close checkpoints and releases a durable store's engine; it is a no-op
+// for purely in-memory stores.
+func (s *Store) Close() error { return s.engine.Close() }
+
+// Durability reports the store's persistence counters through the same
+// backend-agnostic surface as every Conn.
+func (s *Store) Durability() core.DurabilityStats {
+	return s.Conn("root").Durability()
 }
 
 // Engine exposes the underlying engine (e.g. to configure grants).
@@ -129,11 +170,19 @@ func loadCSV(root *sqldb.Session, path string) error {
 		fmt.Fprintf(&ddl, "%s %s", sanitizeIdent(col), kindSQL(kinds[i]))
 	}
 	ddl.WriteString(")")
+	// Seed CREATE + INSERT as one transaction. On a durable engine a bare
+	// CREATE would commit on its own, and a subsequent INSERT failure would
+	// leave an empty table in the WAL that shadows the CSV on every later
+	// open (loadDir skips files whose table already exists).
+	if err := root.Begin(); err != nil {
+		return err
+	}
 	if _, err := root.Exec(ddl.String()); err != nil {
+		_ = root.Rollback()
 		return err
 	}
 	if len(rows) == 0 {
-		return nil
+		return root.Commit()
 	}
 	var ins strings.Builder
 	fmt.Fprintf(&ins, "INSERT INTO %s VALUES ", table)
@@ -154,8 +203,11 @@ func loadCSV(root *sqldb.Session, path string) error {
 		}
 		ins.WriteString(")")
 	}
-	_, err = root.Exec(ins.String())
-	return err
+	if _, err := root.Exec(ins.String()); err != nil {
+		_ = root.Rollback()
+		return err
+	}
+	return root.Commit()
 }
 
 func sanitizeIdent(s string) string {

@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -267,5 +269,56 @@ func BenchmarkTransactionRollback(b *testing.B) {
 		s.MustExec("BEGIN")
 		s.MustExec("UPDATE t SET val = val * 1.01 WHERE grp < 10")
 		s.MustExec("ROLLBACK")
+	}
+}
+
+// durableBenchEngine opens a WAL-backed engine in a fresh temp dir with one
+// table, cleaned up when the benchmark ends.
+func durableBenchEngine(b *testing.B, mode SyncMode) *Engine {
+	b.Helper()
+	e, err := OpenEngine(b.TempDir(), Options{Sync: mode, CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = e.Close() })
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY, val REAL)`)
+	b.ResetTimer()
+	return e
+}
+
+// BenchmarkCommitDurableAlways is the single-fsync baseline: every commit
+// pays its own fsync before it is acknowledged.
+func BenchmarkCommitDurableAlways(b *testing.B) {
+	e := durableBenchEngine(b, SyncAlways)
+	s := e.NewSession("root")
+	for i := 0; i < b.N; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", i))
+	}
+}
+
+// BenchmarkCommitDurableBatch measures group commit under concurrency:
+// parallel sessions enqueue commits and share fsyncs, but each still waits
+// for its group's fsync before returning.
+func BenchmarkCommitDurableBatch(b *testing.B) {
+	e := durableBenchEngine(b, SyncBatch)
+	var next atomic.Int64
+	// ~16 committing goroutines regardless of GOMAXPROCS (RunParallel spawns
+	// p*GOMAXPROCS): group commit is about concurrent *commits*, not CPU
+	// parallelism.
+	b.SetParallelism(max(1, (16+runtime.GOMAXPROCS(0)-1)/runtime.GOMAXPROCS(0)))
+	b.RunParallel(func(pb *testing.PB) {
+		s := e.NewSession("root")
+		for pb.Next() {
+			s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", next.Add(1)))
+		}
+	})
+}
+
+// BenchmarkCommitDurableOff writes commits to the OS page cache only.
+func BenchmarkCommitDurableOff(b *testing.B) {
+	e := durableBenchEngine(b, SyncOff)
+	s := e.NewSession("root")
+	for i := 0; i < b.N; i++ {
+		s.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, 1.0)", i))
 	}
 }

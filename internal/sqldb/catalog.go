@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -32,6 +33,13 @@ type rowEntry struct {
 	id   int64
 	vals []Value
 	dead bool
+	// deadDurable marks a tombstone whose deleting transaction has
+	// committed (set at that commit, cleared by resurrect). encodeRedo
+	// needs the distinction: a row tombstoned by a still-open transaction
+	// may be resurrected by its rollback, so redo records for it must be
+	// kept; a committed deletion is (or will be) logged by its own
+	// transaction, so they must be dropped.
+	deadDurable bool
 }
 
 // Index is a single-column index with two faces: a hash map serving
@@ -53,6 +61,13 @@ type Table struct {
 	Columns     []Column
 	PrimaryKey  []string
 	ForeignKeys []ForeignKey
+
+	// epoch identifies this incarnation of the table: assigned by
+	// createTable from an engine-wide counter, preserved by snapshots and
+	// WAL replay. Redo records carry it so replay can tell DML aimed at a
+	// dropped-and-recreated table of the same name from DML aimed at the
+	// current one (see the WAL record-type comment in wal.go).
+	epoch uint64
 
 	rows    []*rowEntry
 	byID    map[int64]*rowEntry
@@ -252,6 +267,7 @@ func (t *Table) resurrect(e *rowEntry) {
 		return
 	}
 	e.dead = false
+	e.deadDurable = false
 	t.deadCnt--
 	t.hookAdd(e)
 }
@@ -288,6 +304,35 @@ func (t *Table) hookRemove(e *rowEntry) {
 	}
 	for _, ix := range t.indexes {
 		ix.remove(e.vals[ix.col], e.id)
+	}
+}
+
+// rebuildPK bulk-builds the primary-key map and (for single-column keys)
+// the ordered face over the existing rows: hash every live row, then one
+// sort — the same shape as addIndex, used by the snapshot loader instead of
+// per-row sorted inserts.
+func (t *Table) rebuildPK() {
+	if t.pkMap == nil {
+		return
+	}
+	t.pkMap = make(map[string]int64, len(t.rows))
+	single := len(t.pkCols) == 1
+	var ord []Value
+	if single {
+		ord = make([]Value, 0, len(t.rows))
+	}
+	for _, r := range t.rows {
+		if r.dead {
+			continue
+		}
+		t.pkMap[t.pkKey(r.vals)] = r.id
+		if single {
+			ord = append(ord, r.vals[t.pkCols[0]])
+		}
+	}
+	if single {
+		sort.Slice(ord, func(i, j int) bool { return orderCompare(ord[i], ord[j]) < 0 })
+		t.pkOrd = ord
 	}
 }
 
@@ -437,6 +482,9 @@ type Engine struct {
 	views      map[string]*View  // lower-case name -> view
 	viewOrder  []string
 	grants     *Grants
+	// epochCounter feeds Table.epoch (under mu, via createTable); replay
+	// and snapshot load keep it ahead of every epoch they restore.
+	epochCounter uint64
 
 	// catalogVersion counts catalog mutations (DDL and grant changes). The
 	// plan cache keys every entry to the version it was planned against, so
@@ -457,6 +505,114 @@ type Engine struct {
 	// and range scans only their matching rows). Tests assert that a range
 	// predicate on an ordered index visits only in-range rows.
 	scanRowsVisited atomic.Int64
+
+	// Durability (engines opened with OpenEngine; all nil/zero for
+	// in-memory engines created with NewEngine). wal is atomic because the
+	// grants logger reads it without the engine lock and Close swaps it out.
+	wal      atomic.Pointer[wal]
+	dir      string
+	lockFile *os.File
+	closed   atomic.Bool
+	// ckptMu serializes Checkpoint calls (manual, background, Close); the
+	// last-checkpoint markers below are only touched under it.
+	ckptMu          sync.Mutex
+	lastCkptLSN     uint64
+	lastCkptVersion uint64
+	ckptQuit        chan struct{}
+	ckptDone        chan struct{}
+	// grantWALErr parks a failed WAL append for a privilege mutation (the
+	// Grants store's mutators return no error); execGrant/execRevoke take
+	// and surface it.
+	grantWALErr atomic.Pointer[error]
+	// grantSink, when set, collects privilege WAL records fired during a
+	// GRANT/REVOKE statement so the whole statement commits as one frame
+	// with one durability wait (see Engine.logGrantsBatched).
+	grantSink atomic.Pointer[grantSink]
+	// openTxns counts sessions with an open transaction. Checkpoints are
+	// skipped while it is non-zero: an open transaction's uncommitted rows
+	// live in the heap (READ UNCOMMITTED) but not in the WAL, so a snapshot
+	// taken now would make them durable (breaking rollback) and collide
+	// with the transaction's own redo frame on replay if it commits.
+	openTxns atomic.Int64
+}
+
+// grantSink accumulates privilege WAL records for one statement. closed
+// flips (under mu) once the owning statement has drained recs: a logger
+// that loaded the sink pointer just before it was cleared must not append
+// to a drained sink — the record would never reach the WAL — so on closed
+// it falls back to the direct commit path instead.
+type grantSink struct {
+	mu     sync.Mutex
+	recs   [][]byte
+	closed bool
+}
+
+// logGrantsBatched runs fn (a sequence of Grants mutations) with the
+// privilege logger redirected into a per-statement sink, then appends the
+// collected records as a single WAL frame and waits for it once. Returns
+// the durability error, if any. On in-memory engines it just runs fn.
+func (e *Engine) logGrantsBatched(fn func()) error {
+	sink := &grantSink{}
+	e.grantSink.Store(sink)
+	fn()
+	e.grantSink.Store(nil)
+	sink.mu.Lock()
+	recs := sink.recs
+	sink.closed = true
+	sink.mu.Unlock()
+	if w := e.wal.Load(); w != nil && len(recs) > 0 {
+		return w.commit(recs).wait()
+	}
+	return nil
+}
+
+// takeGrantWALErr returns and clears a parked privilege-logging error.
+func (e *Engine) takeGrantWALErr() error {
+	if p := e.grantWALErr.Swap(nil); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// DurabilityStats reports the persistence subsystem's counters. For an
+// in-memory engine only Durable=false and Mode="memory" are meaningful.
+type DurabilityStats struct {
+	Durable      bool   // true when the engine is backed by a WAL directory
+	Dir          string // WAL/snapshot directory
+	Mode         string // sync mode: off, batch, always (or "memory")
+	Commits      int64  // transactions appended to the WAL
+	Records      int64  // individual redo records appended
+	Fsyncs       int64  // fsync calls issued
+	GroupFlushes int64  // group-commit batches flushed (batch mode)
+	WALBytes     int64  // total bytes appended since open
+	WALSize      int64  // bytes in the active segment
+	Segment      uint64 // active segment number
+	LSN          uint64 // last committed log sequence number
+	Checkpoints  int64  // snapshots written since open
+}
+
+// Durability returns the engine's persistence counters.
+func (e *Engine) Durability() DurabilityStats {
+	w := e.wal.Load()
+	if w == nil {
+		return DurabilityStats{Mode: "memory"}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return DurabilityStats{
+		Durable:      true,
+		Dir:          e.dir,
+		Mode:         w.mode.String(),
+		Commits:      w.commits,
+		Records:      w.records,
+		Fsyncs:       w.fsyncs,
+		GroupFlushes: w.groupFlushes,
+		WALBytes:     w.bytes,
+		WALSize:      w.size + int64(len(w.pending)),
+		Segment:      w.seg,
+		LSN:          w.lsn,
+		Checkpoints:  w.checkpoints,
+	}
 }
 
 // View is a named stored query. The AST is shared by every scanning
@@ -565,7 +721,9 @@ func (e *Engine) dropView(name string) (*View, error) {
 	return v, nil
 }
 
-// createTable registers a table in the catalog.
+// createTable registers a table in the catalog and assigns its epoch. A
+// table arriving with a non-zero epoch (snapshot load, WAL replay) keeps it;
+// either way the counter stays ahead so later incarnations never reuse one.
 func (e *Engine) createTable(t *Table) error {
 	lo := strings.ToLower(t.Name)
 	if _, exists := e.tables[lo]; exists {
@@ -573,6 +731,12 @@ func (e *Engine) createTable(t *Table) error {
 	}
 	if _, exists := e.views[lo]; exists {
 		return fmt.Errorf("view %q already exists", t.Name)
+	}
+	if t.epoch == 0 {
+		e.epochCounter++
+		t.epoch = e.epochCounter
+	} else if t.epoch > e.epochCounter {
+		e.epochCounter = t.epoch
 	}
 	e.tables[lo] = t
 	e.tableOrder = append(e.tableOrder, lo)

@@ -63,6 +63,7 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		}
 		e := t.insertEntry(vals)
 		s.record(undoOp{kind: undoInsert, table: t, entry: e})
+		s.redoInsert(t, e)
 		inserted++
 	}
 	return &Result{Affected: inserted, Message: fmt.Sprintf("INSERT 0 %d", inserted)}, nil
@@ -301,6 +302,7 @@ func (s *Session) execUpdate(st *UpdateStmt, wp *WritePlan) (*Result, error) {
 		old := append([]Value{}, e.vals...)
 		t.replaceVals(e, newVals)
 		s.record(undoOp{kind: undoUpdate, table: t, entry: e, oldVals: old})
+		s.redoUpdate(t, e)
 	}
 	return &Result{Affected: len(matches), Message: fmt.Sprintf("UPDATE %d", len(matches))}, nil
 }
@@ -342,6 +344,7 @@ func (s *Session) execDelete(st *DeleteStmt, wp *WritePlan) (*Result, error) {
 		}
 		t.markDead(e)
 		s.record(undoOp{kind: undoDelete, table: t, entry: e})
+		s.redoDelete(t, e)
 	}
 	return &Result{Affected: len(matches), Message: fmt.Sprintf("DELETE %d", len(matches))}, nil
 }
@@ -430,6 +433,10 @@ func (s *Session) execCreateTable(st *CreateTableStmt) (*Result, error) {
 		return nil, err
 	}
 	s.record(undoOp{kind: undoCreate, table: t})
+	// SchemaSQL renders the resolved definition (types, PK, FKs) in the
+	// exact dialect the parser accepts back, so replay re-creates the table
+	// through the normal DDL path.
+	s.redoCreateTable(t)
 	return &Result{Message: "CREATE TABLE"}, nil
 }
 
@@ -453,6 +460,7 @@ func (s *Session) execDropTable(st *DropTableStmt) (*Result, error) {
 		return nil, err
 	}
 	s.record(undoOp{kind: undoDrop, table: t, tablePos: pos})
+	s.redoDDL("DROP TABLE " + t.Name)
 	return &Result{Message: "DROP TABLE"}, nil
 }
 
@@ -491,6 +499,11 @@ func (s *Session) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 	t.addIndex(&Index{Name: st.Name, Column: st.Column, Unique: st.Unique})
 	s.engine.bumpCatalog()
 	s.record(undoOp{kind: undoIndex, table: t, indexCol: key})
+	uniq := ""
+	if st.Unique {
+		uniq = "UNIQUE "
+	}
+	s.redoDDL(fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", uniq, st.Name, t.Name, st.Column))
 	return &Result{Message: "CREATE INDEX"}, nil
 }
 
@@ -527,6 +540,7 @@ func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
 			r.vals = append(r.vals, fill)
 		}
 		s.engine.bumpCatalog()
+		s.redoDDL(fmt.Sprintf("ALTER TABLE %s ADD COLUMN %s", t.Name, columnDefSQL(cd)))
 		return &Result{Message: "ALTER TABLE ADD COLUMN"}, nil
 	case st.RenameTo != "":
 		if _, exists := s.engine.Table(st.RenameTo); exists {
@@ -542,6 +556,7 @@ func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
 			}
 		}
 		s.engine.bumpCatalog()
+		s.redoDDL(fmt.Sprintf("ALTER TABLE %s RENAME TO %s", oldLo, st.RenameTo))
 		return &Result{Message: "ALTER TABLE RENAME"}, nil
 	}
 	return nil, fmt.Errorf("unsupported ALTER TABLE action")
@@ -552,12 +567,23 @@ func (s *Session) execGrant(st *GrantStmt) (*Result, error) {
 	if actions == nil {
 		actions = AllActions
 	}
-	for i, a := range actions {
-		if st.Columns != nil && i < len(st.Columns) && st.Columns[i] != nil {
-			s.engine.grants.GrantColumns(st.Grantee, a, st.Table, st.Columns[i])
-			continue
+	// All of the statement's privilege records commit as one WAL frame with
+	// a single durability wait; a parked error from an earlier direct-API
+	// mutation surfaces here too rather than vanishing.
+	werr := s.engine.logGrantsBatched(func() {
+		for i, a := range actions {
+			if st.Columns != nil && i < len(st.Columns) && st.Columns[i] != nil {
+				s.engine.grants.GrantColumns(st.Grantee, a, st.Table, st.Columns[i])
+				continue
+			}
+			s.engine.grants.Grant(st.Grantee, a, st.Table)
 		}
-		s.engine.grants.Grant(st.Grantee, a, st.Table)
+	})
+	if werr == nil {
+		werr = s.engine.takeGrantWALErr()
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("GRANT applied in memory but not durable: %w", werr)
 	}
 	return &Result{Message: "GRANT"}, nil
 }
@@ -568,6 +594,7 @@ func (s *Session) execCreateView(st *CreateViewStmt) (*Result, error) {
 		return nil, err
 	}
 	s.record(undoOp{kind: undoCreateView, view: v})
+	s.redoDDL(ViewSQL(v))
 	return &Result{Message: "CREATE VIEW"}, nil
 }
 
@@ -583,6 +610,7 @@ func (s *Session) execDropView(st *DropViewStmt) (*Result, error) {
 		return nil, err
 	}
 	s.record(undoOp{kind: undoDropView, view: v})
+	s.redoDDL("DROP VIEW " + v.Name)
 	return &Result{Message: "DROP VIEW"}, nil
 }
 
@@ -591,8 +619,16 @@ func (s *Session) execRevoke(st *RevokeStmt) (*Result, error) {
 	if actions == nil {
 		actions = AllActions
 	}
-	for _, a := range actions {
-		s.engine.grants.Revoke(st.Grantee, a, st.Table)
+	werr := s.engine.logGrantsBatched(func() {
+		for _, a := range actions {
+			s.engine.grants.Revoke(st.Grantee, a, st.Table)
+		}
+	})
+	if werr == nil {
+		werr = s.engine.takeGrantWALErr()
+	}
+	if werr != nil {
+		return nil, fmt.Errorf("REVOKE applied in memory but not durable: %w", werr)
 	}
 	return &Result{Message: "REVOKE"}, nil
 }

@@ -82,7 +82,18 @@ func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
 
 // execStmt is the cold execution path: plan fresh and, when sql is non-empty
 // and the statement is cacheable, record the prepared form for next time.
+// The durability wait happens here, after every lock is released: the commit
+// is already in the WAL writer's batch, so concurrent committers pile into
+// one group fsync instead of serializing it under the engine lock.
 func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
+	res, tok, err := s.execStmtLocked(stmt, sql)
+	if werr := tok.wait(); werr != nil && err == nil {
+		err = fmt.Errorf("commit applied in memory but not durable: %w", werr)
+	}
+	return res, err
+}
+
+func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.engine
@@ -95,26 +106,27 @@ func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
 	}
 
 	if err := s.checkStmtPrivileges(stmt); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Transaction control bypasses the statement undo scope.
 	switch stmt.(type) {
 	case *BeginStmt:
-		if err := s.Begin(); err != nil {
-			return nil, err
+		if err := s.begin(); err != nil {
+			return nil, nil, err
 		}
-		return &Result{Message: "BEGIN"}, nil
+		return &Result{Message: "BEGIN"}, nil, nil
 	case *CommitStmt:
-		if err := s.Commit(); err != nil {
-			return nil, err
+		tok, err := s.commitTx()
+		if err != nil {
+			return nil, nil, err
 		}
-		return &Result{Message: "COMMIT"}, nil
+		return &Result{Message: "COMMIT"}, tok, nil
 	case *RollbackStmt:
-		if err := s.Rollback(); err != nil {
-			return nil, err
+		if err := s.rollbackTx(); err != nil {
+			return nil, nil, err
 		}
-		return &Result{Message: "ROLLBACK"}, nil
+		return &Result{Message: "ROLLBACK"}, nil, nil
 	}
 
 	var ent *cachedStmt
@@ -131,11 +143,11 @@ func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
 	} else {
 		res, err = s.dispatch(stmt)
 	}
-	s.endStmt(err)
+	tok := s.endStmt(err)
 	if err == nil && ent != nil {
 		e.plans.put(s.user, sql, ent)
 	}
-	return res, err
+	return res, tok, err
 }
 
 // execCached executes a plan-cache hit under the entry's lock class. done is
@@ -144,6 +156,14 @@ func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
 // replaces the entry. The version check happens under the engine lock, so a
 // fresh entry cannot be invalidated by DDL mid-execution.
 func (s *Session) execCached(ent *cachedStmt, sql string) (res *Result, done bool, err error) {
+	res, done, tok, err := s.execCachedLocked(ent, sql)
+	if werr := tok.wait(); werr != nil && err == nil {
+		err = fmt.Errorf("commit applied in memory but not durable: %w", werr)
+	}
+	return res, done, err
+}
+
+func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, done bool, tok *syncToken, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.engine
@@ -158,19 +178,19 @@ func (s *Session) execCached(ent *cachedStmt, sql string) (res *Result, done boo
 		// Evict rather than leave the stale entry riding the LRU: if the
 		// cold path fails (table dropped), nothing would ever replace it.
 		e.plans.remove(s.user, sql)
-		return nil, false, nil
+		return nil, false, nil, nil
 	}
 	e.plans.hits.Add(1)
 	// Privileges are re-checked on every execution; a grant change also
 	// bumps the catalog version, but direct Grants() mutations make that
 	// bump advisory rather than load-bearing.
 	if err := s.checkStmtPrivileges(ent.stmt); err != nil {
-		return nil, true, err
+		return nil, true, nil, err
 	}
 	s.beginStmt()
 	res, err = s.runPrepared(ent)
-	s.endStmt(err)
-	return res, true, err
+	tok = s.endStmt(err)
+	return res, true, tok, err
 }
 
 // prepare builds the cacheable form of a statement pinned to the current
@@ -557,7 +577,7 @@ func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowS
 					ht[k] = append(b, idx)
 				} else {
 					arena = append(arena, idx)
-					ht[k] = arena[len(arena)-1 : len(arena):len(arena)]
+					ht[k] = arena[len(arena)-1 : len(arena) : len(arena)]
 				}
 			}
 			out.rows = make([][]Value, 0, len(left.rows))

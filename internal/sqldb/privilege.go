@@ -85,6 +85,21 @@ type Grants struct {
 	// mutation bumps it so cached plans (whose privilege checks were made
 	// under the old grants) are re-validated.
 	version *atomic.Uint64
+	// logger, when set (durable engines), receives every privilege mutation
+	// so it can be appended to the WAL. It covers both GRANT/REVOKE SQL and
+	// direct API use — there may be no statement text to log. Atomic because
+	// grants are mutated without the engine lock.
+	logger atomic.Pointer[grantLogger]
+}
+
+// grantLogger wraps the WAL append callback for privilege mutations.
+type grantLogger struct{ fn func(grantChange) }
+
+// log fires the change hook outside the store's lock.
+func (g *Grants) log(ch grantChange) {
+	if l := g.logger.Load(); l != nil {
+		l.fn(ch)
+	}
 }
 
 func newGrants(version *atomic.Uint64) *Grants {
@@ -108,6 +123,7 @@ func (g *Grants) SetSuperuser(user string, super bool) {
 	g.super[strings.ToLower(user)] = super
 	g.mu.Unlock()
 	g.bump()
+	g.log(grantChange{Op: grantOpSuper, User: user, Super: super})
 }
 
 // IsSuperuser reports whether the user bypasses privilege checks.
@@ -123,6 +139,7 @@ func (g *Grants) Grant(user string, action Action, object string) {
 	g.grantLocked(user, action, object)
 	g.mu.Unlock()
 	g.bump()
+	g.log(grantChange{Op: grantOpGrant, User: user, Action: action, Object: object})
 }
 
 func (g *Grants) grantLocked(user string, action Action, object string) {
@@ -146,24 +163,22 @@ func (g *Grants) GrantAll(user, object string) {
 // restriction bound to it).
 func (g *Grants) Revoke(user string, action Action, object string) {
 	g.mu.Lock()
-	defer func() {
-		g.mu.Unlock()
-		g.bump()
-	}()
 	u, o := strings.ToLower(user), strings.ToLower(object)
-	if g.objs[u] == nil {
-		return
+	if g.objs[u] != nil {
+		set := g.objs[u][o]
+		set.remove(action)
+		if set == 0 {
+			delete(g.objs[u], o)
+		} else {
+			g.objs[u][o] = set
+		}
+		if g.cols[u] != nil && g.cols[u][o] != nil {
+			delete(g.cols[u][o], action)
+		}
 	}
-	set := g.objs[u][o]
-	set.remove(action)
-	if set == 0 {
-		delete(g.objs[u], o)
-	} else {
-		g.objs[u][o] = set
-	}
-	if g.cols[u] != nil && g.cols[u][o] != nil {
-		delete(g.cols[u][o], action)
-	}
+	g.mu.Unlock()
+	g.bump()
+	g.log(grantChange{Op: grantOpRevoke, User: user, Action: action, Object: object})
 }
 
 // RevokeAll removes every action on an object from a user.
@@ -192,6 +207,7 @@ func (g *Grants) GrantColumns(user string, action Action, object string, columns
 	g.cols[u][o][action] = set
 	g.mu.Unlock()
 	g.bump()
+	g.log(grantChange{Op: grantOpGrantCols, User: user, Action: action, Object: object, Columns: columns})
 }
 
 // Has reports whether the user may perform action on object. Superusers may
@@ -246,6 +262,82 @@ func (g *Grants) ObjectActions(user, object string) []Action {
 // HasAny reports whether the user holds at least one action on the object.
 func (g *Grants) HasAny(user, object string) bool {
 	return len(g.ObjectActions(user, object)) > 0
+}
+
+// dump serializes the whole privilege store as a sequence of idempotent
+// changes, sorted for deterministic snapshots. Applying them in order to an
+// empty store reproduces the current state.
+func (g *Grants) dump() []grantChange {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []grantChange
+
+	supers := make([]string, 0, len(g.super))
+	for u := range g.super {
+		supers = append(supers, u)
+	}
+	sort.Strings(supers)
+	for _, u := range supers {
+		// "root" is implicitly superuser in a fresh store, but an explicit
+		// record keeps SetSuperuser("root", false) restorable.
+		out = append(out, grantChange{Op: grantOpSuper, User: u, Super: g.super[u]})
+	}
+
+	users := make([]string, 0, len(g.objs))
+	for u := range g.objs {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	for _, u := range users {
+		objs := make([]string, 0, len(g.objs[u]))
+		for o := range g.objs[u] {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		for _, o := range objs {
+			set := g.objs[u][o]
+			for a := ActionSelect; a <= ActionGrant; a++ {
+				if !set.has(a) {
+					continue
+				}
+				// The presence of the restriction map is what matters, not
+				// whether it names any columns: an empty restriction means
+				// "no columns allowed", and dumping it as an unrestricted
+				// grant would widen privileges across a restart.
+				var restrict map[string]bool
+				if g.cols[u] != nil && g.cols[u][o] != nil {
+					restrict = g.cols[u][o][a]
+				}
+				if restrict != nil {
+					cols := make([]string, 0, len(restrict))
+					for c := range restrict {
+						cols = append(cols, c)
+					}
+					sort.Strings(cols)
+					out = append(out, grantChange{Op: grantOpGrantCols, User: u, Action: a, Object: o, Columns: cols})
+				} else {
+					out = append(out, grantChange{Op: grantOpGrant, User: u, Action: a, Object: o})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// apply replays one dumped or WAL-logged privilege change through the
+// normal mutators (recovery runs with no logger attached, so nothing is
+// re-logged).
+func (g *Grants) apply(ch grantChange) {
+	switch ch.Op {
+	case grantOpSuper:
+		g.SetSuperuser(ch.User, ch.Super)
+	case grantOpGrant:
+		g.Grant(ch.User, ch.Action, ch.Object)
+	case grantOpRevoke:
+		g.Revoke(ch.User, ch.Action, ch.Object)
+	case grantOpGrantCols:
+		g.GrantColumns(ch.User, ch.Action, ch.Object, ch.Columns)
+	}
 }
 
 // ActionStrings formats a list of actions, or "ALL" when the list covers

@@ -138,8 +138,8 @@ func TestRangeAndTopKEquivalence(t *testing.T) {
 		"SELECT id, grp FROM r WHERE grp > 10 AND grp < 20 ORDER BY id",
 		"SELECT id, grp FROM r WHERE grp >= 48 ORDER BY id",
 		"SELECT id, grp FROM r WHERE grp <= 0 ORDER BY id",
-		"SELECT id, grp FROM r WHERE grp < 0 ORDER BY id",          // empty
-		"SELECT id, grp FROM r WHERE grp BETWEEN 30 AND 10 ORDER BY id", // inverted => empty
+		"SELECT id, grp FROM r WHERE grp < 0 ORDER BY id",                 // empty
+		"SELECT id, grp FROM r WHERE grp BETWEEN 30 AND 10 ORDER BY id",   // inverted => empty
 		"SELECT id, grp FROM r WHERE grp BETWEEN 49 AND 4900 ORDER BY id", // upper bound past data
 		// PK ranges (dense, unique).
 		"SELECT id FROM r WHERE id BETWEEN 100 AND 200",

@@ -1,0 +1,478 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+// Options configures a persistent engine opened with OpenEngine.
+type Options struct {
+	// Name is the engine (database) name; defaults to the directory's base
+	// name.
+	Name string
+	// Sync is the commit durability knob; the zero value is SyncBatch
+	// (group commit).
+	Sync SyncMode
+	// CheckpointEvery is how often the background checkpointer wakes up to
+	// check the WAL size. 0 means the 1s default; negative disables the
+	// background checkpointer (Checkpoint can still be called manually, and
+	// Close always checkpoints).
+	CheckpointEvery time.Duration
+	// CheckpointBytes is the WAL-size threshold that triggers a background
+	// checkpoint. 0 means the 4 MiB default.
+	CheckpointBytes int64
+}
+
+const (
+	defaultCheckpointEvery = time.Second
+	defaultCheckpointBytes = 4 << 20
+)
+
+// OpenEngine opens (or creates) a persistent database rooted at dir:
+// acquire the directory lock, load the newest valid snapshot, replay the WAL
+// tail (truncating any torn frame from a crash mid-write), and start the
+// group-commit flusher and background checkpointer. Engines created with
+// NewEngine remain purely in-memory; nothing in the write path changes for
+// them.
+func OpenEngine(dir string, opts Options) (*Engine, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sqldb: OpenEngine requires a directory (use NewEngine for in-memory)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sqldb: %w", err)
+	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	// A crash between CreateTemp and the rename orphans a snap-*.tmp that
+	// nothing else deletes (retire only matches committed names). The dir
+	// lock guarantees no writer is mid-checkpoint, so sweep them here.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); err == nil {
+		for _, p := range tmps {
+			_ = os.Remove(p)
+		}
+	}
+	name := opts.Name
+	if name == "" {
+		name = filepath.Base(dir)
+	}
+
+	e, seg, lsn, err := recoverEngine(dir, name)
+	if err != nil {
+		releaseDirLock(lock)
+		return nil, err
+	}
+
+	w, err := newWAL(dir, opts.Sync, seg, lsn)
+	if err != nil {
+		releaseDirLock(lock)
+		return nil, fmt.Errorf("sqldb: opening WAL: %w", err)
+	}
+	e.dir = dir
+	e.lockFile = lock
+	e.wal.Store(w)
+	// Recovered state counts as checkpointed when there was no WAL tail to
+	// fold in: a session that changes nothing then closes cleanly skips the
+	// final checkpoint instead of rewriting an identical snapshot.
+	e.lastCkptLSN = lsn
+	e.lastCkptVersion = e.catalogVersion.Load()
+	if lsn > 0 {
+		// A replayed WAL tail must be folded into a snapshot at the next
+		// checkpoint; poison the marker so it never matches.
+		e.lastCkptLSN = 0
+		e.lastCkptVersion = ^uint64(0)
+	}
+	// Log privilege mutations made through any path — GRANT/REVOKE SQL and
+	// direct Grants() API calls both funnel through the store's mutators.
+	// SQL statements collect their records in a per-statement sink and
+	// commit them as one frame (Engine.logGrantsBatched). Direct API calls
+	// commit-and-wait inline — grants are rare control-plane changes and
+	// there is no statement scope to defer the wait to; a failed append is
+	// parked on the engine and surfaced by the next GRANT/REVOKE statement.
+	e.grants.logger.Store(&grantLogger{fn: func(ch grantChange) {
+		rec := encodeGrantRec(ch)
+		if sink := e.grantSink.Load(); sink != nil {
+			sink.mu.Lock()
+			if !sink.closed {
+				sink.recs = append(sink.recs, rec)
+				sink.mu.Unlock()
+				return
+			}
+			// The owning statement already drained this sink; fall through
+			// to the direct path so the record still reaches the WAL.
+			sink.mu.Unlock()
+		}
+		if lw := e.wal.Load(); lw != nil {
+			if err := lw.commit([][]byte{rec}).wait(); err != nil {
+				e.grantWALErr.Store(&err)
+			}
+		}
+	}})
+
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = defaultCheckpointEvery
+	}
+	bytes := opts.CheckpointBytes
+	if bytes == 0 {
+		bytes = defaultCheckpointBytes
+	}
+	if every > 0 {
+		e.ckptQuit = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(every, bytes)
+	}
+	return e, nil
+}
+
+// acquireDirLock takes an exclusive advisory lock on dir/LOCK. The lock is
+// released by Close — or by the OS when the process dies, so a crash never
+// strands a stale lock.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sqldb: database %q is already open in another engine (lock held on %s)",
+			dir, filepath.Join(dir, "LOCK"))
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}
+
+// recoverEngine rebuilds engine state from dir: newest valid snapshot first,
+// then the WAL tail. It returns the segment to keep appending to and the
+// last LSN seen.
+func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
+	snaps, err := listNumbered(dir, "snap", ".snap")
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("sqldb: %w", err)
+	}
+
+	e := NewEngine(name)
+	startSeg := uint64(1)
+	snapLoaded := len(snaps) == 0
+	// Newest snapshot first; a corrupt one (CRC, torn rename) falls back to
+	// the next older, and with none at all the whole WAL is replayed.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(snapPath(dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		fresh := NewEngine(name)
+		seg, err := loadSnapshot(fresh, data)
+		if err != nil {
+			continue // try the next older snapshot
+		}
+		e = fresh
+		startSeg = seg
+		snapLoaded = true
+		break
+	}
+
+	segs, err := listNumbered(dir, "wal", ".log")
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("sqldb: %w", err)
+	}
+	// Snapshots exist but none loads: replaying from scratch is only honest
+	// if the full WAL history survives (segment 1 onward — checkpoints
+	// retire earlier segments). Otherwise opening would silently succeed
+	// with most of the data gone; fail loudly instead.
+	if !snapLoaded && (len(segs) == 0 || segs[0] != 1) {
+		return nil, 0, 0, fmt.Errorf("sqldb: no snapshot in %s is loadable and the WAL history before segment %v has been retired; refusing to open with data missing", dir, segs)
+	}
+	replayer := e.NewSession("root")
+	curSeg := startSeg
+	var lsn uint64
+	stopped := false
+	for _, seg := range segs {
+		if seg < startSeg {
+			continue // superseded by the snapshot; retired at next checkpoint
+		}
+		if stopped {
+			// Everything after a torn/corrupt frame is suspect; drop it so
+			// the log stays a valid prefix.
+			_ = os.Remove(segPath(dir, seg))
+			continue
+		}
+		curSeg = seg
+		segLSN, valid, complete, err := replaySegment(replayer, segPath(dir, seg))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if segLSN > lsn {
+			lsn = segLSN
+		}
+		if !complete {
+			// Torn tail: truncate to the last valid frame and stop replay —
+			// this is the crash-recovery cut point.
+			if err := os.Truncate(segPath(dir, seg), valid); err != nil {
+				return nil, 0, 0, fmt.Errorf("sqldb: truncating torn WAL tail: %w", err)
+			}
+			stopped = true
+		}
+	}
+	// Replay tombstones rows individually; reclaim them in one pass.
+	for _, lo := range e.tableOrder {
+		e.tables[lo].compact()
+	}
+	return e, curSeg, lsn, nil
+}
+
+// replaySegment applies every valid frame in one WAL segment. It returns the
+// last LSN applied, the byte offset of the end of the last valid frame, and
+// whether the segment was fully consumed. Physical damage — a short or
+// CRC-failing frame, i.e. a torn tail from a crash mid-write — stops replay
+// at that offset (complete=false, the caller truncates). A logical
+// application error on a CRC-valid frame is different: it means the log
+// itself is inconsistent, and it fails the open loudly rather than silently
+// truncating away acknowledged commits that follow it.
+func replaySegment(s *Session, path string) (lsn uint64, valid int64, complete bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("sqldb: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		payload, size, ferr := readFrame(data[off:])
+		if ferr != nil {
+			return lsn, int64(off), false, nil
+		}
+		frameLSN, recs, derr := decodeFramePayload(payload)
+		if derr != nil {
+			return lsn, int64(off), false, nil
+		}
+		if aerr := applyRecords(s, recs); aerr != nil {
+			return lsn, int64(off), false, fmt.Errorf("%s at offset %d: %w", path, off, aerr)
+		}
+		lsn = frameLSN
+		off += size
+	}
+	return lsn, int64(off), true, nil
+}
+
+var errReplay = errors.New("sqldb: wal replay")
+
+// applyRecords replays one committed transaction's records against the
+// engine. DML records address rows by engine row id (stable across
+// snapshot/replay); DDL records round-trip through the parser.
+//
+// DML records are subordinate to the catalog state replay has built so far.
+// Under READ UNCOMMITTED a transaction may commit DML that raced another
+// session's committed DDL: its frame is sequenced after the DROP (or
+// DROP + re-CREATE) that already discarded those rows from the heap, so its
+// records can name a table that no longer exists or a superseded incarnation
+// of it (the record's epoch differs from the catalog's). Replay skips such
+// records — exactly what the heap kept — rather than refusing to open the
+// database. The same rule covers updates/deletes of a missing row (the row
+// was another transaction's dirty insert that rolled back and was never
+// logged). Anything the epoch check cannot explain (arity mismatches or
+// duplicate row ids within the SAME incarnation, unparseable or failing
+// DDL, unknown record types) cannot be produced by any legal interleaving
+// and remains a hard error: the log really is corrupt.
+func applyRecords(s *Session, recs []walRec) error {
+	e := s.engine
+	for _, rec := range recs {
+		switch rec.typ {
+		case recInsert:
+			t, ok := e.Table(rec.table)
+			if !ok || t.epoch != rec.epoch {
+				continue // raced a committed DROP / re-CREATE; the heap dropped it too
+			}
+			if len(rec.vals) != len(t.Columns) {
+				return fmt.Errorf("%w: insert arity %d != %d columns of %q", errReplay, len(rec.vals), len(t.Columns), rec.table)
+			}
+			if t.byID[rec.rowID] != nil {
+				return fmt.Errorf("%w: duplicate row id %d in %q", errReplay, rec.rowID, rec.table)
+			}
+			entry := &rowEntry{id: rec.rowID, vals: rec.vals}
+			if rec.rowID > t.nextID {
+				t.nextID = rec.rowID
+			}
+			t.rows = append(t.rows, entry)
+			t.byID[entry.id] = entry
+			t.hookAdd(entry)
+		case recDelete:
+			t, ok := e.Table(rec.table)
+			if !ok || t.epoch != rec.epoch {
+				continue // raced a committed DROP; nothing left to delete
+			}
+			// Even a skipped record proves the heap once allocated this row
+			// id; advance the allocator so recovery matches it exactly.
+			if rec.rowID > t.nextID {
+				t.nextID = rec.rowID
+			}
+			if entry := t.byID[rec.rowID]; entry != nil && !entry.dead {
+				t.markDead(entry)
+			}
+		case recUpdate:
+			t, ok := e.Table(rec.table)
+			if !ok || t.epoch != rec.epoch {
+				continue // raced a committed DROP / re-CREATE
+			}
+			if len(rec.vals) != len(t.Columns) {
+				return fmt.Errorf("%w: update arity %d != %d columns of %q", errReplay, len(rec.vals), len(t.Columns), rec.table)
+			}
+			if rec.rowID > t.nextID {
+				t.nextID = rec.rowID
+			}
+			if entry := t.byID[rec.rowID]; entry != nil && !entry.dead {
+				t.replaceVals(entry, rec.vals)
+			}
+		case recDDL:
+			stmts, err := ParseScript(rec.sql)
+			if err != nil {
+				return fmt.Errorf("%w: bad DDL %q: %v", errReplay, rec.sql, err)
+			}
+			for _, st := range stmts {
+				if _, err := s.dispatch(st); err != nil {
+					return fmt.Errorf("%w: replaying %q: %v", errReplay, rec.sql, err)
+				}
+				if ct, isCreate := st.(*CreateTableStmt); isCreate && rec.epoch != 0 {
+					// Restore the epoch this incarnation had when it was
+					// logged; replay of a rolled-back CREATE never happens,
+					// so auto-assignment can drift behind the original.
+					if t, ok := e.Table(ct.Table); ok {
+						t.epoch = rec.epoch
+						if rec.epoch > e.epochCounter {
+							e.epochCounter = rec.epoch
+						}
+					}
+				}
+			}
+		case recGrant:
+			e.grants.apply(rec.grant)
+		default:
+			return fmt.Errorf("%w: unknown record type %d", errReplay, rec.typ)
+		}
+	}
+	return nil
+}
+
+// ErrCheckpointSkipped reports that Checkpoint declined to snapshot because
+// a transaction is open somewhere on the engine. Committed data is still
+// durable (it is on the WAL); only the snapshot+segment-retirement was
+// deferred. Callers that checkpoint opportunistically (the background loop,
+// Close) ignore it; callers acting on an explicit request should surface it
+// — a session that leaks an open transaction otherwise disables
+// checkpointing silently and the WAL grows without bound.
+var ErrCheckpointSkipped = errors.New("sqldb: checkpoint skipped: a transaction is open")
+
+// Checkpoint writes a snapshot of the current state and retires the WAL
+// segments (and older snapshots) it supersedes. It is a no-op on in-memory
+// engines and when nothing has changed since the last checkpoint, and
+// returns ErrCheckpointSkipped while any transaction is open.
+func (e *Engine) Checkpoint() error {
+	w := e.wal.Load()
+	if w == nil {
+		return nil
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	e.mu.Lock()
+	// A snapshot taken while a transaction is open would persist its
+	// uncommitted rows (which are visible in the heap but absent from the
+	// WAL). Skip; the background checkpointer retries on its next tick.
+	if e.openTxns.Load() != 0 {
+		e.mu.Unlock()
+		return ErrCheckpointSkipped
+	}
+	lsn := w.currentLSN()
+	ver := e.catalogVersion.Load()
+	if lsn == e.lastCkptLSN && ver == e.lastCkptVersion {
+		e.mu.Unlock()
+		return nil
+	}
+	newSeg, err := w.rotate()
+	if err != nil {
+		e.mu.Unlock()
+		return fmt.Errorf("sqldb: checkpoint rotate: %w", err)
+	}
+	data := encodeSnapshot(e, newSeg)
+	e.mu.Unlock()
+
+	if err := writeSnapshotFile(e.dir, newSeg, data); err != nil {
+		return fmt.Errorf("sqldb: checkpoint write: %w", err)
+	}
+	e.lastCkptLSN = lsn
+	e.lastCkptVersion = ver
+	w.mu.Lock()
+	w.checkpoints++
+	w.mu.Unlock()
+	w.retire(newSeg)
+	return nil
+}
+
+// checkpointLoop is the background checkpointer: it wakes up periodically
+// and checkpoints once the active WAL segment outgrows the threshold (or the
+// catalog changed and the WAL has real content). Checkpoint itself skips the
+// write when the LSN and catalog version haven't moved.
+func (e *Engine) checkpointLoop(every time.Duration, bytes int64) {
+	defer close(e.ckptDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.ckptQuit:
+			return
+		case <-t.C:
+			w := e.wal.Load()
+			if w == nil {
+				return
+			}
+			if w.currentSize() >= bytes {
+				_ = e.Checkpoint()
+			}
+		}
+	}
+}
+
+// Close makes the database durable and releases it: stop the background
+// checkpointer, take a final checkpoint (so the next open replays nothing),
+// drain and close the WAL, and release the directory lock. Close is
+// idempotent; on an in-memory engine it is a no-op. The engine must not be
+// used after Close.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.ckptQuit != nil {
+		close(e.ckptQuit)
+		<-e.ckptDone
+	}
+	err := e.Checkpoint()
+	if errors.Is(err, ErrCheckpointSkipped) {
+		// An abandoned open transaction can't be committed now; its data was
+		// never acknowledged. Committed work is already on the WAL and will
+		// replay at the next open — skipping the final snapshot loses nothing.
+		err = nil
+	}
+
+	e.mu.Lock()
+	w := e.wal.Swap(nil)
+	e.mu.Unlock()
+	e.grants.logger.Store(nil)
+	if w != nil {
+		if cerr := w.close(); err == nil {
+			err = cerr
+		}
+	}
+	releaseDirLock(e.lockFile)
+	e.lockFile = nil
+	return err
+}

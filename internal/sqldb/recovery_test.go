@@ -1,0 +1,1027 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// crashCopy simulates a crash: the WAL and snapshot files are copied to a
+// fresh directory as they exist on disk right now — no Close, no final
+// checkpoint, no lock release — and the copy is what recovery sees.
+func crashCopy(t *testing.T, dir string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") && !strings.HasPrefix(name, "snap-") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// dumpEngine renders the full engine state canonically: schemas, rows (by
+// engine row id), views, and grants.
+func dumpEngine(e *Engine) string {
+	var sb strings.Builder
+	for _, name := range e.TableNames() {
+		t, _ := e.Table(name)
+		sb.WriteString(SchemaSQL(t))
+		sb.WriteString("\n")
+		_ = t.liveRows(func(r *rowEntry) error {
+			fmt.Fprintf(&sb, "row %d:", r.id)
+			for _, v := range r.vals {
+				sb.WriteString(" " + v.Key())
+			}
+			sb.WriteString("\n")
+			return nil
+		})
+		fmt.Fprintf(&sb, "nextID %d\n", t.nextID)
+		idxs := make([]string, 0, len(t.indexes))
+		for col, ix := range t.indexes {
+			idxs = append(idxs, fmt.Sprintf("index %s on %s unique=%v", ix.Name, col, ix.Unique))
+		}
+		for _, line := range sortedStrings(idxs) {
+			sb.WriteString(line + "\n")
+		}
+	}
+	for _, name := range e.ViewNames() {
+		v, _ := e.ViewByName(name)
+		sb.WriteString(ViewSQL(v) + "\n")
+	}
+	for _, ch := range e.grants.dump() {
+		fmt.Fprintf(&sb, "grant op=%d user=%s action=%d obj=%s cols=%v super=%v\n",
+			ch.Op, ch.User, ch.Action, ch.Object, ch.Columns, ch.Super)
+	}
+	return sb.String()
+}
+
+func sortedStrings(in []string) []string {
+	out := append([]string{}, in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func openTestEngine(t *testing.T, dir string, opts Options) *Engine {
+	t.Helper()
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = -1 // deterministic tests drive checkpoints manually
+	}
+	e, err := OpenEngine(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestDurableRoundTrip is the acceptance round-trip: a database filled with
+// tables, indexes, views, and grants (SQL and direct API) survives a clean
+// close and reopen bit-for-bit.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE authors (id INT PRIMARY KEY, name TEXT NOT NULL, email TEXT UNIQUE)`)
+	s.MustExec(`CREATE TABLE books (
+		id INT PRIMARY KEY, author_id INT REFERENCES authors, title TEXT,
+		price REAL DEFAULT 9.99, in_print BOOLEAN DEFAULT true)`)
+	s.MustExec(`CREATE INDEX idx_books_author ON books (author_id)`)
+	s.MustExec(`INSERT INTO authors VALUES (1, 'Ada', 'ada@example.com'), (2, 'Bo''b | x', NULL)`)
+	s.MustExec(`INSERT INTO books (id, author_id, title) VALUES (10, 1, 'Engines'), (11, 2, 'Logs')`)
+	s.MustExec(`UPDATE books SET price = 19.5 WHERE id = 10`)
+	s.MustExec(`INSERT INTO books VALUES (12, 1, 'Dropped', 1.0, false)`)
+	s.MustExec(`DELETE FROM books WHERE id = 12`)
+	s.MustExec(`CREATE VIEW pricey AS SELECT title, price FROM books WHERE price > 10 ORDER BY price DESC`)
+	s.MustExec(`GRANT SELECT, INSERT ON books TO alice`)
+	s.MustExec(`GRANT SELECT (title) ON books TO bob`)
+	e.Grants().Grant("carol", ActionUpdate, "authors") // direct API, no SQL
+	e.Grants().SetSuperuser("admin", true)
+	s.MustExec(`ALTER TABLE authors ADD COLUMN bio TEXT DEFAULT 'tbd'`)
+
+	want := dumpEngine(e)
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	e2 := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("state mismatch after restart:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	// The engine keeps working: new inserts get fresh row ids, constraints
+	// and views still fire.
+	s2 := e2.NewSession("root")
+	s2.MustExec(`INSERT INTO books (id, author_id, title) VALUES (13, 2, 'Fresh')`)
+	if _, err := s2.Exec(`INSERT INTO authors VALUES (1, 'dup', NULL, 'x')`); err == nil {
+		t.Fatal("PK constraint lost after recovery")
+	}
+	if _, err := s2.Exec(`INSERT INTO books (id, author_id, title) VALUES (14, 99, 'orphan')`); err == nil {
+		t.Fatal("FK constraint lost after recovery")
+	}
+	res := s2.MustExec(`SELECT title FROM pricey`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Engines" {
+		t.Fatalf("view wrong after recovery: %+v", res.Rows)
+	}
+	if !e2.Grants().Has("alice", ActionInsert, "books") {
+		t.Fatal("SQL grant lost after recovery")
+	}
+	if !e2.Grants().Has("carol", ActionUpdate, "authors") {
+		t.Fatal("direct-API grant lost after recovery")
+	}
+	if cols := e2.Grants().AllowedColumns("bob", ActionSelect, "books"); cols == nil || !cols["title"] || cols["price"] {
+		t.Fatalf("column grant wrong after recovery: %v", cols)
+	}
+	if !e2.Grants().IsSuperuser("admin") {
+		t.Fatal("superuser flag lost after recovery")
+	}
+}
+
+// TestCrashRecoveryWALOnly recovers from the WAL alone — no checkpoint, no
+// clean close ever happened.
+func TestCrashRecoveryWALOnly(t *testing.T) {
+	for _, mode := range []SyncMode{SyncOff, SyncBatch, SyncAlways} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			e := openTestEngine(t, dir, Options{Sync: mode})
+			s := e.NewSession("root")
+			s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+			for i := 0; i < 25; i++ {
+				s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i))
+			}
+			s.MustExec(`DELETE FROM t WHERE id = 3`)
+			s.MustExec(`UPDATE t SET v = 'patched' WHERE id = 7`)
+			want := dumpEngine(e)
+
+			copyDir := crashCopy(t, dir)
+			e2 := openTestEngine(t, copyDir, Options{Sync: mode})
+			defer e2.Close()
+			if got := dumpEngine(e2); got != want {
+				t.Fatalf("crash recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+			}
+			e.Close()
+		})
+	}
+}
+
+// TestSnapshotPlusWALTail recovers from a checkpointed snapshot plus the WAL
+// written after it.
+func TestSnapshotPlusWALTail(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	s.MustExec(`CREATE INDEX idx_v ON t (v)`)
+	for i := 0; i < 50; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i%5))
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Changes after the checkpoint live only in the WAL tail.
+	for i := 50; i < 60; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i%5))
+	}
+	s.MustExec(`DELETE FROM t WHERE id = 55`)
+	want := dumpEngine(e)
+
+	copyDir := crashCopy(t, dir)
+	e2 := openTestEngine(t, copyDir, Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("snapshot+tail recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// The ordered index face must have been bulk-rebuilt correctly: a range
+	// scan must agree with a forced seq scan.
+	s2 := e2.NewSession("root")
+	fast := s2.MustExec(`SELECT COUNT(*) FROM t WHERE v BETWEEN 1 AND 3`)
+	forced := e2.NewSession("root")
+	forced.forceSeqScan = true
+	slow := forced.MustExec(`SELECT COUNT(*) FROM t WHERE v BETWEEN 1 AND 3`)
+	if fast.Rows[0][0].I != slow.Rows[0][0].I {
+		t.Fatalf("range scan disagrees with seq scan after recovery: %d vs %d", fast.Rows[0][0].I, slow.Rows[0][0].I)
+	}
+	e.Close()
+}
+
+// TestWALTornTailRecovery is the kill-point suite: the WAL is cut at every
+// frame boundary and at offsets inside the following frame, and replay must
+// stop cleanly at the last fully valid commit every time.
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	const inserts = 12
+	for i := 0; i < inserts; i++ {
+		s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+	}
+
+	segs, err := listNumbered(dir, "wal", ".log")
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("expected one WAL segment, got %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segPath(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame offsets: ends[k] = offset after the k-th frame. Frame 0 is the
+	// CREATE TABLE, frames 1..inserts are the single-row commits.
+	var ends []int
+	off := 0
+	for off < len(data) {
+		_, size, err := readFrame(data[off:])
+		if err != nil {
+			t.Fatalf("seed WAL has invalid frame at %d: %v", off, err)
+		}
+		off += size
+		ends = append(ends, off)
+	}
+	if len(ends) != inserts+1 {
+		t.Fatalf("expected %d frames, got %d", inserts+1, len(ends))
+	}
+
+	expectRows := func(t *testing.T, d string, want int64) {
+		t.Helper()
+		e2, err := OpenEngine(d, Options{CheckpointEvery: -1})
+		if err != nil {
+			t.Fatalf("open after truncation: %v", err)
+		}
+		defer e2.Close()
+		res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+		if got := res.Rows[0][0].I; got != want {
+			t.Fatalf("want %d rows after truncation, got %d", want, got)
+		}
+	}
+
+	for k := 1; k < len(ends); k++ {
+		// Cut mid-record: a few bytes into frame k (which follows ends[k-1]).
+		for _, delta := range []int{1, 4, 9} {
+			cut := ends[k-1] + delta
+			if cut >= ends[k] {
+				continue
+			}
+			d := crashCopy(t, dir)
+			if err := os.Truncate(segPath(d, segs[0]), int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+			expectRows(t, d, int64(k-1)) // frame 0 is DDL: k-1 inserts survive
+		}
+		// Cut exactly at a frame boundary: everything up to k survives.
+		d := crashCopy(t, dir)
+		if err := os.Truncate(segPath(d, segs[0]), int64(ends[k-1])); err != nil {
+			t.Fatal(err)
+		}
+		expectRows(t, d, int64(k-1))
+	}
+
+	// A flipped payload byte (CRC failure) cuts replay at that frame too.
+	d := crashCopy(t, dir)
+	corrupt, _ := os.ReadFile(segPath(d, segs[0]))
+	corrupt[ends[5]+frameHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(segPath(d, segs[0]), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, d, 5)
+	e.Close()
+}
+
+// TestSnapshotCorruptionFallback: a trashed snapshot is rejected by its CRC
+// and recovery falls back to replaying the WAL from the beginning.
+func TestSnapshotCorruptionFallback(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	want := dumpEngine(e)
+
+	d := crashCopy(t, dir)
+	// Plant a newest-looking snapshot full of garbage.
+	if err := os.WriteFile(snapPath(d, 99), []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openTestEngine(t, d, Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovery with corrupt snapshot mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	e.Close()
+}
+
+// TestRollbackAndFailedStatementsNotLogged: only committed effects reach the
+// WAL — a rolled-back transaction and a mid-statement constraint failure
+// leave no trace after crash recovery.
+func TestRollbackAndFailedStatementsNotLogged(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1)`)
+
+	s.MustExec(`BEGIN`)
+	s.MustExec(`INSERT INTO t VALUES (100)`)
+	s.MustExec(`ROLLBACK`)
+
+	// Third row collides: the whole statement rolls back and logs nothing.
+	if _, err := s.Exec(`INSERT INTO t VALUES (200), (201), (1)`); err == nil {
+		t.Fatal("expected PK violation")
+	}
+
+	s.MustExec(`BEGIN`)
+	s.MustExec(`INSERT INTO t VALUES (2)`)
+	s.MustExec(`COMMIT`)
+	want := dumpEngine(e)
+
+	d := crashCopy(t, dir)
+	e2 := openTestEngine(t, d, Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("rollback leaked into WAL:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("want 2 rows, got %d", res.Rows[0][0].I)
+	}
+	e.Close()
+}
+
+// TestCheckpointSkipsOpenTransactions: a snapshot must never capture an
+// open transaction's uncommitted rows — they are visible in the heap (READ
+// UNCOMMITTED) but absent from the WAL, so persisting them would break
+// rollback and collide with the transaction's own redo frame on commit.
+func TestCheckpointSkipsOpenTransactions(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1)`)
+
+	s.MustExec(`BEGIN`)
+	s.MustExec(`INSERT INTO t VALUES (2)`)
+	snapsBefore, _ := listNumbered(dir, "snap", ".snap")
+	// The skip is surfaced, not silent — a leaked open transaction would
+	// otherwise disable checkpointing forever with no signal to anyone.
+	if err := e.Checkpoint(); !errors.Is(err, ErrCheckpointSkipped) {
+		t.Fatalf("Checkpoint with open txn = %v, want ErrCheckpointSkipped", err)
+	}
+	snapsAfter, _ := listNumbered(dir, "snap", ".snap")
+	if len(snapsAfter) != len(snapsBefore) {
+		t.Fatal("checkpoint ran with a transaction open")
+	}
+	s.MustExec(`ROLLBACK`)
+
+	// With the transaction closed, checkpoints work again, and the
+	// rolled-back row is in neither the snapshot nor the WAL.
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("rolled-back row leaked through a checkpoint: %d rows", res.Rows[0][0].I)
+	}
+	e.Close()
+}
+
+// TestDirtyRowInterleavings covers READ UNCOMMITTED cross-transaction row
+// access: another session updating/deleting a row whose inserting
+// transaction later rolls back or commits. Replay must match the heap in
+// every case, and acknowledged commits after the interleaving must survive.
+func TestDirtyRowInterleavings(t *testing.T) {
+	t.Run("update-then-rollback", func(t *testing.T) {
+		dir := t.TempDir()
+		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+		a, b := e.NewSession("root"), e.NewSession("root")
+		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+		a.MustExec(`BEGIN`)
+		a.MustExec(`INSERT INTO t VALUES (1, 'dirty')`)
+		b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`) // dirty write, logged
+		a.MustExec(`ROLLBACK`)                                // insert never logged
+		b.MustExec(`INSERT INTO t VALUES (2, 'after')`)       // must survive replay
+		want := dumpEngine(e)
+
+		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+		defer e2.Close()
+		if got := dumpEngine(e2); got != want {
+			t.Fatalf("mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+		}
+		res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+		if res.Rows[0][0].I != 1 {
+			t.Fatalf("want only the post-interleaving row, got %d rows", res.Rows[0][0].I)
+		}
+		e.Close()
+	})
+
+	t.Run("update-then-commit", func(t *testing.T) {
+		dir := t.TempDir()
+		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+		a, b := e.NewSession("root"), e.NewSession("root")
+		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+		a.MustExec(`BEGIN`)
+		a.MustExec(`INSERT INTO t VALUES (1, 'original')`)
+		b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`)
+		a.MustExec(`COMMIT`) // insert logs the commit-time image: 'touched'
+		want := dumpEngine(e)
+
+		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+		defer e2.Close()
+		if got := dumpEngine(e2); got != want {
+			t.Fatalf("mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+		}
+		res := e2.NewSession("root").MustExec(`SELECT v FROM t WHERE id = 1`)
+		if len(res.Rows) != 1 || res.Rows[0][0].S != "touched" {
+			t.Fatalf("recovered stale pre-update image: %+v", res.Rows)
+		}
+		e.Close()
+	})
+
+	t.Run("delete-then-commit", func(t *testing.T) {
+		dir := t.TempDir()
+		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+		a, b := e.NewSession("root"), e.NewSession("root")
+		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
+		a.MustExec(`BEGIN`)
+		a.MustExec(`INSERT INTO t VALUES (1, 'doomed')`)
+		b.MustExec(`DELETE FROM t WHERE id = 1`) // dirty delete, logged
+		a.MustExec(`COMMIT`)                     // dead row: insert not logged
+		want := dumpEngine(e)
+
+		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+		defer e2.Close()
+		if got := dumpEngine(e2); got != want {
+			t.Fatalf("mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+		}
+		res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+		if res.Rows[0][0].I != 0 {
+			t.Fatalf("dirty-deleted row resurrected by replay: %d rows", res.Rows[0][0].I)
+		}
+		e.Close()
+	})
+}
+
+// TestEmptyColumnRestrictionSurvivesSnapshot: GrantColumns with an empty
+// column list means "no columns allowed"; a snapshot round-trip must not
+// widen it into an unrestricted grant.
+func TestEmptyColumnRestrictionSurvivesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY, secret TEXT)`)
+	e.Grants().GrantColumns("bob", ActionSelect, "t", nil)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := openTestEngine(t, dir, Options{})
+	defer e2.Close()
+	cols := e2.Grants().AllowedColumns("bob", ActionSelect, "t")
+	if cols == nil || len(cols) != 0 {
+		t.Fatalf("deny-all column restriction widened across snapshot: %v", cols)
+	}
+	if _, err := e2.NewSession("bob").Exec(`SELECT secret FROM t`); err == nil {
+		t.Fatal("bob read a column the restriction denies")
+	}
+}
+
+// TestRandomizedDurableEquivalence drives an identical randomized DML
+// workload into an in-memory engine and a durable one, then checks the
+// durable engine's crash-recovered and clean-reopened states both match the
+// in-memory result exactly.
+func TestRandomizedDurableEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	mem := NewEngine("mem")
+	dur := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	ms, ds := mem.NewSession("root"), dur.NewSession("root")
+
+	exec := func(sql string) {
+		_, merr := ms.Exec(sql)
+		_, derr := ds.Exec(sql)
+		if (merr == nil) != (derr == nil) {
+			t.Fatalf("engines diverged on %q: mem=%v dur=%v", sql, merr, derr)
+		}
+	}
+
+	exec(`CREATE TABLE w (id INT PRIMARY KEY, grp INT, note TEXT)`)
+	exec(`CREATE INDEX idx_grp ON w (grp)`)
+	rng := rand.New(rand.NewSource(7))
+	inTxn := false
+	for i := 0; i < 800; i++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert, PK conflicts included on purpose
+			exec(fmt.Sprintf(`INSERT INTO w VALUES (%d, %d, 'n%d')`, rng.Intn(300), rng.Intn(8), i))
+		case op < 6:
+			exec(fmt.Sprintf(`UPDATE w SET note = 'u%d' WHERE grp = %d`, i, rng.Intn(8)))
+		case op < 7:
+			exec(fmt.Sprintf(`UPDATE w SET grp = %d WHERE id = %d`, rng.Intn(8), rng.Intn(300)))
+		case op < 8:
+			exec(fmt.Sprintf(`DELETE FROM w WHERE id = %d`, rng.Intn(300)))
+		case op < 9:
+			if !inTxn {
+				exec(`BEGIN`)
+				inTxn = true
+			}
+		default:
+			if inTxn {
+				if rng.Intn(2) == 0 {
+					exec(`COMMIT`)
+				} else {
+					exec(`ROLLBACK`)
+				}
+				inTxn = false
+			}
+		}
+	}
+	if inTxn {
+		exec(`COMMIT`)
+	}
+
+	want := dumpEngine(mem)
+	if got := dumpEngine(dur); got != want {
+		t.Fatalf("durable engine diverged in memory:\n--- mem ---\n%s\n--- dur ---\n%s", want, got)
+	}
+
+	// Crash path: recover the WAL-only copy.
+	crashed := openTestEngine(t, crashCopy(t, dir), Options{})
+	if got := dumpEngine(crashed); got != want {
+		t.Fatalf("crash-recovered state diverged:\n--- mem ---\n%s\n--- got ---\n%s", want, got)
+	}
+	crashed.Close()
+
+	// Clean path: checkpoint + close, then reopen from the snapshot.
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened := openTestEngine(t, dir, Options{})
+	defer reopened.Close()
+	if got := dumpEngine(reopened); got != want {
+		t.Fatalf("snapshot-recovered state diverged:\n--- mem ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestCloseIdempotentAndDirLock covers the Close/lock satellite: Close twice
+// is a no-op, a second engine on the same live directory is refused with a
+// clear error, and the directory reopens after Close.
+func TestCloseIdempotentAndDirLock(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{})
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+
+	if _, err := OpenEngine(dir, Options{}); err == nil {
+		t.Fatal("second OpenEngine on a live directory must fail")
+	} else if !strings.Contains(err.Error(), "already open") {
+		t.Fatalf("want a clear double-open error, got: %v", err)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close must be an idempotent no-op, got: %v", err)
+	}
+
+	e2 := openTestEngine(t, dir, Options{})
+	if _, ok := e2.Table("t"); !ok {
+		t.Fatal("table lost across close/reopen")
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory engines are untouched by the subsystem.
+	mem := NewEngine("m")
+	if st := mem.Durability(); st.Durable || st.Mode != "memory" {
+		t.Fatalf("in-memory engine reports %+v", st)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatalf("in-memory Close must be a no-op, got %v", err)
+	}
+}
+
+// TestGroupCommitConcurrent hammers a batch-mode engine from many sessions
+// and verifies every acknowledged commit is durable and the flusher actually
+// grouped them (fewer fsyncs than commits).
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY, src INT)`)
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := e.NewSession("root")
+			for i := 0; i < perWorker; i++ {
+				s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, w*perWorker+i, w))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := e.Durability()
+	if st.Commits < workers*perWorker {
+		t.Fatalf("want >= %d commits, got %d", workers*perWorker, st.Commits)
+	}
+	if st.Fsyncs >= st.Commits {
+		t.Fatalf("group commit never grouped: %d fsyncs for %d commits", st.Fsyncs, st.Commits)
+	}
+
+	d := crashCopy(t, dir)
+	e2 := openTestEngine(t, d, Options{})
+	defer e2.Close()
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != workers*perWorker {
+		t.Fatalf("lost acknowledged commits: want %d rows, got %d", workers*perWorker, res.Rows[0][0].I)
+	}
+	e.Close()
+}
+
+// TestCheckpointDuringConcurrentCommits races checkpoints against batch
+// committers: a rotate slipping between the flusher grabbing a group and
+// writing it would land pre-checkpoint frames in the post-checkpoint
+// segment, which recovery would truncate as a torn tail — losing
+// acknowledged commits. Every acknowledged commit must survive.
+func TestCheckpointDuringConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+
+	const workers = 4
+	const perWorker = 150
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	ckptDone := make(chan struct{})
+	go func() {
+		defer close(ckptDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := e.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := e.NewSession("root")
+			for i := 0; i < perWorker; i++ {
+				s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, w*perWorker+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	// Join the checkpoint goroutine: an in-flight Checkpoint can retire a
+	// WAL segment between crashCopy's ReadDir and ReadFile otherwise.
+	<-ckptDone
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != workers*perWorker {
+		t.Fatalf("lost acknowledged commits across checkpoints: want %d rows, got %d",
+			workers*perWorker, res.Rows[0][0].I)
+	}
+	e.Close()
+}
+
+// TestCommitAfterCloseDoesNotHang: a caller that loaded the WAL pointer just
+// before Close swapped it out must get an immediate error, not a wait on a
+// flusher that has exited.
+func TestCommitAfterCloseDoesNotHang(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncBatch})
+	e.NewSession("root").MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	w := e.wal.Load()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.commit([][]byte{encodeDeleteRec("t", 1, 1)}).wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("commit on a closed WAL must error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit on a closed WAL hung")
+	}
+}
+
+// TestCheckpointRetiresSegments: checkpoints rotate the WAL and delete the
+// segments and snapshots they supersede.
+func TestCheckpointRetiresSegments(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncOff})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 10; i++ {
+			s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, round*10+i))
+		}
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := listNumbered(dir, "wal", ".log")
+	snaps, _ := listNumbered(dir, "snap", ".snap")
+	if len(segs) != 1 {
+		t.Fatalf("old WAL segments not retired: %v", segs)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("old snapshots not retired: %v", snaps)
+	}
+	// A checkpoint with no changes since the last one is skipped.
+	before, _ := listNumbered(dir, "snap", ".snap")
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listNumbered(dir, "snap", ".snap")
+	if len(after) != len(before) || after[0] != before[0] {
+		t.Fatalf("no-op checkpoint still wrote a snapshot: %v -> %v", before, after)
+	}
+	e.Close()
+}
+
+// TestCommitRacingDroppedTableRecovers: under READ UNCOMMITTED a transaction
+// may commit DML after another session's committed DROP TABLE already
+// discarded those rows from the heap, so its records land after the DROP
+// frame in the log and name a table that no longer exists. Replay must skip
+// them — the heap kept nothing either — instead of failing the open, which
+// used to leave the database permanently unopenable ("wal replay: insert
+// into missing table").
+func TestCommitRacingDroppedTableRecovers(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	s.MustExec(`CREATE TABLE keep (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 10)`)
+	s.MustExec(`INSERT INTO keep VALUES (1)`)
+
+	a := e.NewSession("root")
+	a.MustExec(`BEGIN`)
+	a.MustExec(`INSERT INTO t VALUES (2, 20)`)
+	a.MustExec(`UPDATE t SET v = 11 WHERE id = 1`)
+	a.MustExec(`DELETE FROM t WHERE id = 1`)
+	a.MustExec(`INSERT INTO keep VALUES (2)`)
+
+	// Another session drops the table out from under the open transaction
+	// (legal: locks are per statement, not per transaction).
+	s.MustExec(`DROP TABLE t`)
+
+	// The commit is acknowledged; its t-records are sequenced after the DROP.
+	a.MustExec(`COMMIT`)
+	want := dumpEngine(e)
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovery after racing DROP mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	// The commit's effects on the surviving table were not lost.
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM keep`)
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("acknowledged insert into keep lost: %+v", res.Rows)
+	}
+	e.Close()
+}
+
+// TestCommitRacingRecreatedTableRecovers: the raced DDL can also be a
+// DROP + re-CREATE with a different shape; the stale records then target the
+// old schema's arity and must be skipped against the new catalog.
+func TestCommitRacingRecreatedTableRecovers(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 10)`)
+
+	a := e.NewSession("root")
+	a.MustExec(`BEGIN`)
+	a.MustExec(`INSERT INTO t VALUES (2, 20)`)
+	a.MustExec(`UPDATE t SET v = 11 WHERE id = 1`)
+
+	s.MustExec(`DROP TABLE t`)
+	s.MustExec(`CREATE TABLE t (only TEXT)`)
+	s.MustExec(`INSERT INTO t VALUES ('fresh')`)
+
+	a.MustExec(`COMMIT`)
+	want := dumpEngine(e)
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovery after racing re-CREATE mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	res := e2.NewSession("root").MustExec(`SELECT only FROM t`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "fresh" {
+		t.Fatalf("recreated table corrupted by stale records: %+v", res.Rows)
+	}
+	e.Close()
+}
+
+// TestOrphanSnapshotTmpSwept: a crash between CreateTemp and the rename
+// leaves a snap-*.tmp nothing retires; the next open must sweep it.
+func TestOrphanSnapshotTmpSwept(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-123456.tmp"), []byte("partial snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := openTestEngine(t, dir, Options{})
+	defer e.Close()
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); len(tmps) != 0 {
+		t.Fatalf("orphan snapshot tmp files not swept: %v", tmps)
+	}
+}
+
+// TestCommitRacingSameShapeRecreate: the nastiest recreate race — the new
+// incarnation has the same arity and reuses row ids, so name+arity checks
+// alone would let the ghost records clobber or resurrect rows. The epoch
+// carried by every row record must pin them to the dead incarnation.
+func TestCommitRacingSameShapeRecreate(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 10)`)
+
+	a := e.NewSession("root")
+	a.MustExec(`BEGIN`)
+	a.MustExec(`UPDATE t SET v = 99 WHERE id = 1`)
+	a.MustExec(`INSERT INTO t VALUES (2, 20)`)
+
+	s.MustExec(`DROP TABLE t`)
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`) // same shape
+	s.MustExec(`INSERT INTO t VALUES (1, 111)`)              // row id 1 reused
+
+	a.MustExec(`COMMIT`)
+	want := dumpEngine(e)
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("same-shape recreate recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	res := e2.NewSession("root").MustExec(`SELECT v FROM t ORDER BY id`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 111 {
+		t.Fatalf("ghost records leaked into recreated table: %+v", res.Rows)
+	}
+	e.Close()
+}
+
+// TestOpenRefusedWhenSnapshotUnloadableAndHistoryRetired: once a checkpoint
+// has retired the early WAL segments, the snapshot is the only copy of that
+// data — if it cannot be loaded, the open must fail loudly instead of
+// silently succeeding with a near-empty database.
+func TestOpenRefusedWhenSnapshotUnloadableAndHistoryRetired(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY)`)
+	s.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d := crashCopy(t, dir)
+	e.Close()
+
+	snaps, _ := listNumbered(d, "snap", ".snap")
+	if len(snaps) != 1 {
+		t.Fatalf("expected exactly one snapshot, got %v", snaps)
+	}
+	if err := os.WriteFile(snapPath(d, snaps[0]), []byte("scribbled over"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEngine(d, Options{CheckpointEvery: -1}); err == nil {
+		t.Fatal("open succeeded with the only snapshot unloadable and pre-snapshot WAL retired")
+	}
+}
+
+// TestWALFailStopAfterIOError: after a write error the log may end in a torn
+// frame that recovery will truncate, so the WAL must refuse every later
+// commit instead of acknowledging writes that cannot survive a restart.
+func TestWALFailStopAfterIOError(t *testing.T) {
+	dir := t.TempDir()
+	w, err := newWAL(dir, SyncAlways, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.commit([][]byte{encodeDeleteRec("t", 1, 1)}).wait(); err != nil {
+		t.Fatalf("healthy commit failed: %v", err)
+	}
+	w.f.Close() // injected I/O failure: every later write errors
+	if err := w.commit([][]byte{encodeDeleteRec("t", 1, 2)}).wait(); err == nil {
+		t.Fatal("commit with broken file reported success")
+	}
+	err = w.commit([][]byte{encodeDeleteRec("t", 1, 3)}).wait()
+	if err == nil || !strings.Contains(err.Error(), "refusing commit") {
+		t.Fatalf("commit after I/O error = %v, want fail-stop refusal", err)
+	}
+}
+
+// TestCommitSurvivesRolledBackConcurrentDelete: s2's uncommitted DELETE
+// tombstones the row s1 is updating (READ UNCOMMITTED); when s2 rolls back,
+// s1's acknowledged commit must still be on the WAL — dropping its record
+// because the entry looked dead at encode time silently lost the commit.
+// The in-memory side of the same race: s1's commit must not compact away
+// the tombstoned entry while s2 can still resurrect it.
+func TestCommitSurvivesRolledBackConcurrentDelete(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1, 10)`)
+
+	s1 := e.NewSession("root")
+	s2 := e.NewSession("root")
+	s1.MustExec(`BEGIN`)
+	s1.MustExec(`UPDATE t SET v = 20 WHERE id = 1`)
+	s2.MustExec(`BEGIN`)
+	s2.MustExec(`DELETE FROM t WHERE id = 1`)
+	s1.MustExec(`COMMIT`) // acknowledged while the row is tombstoned
+	s2.MustExec(`ROLLBACK`)
+
+	// Heap intact: the resurrected row exists with the committed value.
+	res := s.MustExec(`SELECT v FROM t WHERE id = 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 20 {
+		t.Fatalf("in-memory heap lost the row or the update: %+v", res.Rows)
+	}
+	want := dumpEngine(e)
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	rec := e2.NewSession("root").MustExec(`SELECT v FROM t WHERE id = 1`)
+	if len(rec.Rows) != 1 || rec.Rows[0][0].I != 20 {
+		t.Fatalf("acknowledged commit lost on recovery: %+v", rec.Rows)
+	}
+	e.Close()
+}
+
+// TestCommittedConcurrentDeleteStillWins: the mirror interleaving — when the
+// concurrent DELETE commits, the tombstone is durable and s1's record must
+// be dropped (its row's final state is "gone", and the delete is logged by
+// its own transaction which sequences BEFORE s1's frame).
+func TestCommittedConcurrentDeleteStillWins(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
+	s := e.NewSession("root")
+	s.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+
+	s1 := e.NewSession("root")
+	s1.MustExec(`BEGIN`)
+	s1.MustExec(`INSERT INTO t VALUES (5, 50)`)
+	// Autocommit delete of s1's dirty row commits first: its frame precedes
+	// s1's, so replay could never kill an insert replayed after it.
+	s.MustExec(`DELETE FROM t WHERE id = 5`)
+	s1.MustExec(`COMMIT`)
+	want := dumpEngine(e)
+
+	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e2.Close()
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("deleted row resurrected by replay: %+v", res.Rows)
+	}
+	e.Close()
+}

@@ -91,3 +91,31 @@ func RenderSelect(st *SelectStmt) string {
 func ViewSQL(v *View) string {
 	return fmt.Sprintf("CREATE VIEW %s AS %s;", v.Name, RenderSelect(v.Query))
 }
+
+// columnDefSQL renders a column definition in the dialect parseColumnDef
+// accepts back — used to re-render ALTER TABLE ADD COLUMN for the WAL.
+func columnDefSQL(cd *ColumnDef) string {
+	var sb strings.Builder
+	sb.WriteString(cd.Name)
+	sb.WriteString(" ")
+	sb.WriteString(cd.Type.String())
+	if cd.PrimaryKey {
+		sb.WriteString(" PRIMARY KEY")
+	}
+	if cd.NotNull {
+		sb.WriteString(" NOT NULL")
+	}
+	if cd.Unique {
+		sb.WriteString(" UNIQUE")
+	}
+	if cd.Default != nil {
+		sb.WriteString(" DEFAULT " + cd.Default.String())
+	}
+	if cd.References != nil {
+		sb.WriteString(" REFERENCES " + cd.References.ParentTable)
+		if len(cd.References.ParentColumns) > 0 {
+			sb.WriteString(" (" + strings.Join(cd.References.ParentColumns, ", ") + ")")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,336 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// A snapshot is a point-in-time copy of the whole catalog — grants, tables
+// (schema + rows + index definitions), and views — plus the WAL segment
+// number recovery should start replaying from. Layout:
+//
+//	magic | uvarint walSeg | grants | tables | views | u32 CRC-32 of all prior bytes
+//
+// Snapshots are written to a temp file and renamed into place, so a crash
+// mid-checkpoint leaves the previous snapshot (or none) intact, and the CRC
+// rejects any partially persisted file.
+const snapMagic = "SQLDBSNAP1"
+
+// encodeSnapshot serializes the engine's full state. The caller holds the
+// engine write lock, so the encoded buffer is a consistent copy that can be
+// written to disk after the lock is released.
+func encodeSnapshot(e *Engine, walSeg uint64) []byte {
+	b := []byte(snapMagic)
+	b = binary.AppendUvarint(b, walSeg)
+
+	changes := e.grants.dump()
+	b = binary.AppendUvarint(b, uint64(len(changes)))
+	for _, ch := range changes {
+		b = appendString(b, "") // reserved per-change header (future versioning)
+		b = append(b, encodeGrantRec(ch)...)
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(e.tableOrder)))
+	for _, lo := range e.tableOrder {
+		b = appendTableSnap(b, e.tables[lo])
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(e.viewOrder)))
+	for _, lo := range e.viewOrder {
+		b = appendString(b, ViewSQL(e.views[lo]))
+	}
+
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func appendTableSnap(b []byte, t *Table) []byte {
+	b = appendString(b, t.Name)
+	b = binary.AppendUvarint(b, t.epoch)
+
+	b = binary.AppendUvarint(b, uint64(len(t.Columns)))
+	for _, c := range t.Columns {
+		b = appendString(b, c.Name)
+		b = append(b, byte(c.Type))
+		flags := byte(0)
+		if c.NotNull {
+			flags |= 1
+		}
+		if c.PrimaryKey {
+			flags |= 2
+		}
+		if c.Unique {
+			flags |= 4
+		}
+		b = append(b, flags)
+		def := ""
+		if c.Default != nil {
+			def = c.Default.String()
+		}
+		b = appendString(b, def)
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(t.PrimaryKey)))
+	for _, c := range t.PrimaryKey {
+		b = appendString(b, c)
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(t.ForeignKeys)))
+	for _, fk := range t.ForeignKeys {
+		b = binary.AppendUvarint(b, uint64(len(fk.Columns)))
+		for _, c := range fk.Columns {
+			b = appendString(b, c)
+		}
+		b = appendString(b, fk.ParentTable)
+		b = binary.AppendUvarint(b, uint64(len(fk.ParentColumns)))
+		for _, c := range fk.ParentColumns {
+			b = appendString(b, c)
+		}
+	}
+
+	b = binary.AppendUvarint(b, uint64(len(t.indexes)))
+	for _, ix := range t.indexes {
+		b = appendString(b, ix.Name)
+		b = appendString(b, ix.Column)
+		if ix.Unique {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+
+	b = binary.AppendVarint(b, t.nextID)
+	b = binary.AppendUvarint(b, uint64(t.RowCount()))
+	_ = t.liveRows(func(r *rowEntry) error {
+		b = binary.AppendVarint(b, r.id)
+		for _, v := range r.vals {
+			b = appendValue(b, v)
+		}
+		return nil
+	})
+	return b
+}
+
+// loadSnapshot verifies and applies snapshot bytes to an empty engine,
+// returning the WAL segment replay should start from. Index and PK
+// structures are bulk-built after the rows are loaded (hash everything, one
+// sort over the distinct values) rather than maintained per row.
+func loadSnapshot(e *Engine, data []byte) (walSeg uint64, err error) {
+	if len(data) < len(snapMagic)+4 {
+		return 0, fmt.Errorf("snapshot: file too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("snapshot: CRC mismatch")
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("snapshot: bad magic")
+	}
+	r := &walReader{b: body[len(snapMagic):]}
+
+	walSeg = r.uvarint()
+
+	nGrants := r.uvarint()
+	for i := uint64(0); i < nGrants && r.err == nil; i++ {
+		_ = r.str() // reserved header
+		if typ := r.byte(); typ != recGrant {
+			r.fail("snapshot: expected grant record, got type %d", typ)
+			break
+		}
+		ch := decodeGrantChange(r)
+		if r.err == nil {
+			e.grants.apply(ch)
+		}
+	}
+
+	nTables := r.uvarint()
+	for i := uint64(0); i < nTables && r.err == nil; i++ {
+		if err := loadTableSnap(e, r); err != nil {
+			return 0, err
+		}
+	}
+
+	nViews := r.uvarint()
+	for i := uint64(0); i < nViews && r.err == nil; i++ {
+		sql := r.str()
+		if r.err != nil {
+			break
+		}
+		stmts, err := ParseScript(sql)
+		if err != nil || len(stmts) != 1 {
+			return 0, fmt.Errorf("snapshot: bad view DDL %q: %v", sql, err)
+		}
+		cv, ok := stmts[0].(*CreateViewStmt)
+		if !ok {
+			return 0, fmt.Errorf("snapshot: view entry is not CREATE VIEW: %q", sql)
+		}
+		if err := e.createView(&View{Name: cv.Name, Query: cv.Query}); err != nil {
+			return 0, err
+		}
+	}
+
+	if r.err != nil {
+		return 0, fmt.Errorf("snapshot: %w", r.err)
+	}
+	return walSeg, nil
+}
+
+func loadTableSnap(e *Engine, r *walReader) error {
+	name := r.str()
+	epoch := r.uvarint()
+
+	nCols := r.uvarint()
+	if nCols > uint64(len(r.b)) {
+		r.fail("snapshot: column count %d exceeds %d remaining bytes", nCols, len(r.b))
+		return r.err
+	}
+	cols := make([]Column, 0, nCols)
+	for i := uint64(0); i < nCols; i++ {
+		c := Column{Name: r.str(), Type: Kind(r.byte())}
+		flags := r.byte()
+		c.NotNull = flags&1 != 0
+		c.PrimaryKey = flags&2 != 0
+		c.Unique = flags&4 != 0
+		def := r.str()
+		if r.err != nil {
+			return r.err
+		}
+		if def != "" {
+			expr, err := parseExprSQL(def)
+			if err != nil {
+				return fmt.Errorf("snapshot: column %s.%s default %q: %w", name, c.Name, def, err)
+			}
+			c.Default = expr
+		}
+		cols = append(cols, c)
+	}
+
+	readStrings := func() []string {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) {
+			r.fail("snapshot: list length %d exceeds %d remaining bytes", n, len(r.b))
+			return nil
+		}
+		out := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			out = append(out, r.str())
+		}
+		return out
+	}
+
+	pk := readStrings()
+
+	nFKs := r.uvarint()
+	if nFKs > uint64(len(r.b)) {
+		r.fail("snapshot: FK count %d exceeds %d remaining bytes", nFKs, len(r.b))
+		return r.err
+	}
+	fks := make([]ForeignKey, 0, nFKs)
+	for i := uint64(0); i < nFKs; i++ {
+		fk := ForeignKey{Columns: readStrings()}
+		fk.ParentTable = r.str()
+		fk.ParentColumns = readStrings()
+		fks = append(fks, fk)
+	}
+
+	type ixDef struct {
+		name, col string
+		unique    bool
+	}
+	nIdx := r.uvarint()
+	if nIdx > uint64(len(r.b)) {
+		r.fail("snapshot: index count %d exceeds %d remaining bytes", nIdx, len(r.b))
+		return r.err
+	}
+	idxs := make([]ixDef, 0, nIdx)
+	for i := uint64(0); i < nIdx; i++ {
+		idxs = append(idxs, ixDef{name: r.str(), col: r.str(), unique: r.byte() != 0})
+	}
+
+	nextID := r.varint()
+	nRows := r.uvarint()
+	if r.err != nil {
+		return r.err
+	}
+
+	t, err := newTable(name, cols, pk, fks)
+	if err != nil {
+		return fmt.Errorf("snapshot: table %q: %w", name, err)
+	}
+	// Load rows raw — no per-row index/PK hooks; everything secondary is
+	// bulk-built below (the ordered-index bulk build from the range-scan PR).
+	if nRows <= uint64(len(r.b)) { // each row costs ≥1 byte; pre-size safely
+		t.rows = make([]*rowEntry, 0, nRows)
+	}
+	for i := uint64(0); i < nRows; i++ {
+		id := r.varint()
+		vals := make([]Value, len(cols))
+		for j := range vals {
+			vals[j] = r.value()
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if t.byID[id] != nil {
+			return fmt.Errorf("snapshot: duplicate row id %d in table %q", id, name)
+		}
+		entry := &rowEntry{id: id, vals: vals}
+		t.rows = append(t.rows, entry)
+		t.byID[id] = entry
+	}
+	t.nextID = nextID
+	t.epoch = epoch // createTable keeps it and advances the engine counter
+	for _, ix := range idxs {
+		if t.ColIndex(ix.col) < 0 {
+			return fmt.Errorf("snapshot: index %q on missing column %q.%q", ix.name, name, ix.col)
+		}
+		t.addIndex(&Index{Name: ix.name, Column: ix.col, Unique: ix.unique})
+	}
+	t.rebuildPK()
+	return e.createTable(t)
+}
+
+// parseExprSQL round-trips an expression through the SELECT grammar (the
+// parser has no bare-expression entry point).
+func parseExprSQL(s string) (Expr, error) {
+	stmt, err := Parse("SELECT " + s)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok || len(sel.Items) != 1 || sel.Items[0].Expr == nil {
+		return nil, fmt.Errorf("not a single expression")
+	}
+	return sel.Items[0].Expr, nil
+}
+
+// writeSnapshotFile atomically persists snapshot bytes for walSeg.
+func writeSnapshotFile(dir string, walSeg uint64, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapPath(dir, walSeg)); err != nil {
+		return err
+	}
+	// fsync the directory so the rename itself survives a crash.
+	if d, err := os.Open(filepath.Clean(dir)); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

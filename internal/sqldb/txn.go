@@ -30,16 +30,73 @@ type undoOp struct {
 	view     *View
 }
 
-// Txn is an open transaction: an undo log replayed in reverse on rollback.
+// Txn is an open transaction: an undo log replayed in reverse on rollback,
+// plus the redo records appended to the WAL on commit.
 // ACID notes for this single-node engine: atomicity and consistency come
 // from the undo log plus statement-level rollback; isolation is
 // statement-level — writes hold the engine lock exclusively while reads
 // share it, so each statement sees a consistent state, but an open
 // transaction's uncommitted statements are visible to other sessions
 // between statements (READ UNCOMMITTED; there are no snapshots or row
-// locks); durability is process-lifetime (in-memory store).
+// locks); durability depends on how the engine was opened. NewEngine is
+// in-memory (process-lifetime). OpenEngine appends every committed
+// transaction to a CRC-framed write-ahead log before acknowledging it,
+// at one of three levels (SyncMode): "always" fsyncs per commit, "batch"
+// group-commits — concurrent committers share one fsync but still wait for
+// it — and "off" leaves flushing to the OS. Checkpointed snapshots bound
+// replay time, and open-time recovery replays the WAL tail, truncating any
+// torn frame from a crash mid-write.
 type Txn struct {
 	undo []undoOp
+	// redo holds the transaction's redo operations in execution order. Only
+	// populated on durable engines; discarded on rollback. Row images are
+	// captured at commit time, not statement time (see encodeRedo).
+	redo []redoRec
+}
+
+// redoRec is one buffered redo operation. Insert/update records keep the
+// table and row entry and serialize the row image when the transaction
+// commits: under READ UNCOMMITTED another session may legally mutate a
+// dirty row (or ALTER/RENAME the table) before this transaction commits,
+// and the WAL must record what actually became durable — the commit-time
+// state — or replay would resurrect stale images the heap never kept.
+type redoRec struct {
+	kind  byte
+	table *Table    // insert/update/delete (name + epoch read at encode time)
+	entry *rowEntry // insert/update
+	rowID int64     // delete
+	sql   string    // DDL
+	epoch uint64    // DDL: the created table's epoch (0 otherwise)
+}
+
+// encodeRedo serializes buffered redo records into WAL frames at commit
+// time. The caller holds the engine write lock, so entry values and table
+// names are stable. Insert/update records whose row was tombstoned by a
+// COMMITTED deletion (deadDurable) are dropped: the row's final state is
+// "gone" and that deletion is (or will be) logged by its own transaction —
+// exactly matching what the in-memory heap keeps. A tombstone from a
+// still-open transaction keeps the record: if that transaction rolls back,
+// its deletion is never logged, and dropping ours would silently lose this
+// acknowledged commit on recovery.
+func encodeRedo(recs []redoRec) [][]byte {
+	out := make([][]byte, 0, len(recs))
+	for _, r := range recs {
+		switch r.kind {
+		case recInsert:
+			if !r.entry.dead || !r.entry.deadDurable {
+				out = append(out, encodeInsertRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.vals))
+			}
+		case recUpdate:
+			if !r.entry.dead || !r.entry.deadDurable {
+				out = append(out, encodeUpdateRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.vals))
+			}
+		case recDelete:
+			out = append(out, encodeDeleteRec(r.table.Name, r.table.epoch, r.rowID))
+		case recDDL:
+			out = append(out, encodeDDLRec(r.sql, r.epoch))
+		}
+	}
+	return out
 }
 
 func (tx *Txn) record(op undoOp) { tx.undo = append(tx.undo, op) }
@@ -123,41 +180,99 @@ func (s *Session) Engine() *Engine { return s.engine }
 // InTransaction reports whether a transaction is open.
 func (s *Session) InTransaction() bool { return s.txn != nil }
 
-// Begin starts a transaction.
+// Begin starts a transaction. Like Commit and Rollback it takes the engine
+// write lock itself; the SQL path (BEGIN through Exec) uses the unexported
+// variants under the lock the executor already holds.
 func (s *Session) Begin() error {
+	s.engine.mu.Lock()
+	defer s.engine.mu.Unlock()
+	return s.begin()
+}
+
+func (s *Session) begin() error {
 	if s.txn != nil {
 		return fmt.Errorf("a transaction is already in progress")
 	}
 	s.txn = &Txn{}
+	// Checkpoints are gated on this: a snapshot taken while a transaction
+	// is open would capture its uncommitted (yet unlogged) rows as durable.
+	s.engine.openTxns.Add(1)
 	return nil
 }
 
-// Commit makes the transaction's effects permanent.
+// Commit makes the transaction's effects permanent and, on a durable
+// engine, blocks until they are on disk (per the engine's SyncMode). The
+// engine write lock is held for the in-memory commit and redo encoding —
+// encodeRedo reads row images that concurrent writers may otherwise be
+// replacing — but released before the durability wait.
 func (s *Session) Commit() error {
-	if s.txn == nil {
-		return fmt.Errorf("no transaction is in progress")
+	s.engine.mu.Lock()
+	tok, err := s.commitTx()
+	s.engine.mu.Unlock()
+	if err != nil {
+		return err
 	}
-	// Dead rows tombstoned by this txn can now be compacted.
-	touched := map[*Table]bool{}
+	return tok.wait()
+}
+
+// commitTx applies the commit in memory and enqueues the transaction's redo
+// records on the WAL, returning the durability token WITHOUT waiting on it.
+// The executor waits after releasing the engine lock, so concurrent
+// committers can share one group fsync instead of serializing on it.
+func (s *Session) commitTx() (*syncToken, error) {
+	if s.txn == nil {
+		return nil, fmt.Errorf("no transaction is in progress")
+	}
+	// This transaction's deletions are now permanent: mark their tombstones
+	// durable (before encoding, so a same-transaction insert+delete pair
+	// collapses to nothing) so redo encoding — ours and later commits' —
+	// can tell them from tombstones of still-open transactions.
 	for _, op := range s.txn.undo {
-		if op.table != nil {
-			touched[op.table] = true
+		if op.kind == undoDelete {
+			op.entry.deadDurable = true
 		}
 	}
-	for t := range touched {
-		t.compact()
+	// Compact only while no OTHER transaction is open (the count still
+	// includes us): an open transaction's rollback must be able to
+	// resurrect entries it tombstoned, and compacting them away here would
+	// corrupt the heap it resurrects into. Deferred tombstones are
+	// reclaimed by the next commit that runs alone.
+	if s.engine.openTxns.Load() == 1 {
+		touched := map[*Table]bool{}
+		for _, op := range s.txn.undo {
+			if op.table != nil {
+				touched[op.table] = true
+			}
+		}
+		for t := range touched {
+			t.compact()
+		}
+	}
+	var tok *syncToken
+	if w := s.engine.wal.Load(); w != nil && len(s.txn.redo) > 0 {
+		if frames := encodeRedo(s.txn.redo); len(frames) > 0 {
+			tok = w.commit(frames)
+		}
 	}
 	s.txn = nil
-	return nil
+	s.engine.openTxns.Add(-1)
+	return tok, nil
 }
 
 // Rollback reverts every change made inside the transaction.
 func (s *Session) Rollback() error {
+	s.engine.mu.Lock()
+	defer s.engine.mu.Unlock()
+	return s.rollbackTx()
+}
+
+func (s *Session) rollbackTx() error {
 	if s.txn == nil {
 		return fmt.Errorf("no transaction is in progress")
 	}
 	s.txn.rollback(s.engine)
 	s.txn = nil
+	s.engine.openTxns.Add(-1)
 	return nil
 }
 
@@ -168,36 +283,91 @@ func (s *Session) record(op undoOp) {
 	}
 }
 
-// beginStmt opens the statement-level undo scope.
+// durable reports whether mutations must produce redo records.
+func (s *Session) durable() bool { return s.engine.wal.Load() != nil }
+
+// redoAppend buffers a redo operation in the statement scope; serialization
+// to WAL bytes happens at commit (see redoRec/encodeRedo).
+func (s *Session) redoAppend(rec redoRec) {
+	if s.stmtUndo != nil && s.durable() {
+		s.stmtUndo.redo = append(s.stmtUndo.redo, rec)
+	}
+}
+
+func (s *Session) redoInsert(t *Table, e *rowEntry) {
+	s.redoAppend(redoRec{kind: recInsert, table: t, entry: e})
+}
+
+func (s *Session) redoUpdate(t *Table, e *rowEntry) {
+	s.redoAppend(redoRec{kind: recUpdate, table: t, entry: e})
+}
+
+func (s *Session) redoDelete(t *Table, e *rowEntry) {
+	s.redoAppend(redoRec{kind: recDelete, table: t, rowID: e.id})
+}
+
+// redoDDL logs a DDL statement as replayable SQL text. The text is rendered
+// at execution time; DDL cannot be deferred to commit because its catalog
+// effects (unlike dirty rows) are what later records in the same log depend
+// on.
+func (s *Session) redoDDL(sql string) {
+	s.redoAppend(redoRec{kind: recDDL, sql: sql})
+}
+
+// redoCreateTable is redoDDL for CREATE TABLE: the record also carries the
+// epoch this incarnation was assigned, so replay re-creates it under the
+// same epoch and later row records pin to the right incarnation.
+func (s *Session) redoCreateTable(t *Table) {
+	s.redoAppend(redoRec{kind: recDDL, sql: SchemaSQL(t), epoch: t.epoch})
+}
+
+// beginStmt opens the statement-level undo/redo scope.
 func (s *Session) beginStmt() { s.stmtUndo = &Txn{} }
 
 // endStmt closes the statement scope: on error the statement is rolled
 // back; on success its undo ops are promoted to the open transaction or
-// discarded (auto-commit).
-func (s *Session) endStmt(execErr error) {
+// discarded (auto-commit). The returned token, if any, is the auto-commit's
+// claim on WAL durability — the executor waits on it after the engine lock
+// is released.
+func (s *Session) endStmt(execErr error) *syncToken {
 	st := s.stmtUndo
 	s.stmtUndo = nil
 	if st == nil {
-		return
+		return nil
 	}
 	if execErr != nil {
 		st.rollback(s.engine)
-		return
+		return nil
 	}
 	if s.txn != nil {
 		s.txn.undo = append(s.txn.undo, st.undo...)
-		return
+		s.txn.redo = append(s.txn.redo, st.redo...)
+		return nil
 	}
-	// Auto-commit: compact tombstones now.
-	touched := map[*Table]bool{}
+	// Auto-commit: same durable-tombstone marking and guarded compaction as
+	// commitTx (auto-commits never increment openTxns, so "alone" is zero).
 	for _, op := range st.undo {
-		if op.table != nil {
-			touched[op.table] = true
+		if op.kind == undoDelete {
+			op.entry.deadDurable = true
 		}
 	}
-	for t := range touched {
-		t.compact()
+	if s.engine.openTxns.Load() == 0 {
+		touched := map[*Table]bool{}
+		for _, op := range st.undo {
+			if op.table != nil {
+				touched[op.table] = true
+			}
+		}
+		for t := range touched {
+			t.compact()
+		}
 	}
+	if w := s.engine.wal.Load(); w != nil && len(st.redo) > 0 {
+		if frames := encodeRedo(st.redo); len(frames) > 0 {
+			return w.commit(frames)
+		}
+	}
+	return nil
 }
 
 func lowerName(s string) string {
