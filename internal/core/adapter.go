@@ -129,6 +129,43 @@ type Conn interface {
 	// IsPermissionDenied reports whether an error returned by Exec is a
 	// database-side privilege rejection.
 	IsPermissionDenied(err error) bool
+
+	// IsSerializationFailure reports whether an error returned by Exec is a
+	// retryable write-write conflict under the backend's snapshot
+	// isolation (PostgreSQL SQLSTATE 40001): the caller should ROLLBACK
+	// and retry the whole transaction. See RunInTransaction.
+	IsSerializationFailure(err error) bool
+}
+
+// RunInTransaction executes fn inside a transaction on conn, committing on
+// success and rolling back on error. Retryable serialization failures
+// (write-write conflicts under snapshot isolation) restart fn up to
+// maxRetries times with a fresh snapshot — the documented conflict-retry
+// contract, packaged so agent toolkits and application code need no
+// backend-specific error matching. maxRetries <= 0 means a sensible
+// default.
+func RunInTransaction(conn Conn, maxRetries int, fn func(Conn) error) error {
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if err := conn.Begin(); err != nil {
+			return err
+		}
+		err := fn(conn)
+		if err == nil {
+			if err = conn.Commit(); err == nil {
+				return nil
+			}
+		}
+		_ = conn.Rollback()
+		if !conn.IsSerializationFailure(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("transaction retried %d times without success: %w", maxRetries, lastErr)
 }
 
 // SQLDBConn adapts a sqldb session to the Conn interface. It is the
@@ -186,6 +223,16 @@ func valueToAny(v sqldb.Value) any {
 
 // Begin implements Conn.
 func (c *SQLDBConn) Begin() error { _, err := c.sess.Exec("BEGIN"); return err }
+
+// BeginIsolation starts a transaction at a named isolation level
+// ("READ COMMITTED", "REPEATABLE READ", "SNAPSHOT", "SERIALIZABLE").
+func (c *SQLDBConn) BeginIsolation(level string) error {
+	if _, ok := sqldb.ParseIsolationLevel(level); !ok {
+		return fmt.Errorf("unknown isolation level %q", level)
+	}
+	_, err := c.sess.Exec("BEGIN ISOLATION LEVEL " + level)
+	return err
+}
 
 // Commit implements Conn.
 func (c *SQLDBConn) Commit() error { _, err := c.sess.Exec("COMMIT"); return err }
@@ -337,4 +384,9 @@ func (c *SQLDBConn) Durability() DurabilityStats {
 func (c *SQLDBConn) IsPermissionDenied(err error) bool {
 	var pe *sqldb.PermissionError
 	return errors.As(err, &pe)
+}
+
+// IsSerializationFailure implements Conn.
+func (c *SQLDBConn) IsSerializationFailure(err error) bool {
+	return sqldb.IsRetryable(err)
 }

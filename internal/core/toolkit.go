@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"bridgescope/internal/mcp"
+	"bridgescope/internal/sqldb"
 )
 
 // sqlToolSpec maps each SQL-action tool to the privilege it requires and the
@@ -194,9 +195,37 @@ func (t *Toolkit) registerTxnTools() {
 		return
 	}
 	t.reg.Register(&mcp.Tool{
-		Name:        "begin",
-		Description: "Begin a new transaction. Wrap multi-statement database modifications in begin/commit for atomicity.",
+		Name: "begin",
+		Description: "Begin a new transaction (snapshot isolation). Wrap multi-statement database modifications in begin/commit for atomicity. " +
+			"On a serialization-conflict error, rollback and retry the transaction. Optional 'isolation' selects the level.",
+		InputSchema: map[string]any{
+			"type": "object",
+			"properties": map[string]any{
+				"isolation": map[string]any{
+					"type":        "string",
+					"description": "READ COMMITTED, REPEATABLE READ, SNAPSHOT (default), or SERIALIZABLE",
+				},
+			},
+		},
 		Handler: func(ctx context.Context, args map[string]any) (any, error) {
+			if level, _ := args["isolation"].(string); level != "" {
+				// Validate against the known level spellings BEFORE any SQL
+				// is assembled: the argument is caller-controlled and must
+				// never be concatenated into a statement unchecked.
+				if _, ok := sqldb.ParseIsolationLevel(level); !ok {
+					return nil, fmt.Errorf("unknown isolation level %q", level)
+				}
+				if bi, ok := t.conn.(interface{ BeginIsolation(string) error }); ok {
+					if err := bi.BeginIsolation(level); err != nil {
+						return nil, err
+					}
+					return "BEGIN", nil
+				}
+				if _, err := t.conn.Exec("BEGIN ISOLATION LEVEL " + level); err != nil {
+					return nil, err
+				}
+				return "BEGIN", nil
+			}
 			if err := t.conn.Begin(); err != nil {
 				return nil, err
 			}

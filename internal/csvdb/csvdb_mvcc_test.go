@@ -1,0 +1,60 @@
+package csvdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotIsolationOverCSVStore: sessions over a CSV-backed store get
+// the engine's snapshot isolation — no dirty reads across connections, and
+// write-write conflicts surface as retryable serialization failures through
+// the backend-agnostic Conn classifier.
+func TestSnapshotIsolationOverCSVStore(t *testing.T) {
+	dir := t.TempDir()
+	csv := "id,qty\n1,10\n2,20\n"
+	if err := os.WriteFile(filepath.Join(dir, "stock.csv"), []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writer := store.Conn("root")
+	reader := store.Conn("root")
+	if err := writer.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec("UPDATE stock SET qty = 99 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// The other connection must not see the uncommitted update.
+	res, err := reader.Exec("SELECT qty FROM stock WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 10 {
+		t.Fatalf("dirty read through CSV store: qty = %d, want 10", got)
+	}
+	// A concurrent write to the same row is a retryable conflict.
+	other := store.Conn("root")
+	if err := other.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = other.Exec("UPDATE stock SET qty = 50 WHERE id = 1")
+	if !other.IsSerializationFailure(err) {
+		t.Fatalf("concurrent write = %v, want serialization failure", err)
+	}
+	_ = other.Rollback()
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = reader.Exec("SELECT qty FROM stock WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].(int64); got != 99 {
+		t.Fatalf("committed update invisible: qty = %d, want 99", got)
+	}
+}

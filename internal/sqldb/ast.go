@@ -144,8 +144,12 @@ type DropViewStmt struct {
 	IfExists bool
 }
 
-// BeginStmt starts a transaction.
-type BeginStmt struct{}
+// BeginStmt starts a transaction, optionally naming an isolation level
+// (BEGIN [TRANSACTION] [ISOLATION LEVEL ...]). The zero value is the
+// default snapshot isolation.
+type BeginStmt struct {
+	Level IsolationLevel
+}
 
 // CommitStmt commits the current transaction.
 type CommitStmt struct{}

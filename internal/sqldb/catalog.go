@@ -26,36 +26,56 @@ type ForeignKey struct {
 	ParentColumns []string
 }
 
-// rowEntry is one stored row. Deleted rows are tombstoned (dead=true) so an
-// open transaction can resurrect them on rollback; they are compacted once
-// no transaction can reference them.
+// rowVersion is one incarnation of a row's values in its version chain.
+// While the creating (or deleting) transaction is open, xminTxn (xmaxTxn)
+// identifies it; commit replaces the pointer with the commit timestamp,
+// rollback unlinks the version (or clears the delete stamp). xmin 0 with a
+// nil xminTxn means "committed before any live snapshot" (snapshot-loaded
+// rows). xmax 0 with a nil xmaxTxn means the version is the live head.
+type rowVersion struct {
+	vals    []Value
+	xmin    uint64 // commit timestamp of the creating transaction
+	xmax    uint64 // commit timestamp of the deleting/superseding transaction
+	xminTxn *Txn   // creating transaction while still open
+	xmaxTxn *Txn   // deleting/superseding transaction while still open
+	prev    *rowVersion
+}
+
+// rowEntry is one stored row: a stable id plus its version chain, newest
+// first. Index and primary-key entries point at the chain (the id), so an
+// old snapshot can still find a row through a value only an old version
+// holds; scans re-check the visible version's value. v is nil once a
+// rolled-back insert is unlinked (vacuum reclaims the husk).
 type rowEntry struct {
-	id   int64
-	vals []Value
-	dead bool
-	// deadDurable marks a tombstone whose deleting transaction has
-	// committed (set at that commit, cleared by resurrect). encodeRedo
-	// needs the distinction: a row tombstoned by a still-open transaction
-	// may be resurrected by its rollback, so redo records for it must be
-	// kept; a committed deletion is (or will be) logged by its own
-	// transaction, so they must be dropped.
-	deadDurable bool
+	id int64
+	v  *rowVersion
+}
+
+// rowHit is one row an index or range lookup resolved for a snapshot: the
+// entry (write paths mutate it) and the version the snapshot sees (read
+// paths materialize its values).
+type rowHit struct {
+	e *rowEntry
+	v *rowVersion
 }
 
 // Index is a single-column index with two faces: a hash map serving
 // equality lookups in O(1), and a sorted slice of the distinct non-NULL
-// values serving range scans and ordered iteration. Both are maintained
-// together by every INSERT/UPDATE/DELETE (through the table's row hooks).
+// values serving range scans and ordered iteration. Buckets hold the ids of
+// every row whose version CHAIN contains the value — possibly more rows
+// than any one snapshot sees — so lookups re-check the visible version's
+// value. Entries are added when a version installs a value and removed only
+// when no version in the chain holds it (rollback or vacuum).
 type Index struct {
 	Name   string
 	Column string
 	Unique bool
 	col    int                // column position
-	m      map[string][]int64 // value key -> live row ids
+	m      map[string][]int64 // value key -> row ids whose chain holds it
 	ord    []Value            // distinct non-NULL values, sorted by orderCompare
 }
 
-// Table is an in-memory heap of rows plus secondary structures.
+// Table is an in-memory heap of row chains plus secondary structures.
 type Table struct {
 	Name        string
 	Columns     []Column
@@ -69,15 +89,19 @@ type Table struct {
 	// current one (see the WAL record-type comment in wal.go).
 	epoch uint64
 
-	rows    []*rowEntry
-	byID    map[int64]*rowEntry
-	nextID  int64
+	rows   []*rowEntry
+	byID   map[int64]*rowEntry
+	nextID int64
+	// deadCnt counts entries whose head version is committed-dead (the
+	// row-count estimate subtracts them); garbage counts versions awaiting
+	// vacuum (superseded, committed-dead, or aborted) and gates it.
 	deadCnt int
+	garbage int
 
-	indexes map[string]*Index // keyed by lower-case column name
-	pkCols  []int             // resolved PK column positions
-	pkMap   map[string]int64  // composite PK key -> row id
-	pkOrd   []Value           // single-column PK values, sorted (nil otherwise)
+	indexes map[string]*Index  // keyed by lower-case column name
+	pkCols  []int              // resolved PK column positions
+	pkMap   map[string][]int64 // composite PK key -> row ids whose chain holds it
+	pkOrd   []Value            // single-column PK values, sorted (nil otherwise)
 }
 
 func newTable(name string, cols []Column, pk []string, fks []ForeignKey) (*Table, error) {
@@ -105,7 +129,7 @@ func newTable(name string, cols []Column, pk []string, fks []ForeignKey) (*Table
 		t.pkCols = append(t.pkCols, i)
 	}
 	if len(t.pkCols) > 0 {
-		t.pkMap = map[string]int64{}
+		t.pkMap = map[string][]int64{}
 	}
 	// Auto-index UNIQUE columns.
 	for _, c := range cols {
@@ -135,39 +159,47 @@ func (t *Table) ColumnNames() []string {
 	return out
 }
 
-// RowCount returns the number of live rows.
+// RowCount estimates the number of rows the latest committed state holds:
+// entries minus committed-dead heads. Uncommitted inserts count until their
+// fate is decided; exact counts come from a snapshot-visible scan.
 func (t *Table) RowCount() int { return len(t.rows) - t.deadCnt }
 
-// liveRows iterates over live rows in insertion order.
-func (t *Table) liveRows(fn func(*rowEntry) error) error {
-	for _, r := range t.rows {
-		if r.dead {
+// visibleRows iterates, in insertion order, over the rows sn can see,
+// passing each entry and its visible version.
+func (t *Table) visibleRows(sn snapView, fn func(*rowEntry, *rowVersion) error) error {
+	for _, e := range t.rows {
+		v := e.visible(sn)
+		if v == nil {
 			continue
 		}
-		if err := fn(r); err != nil {
+		if err := fn(e, v); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// addIndex builds both faces over the existing rows. The ordered face is
-// bulk-built — hash the rows, then one sort over the distinct values —
-// rather than per-row sorted inserts, which would cost O(n^2) memmove on a
+// addIndex builds both faces over the existing rows — every version of
+// every chain, since index entries point at chains. The ordered face is
+// bulk-built (hash the rows, then one sort over the distinct values) rather
+// than per-row sorted inserts, which would cost O(n^2) memmove on a
 // populated table.
 func (t *Table) addIndex(ix *Index) {
 	ix.col = t.ColIndex(ix.Column)
 	ix.m = map[string][]int64{}
 	distinct := map[string]Value{}
-	for _, r := range t.rows {
-		if r.dead {
-			continue
-		}
-		v := r.vals[ix.col]
-		key := v.Key()
-		ix.m[key] = append(ix.m[key], r.id)
-		if !v.IsNull() {
-			distinct[key] = v
+	for _, e := range t.rows {
+		for v := e.v; v != nil; v = v.prev {
+			cv := v.vals[ix.col]
+			key := cv.Key()
+			ids, added := addID(ix.m[key], e.id)
+			if !added {
+				continue
+			}
+			ix.m[key] = ids
+			if !cv.IsNull() {
+				distinct[key] = cv
+			}
 		}
 	}
 	ix.ord = make([]Value, 0, len(distinct))
@@ -176,6 +208,28 @@ func (t *Table) addIndex(ix *Index) {
 	}
 	sort.Slice(ix.ord, func(i, j int) bool { return orderCompare(ix.ord[i], ix.ord[j]) < 0 })
 	t.indexes[strings.ToLower(ix.Column)] = ix
+}
+
+// addID appends id to a bucket unless already present (a chain may hold the
+// same value in several versions; the bucket records the row once).
+func addID(ids []int64, id int64) ([]int64, bool) {
+	for _, got := range ids {
+		if got == id {
+			return ids, false
+		}
+	}
+	return append(ids, id), true
+}
+
+// removeID deletes id from a bucket (swap-delete); no-op when absent.
+func removeID(ids []int64, id int64) ([]int64, bool) {
+	for i, got := range ids {
+		if got == id {
+			ids[i] = ids[len(ids)-1]
+			return ids[:len(ids)-1], true
+		}
+	}
+	return ids, false
 }
 
 // ordSearch returns the position of v in ord, or the insertion point that
@@ -208,29 +262,30 @@ func ordDelete(ord []Value, v Value) []Value {
 
 func (ix *Index) add(v Value, id int64) {
 	key := v.Key()
-	ids := ix.m[key]
-	if len(ids) == 0 && !v.IsNull() {
+	ids, added := addID(ix.m[key], id)
+	if !added {
+		return
+	}
+	if len(ids) == 1 && !v.IsNull() {
 		ix.ord = ordInsert(ix.ord, v)
 	}
-	ix.m[key] = append(ids, id)
+	ix.m[key] = ids
 }
 
 func (ix *Index) remove(v Value, id int64) {
 	key := v.Key()
-	ids := ix.m[key]
-	for i, got := range ids {
-		if got == id {
-			ids[i] = ids[len(ids)-1]
-			ix.m[key] = ids[:len(ids)-1]
-			if len(ids) == 1 {
-				delete(ix.m, key)
-				if !v.IsNull() {
-					ix.ord = ordDelete(ix.ord, v)
-				}
-			}
-			return
-		}
+	ids, removed := removeID(ix.m[key], id)
+	if !removed {
+		return
 	}
+	if len(ids) == 0 {
+		delete(ix.m, key)
+		if !v.IsNull() {
+			ix.ord = ordDelete(ix.ord, v)
+		}
+		return
+	}
+	ix.m[key] = ids
 }
 
 func (t *Table) pkKey(vals []Value) string {
@@ -241,93 +296,159 @@ func (t *Table) pkKey(vals []Value) string {
 	return sb.String()
 }
 
-// insertEntry appends a row that already passed constraint checks.
-func (t *Table) insertEntry(vals []Value) *rowEntry {
+// --- version-chain mutation primitives ---
+//
+// The write path calls these under the engine write lock (short critical
+// sections); readers hold the read lock for their whole statement, so they
+// never observe a half-installed version or index entry.
+
+// insertEntry appends a new row whose first version belongs to txn. The
+// caller has already passed constraint checks.
+func (t *Table) insertEntry(vals []Value, txn *Txn) *rowEntry {
 	t.nextID++
-	e := &rowEntry{id: t.nextID, vals: vals}
+	e := &rowEntry{id: t.nextID, v: &rowVersion{vals: vals, xminTxn: txn}}
 	t.rows = append(t.rows, e)
 	t.byID[e.id] = e
-	t.hookAdd(e)
+	t.indexVals(e, vals)
 	return e
 }
 
-// markDead tombstones a row.
-func (t *Table) markDead(e *rowEntry) {
-	if e.dead {
-		return
-	}
-	e.dead = true
-	t.deadCnt++
-	t.hookRemove(e)
+// installVersion pushes a new version created by txn on top of e's chain,
+// stamping the old head as superseded by txn. Returns the new version.
+func (t *Table) installVersion(e *rowEntry, vals []Value, txn *Txn) *rowVersion {
+	old := e.v
+	old.xmaxTxn = txn
+	e.v = &rowVersion{vals: vals, xminTxn: txn, prev: old}
+	t.indexVals(e, vals)
+	return e.v
 }
 
-// resurrect undoes markDead.
-func (t *Table) resurrect(e *rowEntry) {
-	if !e.dead {
-		return
-	}
-	e.dead = false
-	e.deadDurable = false
-	t.deadCnt--
-	t.hookAdd(e)
+// deleteVersion stamps e's head as deleted by txn. The index keeps its
+// entries: the chain still holds the values, and older snapshots still see
+// the row.
+func (t *Table) deleteVersion(e *rowEntry, txn *Txn) *rowVersion {
+	e.v.xmaxTxn = txn
+	return e.v
 }
 
-// replaceVals swaps a live row's values, keeping secondary structures
-// consistent.
-func (t *Table) replaceVals(e *rowEntry, vals []Value) {
-	t.hookRemove(e)
-	e.vals = vals
-	t.hookAdd(e)
+// undoInsertEntry rolls back an insert: the chain had exactly this one
+// version, so the entry becomes a husk (v == nil) that vacuum reclaims.
+func (t *Table) undoInsertEntry(e *rowEntry) {
+	vals := e.v.vals
+	e.v = nil
+	t.unindexVals(e, vals)
+	delete(t.byID, e.id)
+	t.garbage++
 }
 
-func (t *Table) hookAdd(e *rowEntry) {
+// undoInstallVersion rolls back an update: pop ver (the rolled-back new
+// version) off the chain and clear the supersede stamp on the old head.
+func (t *Table) undoInstallVersion(e *rowEntry, ver *rowVersion) {
+	e.v = ver.prev
+	e.v.xmaxTxn = nil
+	t.unindexVals(e, ver.vals)
+}
+
+// undoDeleteVersion rolls back a delete: clear the stamp.
+func (t *Table) undoDeleteVersion(ver *rowVersion) { ver.xmaxTxn = nil }
+
+// indexVals registers a version's values: each indexed column's bucket and
+// the PK bucket gain e's id unless the chain already put it there.
+func (t *Table) indexVals(e *rowEntry, vals []Value) {
 	if t.pkMap != nil {
-		t.pkMap[t.pkKey(e.vals)] = e.id
-		if len(t.pkCols) == 1 {
-			t.pkOrd = ordInsert(t.pkOrd, e.vals[t.pkCols[0]])
-		}
-	}
-	for _, ix := range t.indexes {
-		ix.add(e.vals[ix.col], e.id)
-	}
-}
-
-func (t *Table) hookRemove(e *rowEntry) {
-	if t.pkMap != nil {
-		k := t.pkKey(e.vals)
-		if t.pkMap[k] == e.id {
-			delete(t.pkMap, k)
-			if len(t.pkCols) == 1 {
-				t.pkOrd = ordDelete(t.pkOrd, e.vals[t.pkCols[0]])
+		k := t.pkKey(vals)
+		ids, added := addID(t.pkMap[k], e.id)
+		if added {
+			t.pkMap[k] = ids
+			if len(ids) == 1 && len(t.pkCols) == 1 {
+				t.pkOrd = ordInsert(t.pkOrd, vals[t.pkCols[0]])
 			}
 		}
 	}
 	for _, ix := range t.indexes {
-		ix.remove(e.vals[ix.col], e.id)
+		ix.add(vals[ix.col], e.id)
 	}
 }
 
-// rebuildPK bulk-builds the primary-key map and (for single-column keys)
-// the ordered face over the existing rows: hash every live row, then one
-// sort — the same shape as addIndex, used by the snapshot loader instead of
-// per-row sorted inserts.
+// unindexVals removes index/PK entries for vals unless another version
+// still in e's chain holds the same value (then the entry must stay).
+func (t *Table) unindexVals(e *rowEntry, vals []Value) {
+	if t.pkMap != nil {
+		k := t.pkKey(vals)
+		if !t.chainHasPK(e, k) {
+			t.removePK(k, e.id, vals)
+		}
+	}
+	for _, ix := range t.indexes {
+		cv := vals[ix.col]
+		if !chainHasKey(e, ix.col, cv.Key()) {
+			ix.remove(cv, e.id)
+		}
+	}
+}
+
+// removePK drops id from a PK bucket, maintaining the ordered face for
+// single-column keys. Idempotent: a no-op when the id is absent.
+func (t *Table) removePK(k string, id int64, vals []Value) {
+	ids, removed := removeID(t.pkMap[k], id)
+	if !removed {
+		return
+	}
+	if len(ids) == 0 {
+		delete(t.pkMap, k)
+		if len(t.pkCols) == 1 {
+			t.pkOrd = ordDelete(t.pkOrd, vals[t.pkCols[0]])
+		}
+		return
+	}
+	t.pkMap[k] = ids
+}
+
+// chainHasPK reports whether any version in e's chain renders PK key k.
+func (t *Table) chainHasPK(e *rowEntry, k string) bool {
+	for v := e.v; v != nil; v = v.prev {
+		if t.pkKey(v.vals) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// chainHasKey reports whether any version in e's chain holds key k in col.
+func chainHasKey(e *rowEntry, col int, k string) bool {
+	for v := e.v; v != nil; v = v.prev {
+		if v.vals[col].Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildPK bulk-builds the primary-key buckets and (for single-column
+// keys) the ordered face over the existing chains: hash every version, then
+// one sort — the same shape as addIndex, used by the snapshot loader
+// instead of per-row sorted inserts.
 func (t *Table) rebuildPK() {
 	if t.pkMap == nil {
 		return
 	}
-	t.pkMap = make(map[string]int64, len(t.rows))
+	t.pkMap = make(map[string][]int64, len(t.rows))
 	single := len(t.pkCols) == 1
 	var ord []Value
 	if single {
 		ord = make([]Value, 0, len(t.rows))
 	}
-	for _, r := range t.rows {
-		if r.dead {
-			continue
-		}
-		t.pkMap[t.pkKey(r.vals)] = r.id
-		if single {
-			ord = append(ord, r.vals[t.pkCols[0]])
+	for _, e := range t.rows {
+		for v := e.v; v != nil; v = v.prev {
+			k := t.pkKey(v.vals)
+			ids, added := addID(t.pkMap[k], e.id)
+			if !added {
+				continue
+			}
+			t.pkMap[k] = ids
+			if single && len(ids) == 1 {
+				ord = append(ord, v.vals[t.pkCols[0]])
+			}
 		}
 	}
 	if single {
@@ -336,34 +457,16 @@ func (t *Table) rebuildPK() {
 	}
 }
 
-// compact removes tombstoned rows. Only safe when no transaction may
-// reference them.
-func (t *Table) compact() {
-	if t.deadCnt == 0 {
-		return
-	}
-	live := t.rows[:0]
-	for _, r := range t.rows {
-		if r.dead {
-			delete(t.byID, r.id)
-			continue
-		}
-		live = append(live, r)
-	}
-	t.rows = live
-	t.deadCnt = 0
-}
-
-// lookupEq returns ids of live rows whose column equals v, using an index,
-// the PK map, or nil when no access path exists (caller falls back to scan).
+// lookupEq returns ids of rows whose chain may hold v in col, using an
+// index bucket or the PK buckets, or usable=false when no access path
+// exists (caller falls back to a scan). Callers resolve each id against
+// their snapshot and re-check the visible version's value: buckets cover
+// chains, not any one snapshot.
 func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
 	if len(t.pkCols) == 1 && t.pkCols[0] == col {
 		var sb strings.Builder
 		writeKeySegment(&sb, v)
-		if id, ok := t.pkMap[sb.String()]; ok {
-			return []int64{id}, true
-		}
-		return nil, true
+		return t.pkMap[sb.String()], true
 	}
 	if ix, ok := t.indexes[strings.ToLower(t.Columns[col].Name)]; ok {
 		return ix.m[v.Key()], true
@@ -372,51 +475,55 @@ func (t *Table) lookupEq(col int, v Value) ([]int64, bool) {
 }
 
 // orderedOn returns the sorted distinct values of column col plus a lookup
-// from value to live row ids (NULL included — PK lookups just miss), via
-// the single-column primary key or an ordered secondary index. ok is false
-// when no ordered structure covers the column (caller falls back to
-// scan+sort).
+// from value to row ids (NULL included), via the single-column primary key
+// or an ordered secondary index. ok is false when no ordered structure
+// covers the column (caller falls back to scan+sort).
 func (t *Table) orderedOn(col int) (ord []Value, idsFor func(Value) []int64, ok bool) {
+	// Buckets are swap-deleted, so restore insertion (id) order — but only
+	// when there is anything to order: PK buckets are almost always length
+	// 0 or 1 (longer only transiently, a dead chain beside a reinserted
+	// key awaiting vacuum), and the copy+sort per visited value would
+	// otherwise tax every ordered scan's hot path. Callers only read the
+	// returned slice.
+	sortedBucket := func(ids []int64) []int64 {
+		if len(ids) <= 1 {
+			return ids
+		}
+		out := append([]int64{}, ids...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
 	if len(t.pkCols) == 1 && t.pkCols[0] == col {
 		idsFor = func(v Value) []int64 {
 			var sb strings.Builder
 			writeKeySegment(&sb, v)
-			if id, hit := t.pkMap[sb.String()]; hit {
-				return []int64{id}
-			}
-			return nil
+			return sortedBucket(t.pkMap[sb.String()])
 		}
 		return t.pkOrd, idsFor, true
 	}
 	if ix, hit := t.indexes[strings.ToLower(t.Columns[col].Name)]; hit {
 		idsFor = func(v Value) []int64 {
-			ids := append([]int64{}, ix.m[v.Key()]...)
-			// Buckets are swap-deleted, so restore insertion (id) order.
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			return ids
+			return sortedBucket(ix.m[v.Key()])
 		}
 		return ix.ord, idsFor, true
 	}
 	return nil, nil, false
 }
 
-// lookupRange returns ids of live rows whose column col falls within
+// lookupRange returns the rows sn sees whose column col falls within
 // [lo, hi] (nil = unbounded, inclusivity per flag), in column order —
 // reversed when desc. usable is false when no ordered structure covers the
-// column. withNulls additionally emits NULL rows at the position ORDER BY
-// gives them (last ascending, first descending; only meaningful for
-// unbounded scans serving a sort). maxRows > 0 stops emission early — the
-// Top-K fast path — and 0 means unlimited.
-func (t *Table) lookupRange(col int, lo, hi *Value, loIncl, hiIncl, desc, withNulls bool, maxRows int) ([]int64, bool) {
+// column. Each row is emitted at the position of its VISIBLE version's
+// value (buckets cover whole chains, so a row is skipped under values only
+// other versions hold — it surfaces under its own). withNulls additionally
+// emits NULL rows at the position ORDER BY gives them (last ascending,
+// first descending; only meaningful for unbounded scans serving a sort).
+// maxRows > 0 stops emission early — the Top-K fast path — and 0 means
+// unlimited.
+func (t *Table) lookupRange(sn snapView, col int, lo, hi *Value, loIncl, hiIncl, desc, withNulls bool, maxRows int) ([]rowHit, bool) {
 	ord, idsFor, ok := t.orderedOn(col)
 	if !ok {
 		return nil, false
-	}
-	// The NULL bucket is only gathered (copied + sorted) when the scan
-	// actually emits NULL rows; bounded scans and write matching skip it.
-	var nullIDs []int64
-	if withNulls {
-		nullIDs = idsFor(Null())
 	}
 	start, end := 0, len(ord)
 	if lo != nil {
@@ -434,35 +541,44 @@ func (t *Table) lookupRange(col int, lo, hi *Value, loIncl, hiIncl, desc, withNu
 	if start > end {
 		start = end
 	}
-	var out []int64
+	var out []rowHit
 	full := maxRows <= 0
-	emit := func(ids []int64) bool {
+	emit := func(val Value, ids []int64) bool {
+		key := val.Key()
 		for _, id := range ids {
-			out = append(out, id)
+			e := t.byID[id]
+			if e == nil {
+				continue
+			}
+			v := e.visible(sn)
+			if v == nil || v.vals[col].Key() != key {
+				continue
+			}
+			out = append(out, rowHit{e: e, v: v})
 			if !full && len(out) >= maxRows {
 				return false
 			}
 		}
 		return true
 	}
-	if desc && withNulls && !emit(nullIDs) {
+	if desc && withNulls && !emit(Null(), idsFor(Null())) {
 		return out, true
 	}
 	if desc {
 		for i := end - 1; i >= start; i-- {
-			if !emit(idsFor(ord[i])) {
+			if !emit(ord[i], idsFor(ord[i])) {
 				return out, true
 			}
 		}
 	} else {
 		for i := start; i < end; i++ {
-			if !emit(idsFor(ord[i])) {
+			if !emit(ord[i], idsFor(ord[i])) {
 				return out, true
 			}
 		}
 	}
 	if !desc && withNulls {
-		emit(nullIDs)
+		emit(Null(), idsFor(Null()))
 	}
 	return out, true
 }
@@ -474,9 +590,16 @@ type Engine struct {
 	Name string
 
 	// mu guards the catalog and all row data. Read-only statements
-	// (SELECT, EXPLAIN) take the read side so independent sessions can
-	// scan in parallel; every mutating statement takes the write side.
-	mu         sync.RWMutex
+	// (SELECT, EXPLAIN) take the read side for their whole statement so
+	// independent sessions scan in parallel. DML writers do NOT hold the
+	// write side across their statement: they serialize on writeMu and take
+	// mu only for short version-installation critical sections, so readers
+	// never stall behind a long write statement. DDL, grants, and rollback
+	// still take the write side for the whole statement.
+	mu sync.RWMutex
+	// writeMu serializes mutating statements (DML, DDL, transaction
+	// control) engine-wide. It is always acquired before mu.
+	writeMu    sync.Mutex
 	tables     map[string]*Table // lower-case name -> table
 	tableOrder []string          // creation order of lower-case names
 	views      map[string]*View  // lower-case name -> view
@@ -485,6 +608,16 @@ type Engine struct {
 	// epochCounter feeds Table.epoch (under mu, via createTable); replay
 	// and snapshot load keep it ahead of every epoch they restore.
 	epochCounter uint64
+
+	// lastCommitTS is the engine's logical commit clock. A snapshot is the
+	// clock value at BEGIN (or statement start); commit stamps its versions
+	// with clock+1 and then advances the clock, both under mu, so a reader
+	// whose snapshot covers a timestamp sees every version stamped with it.
+	lastCommitTS atomic.Uint64
+	// snapMu guards activeTxns: open transactions and their snapshot
+	// timestamps, the GC horizon for version vacuuming.
+	snapMu     sync.Mutex
+	activeTxns map[*Txn]uint64
 
 	// catalogVersion counts catalog mutations (DDL and grant changes). The
 	// plan cache keys every entry to the version it was planned against, so
@@ -505,6 +638,10 @@ type Engine struct {
 	// and range scans only their matching rows). Tests assert that a range
 	// predicate on an ordered index visits only in-range rows.
 	scanRowsVisited atomic.Int64
+
+	// writeConflicts counts statements aborted by first-committer-wins
+	// write-write conflict detection (retryable serialization failures).
+	writeConflicts atomic.Int64
 
 	// Durability (engines opened with OpenEngine; all nil/zero for
 	// in-memory engines created with NewEngine). wal is atomic because the
@@ -528,12 +665,6 @@ type Engine struct {
 	// GRANT/REVOKE statement so the whole statement commits as one frame
 	// with one durability wait (see Engine.logGrantsBatched).
 	grantSink atomic.Pointer[grantSink]
-	// openTxns counts sessions with an open transaction. Checkpoints are
-	// skipped while it is non-zero: an open transaction's uncommitted rows
-	// live in the heap (READ UNCOMMITTED) but not in the WAL, so a snapshot
-	// taken now would make them durable (breaking rollback) and collide
-	// with the transaction's own redo frame on replay if it commits.
-	openTxns atomic.Int64
 }
 
 // grantSink accumulates privilege WAL records for one statement. closed
@@ -627,10 +758,11 @@ type View struct {
 // superuser.
 func NewEngine(name string) *Engine {
 	e := &Engine{
-		Name:   name,
-		tables: map[string]*Table{},
-		views:  map[string]*View{},
-		plans:  newPlanCache(),
+		Name:       name,
+		tables:     map[string]*Table{},
+		views:      map[string]*View{},
+		plans:      newPlanCache(),
+		activeTxns: map[*Txn]uint64{},
 	}
 	// Grants share the catalog version counter so privilege changes made
 	// directly through Grants() (fixtures, toolkits) also invalidate plans.
@@ -656,6 +788,10 @@ func (e *Engine) DMLRowsVisited() int64 { return e.dmlRowsVisited.Load() }
 // SELECT path materialized (full table per seq scan, matching rows per
 // index/range scan).
 func (e *Engine) ScanRowsVisited() int64 { return e.scanRowsVisited.Load() }
+
+// WriteConflicts returns the cumulative count of statements aborted with a
+// retryable serialization error by write-write conflict detection.
+func (e *Engine) WriteConflicts() int64 { return e.writeConflicts.Load() }
 
 // Grants exposes the privilege store for direct configuration.
 func (e *Engine) Grants() *Grants { return e.grants }
@@ -835,10 +971,12 @@ func SchemaSQL(t *Table) string {
 	return sb.String()
 }
 
-// ColumnValues returns the distinct live values of a column, sorted by their
-// canonical keys, capped at limit (0 = unlimited). Used by the get_value
-// exemplar tool.
+// ColumnValues returns the distinct values of a column in the latest
+// committed state, sorted by their canonical keys, capped at limit
+// (0 = unlimited). Used by the get_value exemplar tool.
 func (e *Engine) ColumnValues(table, column string, limit int) ([]Value, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.Table(table)
 	if !ok {
 		return nil, fmt.Errorf("table %q does not exist", table)
@@ -848,8 +986,8 @@ func (e *Engine) ColumnValues(table, column string, limit int) ([]Value, error) 
 		return nil, fmt.Errorf("column %q does not exist in table %q", column, table)
 	}
 	seen := map[string]Value{}
-	_ = t.liveRows(func(r *rowEntry) error {
-		v := r.vals[ci]
+	_ = t.visibleRows(latestView(nil), func(_ *rowEntry, rv *rowVersion) error {
+		v := rv.vals[ci]
 		if !v.IsNull() {
 			seen[v.Key()] = v
 		}

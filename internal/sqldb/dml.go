@@ -61,12 +61,41 @@ func (s *Session) execInsert(st *InsertStmt) (*Result, error) {
 		if err := s.checkRowConstraints(t, vals, nil); err != nil {
 			return nil, err
 		}
-		e := t.insertEntry(vals)
-		s.record(undoOp{kind: undoInsert, table: t, entry: e})
+		// Version installation is the only part readers must not observe
+		// half-done; everything above ran outside the engine write lock.
+		s.engine.mu.Lock()
+		e := t.insertEntry(vals, s.writerTxn())
+		s.engine.mu.Unlock()
+		s.record(undoOp{kind: undoInsert, table: t, entry: e, ver: e.v})
 		s.redoInsert(t, e)
 		inserted++
 	}
 	return &Result{Affected: inserted, Message: fmt.Sprintf("INSERT 0 %d", inserted)}, nil
+}
+
+// keyState classifies whether entry e "holds" a matching row from the
+// write perspective of txn — the shared MVCC classifier behind unique/PK
+// checks and both directions of FK enforcement. taken: the latest
+// committed-or-own version matches (and is not being deleted by someone
+// else). pending: a matching version was created or delete-stamped by
+// another still-open transaction, so that transaction's outcome decides
+// and the statement must fail retryably rather than guess.
+func keyState(e *rowEntry, txn *Txn, match func([]Value) bool) (taken, pending bool) {
+	if wv := e.visible(latestView(txn)); wv != nil && match(wv.vals) {
+		if wv.xmaxTxn != nil && wv.xmaxTxn != txn {
+			return false, true // deleted by an open transaction; may roll back
+		}
+		return true, false
+	}
+	for v := e.v; v != nil; v = v.prev {
+		if !match(v.vals) {
+			continue
+		}
+		if (v.xminTxn != nil && v.xminTxn != txn) || (v.xmaxTxn != nil && v.xmaxTxn != txn) {
+			return false, true
+		}
+	}
+	return false, false
 }
 
 // checkRowConstraints validates a candidate row. self is non-nil for
@@ -83,11 +112,28 @@ func (s *Session) checkRowConstraints(t *Table, vals []Value, self *rowEntry) er
 			return fmt.Errorf("null value in column %q of table %q violates not-null constraint", c.Name, t.Name)
 		}
 	}
-	// Primary key uniqueness.
+	// Primary key uniqueness. Buckets cover whole version chains, so each
+	// candidate is resolved against the latest committed state (plus this
+	// transaction's own writes); a key held only by another transaction's
+	// uncommitted insert or delete fails retryably.
+	txn := s.writerTxn()
 	if t.pkMap != nil {
 		k := t.pkKey(vals)
-		if id, ok := t.pkMap[k]; ok && (self == nil || id != self.id) {
-			return fmt.Errorf("duplicate key value violates primary key constraint on table %q", t.Name)
+		for _, id := range t.pkMap[k] {
+			if self != nil && id == self.id {
+				continue
+			}
+			e := t.byID[id]
+			if e == nil {
+				continue
+			}
+			taken, pending := keyState(e, txn, func(vv []Value) bool { return t.pkKey(vv) == k })
+			if taken {
+				return fmt.Errorf("duplicate key value violates primary key constraint on table %q", t.Name)
+			}
+			if pending {
+				return &SerializationError{Table: t.Name}
+			}
 		}
 	}
 	// UNIQUE columns (auto-indexed at table creation).
@@ -99,9 +145,22 @@ func (s *Session) checkRowConstraints(t *Table, vals []Value, self *rowEntry) er
 		if v.IsNull() {
 			continue
 		}
-		for _, id := range ix.m[v.Key()] {
-			if self == nil || id != self.id {
+		k := v.Key()
+		col := ix.col
+		for _, id := range ix.m[k] {
+			if self != nil && id == self.id {
+				continue
+			}
+			e := t.byID[id]
+			if e == nil {
+				continue
+			}
+			taken, pending := keyState(e, txn, func(vv []Value) bool { return vv[col].Key() == k })
+			if taken {
 				return fmt.Errorf("duplicate key value violates unique constraint on %q.%q", t.Name, ix.Column)
+			}
+			if pending {
+				return &SerializationError{Table: t.Name}
 			}
 		}
 	}
@@ -145,38 +204,56 @@ func (s *Session) checkFKParentExists(t *Table, fk *ForeignKey, vals []Value) er
 		}
 		pIdx[i] = pi
 	}
+	// FK checks act on the latest committed state plus the writer's own
+	// changes, not the statement snapshot: a parent committed moments ago
+	// must satisfy the constraint. Another transaction's PENDING write on a
+	// candidate parent (an uncommitted insert that would create it, or an
+	// uncommitted delete of the one that exists) makes the outcome depend
+	// on that transaction — keyState classifies it, and pending fails
+	// retryably instead of guessing.
+	txn := s.writerTxn()
+	match := func(vals []Value) bool {
+		for i, pi := range pIdx {
+			if !Equal(vals[pi], childVals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	pendingAny := false
 	// Fast path: FK targets the parent's whole primary key.
 	if samePKCols(parent, pIdx) {
 		var kb strings.Builder
 		for _, v := range childVals {
 			writeKeySegment(&kb, v)
 		}
-		if _, ok := parent.pkMap[kb.String()]; ok {
-			return nil
-		}
-		return fkViolation(t, fk, childVals)
-	}
-	found := false
-	_ = parent.liveRows(func(r *rowEntry) error {
-		if found {
-			return nil
-		}
-		match := true
-		for i, pi := range pIdx {
-			if !Equal(r.vals[pi], childVals[i]) {
-				match = false
-				break
+		for _, id := range parent.pkMap[kb.String()] {
+			e := parent.byID[id]
+			if e == nil {
+				continue
 			}
+			taken, pending := keyState(e, txn, match)
+			if taken {
+				return nil
+			}
+			pendingAny = pendingAny || pending
 		}
-		if match {
-			found = true
+		if pendingAny {
+			return &SerializationError{Table: t.Name}
 		}
-		return nil
-	})
-	if !found {
 		return fkViolation(t, fk, childVals)
 	}
-	return nil
+	for _, e := range parent.rows {
+		taken, pending := keyState(e, txn, match)
+		if taken {
+			return nil
+		}
+		pendingAny = pendingAny || pending
+	}
+	if pendingAny {
+		return &SerializationError{Table: t.Name}
+	}
+	return fkViolation(t, fk, childVals)
 }
 
 func fkViolation(t *Table, fk *ForeignKey, vals []Value) error {
@@ -234,26 +311,35 @@ func (s *Session) checkNoChildRefs(parent *Table, parentVals []Value) error {
 		if !ok {
 			continue
 		}
-		violated := false
-		_ = cf.table.liveRows(func(r *rowEntry) error {
-			if violated {
-				return nil
-			}
-			match := true
+		// A child referencing the key blocks the parent write. A PENDING
+		// child — another transaction's uncommitted insert of a reference,
+		// or an uncommitted delete of the one that exists — makes the
+		// outcome depend on that transaction: keyState classifies it, and
+		// pending fails retryably.
+		txn := s.writerTxn()
+		match := func(vals []Value) bool {
 			for i, ci := range cIdx {
-				if r.vals[ci].IsNull() || !Equal(r.vals[ci], keyVals[i]) {
-					match = false
-					break
+				if vals[ci].IsNull() || !Equal(vals[ci], keyVals[i]) {
+					return false
 				}
 			}
-			if match {
+			return true
+		}
+		violated, pending := false, false
+		for _, e := range cf.table.rows {
+			taken, pend := keyState(e, txn, match)
+			if taken {
 				violated = true
+				break
 			}
-			return nil
-		})
+			pending = pending || pend
+		}
 		if violated {
 			return fmt.Errorf("update or delete on table %q violates foreign key constraint on table %q",
 				parent.Name, cf.table.Name)
+		}
+		if pending {
+			return &SerializationError{Table: parent.Name}
 		}
 	}
 	return nil
@@ -280,8 +366,18 @@ func (s *Session) execUpdate(st *UpdateStmt, wp *WritePlan) (*Result, error) {
 	}
 	envCols := tableEnvCols(t)
 	for _, e := range matches {
-		env := &Env{cols: envCols, vals: e.vals, sess: s}
-		newVals := append([]Value{}, e.vals...)
+		// First-committer-wins: a concurrent version newer than our
+		// snapshot (committed or in flight) aborts the statement retryably
+		// before anything is installed.
+		if err := s.checkWriteConflict(t, e); err != nil {
+			return nil, err
+		}
+		// The conflict check guarantees the chain head is the version our
+		// snapshot matched (or our own earlier write), so SET expressions
+		// evaluate against it.
+		oldVals := e.v.vals
+		env := &Env{cols: envCols, vals: oldVals, sess: s}
+		newVals := append([]Value{}, oldVals...)
 		for _, a := range st.Set {
 			v, err := a.Expr.Eval(env)
 			if err != nil {
@@ -294,14 +390,15 @@ func (s *Session) execUpdate(st *UpdateStmt, wp *WritePlan) (*Result, error) {
 		}
 		// If this row is a FK parent and its key columns changed, enforce
 		// RESTRICT against children referencing the old key.
-		if keyChanged(t, s.engine, e.vals, newVals) {
-			if err := s.checkNoChildRefs(t, e.vals); err != nil {
+		if keyChanged(t, s.engine, oldVals, newVals) {
+			if err := s.checkNoChildRefs(t, oldVals); err != nil {
 				return nil, err
 			}
 		}
-		old := append([]Value{}, e.vals...)
-		t.replaceVals(e, newVals)
-		s.record(undoOp{kind: undoUpdate, table: t, entry: e, oldVals: old})
+		s.engine.mu.Lock()
+		ver := t.installVersion(e, newVals, s.writerTxn())
+		s.engine.mu.Unlock()
+		s.record(undoOp{kind: undoUpdate, table: t, entry: e, ver: ver})
 		s.redoUpdate(t, e)
 	}
 	return &Result{Affected: len(matches), Message: fmt.Sprintf("UPDATE %d", len(matches))}, nil
@@ -339,11 +436,16 @@ func (s *Session) execDelete(st *DeleteStmt, wp *WritePlan) (*Result, error) {
 		return nil, err
 	}
 	for _, e := range matches {
-		if err := s.checkNoChildRefs(t, e.vals); err != nil {
+		if err := s.checkWriteConflict(t, e); err != nil {
 			return nil, err
 		}
-		t.markDead(e)
-		s.record(undoOp{kind: undoDelete, table: t, entry: e})
+		if err := s.checkNoChildRefs(t, e.v.vals); err != nil {
+			return nil, err
+		}
+		s.engine.mu.Lock()
+		ver := t.deleteVersion(e, s.writerTxn())
+		s.engine.mu.Unlock()
+		s.record(undoOp{kind: undoDelete, table: t, entry: e, ver: ver})
 		s.redoDelete(t, e)
 	}
 	return &Result{Affected: len(matches), Message: fmt.Sprintf("DELETE %d", len(matches))}, nil
@@ -478,20 +580,42 @@ func (s *Session) execCreateIndex(st *CreateIndexStmt) (*Result, error) {
 		return nil, fmt.Errorf("an index on %q.%q already exists", st.Table, st.Column)
 	}
 	if st.Unique {
+		// Uniqueness is checked against the latest committed state plus
+		// this session's own writes. A row another open transaction is
+		// inserting or deleting could still change the answer when it
+		// settles, so any pending write on the table fails the CREATE
+		// retryably rather than certifying an index that may hold
+		// committed duplicates a moment later.
+		txn := s.writerTxn()
 		seen := map[string]bool{}
-		var dup bool
-		_ = t.liveRows(func(r *rowEntry) error {
-			v := r.vals[ci]
+		dup, pending := false, false
+		for _, e := range t.rows {
+			for v := e.v; v != nil; v = v.prev {
+				if (v.xminTxn != nil && v.xminTxn != txn) || (v.xmaxTxn != nil && v.xmaxTxn != txn) {
+					pending = true
+				}
+			}
+			wv := e.visible(latestView(txn))
+			if wv == nil {
+				continue
+			}
+			v := wv.vals[ci]
 			if v.IsNull() {
-				return nil
+				continue
 			}
 			k := v.Key()
 			if seen[k] {
 				dup = true
 			}
 			seen[k] = true
-			return nil
-		})
+		}
+		// Pending wins over dup: a duplicate involving a row another
+		// transaction is deleting may dissolve when it commits, so the
+		// retryable error is the honest one; the duplicate report is only
+		// final when the table is quiescent.
+		if pending {
+			return nil, &SerializationError{Table: t.Name}
+		}
 		if dup {
 			return nil, fmt.Errorf("cannot create unique index: duplicate values in %q.%q", st.Table, st.Column)
 		}
@@ -536,8 +660,12 @@ func (s *Session) execAlterTable(st *AlterTableStmt) (*Result, error) {
 			Name: cd.Name, Type: cd.Type, NotNull: cd.NotNull,
 			Unique: cd.Unique, Default: cd.Default,
 		})
+		// Every version of every chain gains the column so old snapshots
+		// keep reading arity-consistent rows (DDL itself is not versioned).
 		for _, r := range t.rows {
-			r.vals = append(r.vals, fill)
+			for v := r.v; v != nil; v = v.prev {
+				v.vals = append(v.vals, fill)
+			}
 		}
 		s.engine.bumpCatalog()
 		s.redoDDL(fmt.Sprintf("ALTER TABLE %s ADD COLUMN %s", t.Name, columnDefSQL(cd)))

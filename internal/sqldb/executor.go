@@ -58,10 +58,9 @@ func (s *Session) MustExec(sql string) *Result {
 }
 
 // isReadOnly classifies a statement for engine locking: read-only
-// statements run under a shared lock so independent sessions can execute
-// SELECTs (and EXPLAINs) in parallel; everything else — DML, DDL, grants,
-// and transaction control (whose commit/rollback compacts tables) — takes
-// the exclusive lock.
+// statements run under the shared engine lock so independent sessions can
+// execute SELECTs (and EXPLAINs) in parallel; everything else serializes on
+// the writer lock.
 func isReadOnly(stmt Stmt) bool {
 	switch stmt.(type) {
 	case *SelectStmt, *ExplainStmt:
@@ -69,6 +68,21 @@ func isReadOnly(stmt Stmt) bool {
 		return true
 	}
 	return false
+}
+
+// holdsEngineLock classifies writer statements by how they take the engine
+// (heap/catalog) write lock. DML and transaction control hold only the
+// writer mutex for the statement and take the engine lock for short version
+// installation and commit-stamping critical sections, so concurrent readers
+// never stall behind a long write statement. DDL and grants mutate the
+// catalog in many places and keep the whole-statement exclusive lock.
+func holdsEngineLock(stmt Stmt) bool {
+	switch stmt.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt,
+		*BeginStmt, *CommitStmt, *RollbackStmt:
+		return false
+	}
+	return true
 }
 
 // ExecStmt executes a parsed statement. The session lock serializes
@@ -97,22 +111,33 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.engine
-	if isReadOnly(stmt) {
+	readOnly := isReadOnly(stmt)
+	engineLocked := false
+	if readOnly {
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 	} else {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		if holdsEngineLock(stmt) {
+			engineLocked = true
+			e.mu.Lock()
+			defer e.mu.Unlock()
+		}
 	}
+	// Establish the statement's read snapshot after the locks are held: the
+	// transaction's fixed snapshot under snapshot isolation, a fresh view of
+	// the commit clock otherwise.
+	s.curView = s.stmtView()
 
 	if err := s.checkStmtPrivileges(stmt); err != nil {
 		return nil, nil, err
 	}
 
 	// Transaction control bypasses the statement undo scope.
-	switch stmt.(type) {
+	switch st := stmt.(type) {
 	case *BeginStmt:
-		if err := s.begin(); err != nil {
+		if err := s.begin(st.Level); err != nil {
 			return nil, nil, err
 		}
 		return &Result{Message: "BEGIN"}, nil, nil
@@ -129,6 +154,12 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 		return &Result{Message: "ROLLBACK"}, nil, nil
 	}
 
+	// A transaction aborted by a write conflict refuses further statements
+	// until it is rolled back (PostgreSQL's aborted-transaction state).
+	if s.txn != nil && s.txn.aborted {
+		return nil, nil, fmt.Errorf("current transaction is aborted by a write conflict; ROLLBACK and retry: %w", ErrWriteConflict)
+	}
+
 	var ent *cachedStmt
 	if sql != "" {
 		if ent = s.prepare(stmt); ent != nil {
@@ -143,11 +174,25 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 	} else {
 		res, err = s.dispatch(stmt)
 	}
-	tok := s.endStmt(err)
+	tok := s.endStmt(err, engineLocked)
+	s.noteConflict(err)
 	if err == nil && ent != nil {
 		e.plans.put(s.user, sql, ent)
 	}
 	return res, tok, err
+}
+
+// noteConflict records a serialization failure: the conflict counter ticks,
+// and an open transaction is marked aborted — its snapshot is stale, so the
+// only useful continuation is ROLLBACK and retry.
+func (s *Session) noteConflict(err error) {
+	if err == nil || !IsRetryable(err) {
+		return
+	}
+	s.engine.writeConflicts.Add(1)
+	if s.txn != nil {
+		s.txn.aborted = true
+	}
 }
 
 // execCached executes a plan-cache hit under the entry's lock class. done is
@@ -171,9 +216,12 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 	} else {
-		e.mu.Lock()
-		defer e.mu.Unlock()
+		// Cacheable writers are DML, which never holds the engine lock for
+		// the whole statement (see holdsEngineLock).
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
 	}
+	s.curView = s.stmtView()
 	if ent.version != e.catalogVersion.Load() {
 		// Evict rather than leave the stale entry riding the LRU: if the
 		// cold path fails (table dropped), nothing would ever replace it.
@@ -181,6 +229,9 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 		return nil, false, nil, nil
 	}
 	e.plans.hits.Add(1)
+	if s.txn != nil && s.txn.aborted {
+		return nil, true, nil, fmt.Errorf("current transaction is aborted by a write conflict; ROLLBACK and retry: %w", ErrWriteConflict)
+	}
 	// Privileges are re-checked on every execution; a grant change also
 	// bumps the catalog version, but direct Grants() mutations make that
 	// bump advisory rather than load-bearing.
@@ -189,7 +240,8 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 	}
 	s.beginStmt()
 	res, err = s.runPrepared(ent)
-	tok = s.endStmt(err)
+	tok = s.endStmt(err, false)
+	s.noteConflict(err)
 	return res, true, tok, err
 }
 
@@ -379,8 +431,9 @@ func (s *Session) scanTable(name, alias string) (*rowSet, error) {
 	if q == "" {
 		q = strings.ToLower(name)
 	}
-	// Preallocate to the table's live size: a seq scan emits exactly
-	// RowCount rows, so growth reallocations are pure waste on large tables.
+	// Preallocate to the table's estimated live size: a seq scan emits
+	// about RowCount rows, so growth reallocations are pure waste on large
+	// tables.
 	rs := &rowSet{
 		cols: make([]string, 0, len(t.Columns)),
 		rows: make([][]Value, 0, t.RowCount()),
@@ -388,8 +441,8 @@ func (s *Session) scanTable(name, alias string) (*rowSet, error) {
 	for _, c := range t.Columns {
 		rs.cols = append(rs.cols, q+"."+strings.ToLower(c.Name))
 	}
-	_ = t.liveRows(func(r *rowEntry) error {
-		rs.rows = append(rs.rows, r.vals)
+	_ = t.visibleRows(s.curView, func(_ *rowEntry, rv *rowVersion) error {
+		rs.rows = append(rs.rows, rv.vals)
 		return nil
 	})
 	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Env is the name-resolution environment an expression evaluates against:
@@ -370,7 +371,9 @@ func evalScalarFunc(name string, args []Value) (Value, error) {
 		if args[0].IsNull() {
 			return Null(), nil
 		}
-		return NewInt(int64(len(args[0].String()))), nil
+		// Character count, not byte count: LENGTH('héllo') is 5, matching
+		// the PostgreSQL semantics the evaluator follows elsewhere.
+		return NewInt(int64(utf8.RuneCountInString(args[0].String()))), nil
 	case "ABS":
 		if err := arity(1); err != nil {
 			return Value{}, err
@@ -419,28 +422,43 @@ func evalScalarFunc(name string, args []Value) (Value, error) {
 		if len(args) < 2 || len(args) > 3 {
 			return Value{}, fmt.Errorf("%s expects 2 or 3 arguments", name)
 		}
-		if args[0].IsNull() {
+		// NULL in any argument yields NULL (PostgreSQL); a non-integer
+		// start or length is an error, never silently read as 0.
+		if args[0].IsNull() || args[1].IsNull() || (len(args) == 3 && args[2].IsNull()) {
 			return Null(), nil
 		}
-		s := args[0].String()
-		start := int(args[1].I) - 1 // SQL is 1-based
+		if args[1].Kind != KindInt {
+			return Value{}, fmt.Errorf("%s start must be an integer, got %s", name, args[1].Kind)
+		}
+		r := []rune(args[0].String()) // slice by characters, never mid-rune
+		start := int(args[1].I) - 1   // SQL is 1-based; may be negative
+		end := len(r)
+		if len(args) == 3 {
+			if args[2].Kind != KindInt {
+				return Value{}, fmt.Errorf("%s length must be an integer, got %s", name, args[2].Kind)
+			}
+			if args[2].I < 0 {
+				return Value{}, fmt.Errorf("negative substring length not allowed")
+			}
+			// The window is [start, start+length) before clamping, so a
+			// negative start consumes length before the first character,
+			// matching PostgreSQL: SUBSTR('abc', -1, 3) = 'a'.
+			end = start + int(args[2].I)
+		}
+		if end < 0 {
+			end = 0
+		} else if end > len(r) {
+			end = len(r)
+		}
 		if start < 0 {
 			start = 0
+		} else if start > len(r) {
+			start = len(r)
 		}
-		if start > len(s) {
-			return NewText(""), nil
+		if end < start {
+			end = start
 		}
-		end := len(s)
-		if len(args) == 3 {
-			end = start + int(args[2].I)
-			if end > len(s) {
-				end = len(s)
-			}
-			if end < start {
-				end = start
-			}
-		}
-		return NewText(s[start:end]), nil
+		return NewText(string(r[start:end])), nil
 	case "TRIM":
 		if err := arity(1); err != nil {
 			return Value{}, err
@@ -630,9 +648,55 @@ func (l *LikeExpr) String() string {
 }
 
 // likeMatch implements SQL LIKE: % matches any run, _ one character.
-// Matching is case-sensitive like PostgreSQL.
+// Matching is case-sensitive like PostgreSQL, and operates on characters:
+// `_` consumes one CHARACTER, not one byte, so multi-byte UTF-8 input
+// matches the way PostgreSQL matches it ('é' LIKE '_' is true), and `%`
+// backtracking can never resynchronize in the middle of a rune. All-ASCII
+// inputs — the common case on a LIKE-filtered scan — take an allocation-free
+// byte-wise path where bytes and characters coincide.
 func likeMatch(s, pattern string) bool {
+	if asciiOnly(s) && asciiOnly(pattern) {
+		return likeMatchASCII(s, pattern)
+	}
+	rs, rp := []rune(s), []rune(pattern)
 	// Iterative two-pointer algorithm with backtracking on %.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(rs) {
+		switch {
+		case pi < len(rp) && (rp[pi] == '_' || rp[pi] == rs[si]):
+			si++
+			pi++
+		case pi < len(rp) && rp[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(rp) && rp[pi] == '%' {
+		pi++
+	}
+	return pi == len(rp)
+}
+
+func asciiOnly(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
+// likeMatchASCII is the byte-wise algorithm, valid when one byte is one
+// character.
+func likeMatchASCII(s, pattern string) bool {
 	si, pi := 0, 0
 	star, match := -1, 0
 	for si < len(s) {

@@ -1,0 +1,162 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+// exprEngine evaluates scalar expressions through the full SQL path.
+func exprEngine(t *testing.T) *Session {
+	t.Helper()
+	return NewEngine("expr").NewSession("root")
+}
+
+func evalScalar(t *testing.T, s *Session, expr string) Value {
+	t.Helper()
+	res := s.MustExec("SELECT " + expr)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		t.Fatalf("SELECT %s returned %+v", expr, res.Rows)
+	}
+	return res.Rows[0][0]
+}
+
+// TestLikeUnicode: LIKE wildcards consume characters, not bytes, so
+// multi-byte UTF-8 operands match as PostgreSQL matches them.
+func TestLikeUnicode(t *testing.T) {
+	s := exprEngine(t)
+	cases := []struct {
+		operand, pattern string
+		want             bool
+	}{
+		{"é", "_", true},   // one two-byte rune = one character
+		{"é", "__", false}, // not two characters
+		{"héllo", "h_llo", true},
+		{"héllo", "h%o", true},
+		{"日本語", "___", true}, // three three-byte runes
+		{"日本語", "日_語", true},
+		{"日本語", "%本%", true},
+		{"日本語", "_本", false},
+		{"naïve", "na_ve", true},
+		{"naïve", "%ïve", true},
+		// Backtracking across multi-byte runes must not resync mid-rune.
+		{"ααβγ", "%βγ", true},
+		{"ααβγ", "%β_", true},
+		{"ααβγ", "%δ%", false},
+		// Combining mark: 'e' + U+0301 is two runes.
+		{"é", "__", true},
+		{"é", "_", false},
+		// Plain ASCII behavior unchanged.
+		{"abc", "a%", true},
+		{"abc", "_b_", true},
+		{"abc", "%d", false},
+		{"", "%", true},
+		{"", "_", false},
+	}
+	for _, c := range cases {
+		got := evalScalar(t, s, "'"+c.operand+"' LIKE '"+c.pattern+"'")
+		if got.Kind != KindBool || got.B != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.operand, c.pattern, got, c.want)
+		}
+	}
+}
+
+// TestLengthUnicode: LENGTH counts characters, not bytes.
+func TestLengthUnicode(t *testing.T) {
+	s := exprEngine(t)
+	cases := map[string]int64{
+		"''":      0,
+		"'abc'":   3,
+		"'é'":     1,
+		"'héllo'": 5,
+		"'日本語'":   3,
+		"'naïve'": 5,
+		"'é'":    2, // combining mark counts as its own character
+	}
+	for expr, want := range cases {
+		got := evalScalar(t, s, "LENGTH("+expr+")")
+		if got.Kind != KindInt || got.I != want {
+			t.Errorf("LENGTH(%s) = %v, want %d", expr, got, want)
+		}
+	}
+	if got := evalScalar(t, s, "LENGTH(NULL)"); !got.IsNull() {
+		t.Errorf("LENGTH(NULL) = %v, want NULL", got)
+	}
+}
+
+// TestSubstrUnicode: SUBSTR slices by characters and never splits a rune.
+func TestSubstrUnicode(t *testing.T) {
+	s := exprEngine(t)
+	cases := []struct {
+		expr, want string
+	}{
+		{"SUBSTR('日本語', 2)", "本語"},
+		{"SUBSTR('日本語', 2, 1)", "本"},
+		{"SUBSTR('héllo', 1, 2)", "hé"},
+		{"SUBSTR('héllo', 2, 3)", "éll"},
+		{"SUBSTRING('naïve', 3, 2)", "ïv"},
+		// Boundary offsets, PostgreSQL semantics: the window is
+		// [start, start+length) before clamping.
+		{"SUBSTR('abc', 0, 2)", "a"},
+		{"SUBSTR('abc', -1, 3)", "a"},
+		{"SUBSTR('abc', -2, 2)", ""},
+		{"SUBSTR('abc', 10)", ""},
+		{"SUBSTR('abc', 10, 5)", ""},
+		{"SUBSTR('abc', 2, 0)", ""},
+		{"SUBSTR('', 1, 5)", ""},
+		{"SUBSTR('éx', 1, 2)", "é"},
+	}
+	for _, c := range cases {
+		got := evalScalar(t, s, c.expr)
+		if got.Kind != KindText || got.S != c.want {
+			t.Errorf("%s = %v, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+// TestSubstrValidation: NULL start/length yields NULL; non-integer start or
+// length and negative length are errors, never silently read as zero.
+func TestSubstrValidation(t *testing.T) {
+	s := exprEngine(t)
+	for _, expr := range []string{
+		"SUBSTR('abc', NULL)",
+		"SUBSTR('abc', NULL, 2)",
+		"SUBSTR('abc', 1, NULL)",
+	} {
+		if got := evalScalar(t, s, expr); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", expr, got)
+		}
+	}
+	for expr, wantErr := range map[string]string{
+		"SELECT SUBSTR('abc', 'x')":     "start must be an integer",
+		"SELECT SUBSTR('abc', 1.5)":     "start must be an integer",
+		"SELECT SUBSTR('abc', 1, 'y')":  "length must be an integer",
+		"SELECT SUBSTR('abc', 1, 2.5)":  "length must be an integer",
+		"SELECT SUBSTR('abc', 1, -1)":   "negative substring length",
+		"SELECT SUBSTRING('abc', true)": "start must be an integer",
+	} {
+		_, err := s.Exec(expr)
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s error = %v, want %q", expr, err, wantErr)
+		}
+	}
+}
+
+// TestUnicodeThroughTables: the fixes hold on the table read path too
+// (values round-tripped through storage, filters through the planner).
+func TestUnicodeThroughTables(t *testing.T) {
+	s := exprEngine(t)
+	s.MustExec(`CREATE TABLE w (id INT PRIMARY KEY, word TEXT)`)
+	s.MustExec(`INSERT INTO w VALUES (1, 'é'), (2, '日本語'), (3, 'plain')`)
+	res := s.MustExec(`SELECT id FROM w WHERE word LIKE '_'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("LIKE '_' over table = %+v, want row 1", res.Rows)
+	}
+	res = s.MustExec(`SELECT id FROM w WHERE LENGTH(word) = 3`)
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("LENGTH = 3 over table = %+v, want row 2", res.Rows)
+	}
+	res = s.MustExec(`SELECT SUBSTR(word, 2, 1) FROM w WHERE id = 2`)
+	if res.Rows[0][0].S != "本" {
+		t.Fatalf("SUBSTR over table = %+v", res.Rows)
+	}
+}

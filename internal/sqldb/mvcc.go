@@ -1,0 +1,262 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file is the engine's multi-version concurrency control layer:
+// snapshot views, row-version visibility, write-write conflict detection,
+// and garbage collection of versions no active snapshot can see.
+//
+// Every row is a chain of rowVersions (newest first). A version carries the
+// commit timestamp of the transaction that created it (xmin) and, once it is
+// superseded or deleted, of the transaction that ended it (xmax). While the
+// creating or deleting transaction is still open, the corresponding
+// xminTxn/xmaxTxn pointer identifies it instead; commit replaces the pointer
+// with the transaction's commit timestamp, rollback clears it. Readers never
+// block on writers: they pick the version their snapshot can see and ignore
+// everything newer or uncommitted.
+
+// IsolationLevel selects how a transaction's read snapshot evolves.
+type IsolationLevel uint8
+
+const (
+	// LevelSnapshot (the default; REPEATABLE READ / SNAPSHOT / SERIALIZABLE
+	// in BEGIN syntax) fixes the read snapshot at BEGIN: every statement in
+	// the transaction sees the same committed state, plus its own writes.
+	LevelSnapshot IsolationLevel = iota
+	// LevelReadCommitted refreshes the snapshot at each statement: a
+	// statement sees everything committed before it started, like
+	// PostgreSQL's READ COMMITTED (READ UNCOMMITTED is promoted to it).
+	LevelReadCommitted
+)
+
+// String returns the SQL spelling of the level.
+func (l IsolationLevel) String() string {
+	if l == LevelReadCommitted {
+		return "READ COMMITTED"
+	}
+	return "SNAPSHOT"
+}
+
+// ParseIsolationLevel maps BEGIN ISOLATION LEVEL spellings to a level.
+func ParseIsolationLevel(s string) (IsolationLevel, bool) {
+	switch strings.ToUpper(strings.Join(strings.Fields(s), " ")) {
+	case "READ COMMITTED", "READ UNCOMMITTED":
+		// READ UNCOMMITTED is promoted to READ COMMITTED, as in PostgreSQL:
+		// the engine never exposes uncommitted data.
+		return LevelReadCommitted, true
+	case "REPEATABLE READ", "SNAPSHOT", "SERIALIZABLE":
+		// SERIALIZABLE is accepted and runs at snapshot isolation (no
+		// predicate locking; write skew is possible, as in pre-9.1 Postgres).
+		return LevelSnapshot, true
+	}
+	return LevelSnapshot, false
+}
+
+// snapView is one consistent read view: versions committed at or before ts
+// are visible, plus the uncommitted writes of txn (the viewer's own open
+// transaction, nil outside one).
+type snapView struct {
+	ts  uint64
+	txn *Txn
+}
+
+// tsLatest makes a view that sees every committed version. Write-path
+// checks (constraints, FK lookups) use it: they must act on the latest
+// committed state plus the writer's own changes, not the statement snapshot.
+const tsLatest = ^uint64(0)
+
+// latestView returns the write-path view for txn.
+func latestView(txn *Txn) snapView { return snapView{ts: tsLatest, txn: txn} }
+
+// visible returns the version of e that sn can see, or nil. Chains are
+// newest-first, so the first version whose creation is visible decides.
+func (e *rowEntry) visible(sn snapView) *rowVersion {
+	for v := e.v; v != nil; v = v.prev {
+		if v.xminTxn != nil {
+			if v.xminTxn != sn.txn {
+				continue // another transaction's uncommitted write
+			}
+		} else if v.xmin > sn.ts {
+			continue // committed after the snapshot was taken
+		}
+		// Creation is visible; check the deletion side.
+		if v.xmaxTxn != nil {
+			if v.xmaxTxn == sn.txn {
+				return nil // deleted by the viewer itself
+			}
+			return v // another transaction's uncommitted delete: still ours
+		}
+		if v.xmax != 0 && v.xmax <= sn.ts {
+			return nil // deleted before the snapshot
+		}
+		return v
+	}
+	return nil
+}
+
+// ErrWriteConflict is the retryable-error sentinel: errors.Is(err,
+// ErrWriteConflict) (or IsRetryable) identifies statements aborted by
+// first-committer-wins conflict detection. The caller should ROLLBACK and
+// retry the whole transaction.
+var ErrWriteConflict = errors.New("could not serialize access due to concurrent update")
+
+// SerializationError reports a write-write conflict under snapshot
+// isolation: the row this transaction tried to write already has a newer
+// version from a concurrent transaction (committed after this transaction's
+// snapshot, or still uncommitted).
+type SerializationError struct {
+	Table string
+}
+
+// Error implements error.
+func (e *SerializationError) Error() string {
+	return fmt.Sprintf("could not serialize access due to concurrent update on table %q; retry the transaction", e.Table)
+}
+
+// Is makes errors.Is(err, ErrWriteConflict) true for SerializationErrors.
+func (e *SerializationError) Is(target error) bool { return target == ErrWriteConflict }
+
+// IsRetryable reports whether err is a serialization failure the caller can
+// resolve by rolling back and retrying the transaction.
+func IsRetryable(err error) bool { return errors.Is(err, ErrWriteConflict) }
+
+// checkWriteConflict enforces first-committer-wins before t mutates e: the
+// chain head must be either this transaction's own version or a committed
+// version visible to its snapshot. A head committed after the snapshot, or
+// created/deleted by another open transaction, aborts the statement with a
+// retryable SerializationError. Exactly one of two conflicting transactions
+// fails: the first writer installs its version, the second sees it here.
+func (s *Session) checkWriteConflict(t *Table, e *rowEntry) error {
+	h := e.v
+	if h == nil {
+		return &SerializationError{Table: t.Name}
+	}
+	self := s.writerTxn()
+	if h.xminTxn != nil && h.xminTxn != self {
+		return &SerializationError{Table: t.Name}
+	}
+	if h.xmaxTxn != nil && h.xmaxTxn != self {
+		return &SerializationError{Table: t.Name}
+	}
+	if h.xminTxn == nil && h.xmin > s.curView.ts {
+		return &SerializationError{Table: t.Name}
+	}
+	if h.xmax != 0 {
+		// Committed deletion. Invisible to our snapshot (or the row would
+		// not have matched), so a concurrent transaction deleted it.
+		return &SerializationError{Table: t.Name}
+	}
+	return nil
+}
+
+// --- active-snapshot registry (GC horizon) ---
+
+// registerTxn records an open transaction's snapshot timestamp so garbage
+// collection keeps every version it may still read.
+func (e *Engine) registerTxn(tx *Txn) {
+	e.snapMu.Lock()
+	e.activeTxns[tx] = tx.snapTS
+	e.snapMu.Unlock()
+}
+
+// unregisterTxn drops a finished transaction from the registry.
+func (e *Engine) unregisterTxn(tx *Txn) {
+	e.snapMu.Lock()
+	delete(e.activeTxns, tx)
+	e.snapMu.Unlock()
+}
+
+// openTxnCount reports how many transactions are open engine-wide.
+func (e *Engine) openTxnCount() int {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	return len(e.activeTxns)
+}
+
+// gcHorizon returns the oldest timestamp any active snapshot may read.
+// Versions whose lifetime ended at or before it are invisible to every
+// current and future snapshot and can be reclaimed. In-flight read
+// statements need no registration: they hold the engine read lock for their
+// whole statement, and vacuum runs under the write lock.
+func (e *Engine) gcHorizon() uint64 {
+	min := e.lastCommitTS.Load()
+	e.snapMu.Lock()
+	for _, ts := range e.activeTxns {
+		if ts < min {
+			min = ts
+		}
+	}
+	e.snapMu.Unlock()
+	return min
+}
+
+// vacuum reclaims row versions no snapshot at or after horizon can see: it
+// unlinks committed-dead rows, trims chain tails hidden behind a committed
+// version every active snapshot already sees, and removes index entries
+// whose values survive only in reclaimed versions. The caller holds the
+// engine write lock.
+func (t *Table) vacuum(horizon uint64) {
+	if t.garbage == 0 {
+		return
+	}
+	live := t.rows[:0]
+	deadCnt := 0
+	for _, e := range t.rows {
+		switch {
+		case e.v == nil:
+			// Aborted insert, already unindexed by rollback.
+			delete(t.byID, e.id)
+			continue
+		case e.v.xmaxTxn == nil && e.v.xmax != 0 && e.v.xmax <= horizon:
+			// Committed-dead and invisible to every active snapshot.
+			t.unindexChain(e)
+			delete(t.byID, e.id)
+			continue
+		}
+		// Trim the tail below the newest committed version the whole active
+		// set can see: older versions are unreachable by any snapshot.
+		for v := e.v; v != nil; v = v.prev {
+			if v.xminTxn == nil && v.xmin <= horizon {
+				if v.prev != nil {
+					freed := v.prev
+					v.prev = nil
+					t.unindexFreed(e, freed)
+				}
+				break
+			}
+		}
+		if e.v.xmaxTxn == nil && e.v.xmax != 0 {
+			deadCnt++ // committed-dead but still visible to an old snapshot
+		}
+		live = append(live, e)
+	}
+	t.rows = live
+	t.deadCnt = deadCnt
+	t.garbage = 0
+}
+
+// unindexChain removes every index and PK entry contributed by any version
+// of e (the whole row is being reclaimed). Removals are unconditional but
+// idempotent: a second removal of the same (key, id) pair is a no-op.
+func (t *Table) unindexChain(e *rowEntry) {
+	for v := e.v; v != nil; v = v.prev {
+		if t.pkMap != nil {
+			t.removePK(t.pkKey(v.vals), e.id, v.vals)
+		}
+		for _, ix := range t.indexes {
+			ix.remove(v.vals[ix.col], e.id)
+		}
+	}
+}
+
+// unindexFreed removes index entries for values that exist only in the freed
+// tail (already unlinked from e), not in the surviving chain.
+func (t *Table) unindexFreed(e *rowEntry, freed *rowVersion) {
+	for v := freed; v != nil; v = v.prev {
+		t.unindexVals(e, v.vals)
+	}
+}

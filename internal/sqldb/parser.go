@@ -131,6 +131,30 @@ func (p *parser) expectOp(op string) error {
 	return nil
 }
 
+// acceptWord consumes the next token when it is an identifier or keyword
+// spelled word (case-insensitive). BEGIN's isolation-level clause is parsed
+// this way so its words (ISOLATION, READ, COMMITTED, ...) stay usable as
+// ordinary identifiers everywhere else.
+func (p *parser) acceptWord(word string) bool {
+	t := p.peek()
+	if (t.kind == tokIdent || t.kind == tokKeyword) && strings.EqualFold(t.text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectWord consumes the next identifier-or-keyword token and returns its
+// text.
+func (p *parser) expectWord() (string, error) {
+	t := p.peek()
+	if t.kind == tokIdent || t.kind == tokKeyword {
+		p.next()
+		return t.text, nil
+	}
+	return "", fmt.Errorf("expected a word near %q", t.text)
+}
+
 // expectIdent accepts an identifier or a non-reserved keyword used as a
 // name (e.g. a column named "key" or "min").
 func (p *parser) expectIdent() (string, error) {
@@ -184,7 +208,32 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")
-		return &BeginStmt{}, nil
+		p.acceptWord("WORK")
+		st := &BeginStmt{Level: LevelSnapshot}
+		if p.acceptWord("ISOLATION") {
+			if !p.acceptWord("LEVEL") {
+				return nil, fmt.Errorf("expected LEVEL after ISOLATION near %q", p.peek().text)
+			}
+			spec, err := p.expectWord()
+			if err != nil {
+				return nil, err
+			}
+			// Two-word levels: READ COMMITTED/UNCOMMITTED, REPEATABLE READ.
+			switch strings.ToUpper(spec) {
+			case "READ", "REPEATABLE":
+				w2, err := p.expectWord()
+				if err != nil {
+					return nil, err
+				}
+				spec += " " + w2
+			}
+			lvl, ok := ParseIsolationLevel(spec)
+			if !ok {
+				return nil, fmt.Errorf("unknown isolation level %q", spec)
+			}
+			st.Level = lvl
+		}
+		return st, nil
 	case "COMMIT":
 		p.next()
 		p.acceptKeyword("TRANSACTION")

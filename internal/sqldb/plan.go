@@ -126,9 +126,16 @@ func (n *IndexScanNode) run(s *Session, outer *Env) (*rowSet, error) {
 	// Preserve insertion order for determinism.
 	sorted := append([]int64{}, ids...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	want := n.Val.Key()
 	for _, id := range sorted {
-		if e, ok := t.byID[id]; ok && !e.dead {
-			rs.rows = append(rs.rows, e.vals)
+		e, ok := t.byID[id]
+		if !ok {
+			continue
+		}
+		// Buckets cover whole version chains; emit only rows whose version
+		// visible to this statement's snapshot actually holds the value.
+		if v := e.visible(s.curView); v != nil && v.vals[n.col].Key() == want {
+			rs.rows = append(rs.rows, v.vals)
 		}
 	}
 	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))
@@ -238,7 +245,7 @@ func (n *IndexRangeScanNode) run(s *Session, outer *Env) (*rowSet, error) {
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: n.Table}
 	}
-	ids, usable := t.lookupRange(n.col, n.Lo, n.Hi, n.LoIncl, n.HiIncl, n.Desc, n.withNulls(), n.MaxRows)
+	hits, usable := t.lookupRange(s.curView, n.col, n.Lo, n.Hi, n.LoIncl, n.HiIncl, n.Desc, n.withNulls(), n.MaxRows)
 	if !usable {
 		// Stale plan: the ordered structure disappeared since planning. Fall
 		// back to a full scan, applying the bounds (the plan may have elided
@@ -271,11 +278,9 @@ func (n *IndexRangeScanNode) run(s *Session, outer *Env) (*rowSet, error) {
 		})
 		return rs, nil
 	}
-	rs := &rowSet{cols: n.cols, rows: make([][]Value, 0, len(ids))}
-	for _, id := range ids {
-		if e, ok := t.byID[id]; ok && !e.dead {
-			rs.rows = append(rs.rows, e.vals)
-		}
+	rs := &rowSet{cols: n.cols, rows: make([][]Value, 0, len(hits))}
+	for _, h := range hits {
+		rs.rows = append(rs.rows, h.v.vals)
 	}
 	s.engine.scanRowsVisited.Add(int64(len(rs.rows)))
 	return rs, nil
@@ -508,62 +513,70 @@ func (p *WritePlan) Tree() PlanNode {
 	return node
 }
 
-// matchEntries snapshots the live rows the access path selects and the
-// WHERE clause accepts. Like SELECT index scans, the index path re-checks
-// the full predicate, so the access path is purely a row-count reduction.
-// Every inspected row is counted in the engine's dmlRowsVisited.
+// matchEntries resolves the rows the access path selects, the statement's
+// snapshot sees, and the WHERE clause accepts. Like SELECT index scans, the
+// index path re-checks the full predicate against the visible version, so
+// the access path is purely a row-count reduction. Every inspected row is
+// counted in the engine's dmlRowsVisited. Write-write conflict detection
+// happens later, per row, in the UPDATE/DELETE executors.
 func (p *WritePlan) matchEntries(s *Session) ([]*rowEntry, error) {
 	t, ok := s.engine.Table(p.Table)
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: p.Table}
 	}
 	envCols := tableEnvCols(t)
-	keep := func(e *rowEntry) (bool, error) {
+	keep := func(v *rowVersion) (bool, error) {
 		if p.Where == nil {
 			return true, nil
 		}
-		env := &Env{cols: envCols, vals: e.vals, sess: s}
-		v, err := p.Where.Eval(env)
+		env := &Env{cols: envCols, vals: v.vals, sess: s}
+		ev, err := p.Where.Eval(env)
 		if err != nil {
 			return false, err
 		}
-		return !v.IsNull() && v.Truthy(), nil
+		return !ev.IsNull() && ev.Truthy(), nil
 	}
 
 	// Index access paths (equality bucket or ordered range) reduce the
 	// candidate set before the per-row WHERE re-check.
-	var candidateIDs []int64
+	var hits []rowHit
 	usable := false
 	switch ix := p.Access.(type) {
 	case *IndexScanNode:
 		var ids []int64
 		if ids, usable = t.lookupEq(ix.col, ix.Val); usable {
 			// Preserve insertion order for determinism.
-			candidateIDs = append([]int64{}, ids...)
-			sort.Slice(candidateIDs, func(i, j int) bool { return candidateIDs[i] < candidateIDs[j] })
+			sorted := append([]int64{}, ids...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			want := ix.Val.Key()
+			for _, id := range sorted {
+				e, live := t.byID[id]
+				if !live {
+					continue
+				}
+				if v := e.visible(s.curView); v != nil && v.vals[ix.col].Key() == want {
+					hits = append(hits, rowHit{e: e, v: v})
+				}
+			}
 		}
 	case *IndexRangeScanNode:
-		candidateIDs, usable = t.lookupRange(ix.col, ix.Lo, ix.Hi, ix.LoIncl, ix.HiIncl, false, false, 0)
+		hits, usable = t.lookupRange(s.curView, ix.col, ix.Lo, ix.Hi, ix.LoIncl, ix.HiIncl, false, false, 0)
 		if usable {
 			// Write matching has no ordering contract; restore insertion
 			// order so UPDATE/DELETE touch rows deterministically.
-			sort.Slice(candidateIDs, func(i, j int) bool { return candidateIDs[i] < candidateIDs[j] })
+			sort.Slice(hits, func(i, j int) bool { return hits[i].e.id < hits[j].e.id })
 		}
 	}
 	if usable {
 		var out []*rowEntry
-		for _, id := range candidateIDs {
-			e, live := t.byID[id]
-			if !live || e.dead {
-				continue
-			}
+		for _, h := range hits {
 			s.engine.dmlRowsVisited.Add(1)
-			ok, err := keep(e)
+			ok, err := keep(h.v)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
-				out = append(out, e)
+				out = append(out, h.e)
 			}
 		}
 		return out, nil
@@ -574,12 +587,12 @@ func (p *WritePlan) matchEntries(s *Session) ([]*rowEntry, error) {
 
 	var out []*rowEntry
 	var evalErr error
-	_ = t.liveRows(func(e *rowEntry) error {
+	_ = t.visibleRows(s.curView, func(e *rowEntry, v *rowVersion) error {
 		if evalErr != nil {
 			return nil
 		}
 		s.engine.dmlRowsVisited.Add(1)
-		ok, err := keep(e)
+		ok, err := keep(v)
 		if err != nil {
 			evalErr = err
 			return nil

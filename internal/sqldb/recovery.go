@@ -226,9 +226,14 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 			stopped = true
 		}
 	}
-	// Replay tombstones rows individually; reclaim them in one pass.
+	// Replay builds version chains commit by commit; with no snapshots open
+	// yet, one vacuum pass collapses every chain to its latest committed
+	// live version.
 	for _, lo := range e.tableOrder {
-		e.tables[lo].compact()
+		t := e.tables[lo]
+		if t.garbage > 0 {
+			t.vacuum(e.lastCommitTS.Load())
+		}
 	}
 	return e, curSeg, lsn, nil
 }
@@ -269,25 +274,46 @@ var errReplay = errors.New("sqldb: wal replay")
 
 // applyRecords replays one committed transaction's records against the
 // engine. DML records address rows by engine row id (stable across
-// snapshot/replay); DDL records round-trip through the parser.
+// snapshot/replay); DDL records round-trip through the parser. The frame's
+// commit-timestamp record (its first record) stamps every version this
+// frame installs, so replay reconstructs the same visibility order the
+// live engine had, and the commit clock resumes past the highest replayed
+// timestamp.
 //
 // DML records are subordinate to the catalog state replay has built so far.
-// Under READ UNCOMMITTED a transaction may commit DML that raced another
-// session's committed DDL: its frame is sequenced after the DROP (or
-// DROP + re-CREATE) that already discarded those rows from the heap, so its
-// records can name a table that no longer exists or a superseded incarnation
-// of it (the record's epoch differs from the catalog's). Replay skips such
-// records — exactly what the heap kept — rather than refusing to open the
-// database. The same rule covers updates/deletes of a missing row (the row
-// was another transaction's dirty insert that rolled back and was never
-// logged). Anything the epoch check cannot explain (arity mismatches or
-// duplicate row ids within the SAME incarnation, unparseable or failing
-// DDL, unknown record types) cannot be produced by any legal interleaving
-// and remains a hard error: the log really is corrupt.
+// A transaction may commit DML sequenced after another session's committed
+// DDL: its frame follows the DROP (or DROP + re-CREATE) that already
+// discarded those rows from the heap, so its records can name a table that
+// no longer exists or a superseded incarnation of it (the record's epoch
+// differs from the catalog's). Replay skips such records — exactly what the
+// heap kept — rather than refusing to open the database. The same rule
+// covers updates/deletes of a missing row (a row whose insert-and-delete
+// collapsed inside one transaction and was never logged). Anything the
+// epoch check cannot explain (arity mismatches or duplicate row ids within
+// the SAME incarnation, unparseable or failing DDL, unknown record types)
+// cannot be produced by any legal interleaving and remains a hard error:
+// the log really is corrupt.
 func applyRecords(s *Session, recs []walRec) error {
 	e := s.engine
+	// Frames written by this engine carry their commit timestamp first.
+	// Frames without one (logs written before MVCC, grant-only frames)
+	// default to clock+1 — and stamp() advances the clock when a row
+	// record actually uses it, so replayed rows are never stamped into the
+	// future where no snapshot would see them.
+	ts := e.lastCommitTS.Load() + 1
+	stamp := func() uint64 {
+		if ts > e.lastCommitTS.Load() {
+			e.lastCommitTS.Store(ts)
+		}
+		return ts
+	}
 	for _, rec := range recs {
 		switch rec.typ {
+		case recCommit:
+			ts = rec.commitTS
+			if ts > e.lastCommitTS.Load() {
+				e.lastCommitTS.Store(ts)
+			}
 		case recInsert:
 			t, ok := e.Table(rec.table)
 			if !ok || t.epoch != rec.epoch {
@@ -299,13 +325,13 @@ func applyRecords(s *Session, recs []walRec) error {
 			if t.byID[rec.rowID] != nil {
 				return fmt.Errorf("%w: duplicate row id %d in %q", errReplay, rec.rowID, rec.table)
 			}
-			entry := &rowEntry{id: rec.rowID, vals: rec.vals}
+			entry := &rowEntry{id: rec.rowID, v: &rowVersion{vals: rec.vals, xmin: stamp()}}
 			if rec.rowID > t.nextID {
 				t.nextID = rec.rowID
 			}
 			t.rows = append(t.rows, entry)
 			t.byID[entry.id] = entry
-			t.hookAdd(entry)
+			t.indexVals(entry, rec.vals)
 		case recDelete:
 			t, ok := e.Table(rec.table)
 			if !ok || t.epoch != rec.epoch {
@@ -316,8 +342,10 @@ func applyRecords(s *Session, recs []walRec) error {
 			if rec.rowID > t.nextID {
 				t.nextID = rec.rowID
 			}
-			if entry := t.byID[rec.rowID]; entry != nil && !entry.dead {
-				t.markDead(entry)
+			if entry := t.byID[rec.rowID]; entry != nil && entry.v != nil && entry.v.xmax == 0 {
+				entry.v.xmax = stamp()
+				t.deadCnt++
+				t.garbage++
 			}
 		case recUpdate:
 			t, ok := e.Table(rec.table)
@@ -330,8 +358,12 @@ func applyRecords(s *Session, recs []walRec) error {
 			if rec.rowID > t.nextID {
 				t.nextID = rec.rowID
 			}
-			if entry := t.byID[rec.rowID]; entry != nil && !entry.dead {
-				t.replaceVals(entry, rec.vals)
+			if entry := t.byID[rec.rowID]; entry != nil && entry.v != nil && entry.v.xmax == 0 {
+				old := entry.v
+				old.xmax = stamp()
+				entry.v = &rowVersion{vals: rec.vals, xmin: stamp(), prev: old}
+				t.indexVals(entry, rec.vals)
+				t.garbage++
 			}
 		case recDDL:
 			stmts, err := ParseScript(rec.sql)
@@ -363,19 +395,20 @@ func applyRecords(s *Session, recs []walRec) error {
 	return nil
 }
 
-// ErrCheckpointSkipped reports that Checkpoint declined to snapshot because
-// a transaction is open somewhere on the engine. Committed data is still
-// durable (it is on the WAL); only the snapshot+segment-retirement was
-// deferred. Callers that checkpoint opportunistically (the background loop,
-// Close) ignore it; callers acting on an explicit request should surface it
-// — a session that leaks an open transaction otherwise disables
-// checkpointing silently and the WAL grows without bound.
+// ErrCheckpointSkipped is retained for API compatibility: with MVCC
+// snapshots, Checkpoint serializes only committed-visible versions, so open
+// transactions no longer block it and this error is no longer returned.
+//
+// Deprecated: Checkpoint never returns ErrCheckpointSkipped anymore.
 var ErrCheckpointSkipped = errors.New("sqldb: checkpoint skipped: a transaction is open")
 
-// Checkpoint writes a snapshot of the current state and retires the WAL
-// segments (and older snapshots) it supersedes. It is a no-op on in-memory
-// engines and when nothing has changed since the last checkpoint, and
-// returns ErrCheckpointSkipped while any transaction is open.
+// Checkpoint writes a snapshot of the latest committed state and retires
+// the WAL segments (and older snapshots) it supersedes. It is a no-op on
+// in-memory engines and when nothing has changed since the last
+// checkpoint. Open transactions do not block it: the snapshot serializes
+// only committed-visible versions, and a transaction that commits later
+// lands its redo frame in the post-rotation segment, which replay applies
+// on top of the snapshot.
 func (e *Engine) Checkpoint() error {
 	w := e.wal.Load()
 	if w == nil {
@@ -385,13 +418,6 @@ func (e *Engine) Checkpoint() error {
 	defer e.ckptMu.Unlock()
 
 	e.mu.Lock()
-	// A snapshot taken while a transaction is open would persist its
-	// uncommitted rows (which are visible in the heap but absent from the
-	// WAL). Skip; the background checkpointer retries on its next tick.
-	if e.openTxns.Load() != 0 {
-		e.mu.Unlock()
-		return ErrCheckpointSkipped
-	}
 	lsn := w.currentLSN()
 	ver := e.catalogVersion.Load()
 	if lsn == e.lastCkptLSN && ver == e.lastCkptVersion {

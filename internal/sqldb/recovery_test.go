@@ -1,7 +1,6 @@
 package sqldb
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -46,9 +45,9 @@ func dumpEngine(e *Engine) string {
 		t, _ := e.Table(name)
 		sb.WriteString(SchemaSQL(t))
 		sb.WriteString("\n")
-		_ = t.liveRows(func(r *rowEntry) error {
+		_ = t.visibleRows(latestView(nil), func(r *rowEntry, rv *rowVersion) error {
 			fmt.Fprintf(&sb, "row %d:", r.id)
-			for _, v := range r.vals {
+			for _, v := range rv.vals {
 				sb.WriteString(" " + v.Key())
 			}
 			sb.WriteString("\n")
@@ -368,11 +367,12 @@ func TestRollbackAndFailedStatementsNotLogged(t *testing.T) {
 	e.Close()
 }
 
-// TestCheckpointSkipsOpenTransactions: a snapshot must never capture an
-// open transaction's uncommitted rows — they are visible in the heap (READ
-// UNCOMMITTED) but absent from the WAL, so persisting them would break
-// rollback and collide with the transaction's own redo frame on commit.
-func TestCheckpointSkipsOpenTransactions(t *testing.T) {
+// TestCheckpointDuringOpenTransaction: with MVCC snapshots serialize only
+// committed-visible versions, so a checkpoint taken while a transaction is
+// open must succeed, must not capture its uncommitted rows, and must still
+// absorb the transaction's effects when it commits afterwards (its redo
+// frame lands in the post-rotation segment and replays on top).
+func TestCheckpointDuringOpenTransaction(t *testing.T) {
 	dir := t.TempDir()
 	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 	s := e.NewSession("root")
@@ -382,46 +382,51 @@ func TestCheckpointSkipsOpenTransactions(t *testing.T) {
 	s.MustExec(`BEGIN`)
 	s.MustExec(`INSERT INTO t VALUES (2)`)
 	snapsBefore, _ := listNumbered(dir, "snap", ".snap")
-	// The skip is surfaced, not silent — a leaked open transaction would
-	// otherwise disable checkpointing forever with no signal to anyone.
-	if err := e.Checkpoint(); !errors.Is(err, ErrCheckpointSkipped) {
-		t.Fatalf("Checkpoint with open txn = %v, want ErrCheckpointSkipped", err)
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint with open txn = %v, want success", err)
 	}
 	snapsAfter, _ := listNumbered(dir, "snap", ".snap")
-	if len(snapsAfter) != len(snapsBefore) {
-		t.Fatal("checkpoint ran with a transaction open")
+	if len(snapsAfter) == len(snapsBefore) {
+		t.Fatal("checkpoint did not write a snapshot")
 	}
-	s.MustExec(`ROLLBACK`)
 
-	// With the transaction closed, checkpoints work again, and the
-	// rolled-back row is in neither the snapshot nor the WAL.
-	if err := e.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
+	// Crash before the commit: only the committed row may come back.
 	e2 := openTestEngine(t, crashCopy(t, dir), Options{})
-	defer e2.Close()
-	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
-	if res.Rows[0][0].I != 1 {
-		t.Fatalf("rolled-back row leaked through a checkpoint: %d rows", res.Rows[0][0].I)
+	if n := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`).Rows[0][0].I; n != 1 {
+		t.Fatalf("uncommitted row leaked through a checkpoint: %d rows", n)
+	}
+	e2.Close()
+
+	// Commit after the checkpoint: the redo frame is in the post-rotation
+	// segment and must replay on top of the snapshot.
+	s.MustExec(`COMMIT`)
+	e3 := openTestEngine(t, crashCopy(t, dir), Options{})
+	defer e3.Close()
+	if n := e3.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`).Rows[0][0].I; n != 2 {
+		t.Fatalf("commit after checkpoint lost on recovery: %d rows", n)
 	}
 	e.Close()
 }
 
-// TestDirtyRowInterleavings covers READ UNCOMMITTED cross-transaction row
-// access: another session updating/deleting a row whose inserting
-// transaction later rolls back or commits. Replay must match the heap in
-// every case, and acknowledged commits after the interleaving must survive.
-func TestDirtyRowInterleavings(t *testing.T) {
-	t.Run("update-then-rollback", func(t *testing.T) {
+// TestUncommittedRowInterleavings covers cross-session access to rows whose
+// inserting transaction is still open. Under snapshot isolation other
+// sessions cannot see (and therefore cannot write) an uncommitted row;
+// replay must match the heap in every case, and acknowledged commits after
+// the interleaving must survive.
+func TestUncommittedRowInterleavings(t *testing.T) {
+	t.Run("update-misses-then-rollback", func(t *testing.T) {
 		dir := t.TempDir()
 		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 		a, b := e.NewSession("root"), e.NewSession("root")
 		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
 		a.MustExec(`BEGIN`)
 		a.MustExec(`INSERT INTO t VALUES (1, 'dirty')`)
-		b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`) // dirty write, logged
-		a.MustExec(`ROLLBACK`)                                // insert never logged
-		b.MustExec(`INSERT INTO t VALUES (2, 'after')`)       // must survive replay
+		// b cannot see a's uncommitted row: the update targets nothing.
+		if r := b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`); r.Affected != 0 {
+			t.Fatalf("update saw an uncommitted row: %d affected", r.Affected)
+		}
+		a.MustExec(`ROLLBACK`)                          // insert never logged
+		b.MustExec(`INSERT INTO t VALUES (2, 'after')`) // must survive replay
 		want := dumpEngine(e)
 
 		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
@@ -436,15 +441,19 @@ func TestDirtyRowInterleavings(t *testing.T) {
 		e.Close()
 	})
 
-	t.Run("update-then-commit", func(t *testing.T) {
+	t.Run("update-misses-then-commit", func(t *testing.T) {
 		dir := t.TempDir()
 		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 		a, b := e.NewSession("root"), e.NewSession("root")
 		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
 		a.MustExec(`BEGIN`)
 		a.MustExec(`INSERT INTO t VALUES (1, 'original')`)
-		b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`)
-		a.MustExec(`COMMIT`) // insert logs the commit-time image: 'touched'
+		// No dirty write: b's update cannot touch the uncommitted row, so
+		// a's commit logs its own image.
+		if r := b.MustExec(`UPDATE t SET v = 'touched' WHERE id = 1`); r.Affected != 0 {
+			t.Fatalf("update saw an uncommitted row: %d affected", r.Affected)
+		}
+		a.MustExec(`COMMIT`)
 		want := dumpEngine(e)
 
 		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
@@ -453,21 +462,24 @@ func TestDirtyRowInterleavings(t *testing.T) {
 			t.Fatalf("mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
 		}
 		res := e2.NewSession("root").MustExec(`SELECT v FROM t WHERE id = 1`)
-		if len(res.Rows) != 1 || res.Rows[0][0].S != "touched" {
-			t.Fatalf("recovered stale pre-update image: %+v", res.Rows)
+		if len(res.Rows) != 1 || res.Rows[0][0].S != "original" {
+			t.Fatalf("recovered wrong image: %+v", res.Rows)
 		}
 		e.Close()
 	})
 
-	t.Run("delete-then-commit", func(t *testing.T) {
+	t.Run("delete-misses-then-commit", func(t *testing.T) {
 		dir := t.TempDir()
 		e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 		a, b := e.NewSession("root"), e.NewSession("root")
 		a.MustExec(`CREATE TABLE t (id INT PRIMARY KEY, v TEXT)`)
 		a.MustExec(`BEGIN`)
-		a.MustExec(`INSERT INTO t VALUES (1, 'doomed')`)
-		b.MustExec(`DELETE FROM t WHERE id = 1`) // dirty delete, logged
-		a.MustExec(`COMMIT`)                     // dead row: insert not logged
+		a.MustExec(`INSERT INTO t VALUES (1, 'kept')`)
+		// b's delete cannot see the uncommitted row; a's commit prevails.
+		if r := b.MustExec(`DELETE FROM t WHERE id = 1`); r.Affected != 0 {
+			t.Fatalf("delete saw an uncommitted row: %d affected", r.Affected)
+		}
+		a.MustExec(`COMMIT`)
 		want := dumpEngine(e)
 
 		e2 := openTestEngine(t, crashCopy(t, dir), Options{})
@@ -476,8 +488,8 @@ func TestDirtyRowInterleavings(t *testing.T) {
 			t.Fatalf("mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
 		}
 		res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
-		if res.Rows[0][0].I != 0 {
-			t.Fatalf("dirty-deleted row resurrected by replay: %d rows", res.Rows[0][0].I)
+		if res.Rows[0][0].I != 1 {
+			t.Fatalf("committed row lost: %d rows", res.Rows[0][0].I)
 		}
 		e.Close()
 	})
@@ -954,13 +966,14 @@ func TestWALFailStopAfterIOError(t *testing.T) {
 	}
 }
 
-// TestCommitSurvivesRolledBackConcurrentDelete: s2's uncommitted DELETE
-// tombstones the row s1 is updating (READ UNCOMMITTED); when s2 rolls back,
-// s1's acknowledged commit must still be on the WAL — dropping its record
-// because the entry looked dead at encode time silently lost the commit.
-// The in-memory side of the same race: s1's commit must not compact away
-// the tombstoned entry while s2 can still resurrect it.
-func TestCommitSurvivesRolledBackConcurrentDelete(t *testing.T) {
+// TestConcurrentDeleteConflictsThenCommitSurvives: s2's DELETE of a row s1
+// has already updated is a write-write conflict and must abort s2's
+// statement with a retryable error (first-committer-wins) instead of
+// tombstoning the row out from under s1's acknowledged commit. After s2
+// rolls back, s1's commit must survive recovery. (This interleaving is what
+// required the deadDurable tombstone bookkeeping before MVCC; version
+// visibility now forbids it outright.)
+func TestConcurrentDeleteConflictsThenCommitSurvives(t *testing.T) {
 	dir := t.TempDir()
 	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 	s := e.NewSession("root")
@@ -972,11 +985,12 @@ func TestCommitSurvivesRolledBackConcurrentDelete(t *testing.T) {
 	s1.MustExec(`BEGIN`)
 	s1.MustExec(`UPDATE t SET v = 20 WHERE id = 1`)
 	s2.MustExec(`BEGIN`)
-	s2.MustExec(`DELETE FROM t WHERE id = 1`)
-	s1.MustExec(`COMMIT`) // acknowledged while the row is tombstoned
+	if _, err := s2.Exec(`DELETE FROM t WHERE id = 1`); !IsRetryable(err) {
+		t.Fatalf("concurrent delete of an updated row = %v, want retryable conflict", err)
+	}
+	s1.MustExec(`COMMIT`)
 	s2.MustExec(`ROLLBACK`)
 
-	// Heap intact: the resurrected row exists with the committed value.
 	res := s.MustExec(`SELECT v FROM t WHERE id = 1`)
 	if len(res.Rows) != 1 || res.Rows[0][0].I != 20 {
 		t.Fatalf("in-memory heap lost the row or the update: %+v", res.Rows)
@@ -995,11 +1009,11 @@ func TestCommitSurvivesRolledBackConcurrentDelete(t *testing.T) {
 	e.Close()
 }
 
-// TestCommittedConcurrentDeleteStillWins: the mirror interleaving — when the
-// concurrent DELETE commits, the tombstone is durable and s1's record must
-// be dropped (its row's final state is "gone", and the delete is logged by
-// its own transaction which sequences BEFORE s1's frame).
-func TestCommittedConcurrentDeleteStillWins(t *testing.T) {
+// TestDeleteCannotSeeUncommittedInsert: the mirror interleaving — an
+// autocommit DELETE cannot target another session's uncommitted insert
+// (snapshot visibility hides it), so the insert's commit prevails and
+// survives recovery.
+func TestDeleteCannotSeeUncommittedInsert(t *testing.T) {
 	dir := t.TempDir()
 	e := openTestEngine(t, dir, Options{Sync: SyncAlways})
 	s := e.NewSession("root")
@@ -1008,9 +1022,9 @@ func TestCommittedConcurrentDeleteStillWins(t *testing.T) {
 	s1 := e.NewSession("root")
 	s1.MustExec(`BEGIN`)
 	s1.MustExec(`INSERT INTO t VALUES (5, 50)`)
-	// Autocommit delete of s1's dirty row commits first: its frame precedes
-	// s1's, so replay could never kill an insert replayed after it.
-	s.MustExec(`DELETE FROM t WHERE id = 5`)
+	if r := s.MustExec(`DELETE FROM t WHERE id = 5`); r.Affected != 0 {
+		t.Fatalf("autocommit delete saw an uncommitted insert: %d affected", r.Affected)
+	}
 	s1.MustExec(`COMMIT`)
 	want := dumpEngine(e)
 
@@ -1020,8 +1034,8 @@ func TestCommittedConcurrentDeleteStillWins(t *testing.T) {
 		t.Fatalf("recovery mismatch:\n--- want ---\n%s\n--- got ---\n%s", want, got)
 	}
 	res := e2.NewSession("root").MustExec(`SELECT COUNT(*) FROM t`)
-	if res.Rows[0][0].I != 0 {
-		t.Fatalf("deleted row resurrected by replay: %+v", res.Rows)
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("committed insert lost: %+v", res.Rows)
 	}
 	e.Close()
 }

@@ -102,14 +102,27 @@ func appendTableSnap(b []byte, t *Table) []byte {
 	}
 
 	b = binary.AppendVarint(b, t.nextID)
-	b = binary.AppendUvarint(b, uint64(t.RowCount()))
-	_ = t.liveRows(func(r *rowEntry) error {
+	// Serialize the latest committed-visible version of each row:
+	// uncommitted transactions contribute nothing (their redo frames, if
+	// they ever commit, land after the checkpoint's WAL rotation and replay
+	// on top of this state), which is what makes checkpointing safe while
+	// transactions are open.
+	type snapRow struct {
+		id   int64
+		vals []Value
+	}
+	var live []snapRow
+	_ = t.visibleRows(latestView(nil), func(r *rowEntry, rv *rowVersion) error {
+		live = append(live, snapRow{id: r.id, vals: rv.vals})
+		return nil
+	})
+	b = binary.AppendUvarint(b, uint64(len(live)))
+	for _, r := range live {
 		b = binary.AppendVarint(b, r.id)
 		for _, v := range r.vals {
 			b = appendValue(b, v)
 		}
-		return nil
-	})
+	}
 	return b
 }
 
@@ -276,7 +289,9 @@ func loadTableSnap(e *Engine, r *walReader) error {
 		if t.byID[id] != nil {
 			return fmt.Errorf("snapshot: duplicate row id %d in table %q", id, name)
 		}
-		entry := &rowEntry{id: id, vals: vals}
+		// Snapshot rows are committed-ancient: xmin 0 is visible to every
+		// snapshot the restarted engine will ever take.
+		entry := &rowEntry{id: id, v: &rowVersion{vals: vals}}
 		t.rows = append(t.rows, entry)
 		t.byID[id] = entry
 	}

@@ -9,9 +9,9 @@ import (
 type undoKind uint8
 
 const (
-	undoInsert     undoKind = iota // row was inserted -> tombstone it
-	undoDelete                     // row was tombstoned -> resurrect it
-	undoUpdate                     // row was updated -> restore old values
+	undoInsert     undoKind = iota // row was inserted -> unlink its only version
+	undoDelete                     // head version was delete-stamped -> clear the stamp
+	undoUpdate                     // new version was installed -> pop it, unstamp the old head
 	undoCreate                     // table was created -> drop it
 	undoDrop                       // table was dropped -> restore it
 	undoIndex                      // index was created -> remove it
@@ -20,10 +20,14 @@ const (
 )
 
 type undoOp struct {
-	kind    undoKind
-	table   *Table
-	entry   *rowEntry
-	oldVals []Value
+	kind  undoKind
+	table *Table
+	entry *rowEntry
+	// ver is the version the operation touched: the created version for
+	// undoInsert/undoUpdate (its prev is the superseded head), the
+	// delete-stamped version for undoDelete. Commit stamps these with the
+	// commit timestamp; rollback reverses them.
+	ver *rowVersion
 	// for undoDrop: the catalog position so ordering is restored
 	tablePos int
 	indexCol string
@@ -31,35 +35,52 @@ type undoOp struct {
 }
 
 // Txn is an open transaction: an undo log replayed in reverse on rollback,
-// plus the redo records appended to the WAL on commit.
+// the redo records appended to the WAL on commit, and the MVCC identity its
+// row versions carry while uncommitted.
+//
 // ACID notes for this single-node engine: atomicity and consistency come
-// from the undo log plus statement-level rollback; isolation is
-// statement-level — writes hold the engine lock exclusively while reads
-// share it, so each statement sees a consistent state, but an open
-// transaction's uncommitted statements are visible to other sessions
-// between statements (READ UNCOMMITTED; there are no snapshots or row
-// locks); durability depends on how the engine was opened. NewEngine is
-// in-memory (process-lifetime). OpenEngine appends every committed
-// transaction to a CRC-framed write-ahead log before acknowledging it,
-// at one of three levels (SyncMode): "always" fsyncs per commit, "batch"
-// group-commits — concurrent committers share one fsync but still wait for
-// it — and "off" leaves flushing to the OS. Checkpointed snapshots bound
-// replay time, and open-time recovery replays the WAL tail, truncating any
-// torn frame from a crash mid-write.
+// from the undo log plus statement-level rollback. Isolation is SNAPSHOT
+// ISOLATION over per-row version chains: BEGIN fixes a read snapshot (each
+// auto-commit statement gets its own), every read path resolves rows
+// through snapshot visibility, and writers install new versions instead of
+// mutating in place — so readers never block behind writers and never see
+// uncommitted or later-committed data (no dirty or non-repeatable reads).
+// Write-write conflicts are detected first-committer-wins: a transaction
+// that tries to write a row with a newer concurrent version (committed
+// after its snapshot, or still uncommitted) aborts with a retryable
+// SerializationError; the caller should ROLLBACK and retry (see
+// IsRetryable). BEGIN ISOLATION LEVEL READ COMMITTED instead refreshes the
+// snapshot per statement. Durability depends on how the engine was opened:
+// NewEngine is in-memory (process-lifetime); OpenEngine appends every
+// committed transaction — prefixed with a commit-timestamp record so replay
+// reconstructs visibility order — to a CRC-framed write-ahead log before
+// acknowledging it, at one of three levels (SyncMode): "always" fsyncs per
+// commit, "batch" group-commits, and "off" leaves flushing to the OS.
+// Checkpointed snapshots (which serialize only committed-visible versions,
+// so they are safe even while transactions are open) bound replay time, and
+// open-time recovery replays the WAL tail, truncating any torn frame from a
+// crash mid-write.
 type Txn struct {
 	undo []undoOp
 	// redo holds the transaction's redo operations in execution order. Only
 	// populated on durable engines; discarded on rollback. Row images are
 	// captured at commit time, not statement time (see encodeRedo).
 	redo []redoRec
+	// snapTS is the read snapshot: the engine commit clock at BEGIN (or at
+	// each statement under READ COMMITTED, tracked per statement).
+	snapTS uint64
+	level  IsolationLevel
+	// aborted is set when a statement fails with a serialization conflict:
+	// the transaction's snapshot is stale and must be retried, so further
+	// statements are refused until ROLLBACK (or COMMIT, which rolls back).
+	aborted bool
 }
 
 // redoRec is one buffered redo operation. Insert/update records keep the
 // table and row entry and serialize the row image when the transaction
-// commits: under READ UNCOMMITTED another session may legally mutate a
-// dirty row (or ALTER/RENAME the table) before this transaction commits,
-// and the WAL must record what actually became durable — the commit-time
-// state — or replay would resurrect stale images the heap never kept.
+// commits: the transaction itself may update the row again (or ALTER/RENAME
+// the table) before committing, and the WAL must record what actually
+// became durable — the commit-time state.
 type redoRec struct {
 	kind  byte
 	table *Table    // insert/update/delete (name + epoch read at encode time)
@@ -70,25 +91,27 @@ type redoRec struct {
 }
 
 // encodeRedo serializes buffered redo records into WAL frames at commit
-// time. The caller holds the engine write lock, so entry values and table
-// names are stable. Insert/update records whose row was tombstoned by a
-// COMMITTED deletion (deadDurable) are dropped: the row's final state is
-// "gone" and that deletion is (or will be) logged by its own transaction —
-// exactly matching what the in-memory heap keeps. A tombstone from a
-// still-open transaction keeps the record: if that transaction rolls back,
-// its deletion is never logged, and dropping ours would silently lose this
-// acknowledged commit on recovery.
-func encodeRedo(recs []redoRec) [][]byte {
-	out := make([][]byte, 0, len(recs))
+// time, after the commit timestamp has been stamped; the caller holds the
+// engine write lock, so row images and table names are stable. The frame is
+// prefixed with a commit-timestamp record so replay can reconstruct version
+// visibility in commit order. Insert/update records whose row the SAME
+// transaction also deleted are dropped (the head carries a committed xmax):
+// the row's final state is "gone" and this transaction's own delete record
+// says so. No other transaction can have deleted it — that write-write
+// conflict would have aborted one of the two — which is what dissolved the
+// old deadDurable tombstone bookkeeping into plain version visibility.
+func encodeRedo(recs []redoRec, commitTS uint64) [][]byte {
+	out := make([][]byte, 0, len(recs)+1)
+	out = append(out, encodeCommitRec(commitTS))
 	for _, r := range recs {
 		switch r.kind {
 		case recInsert:
-			if !r.entry.dead || !r.entry.deadDurable {
-				out = append(out, encodeInsertRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.vals))
+			if r.entry.v != nil && r.entry.v.xmax == 0 {
+				out = append(out, encodeInsertRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.v.vals))
 			}
 		case recUpdate:
-			if !r.entry.dead || !r.entry.deadDurable {
-				out = append(out, encodeUpdateRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.vals))
+			if r.entry.v != nil && r.entry.v.xmax == 0 {
+				out = append(out, encodeUpdateRec(r.table.Name, r.table.epoch, r.entry.id, r.entry.v.vals))
 			}
 		case recDelete:
 			out = append(out, encodeDeleteRec(r.table.Name, r.table.epoch, r.rowID))
@@ -96,22 +119,58 @@ func encodeRedo(recs []redoRec) [][]byte {
 			out = append(out, encodeDDLRec(r.sql, r.epoch))
 		}
 	}
+	if len(out) == 1 {
+		return nil // nothing but the timestamp: log no frame
+	}
 	return out
 }
 
 func (tx *Txn) record(op undoOp) { tx.undo = append(tx.undo, op) }
 
-// rollback applies the undo log in reverse order against the engine.
+// commitOps stamps every row version this undo log touched with the commit
+// timestamp, converting uncommitted txn-pointer marks into committed
+// visibility. The caller holds the engine write lock. Returns the set of
+// tables touched (vacuum candidates).
+func commitOps(undo []undoOp, ts uint64) map[*Table]bool {
+	touched := map[*Table]bool{}
+	for _, op := range undo {
+		switch op.kind {
+		case undoInsert:
+			op.ver.xmin = ts
+			op.ver.xminTxn = nil
+			touched[op.table] = true
+		case undoUpdate:
+			op.ver.xmin = ts
+			op.ver.xminTxn = nil
+			op.ver.prev.xmax = ts
+			op.ver.prev.xmaxTxn = nil
+			op.table.garbage++
+			touched[op.table] = true
+		case undoDelete:
+			op.ver.xmax = ts
+			op.ver.xmaxTxn = nil
+			if op.entry.v == op.ver {
+				op.table.deadCnt++
+			}
+			op.table.garbage++
+			touched[op.table] = true
+		}
+	}
+	return touched
+}
+
+// rollback applies the undo log in reverse order against the engine. The
+// caller holds the engine write lock.
 func (tx *Txn) rollback(e *Engine) {
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		op := tx.undo[i]
 		switch op.kind {
 		case undoInsert:
-			op.table.markDead(op.entry)
+			op.table.undoInsertEntry(op.entry)
 		case undoDelete:
-			op.table.resurrect(op.entry)
+			op.table.undoDeleteVersion(op.ver)
 		case undoUpdate:
-			op.table.replaceVals(op.entry, op.oldVals)
+			op.table.undoInstallVersion(op.entry, op.ver)
 		case undoCreate:
 			lo := lowerName(op.table.Name)
 			delete(e.tables, lo)
@@ -155,8 +214,14 @@ type Session struct {
 	txn    *Txn
 	// stmtUndo accumulates undo ops for the statement being executed, so a
 	// mid-statement failure (e.g. a constraint violation on the third row
-	// of a multi-row INSERT) rolls back just that statement.
+	// of a multi-row INSERT) rolls back just that statement. Outside an
+	// explicit transaction it doubles as the auto-commit transaction
+	// identity row versions carry until endStmt stamps them.
 	stmtUndo *Txn
+	// curView is the statement's read snapshot, established when the
+	// statement takes its locks (the transaction's snapshot under snapshot
+	// isolation, a fresh one per statement otherwise).
+	curView snapView
 	// forceSeqScan makes the planner skip every access-path upgrade and
 	// sort/limit pushdown for this session, the engine's equivalent of
 	// PostgreSQL's enable_indexscan=off. Access-path equivalence tests
@@ -180,35 +245,61 @@ func (s *Session) Engine() *Engine { return s.engine }
 // InTransaction reports whether a transaction is open.
 func (s *Session) InTransaction() bool { return s.txn != nil }
 
-// Begin starts a transaction. Like Commit and Rollback it takes the engine
-// write lock itself; the SQL path (BEGIN through Exec) uses the unexported
-// variants under the lock the executor already holds.
-func (s *Session) Begin() error {
-	s.engine.mu.Lock()
-	defer s.engine.mu.Unlock()
-	return s.begin()
+// writerTxn returns the transaction identity the session's writes carry:
+// the open transaction, or the statement scope for auto-commit statements.
+func (s *Session) writerTxn() *Txn {
+	if s.txn != nil {
+		return s.txn
+	}
+	return s.stmtUndo
 }
 
-func (s *Session) begin() error {
+// stmtView computes the statement's read snapshot: the transaction's fixed
+// snapshot under snapshot isolation, otherwise (READ COMMITTED or
+// auto-commit) the commit clock now.
+func (s *Session) stmtView() snapView {
+	if s.txn != nil && s.txn.level == LevelSnapshot {
+		return snapView{ts: s.txn.snapTS, txn: s.txn}
+	}
+	return snapView{ts: s.engine.lastCommitTS.Load(), txn: s.txn}
+}
+
+// Begin starts a transaction at the default snapshot isolation level. Like
+// Commit and Rollback it serializes against other writers itself; the SQL
+// path (BEGIN through Exec) uses the unexported variants under the writer
+// lock the executor already holds.
+func (s *Session) Begin() error { return s.BeginLevel(LevelSnapshot) }
+
+// BeginLevel starts a transaction at the given isolation level.
+func (s *Session) BeginLevel(level IsolationLevel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.writeMu.Lock()
+	defer s.engine.writeMu.Unlock()
+	return s.begin(level)
+}
+
+func (s *Session) begin(level IsolationLevel) error {
 	if s.txn != nil {
 		return fmt.Errorf("a transaction is already in progress")
 	}
-	s.txn = &Txn{}
-	// Checkpoints are gated on this: a snapshot taken while a transaction
-	// is open would capture its uncommitted (yet unlogged) rows as durable.
-	s.engine.openTxns.Add(1)
+	s.txn = &Txn{snapTS: s.engine.lastCommitTS.Load(), level: level}
+	// Register the snapshot so vacuum keeps every version it may read.
+	s.engine.registerTxn(s.txn)
 	return nil
 }
 
 // Commit makes the transaction's effects permanent and, on a durable
 // engine, blocks until they are on disk (per the engine's SyncMode). The
-// engine write lock is held for the in-memory commit and redo encoding —
-// encodeRedo reads row images that concurrent writers may otherwise be
-// replacing — but released before the durability wait.
+// engine write lock is held only for the commit-stamping critical section —
+// version timestamps, redo encoding, and the WAL enqueue — and released
+// before the durability wait.
 func (s *Session) Commit() error {
-	s.engine.mu.Lock()
+	s.mu.Lock()
+	s.engine.writeMu.Lock()
 	tok, err := s.commitTx()
-	s.engine.mu.Unlock()
+	s.engine.writeMu.Unlock()
+	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -217,52 +308,78 @@ func (s *Session) Commit() error {
 
 // commitTx applies the commit in memory and enqueues the transaction's redo
 // records on the WAL, returning the durability token WITHOUT waiting on it.
-// The executor waits after releasing the engine lock, so concurrent
-// committers can share one group fsync instead of serializing on it.
+// The executor waits after releasing every lock, so concurrent committers
+// can share one group fsync instead of serializing on it. The caller holds
+// writeMu; the engine write lock is taken here for the stamping section.
 func (s *Session) commitTx() (*syncToken, error) {
 	if s.txn == nil {
 		return nil, fmt.Errorf("no transaction is in progress")
 	}
-	// This transaction's deletions are now permanent: mark their tombstones
-	// durable (before encoding, so a same-transaction insert+delete pair
-	// collapses to nothing) so redo encoding — ours and later commits' —
-	// can tell them from tombstones of still-open transactions.
-	for _, op := range s.txn.undo {
-		if op.kind == undoDelete {
-			op.entry.deadDurable = true
-		}
+	if s.txn.aborted {
+		// PostgreSQL-style: COMMIT of an aborted transaction rolls back.
+		tx := s.txn
+		s.engine.mu.Lock()
+		tx.rollback(s.engine)
+		s.engine.mu.Unlock()
+		s.txn = nil
+		s.engine.unregisterTxn(tx)
+		// Wrapped with ErrWriteConflict so IsRetryable-driven retry loops
+		// treat the failed COMMIT like the conflict that caused it.
+		return nil, fmt.Errorf("transaction was aborted by a write conflict and has been rolled back; retry it: %w", ErrWriteConflict)
 	}
-	// Compact only while no OTHER transaction is open (the count still
-	// includes us): an open transaction's rollback must be able to
-	// resurrect entries it tombstoned, and compacting them away here would
-	// corrupt the heap it resurrects into. Deferred tombstones are
-	// reclaimed by the next commit that runs alone.
-	if s.engine.openTxns.Load() == 1 {
-		touched := map[*Table]bool{}
-		for _, op := range s.txn.undo {
-			if op.table != nil {
-				touched[op.table] = true
-			}
-		}
-		for t := range touched {
-			t.compact()
-		}
-	}
+	tx := s.txn
+	e := s.engine
+	// Deregister first so the GC horizon no longer includes our own
+	// snapshot when vacuum runs below.
+	e.unregisterTxn(tx)
+	e.mu.Lock()
+	tok := e.commitLocked(tx.undo, tx.redo)
+	e.mu.Unlock()
+	s.txn = nil
+	return tok, nil
+}
+
+// commitLocked is the one commit-stamping critical section, shared by
+// explicit COMMIT and auto-commit statements; the caller holds the engine
+// write lock. It allocates the commit timestamp, stamps every touched
+// version, enqueues the redo frame, and only then advances the clock — a
+// snapshot taken at ts sees all of the transaction or none of it — before
+// vacuuming the touched tables.
+func (e *Engine) commitLocked(undo []undoOp, redo []redoRec) *syncToken {
+	ts := e.lastCommitTS.Load() + 1
+	touched := commitOps(undo, ts)
 	var tok *syncToken
-	if w := s.engine.wal.Load(); w != nil && len(s.txn.redo) > 0 {
-		if frames := encodeRedo(s.txn.redo); len(frames) > 0 {
+	if w := e.wal.Load(); w != nil && len(redo) > 0 {
+		if frames := encodeRedo(redo, ts); len(frames) > 0 {
 			tok = w.commit(frames)
 		}
 	}
-	s.txn = nil
-	s.engine.openTxns.Add(-1)
-	return tok, nil
+	e.lastCommitTS.Store(ts)
+	e.vacuumTouched(touched)
+	return tok
+}
+
+// vacuumTouched garbage-collects superseded versions in the given tables
+// when enough have accumulated. The caller holds the engine write lock.
+func (e *Engine) vacuumTouched(touched map[*Table]bool) {
+	horizon := e.gcHorizon()
+	for t := range touched {
+		if t.garbage == 0 {
+			continue
+		}
+		// Vacuum is O(rows); amortize it against the garbage produced.
+		if t.garbage >= 1024 || t.garbage*4 >= len(t.rows) {
+			t.vacuum(horizon)
+		}
+	}
 }
 
 // Rollback reverts every change made inside the transaction.
 func (s *Session) Rollback() error {
-	s.engine.mu.Lock()
-	defer s.engine.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.engine.writeMu.Lock()
+	defer s.engine.writeMu.Unlock()
 	return s.rollbackTx()
 }
 
@@ -270,9 +387,12 @@ func (s *Session) rollbackTx() error {
 	if s.txn == nil {
 		return fmt.Errorf("no transaction is in progress")
 	}
-	s.txn.rollback(s.engine)
+	tx := s.txn
+	s.engine.mu.Lock()
+	tx.rollback(s.engine)
+	s.engine.mu.Unlock()
 	s.txn = nil
-	s.engine.openTxns.Add(-1)
+	s.engine.unregisterTxn(tx)
 	return nil
 }
 
@@ -326,48 +446,54 @@ func (s *Session) beginStmt() { s.stmtUndo = &Txn{} }
 
 // endStmt closes the statement scope: on error the statement is rolled
 // back; on success its undo ops are promoted to the open transaction or
-// discarded (auto-commit). The returned token, if any, is the auto-commit's
-// claim on WAL durability — the executor waits on it after the engine lock
-// is released.
-func (s *Session) endStmt(execErr error) *syncToken {
+// committed in place (auto-commit: stamp with a fresh commit timestamp and
+// enqueue the redo frame, exactly like commitTx). The returned token, if
+// any, is the auto-commit's claim on WAL durability — the executor waits on
+// it after every lock is released. engineLocked tells endStmt whether the
+// caller (a DDL statement) already holds the engine write lock; DML callers
+// do not, so the commit critical section takes it here.
+func (s *Session) endStmt(execErr error, engineLocked bool) *syncToken {
 	st := s.stmtUndo
 	s.stmtUndo = nil
 	if st == nil {
 		return nil
 	}
+	if len(st.undo) == 0 && len(st.redo) == 0 {
+		// Read-only statement (or a write that matched nothing): nothing to
+		// roll back, promote, or commit — and the fast path keeps readers,
+		// who hold only the engine read lock, away from the write lock.
+		return nil
+	}
+	e := s.engine
+	lock := func() {
+		if !engineLocked {
+			e.mu.Lock()
+		}
+	}
+	unlock := func() {
+		if !engineLocked {
+			e.mu.Unlock()
+		}
+	}
 	if execErr != nil {
-		st.rollback(s.engine)
+		lock()
+		st.rollback(e)
+		unlock()
 		return nil
 	}
 	if s.txn != nil {
+		// Re-stamp the statement's versions with the durable transaction
+		// identity: they were created under it already (writerTxn), so only
+		// the undo/redo logs move.
 		s.txn.undo = append(s.txn.undo, st.undo...)
 		s.txn.redo = append(s.txn.redo, st.redo...)
 		return nil
 	}
-	// Auto-commit: same durable-tombstone marking and guarded compaction as
-	// commitTx (auto-commits never increment openTxns, so "alone" is zero).
-	for _, op := range st.undo {
-		if op.kind == undoDelete {
-			op.entry.deadDurable = true
-		}
-	}
-	if s.engine.openTxns.Load() == 0 {
-		touched := map[*Table]bool{}
-		for _, op := range st.undo {
-			if op.table != nil {
-				touched[op.table] = true
-			}
-		}
-		for t := range touched {
-			t.compact()
-		}
-	}
-	if w := s.engine.wal.Load(); w != nil && len(st.redo) > 0 {
-		if frames := encodeRedo(st.redo); len(frames) > 0 {
-			return w.commit(frames)
-		}
-	}
-	return nil
+	// Auto-commit: the same stamping protocol as an explicit COMMIT.
+	lock()
+	tok := e.commitLocked(st.undo, st.redo)
+	unlock()
+	return tok
 }
 
 func lowerName(s string) string {

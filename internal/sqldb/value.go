@@ -1,7 +1,9 @@
 // Package sqldb implements an embedded relational database engine: a SQL
 // lexer/parser, an expression evaluator, an executor with joins and
-// aggregates, ACID transactions backed by an undo log, PK/FK/NOT NULL
-// constraints, hash indexes, and a PostgreSQL-style privilege system.
+// aggregates, MVCC transactions with snapshot isolation (row-version
+// chains, first-committer-wins write-conflict detection, undo-log
+// atomicity), PK/FK/NOT NULL constraints, hash indexes, and a
+// PostgreSQL-style privilege system.
 //
 // It is the database substrate for the BridgeScope reproduction. The toolkit
 // layers (internal/core, internal/pgmcp) only touch it through the

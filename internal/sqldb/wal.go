@@ -59,23 +59,29 @@ func ParseSyncMode(s string) (SyncMode, bool) {
 }
 
 // WAL record types. A committed transaction is one CRC-framed frame whose
-// payload is a sequence of these records in execution order.
+// payload is a commit-timestamp record followed by redo records in
+// execution order.
 //
 // Row records carry the table's epoch — a counter assigned when the table
-// was created — beside its name. Under READ UNCOMMITTED a transaction can
-// commit DML that raced another session's committed DROP + re-CREATE of the
-// same name; its records are sequenced after that DDL, and with the name
-// alone replay would apply them to the new table (the heap never did: those
-// rows died with the old one). The epoch pins each record to the exact
-// table incarnation it mutated. DDL records carry the epoch the created
-// table was assigned (0 for non-CREATE DDL) so replay reconstructs the same
-// incarnation numbering.
+// was created — beside its name. A transaction can commit DML sequenced
+// after another session's committed DROP + re-CREATE of the same name, and
+// with the name alone replay would apply its records to the new table (the
+// heap never did: those rows died with the old one). The epoch pins each
+// record to the exact table incarnation it mutated. DDL records carry the
+// epoch the created table was assigned (0 for non-CREATE DDL) so replay
+// reconstructs the same incarnation numbering.
+//
+// The commit record carries the transaction's MVCC commit timestamp:
+// replay stamps the frame's row versions with it, reconstructing the same
+// visibility order the live engine had, and the commit clock resumes past
+// the highest replayed timestamp.
 const (
 	recInsert byte = 1 // table, epoch, row id, row image
 	recDelete byte = 2 // table, epoch, row id
 	recUpdate byte = 3 // table, epoch, row id, new row image
 	recDDL    byte = 4 // SQL text + created-table epoch, replayed through the parser/executor
 	recGrant  byte = 5 // privilege-store mutation (also covers direct API use)
+	recCommit byte = 6 // MVCC commit timestamp of the frame's transaction
 )
 
 // grantOp identifies a privilege-store mutation in a recGrant record.
@@ -102,13 +108,14 @@ type grantChange struct {
 
 // walRec is the decoded form of one WAL record.
 type walRec struct {
-	typ   byte
-	table string
-	epoch uint64
-	rowID int64
-	vals  []Value
-	sql   string
-	grant grantChange
+	typ      byte
+	table    string
+	epoch    uint64
+	rowID    int64
+	vals     []Value
+	sql      string
+	grant    grantChange
+	commitTS uint64 // recCommit
 }
 
 // --- binary encoding ---
@@ -171,6 +178,10 @@ func encodeUpdateRec(table string, epoch uint64, id int64, vals []Value) []byte 
 func encodeDDLRec(sql string, epoch uint64) []byte {
 	b := appendString([]byte{recDDL}, sql)
 	return binary.AppendUvarint(b, epoch)
+}
+
+func encodeCommitRec(ts uint64) []byte {
+	return binary.AppendUvarint([]byte{recCommit}, ts)
 }
 
 func encodeGrantRec(ch grantChange) []byte {
@@ -345,6 +356,8 @@ func decodeRecords(b []byte) ([]walRec, error) {
 			rec.epoch = r.uvarint()
 		case recGrant:
 			rec.grant = decodeGrantChange(r)
+		case recCommit:
+			rec.commitTS = r.uvarint()
 		default:
 			r.fail("unknown record type %d", rec.typ)
 		}
