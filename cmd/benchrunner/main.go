@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig5a|fig5b|fig5c|fig6|table1|table2|ideal|ablations|engine] [-seed N] [-sample N]
+//	benchrunner [-exp all|fig5a|fig5b|fig5c|fig6|table1|table2|ideal|ablations|engine|parallel] [-seed N] [-sample N]
 //
 // -sample runs every Nth task for a faster pass; the defaults reproduce the
 // full benchmark.
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig5a, fig5b, fig5c, fig6, table1, table2, ideal, ablations, engine")
+	exp := flag.String("exp", "all", "experiment to run: all, fig5a, fig5b, fig5c, fig6, table1, table2, ideal, ablations, engine, parallel")
 	seed := flag.Int64("seed", 42, "benchmark and behaviour seed")
 	sample := flag.Int("sample", 1, "run every Nth task (1 = all)")
 	rows := flag.Int("housing-rows", 0, "override NL2ML full-table size (0 = 20000)")
@@ -50,6 +50,7 @@ func main() {
 	run("ideal", printIdeal)
 	run("ablations", printAblations)
 	run("engine", func(experiments.Config) error { return printEngine() })
+	run("parallel", func(experiments.Config) error { return printParallel() })
 }
 
 func header(title string) {

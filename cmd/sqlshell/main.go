@@ -167,6 +167,13 @@ func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) boo
 		} else {
 			fmt.Println("checkpointed")
 		}
+	case `\parallel`:
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Println("usage: \\parallel on|off")
+			return false
+		}
+		(*session).SetParallel(fields[1] == "on")
+		fmt.Printf("parallel batched execution %s for this session\n", fields[1])
 	default:
 		fmt.Printf("unknown command %s\n", fields[0])
 	}

@@ -18,7 +18,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
+	"time"
 
 	"bridgescope/internal/sqldb"
 )
@@ -137,16 +139,70 @@ type Conn interface {
 	IsSerializationFailure(err error) bool
 }
 
+// RetryBackoff configures the delay schedule between serialization-failure
+// retries: exponential growth from Base, bounded by Cap, with equal-jitter
+// randomization (a delay d becomes uniform in [d, 1.5d)) so colliding
+// transactions spread out instead of re-colliding in lockstep. The zero
+// value selects the defaults. Sleep and Jitter are test seams; nil means
+// time.Sleep and rand.Int63n.
+type RetryBackoff struct {
+	Base   time.Duration // delay before the first retry (default 200µs)
+	Cap    time.Duration // upper bound on the un-jittered delay (default 50ms)
+	Sleep  func(time.Duration)
+	Jitter func(n int64) int64
+}
+
+// DefaultRetryBackoff is the schedule RunInTransaction uses: 200µs doubling
+// up to 50ms.
+var DefaultRetryBackoff = RetryBackoff{Base: 200 * time.Microsecond, Cap: 50 * time.Millisecond}
+
+// delay computes the jittered sleep before retry number `retry` (0-based).
+func (b RetryBackoff) delay(retry int) time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultRetryBackoff.Base
+	}
+	if cap <= 0 {
+		cap = DefaultRetryBackoff.Cap
+	}
+	d := base
+	if retry >= 62 {
+		d = cap // base<<retry would overflow long before this
+	} else if d <<= uint(retry); d <= 0 || d > cap {
+		d = cap
+	}
+	if half := int64(d / 2); half > 0 {
+		jitter := b.Jitter
+		if jitter == nil {
+			jitter = rand.Int63n
+		}
+		d += time.Duration(jitter(half))
+	}
+	return d
+}
+
 // RunInTransaction executes fn inside a transaction on conn, committing on
 // success and rolling back on error. Retryable serialization failures
 // (write-write conflicts under snapshot isolation) restart fn up to
 // maxRetries times with a fresh snapshot — the documented conflict-retry
 // contract, packaged so agent toolkits and application code need no
 // backend-specific error matching. maxRetries <= 0 means a sensible
-// default.
+// default. Retries back off exponentially with jitter (DefaultRetryBackoff)
+// so a storm of conflicting transactions converges instead of thrashing.
 func RunInTransaction(conn Conn, maxRetries int, fn func(Conn) error) error {
+	return RunInTransactionBackoff(conn, maxRetries, DefaultRetryBackoff, fn)
+}
+
+// RunInTransactionBackoff is RunInTransaction with an explicit backoff
+// schedule. No sleep happens after the final failed attempt: the error
+// returns immediately.
+func RunInTransactionBackoff(conn Conn, maxRetries int, backoff RetryBackoff, fn func(Conn) error) error {
 	if maxRetries <= 0 {
 		maxRetries = 5
+	}
+	sleep := backoff.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
 	}
 	var lastErr error
 	for attempt := 0; attempt <= maxRetries; attempt++ {
@@ -164,6 +220,9 @@ func RunInTransaction(conn Conn, maxRetries int, fn func(Conn) error) error {
 			return err
 		}
 		lastErr = err
+		if attempt < maxRetries {
+			sleep(backoff.delay(attempt))
+		}
 	}
 	return fmt.Errorf("transaction retried %d times without success: %w", maxRetries, lastErr)
 }

@@ -592,14 +592,20 @@ type Engine struct {
 	// mu guards the catalog and all row data. Read-only statements
 	// (SELECT, EXPLAIN) take the read side for their whole statement so
 	// independent sessions scan in parallel. DML writers do NOT hold the
-	// write side across their statement: they serialize on writeMu and take
-	// mu only for short version-installation critical sections, so readers
-	// never stall behind a long write statement. DDL, grants, and rollback
-	// still take the write side for the whole statement.
+	// write side across their statement: they serialize through the lock
+	// manager and take mu only for short version-installation critical
+	// sections, so readers never stall behind a long write statement. DDL,
+	// grants, and rollback still take the write side for the whole
+	// statement.
 	mu sync.RWMutex
-	// writeMu serializes mutating statements (DML, DDL, transaction
-	// control) engine-wide. It is always acquired before mu.
-	writeMu    sync.Mutex
+	// locks is the write-side lock manager: DML statements lock just the
+	// tables they touch (in deterministic order), while DDL, grants, and
+	// transaction control take the all-tables lock. Lock-manager locks are
+	// always acquired before mu.
+	locks lockManager
+	// par configures batched/parallel query execution: worker count, the
+	// row-count threshold, and the engine-shared worker slot pool.
+	par        parallelConfig
 	tables     map[string]*Table // lower-case name -> table
 	tableOrder []string          // creation order of lower-case names
 	views      map[string]*View  // lower-case name -> view

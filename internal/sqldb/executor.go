@@ -11,11 +11,11 @@ import (
 // valid against the catalog version skips the lexer, parser, and planner
 // entirely (the engine's prepared-statement layer, see plancache.go).
 func (s *Session) Exec(sql string) (*Result, error) {
-	// A forced-seq-scan session neither serves nor produces cached plans:
-	// cache entries are shared engine-wide, and an optimized entry would
-	// defeat the forcing just as a forced entry would pessimize everyone
-	// else.
-	if !s.forceSeqScan {
+	// A forced-seq-scan or parallelism-off session neither serves nor
+	// produces cached plans: cache entries are shared engine-wide, and an
+	// optimized entry would defeat the forcing just as a forced entry would
+	// pessimize everyone else.
+	if !s.forceSeqScan && !s.noParallel {
 		if ent, ok := s.engine.plans.lookup(s.user, sql); ok {
 			if res, done, err := s.execCached(ent, sql); done {
 				return res, err
@@ -117,8 +117,10 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 		e.mu.RLock()
 		defer e.mu.RUnlock()
 	} else {
-		e.writeMu.Lock()
-		defer e.writeMu.Unlock()
+		// DML locks just the tables it touches (plus FK neighbors); DDL,
+		// grants, and transaction control take the all-tables lock.
+		unlock := e.lockForWrite(stmt)
+		defer unlock()
 		if holdsEngineLock(stmt) {
 			engineLocked = true
 			e.mu.Lock()
@@ -217,9 +219,10 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 		defer e.mu.RUnlock()
 	} else {
 		// Cacheable writers are DML, which never holds the engine lock for
-		// the whole statement (see holdsEngineLock).
-		e.writeMu.Lock()
-		defer e.writeMu.Unlock()
+		// the whole statement (see holdsEngineLock). The entry carries its
+		// precomputed lock set, so a hit skips the catalog walk.
+		unlock := e.lockForWriteNames(ent.stmt, ent.lockNames)
+		defer unlock()
 	}
 	s.curView = s.stmtView()
 	if ent.version != e.catalogVersion.Load() {
@@ -250,7 +253,7 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 // plan. INSERT caches as parsed-only (a hit still skips lexer and parser).
 // Everything else (DDL, grants, EXPLAIN) returns nil and is never cached.
 func (s *Session) prepare(stmt Stmt) *cachedStmt {
-	if s.forceSeqScan {
+	if s.forceSeqScan || s.noParallel {
 		return nil
 	}
 	ent := &cachedStmt{
@@ -274,6 +277,12 @@ func (s *Session) prepare(stmt Stmt) *cachedStmt {
 	case *InsertStmt:
 	default:
 		return nil
+	}
+	if !ent.readOnly {
+		// prepare runs with the statement's write locks already held, so the
+		// catalog is stable; the names stay valid for the entry's lifetime
+		// because any DDL bumps the catalog version and evicts it.
+		ent.lockNames = s.engine.writeLockNames(stmt)
 	}
 	return ent
 }
@@ -550,18 +559,33 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 			outCols = cols
 		}
 	} else {
-		outRows = make([][]Value, 0, len(filtered.rows))
-		envCols := toEnvCols(filtered.cols)
-		for _, vals := range filtered.rows {
-			env := &Env{cols: envCols, vals: vals, outer: outer, sess: s}
-			cols, row, err := projectRow(st.Items, env, filtered.cols)
+		projected := false
+		// The sort stage needs per-row envs, which the batched projection
+		// does not keep — ORDER BY (unless pushed) stays row-at-a-time.
+		if !needEnvs {
+			cols, rows, handled, err := s.parProject(st.Items, filtered, outer)
 			if err != nil {
 				return nil, err
 			}
-			outCols = row2cols(outCols, cols)
-			outRows = append(outRows, row)
-			if needEnvs {
-				orderEnvs = append(orderEnvs, env)
+			if handled {
+				outCols, outRows = cols, rows
+				projected = true
+			}
+		}
+		if !projected {
+			outRows = make([][]Value, 0, len(filtered.rows))
+			envCols := toEnvCols(filtered.cols)
+			for _, vals := range filtered.rows {
+				env := &Env{cols: envCols, vals: vals, outer: outer, sess: s}
+				cols, row, err := projectRow(st.Items, env, filtered.cols)
+				if err != nil {
+					return nil, err
+				}
+				outCols = row2cols(outCols, cols)
+				outRows = append(outRows, row)
+				if needEnvs {
+					orderEnvs = append(orderEnvs, env)
+				}
 			}
 		}
 		if len(outCols) == 0 {
@@ -574,7 +598,7 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 	}
 
 	if st.Distinct {
-		outRows, orderEnvs = distinctRows(outRows, orderEnvs)
+		outRows, orderEnvs = s.distinctRows(outRows, orderEnvs)
 	}
 
 	// SortPushed plans emit rows in ORDER BY order straight from the
@@ -622,6 +646,9 @@ func (s *Session) joinSets(left, right *rowSet, ref TableRef, outer *Env) (*rowS
 	// one per distinct key.
 	if ref.JoinKind == JoinInner && ref.On != nil {
 		if li, ri, ok := equiJoinCols(ref.On, left.cols, right.cols); ok {
+			if workers, slots, pok := s.parallelEligible(len(left.rows)+len(right.rows), outer); pok {
+				return parHashJoin(out, left, right, li, ri, workers, slots), nil
+			}
 			ht := make(map[string][]int, len(right.rows))
 			arena := make([]int, 0, len(right.rows))
 			for idx, rrow := range right.rows {
@@ -805,10 +832,11 @@ type groupResult struct {
 	agg      map[Expr]Value
 }
 
-// groupRows partitions rows by the GROUP BY keys and computes every
-// aggregate node once per group.
-func (s *Session) groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) {
-	envCols := toEnvCols(src.cols)
+// collectAggNodes gathers every distinct aggregate call node in the select
+// list, HAVING, and ORDER BY. Group results are keyed by these original node
+// pointers (see Env.agg), so the set must be collected from the statement
+// tree itself, never from a rewritten copy.
+func collectAggNodes(st *SelectStmt) []*FuncExpr {
 	var aggNodes []*FuncExpr
 	seen := map[*FuncExpr]bool{}
 	scan := func(e Expr) {
@@ -826,6 +854,17 @@ func (s *Session) groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupRe
 	for _, k := range st.OrderBy {
 		scan(k.Expr)
 	}
+	return aggNodes
+}
+
+// groupRows partitions rows by the GROUP BY keys and computes every
+// aggregate node once per group.
+func (s *Session) groupRows(st *SelectStmt, src *rowSet, outer *Env) ([]*groupResult, error) {
+	if groups, handled, err := s.parGroupRows(st, src, outer); handled {
+		return groups, err
+	}
+	envCols := toEnvCols(src.cols)
+	aggNodes := collectAggNodes(st)
 
 	keyed := map[string]*groupResult{}
 	var order []string
@@ -905,6 +944,14 @@ func (s *Session) computeAggregate(f *FuncExpr, rows [][]Value, envCols []envCol
 		}
 		vals = append(vals, v)
 	}
+	return finishAggregate(f, vals)
+}
+
+// finishAggregate folds the collected (non-NULL, DISTINCT-deduped) argument
+// values according to the aggregate's semantics. Shared by the row-at-a-time
+// and batched group paths so numeric behavior (e.g. float summation order)
+// is decided in exactly one place.
+func finishAggregate(f *FuncExpr, vals []Value) (Value, error) {
 	switch f.Name {
 	case "COUNT":
 		return NewInt(int64(len(vals))), nil
@@ -1012,16 +1059,28 @@ func splitQualified(q string) (table, name string) {
 	return "", q
 }
 
-func distinctRows(rows [][]Value, envs []*Env) ([][]Value, []*Env) {
+func (s *Session) distinctRows(rows [][]Value, envs []*Env) ([][]Value, []*Env) {
+	// Key computation is pure per-row work; precompute the keys in morsels
+	// when the row count warrants it. The dedup loop itself stays
+	// sequential, preserving first-appearance order.
+	var parKeys []string
+	if workers, slots, ok := s.parallelEligible(len(rows), nil); ok {
+		parKeys = parDistinctKeys(rows, workers, slots)
+	}
 	seen := map[string]bool{}
 	var outRows [][]Value
 	var outEnvs []*Env
 	for i, row := range rows {
-		var kb strings.Builder
-		for _, v := range row {
-			writeKeySegment(&kb, v)
+		var k string
+		if parKeys != nil {
+			k = parKeys[i]
+		} else {
+			var kb strings.Builder
+			for _, v := range row {
+				writeKeySegment(&kb, v)
+			}
+			k = kb.String()
 		}
-		k := kb.String()
 		if seen[k] {
 			continue
 		}

@@ -1,0 +1,86 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchParallelEngine builds a 40k-row fact table and a 64-row dimension
+// table with 4 workers configured, plus a sequential (batched-off) session
+// for baselines.
+func benchParallelEngine(b *testing.B) (par, seq *Session) {
+	b.Helper()
+	e := NewEngine("parbench")
+	e.SetParallelism(4, 1024)
+	s := e.NewSession("root")
+	s.MustExec("CREATE TABLE big (id INT PRIMARY KEY, grp INT, val REAL)")
+	s.MustExec("CREATE TABLE dim (id INT PRIMARY KEY, label TEXT)")
+	const rows = 40000
+	const batch = 500
+	for start := 0; start < rows; start += batch {
+		vals := make([]string, 0, batch)
+		for i := start; i < start+batch; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, %d.5)", i, i%64, i%10000))
+		}
+		s.MustExec("INSERT INTO big VALUES " + strings.Join(vals, ", "))
+	}
+	var dims []string
+	for i := 0; i < 64; i++ {
+		dims = append(dims, fmt.Sprintf("(%d, 'g%d')", i, i))
+	}
+	s.MustExec("INSERT INTO dim VALUES " + strings.Join(dims, ", "))
+	seq = e.NewSession("root")
+	seq.SetParallel(false)
+	return s, seq
+}
+
+func benchQuery(b *testing.B, s *Session, sql string) {
+	b.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExecStmt(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	parScanQuery  = "SELECT COUNT(*) FROM big WHERE val < 2500.0"
+	parGroupQuery = "SELECT grp, COUNT(*), SUM(val), AVG(val) FROM big GROUP BY grp"
+	parJoinQuery  = "SELECT COUNT(*) FROM big JOIN dim ON big.grp = dim.id WHERE big.val < 5000.0"
+)
+
+func BenchmarkParallelSeqScan(b *testing.B) {
+	par, _ := benchParallelEngine(b)
+	benchQuery(b, par, parScanQuery)
+}
+
+func BenchmarkParallelSeqScanSequentialBaseline(b *testing.B) {
+	_, seq := benchParallelEngine(b)
+	benchQuery(b, seq, parScanQuery)
+}
+
+func BenchmarkParallelGroupBy(b *testing.B) {
+	par, _ := benchParallelEngine(b)
+	benchQuery(b, par, parGroupQuery)
+}
+
+func BenchmarkParallelGroupBySequentialBaseline(b *testing.B) {
+	_, seq := benchParallelEngine(b)
+	benchQuery(b, seq, parGroupQuery)
+}
+
+func BenchmarkParallelHashJoin(b *testing.B) {
+	par, _ := benchParallelEngine(b)
+	benchQuery(b, par, parJoinQuery)
+}
+
+func BenchmarkParallelHashJoinSequentialBaseline(b *testing.B) {
+	_, seq := benchParallelEngine(b)
+	benchQuery(b, seq, parJoinQuery)
+}

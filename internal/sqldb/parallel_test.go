@@ -1,0 +1,174 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// newParallelEngine builds an engine with aggressive parallel settings (4
+// workers, 64-row threshold so modest test tables exercise the morsel paths)
+// and two randomized tables.
+func newParallelEngine(t testing.TB, seed int64) *Engine {
+	t.Helper()
+	e := NewEngine("partest")
+	e.SetParallelism(4, 64)
+	s := e.NewSession("root")
+	s.MustExec("CREATE TABLE t1 (id INT PRIMARY KEY, grp INT, val REAL, name TEXT)")
+	s.MustExec("CREATE TABLE t2 (id INT PRIMARY KEY, grp INT, tag TEXT)")
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"'alpha'", "'beta'", "'gamma'", "'delta'", "NULL"}
+	tags := []string{"'x'", "'y'", "'z'", "NULL"}
+	insertBatch(s, "t1", 3000, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %g, %s)", i, rng.Intn(20), float64(rng.Intn(10000))/10, names[rng.Intn(len(names))])
+	})
+	insertBatch(s, "t2", 500, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %s)", i, rng.Intn(20), tags[rng.Intn(len(tags))])
+	})
+	return e
+}
+
+func insertBatch(s *Session, table string, n int, row func(i int) string) {
+	const batch = 500
+	for start := 0; start < n; start += batch {
+		end := start + batch
+		if end > n {
+			end = n
+		}
+		vals := make([]string, 0, end-start)
+		for i := start; i < end; i++ {
+			vals = append(vals, row(i))
+		}
+		s.MustExec("INSERT INTO " + table + " VALUES " + strings.Join(vals, ", "))
+	}
+}
+
+// equivalenceQueries covers every operator the batched path touches —
+// filters (including expressions the binder must clone correctly), joins,
+// GROUP BY/HAVING/aggregates, DISTINCT, ORDER BY both pushed and unpushed,
+// and subquery predicates that must fall back to the sequential path.
+var equivalenceQueries = []string{
+	"SELECT * FROM t1 WHERE val < 500.0",
+	"SELECT id, val * 2 + 1 FROM t1 WHERE grp % 3 = 1 AND name IS NOT NULL",
+	"SELECT name FROM t1 WHERE name LIKE 'a%'",
+	"SELECT id FROM t1 WHERE grp IN (1, 2, 3) AND val BETWEEN 100.0 AND 400.0",
+	"SELECT UPPER(name), LENGTH(name) FROM t1 WHERE name IS NOT NULL AND grp < 10",
+	"SELECT CASE WHEN val < 500.0 THEN 'lo' ELSE 'hi' END, id FROM t1 WHERE grp = 4",
+	"SELECT id + val FROM t1",
+	"SELECT grp, COUNT(*), SUM(val), AVG(val), MIN(val), MAX(name) FROM t1 GROUP BY grp HAVING COUNT(*) > 3",
+	"SELECT COUNT(DISTINCT grp) FROM t1",
+	"SELECT COUNT(*) FROM t1 WHERE val < 250.0",
+	"SELECT grp, COUNT(*) FROM t1 WHERE name IS NOT NULL GROUP BY grp ORDER BY grp",
+	"SELECT DISTINCT grp FROM t1",
+	"SELECT DISTINCT grp, name FROM t1 WHERE val < 700.0",
+	"SELECT t1.id, t2.tag FROM t1 JOIN t2 ON t1.grp = t2.grp WHERE t2.id < 40",
+	"SELECT COUNT(*) FROM t1 JOIN t2 ON t1.grp = t2.grp",
+	"SELECT t1.id, t2.tag FROM t1 LEFT JOIN t2 ON t1.id = t2.id WHERE t1.val < 200.0",
+	"SELECT id FROM t1 WHERE grp = 7 ORDER BY id",
+	"SELECT id, val FROM t1 WHERE val < 300.0 ORDER BY val DESC LIMIT 7",
+	"SELECT grp, val FROM t1 WHERE id IN (SELECT id FROM t2 WHERE tag IS NOT NULL) ORDER BY grp, val LIMIT 25",
+	"SELECT val FROM t1 ORDER BY 1 LIMIT 10",
+}
+
+// TestParallelSequentialEquivalence runs every query three ways — parallel
+// (default session), batched-off (SetParallel(false)), and the forced
+// seq-scan baseline — and requires identical columns and rows. Run with
+// -race this doubles as the data-race check on the morsel workers.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		e := newParallelEngine(t, seed)
+		par := e.NewSession("root")
+		seq := e.NewSession("root")
+		seq.SetParallel(false)
+		forced := e.NewSession("root")
+		forced.forceSeqScan = true
+		for _, q := range equivalenceQueries {
+			want, wantErr := seq.Exec(q)
+			got, gotErr := par.Exec(q)
+			fres, ferr := forced.Exec(q)
+			if (wantErr == nil) != (gotErr == nil) || (wantErr != nil && wantErr.Error() != gotErr.Error()) {
+				t.Fatalf("seed %d query %q: parallel err %v, sequential err %v", seed, q, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if ferr != nil {
+				t.Fatalf("seed %d query %q: forced err %v", seed, q, ferr)
+			}
+			if !reflect.DeepEqual(got.Columns, want.Columns) {
+				t.Fatalf("seed %d query %q: columns %v != %v", seed, q, got.Columns, want.Columns)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("seed %d query %q: %d parallel rows != %d sequential rows", seed, q, len(got.Rows), len(want.Rows))
+			}
+			if !reflect.DeepEqual(got.Rows, fres.Rows) {
+				t.Fatalf("seed %d query %q: parallel rows differ from forced seq-scan rows", seed, q)
+			}
+		}
+	}
+}
+
+// TestParallelErrorEquivalence: a predicate that errors mid-scan must report
+// the same error on both paths (the parallel scan returns the lowest-morsel
+// error, which is the first one the sequential scan would hit).
+func TestParallelErrorEquivalence(t *testing.T) {
+	e := newParallelEngine(t, 7)
+	par := e.NewSession("root")
+	seq := e.NewSession("root")
+	seq.SetParallel(false)
+	q := "SELECT id FROM t1 WHERE val / (id - 10) > 1.0"
+	_, wantErr := seq.Exec(q)
+	_, gotErr := par.Exec(q)
+	if wantErr == nil || gotErr == nil {
+		t.Fatalf("both paths should error: parallel %v, sequential %v", gotErr, wantErr)
+	}
+	if wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error mismatch: parallel %q, sequential %q", gotErr, wantErr)
+	}
+}
+
+// TestParallelExplain checks the planner's gating: a big table renders a
+// Parallel Seq Scan with the worker count, a small table and a
+// parallelism-off session stay sequential, and ORDER BY pushdown (ordered
+// index scan) never parallelizes.
+func TestParallelExplain(t *testing.T) {
+	e := newParallelEngine(t, 3)
+	s := e.NewSession("root")
+	s.MustExec("CREATE TABLE tiny (id INT PRIMARY KEY, v INT)")
+	s.MustExec("INSERT INTO tiny VALUES (1, 10), (2, 20)")
+
+	text := s.MustExec("EXPLAIN SELECT * FROM t1 WHERE val < 10.0").Text()
+	if !strings.Contains(text, "Parallel Seq Scan on t1 (workers: 4)") {
+		t.Fatalf("big-table scan should be parallel:\n%s", text)
+	}
+	text = s.MustExec("EXPLAIN SELECT * FROM tiny WHERE v = 10").Text()
+	if strings.Contains(text, "Parallel") {
+		t.Fatalf("scan under the row threshold should stay sequential:\n%s", text)
+	}
+	text = s.MustExec("EXPLAIN SELECT id FROM t1 ORDER BY id LIMIT 5").Text()
+	if strings.Contains(text, "Parallel") {
+		t.Fatalf("ordered (pushed-down) scan must stay sequential:\n%s", text)
+	}
+
+	off := e.NewSession("root")
+	off.SetParallel(false)
+	text = off.MustExec("EXPLAIN SELECT * FROM t1 WHERE val < 10.0").Text()
+	if strings.Contains(text, "Parallel") {
+		t.Fatalf("session with parallelism off should plan sequential scans:\n%s", text)
+	}
+}
+
+// TestParallelScanCountsVisitedRows: the fused morsel scan must keep the
+// scan-rows accounting of the sequential path (visible rows, pre-filter).
+func TestParallelScanCountsVisitedRows(t *testing.T) {
+	e := newParallelEngine(t, 11)
+	s := e.NewSession("root")
+	before := e.ScanRowsVisited()
+	s.MustExec("SELECT COUNT(*) FROM t1 WHERE val < 1.0")
+	visited := e.ScanRowsVisited() - before
+	if visited != 3000 {
+		t.Fatalf("parallel scan visited %d rows, want 3000 (all visible rows, pre-filter)", visited)
+	}
+}

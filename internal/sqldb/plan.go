@@ -37,15 +37,23 @@ type SourceNode interface {
 type SeqScanNode struct {
 	Table string
 	Alias string
-	cols  []string // nil when the name is not a base table at plan time
+	// Workers > 0 marks the scan for the batched/morsel path; > 1 also
+	// renders as a Parallel Seq Scan in EXPLAIN. The planner sets it from
+	// the engine's parallelism settings and a row-count threshold.
+	Workers int
+	cols    []string // nil when the name is not a base table at plan time
 }
 
 // Label implements PlanNode.
 func (n *SeqScanNode) Label() string {
+	name := n.Table
 	if n.Alias != "" && !strings.EqualFold(n.Alias, n.Table) {
-		return fmt.Sprintf("Seq Scan on %s as %s", n.Table, n.Alias)
+		name = n.Table + " as " + n.Alias
 	}
-	return "Seq Scan on " + n.Table
+	if n.Workers > 1 {
+		return fmt.Sprintf("Parallel Seq Scan on %s (workers: %d)", name, n.Workers)
+	}
+	return "Seq Scan on " + name
 }
 
 // Children implements PlanNode.
@@ -54,6 +62,11 @@ func (n *SeqScanNode) Children() []PlanNode { return nil }
 func (n *SeqScanNode) staticCols() []string { return n.cols }
 
 func (n *SeqScanNode) run(s *Session, outer *Env) (*rowSet, error) {
+	if n.Workers > 0 && outer == nil {
+		if rs, handled, err := s.parScanFilter(n, nil); handled {
+			return rs, err
+		}
+	}
 	return s.scanTable(n.Table, n.Alias)
 }
 
@@ -301,6 +314,13 @@ func (n *FilterNode) Children() []PlanNode { return []PlanNode{n.Input} }
 func (n *FilterNode) staticCols() []string { return n.Input.staticCols() }
 
 func (n *FilterNode) run(s *Session, outer *Env) (*rowSet, error) {
+	// Fuse filter into a parallel scan: visibility check and predicate run
+	// in the same morsel pass, so filtered rows never materialize.
+	if scan, ok := n.Input.(*SeqScanNode); ok && scan.Workers > 0 && outer == nil {
+		if rs, handled, err := s.parScanFilter(scan, n.Cond); handled {
+			return rs, err
+		}
+	}
 	src, err := n.Input.run(s, outer)
 	if err != nil {
 		return nil, err

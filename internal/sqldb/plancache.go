@@ -24,11 +24,12 @@ const planCacheCap = 256
 
 // cachedStmt is one prepared statement.
 type cachedStmt struct {
-	stmt     Stmt
-	readOnly bool   // engine lock class (property of the SQL text)
-	version  uint64 // catalog version the plan was built against
-	sel      *SelectPlan
-	write    *WritePlan
+	stmt      Stmt
+	readOnly  bool     // engine lock class (property of the SQL text)
+	version   uint64   // catalog version the plan was built against
+	lockNames []string // DML write-lock set, precomputed at this version
+	sel       *SelectPlan
+	write     *WritePlan
 }
 
 type cacheSlot struct {

@@ -104,7 +104,40 @@ func (s *Session) planSelect(st *SelectStmt) *SelectPlan {
 	if len(st.From) == 1 {
 		s.pushSortAndLimit(plan)
 	}
+	// After access paths are final: ordered (index) scans are never
+	// parallelized — their row order is a promise the sort/Top-K pushdown
+	// relies on — so only the seq scans that survived are considered.
+	s.markParallelScans(plan)
 	return plan
+}
+
+// markParallelScans flags the plan's remaining sequential scans for the
+// morsel-driven batched path when the table clears the engine's row-count
+// threshold. Sessions that disabled parallelism plan purely sequential
+// trees (and are excluded from the shared plan cache, like forceSeqScan).
+func (s *Session) markParallelScans(plan *SelectPlan) {
+	if s.forceSeqScan || s.noParallel || plan.Source == nil {
+		return
+	}
+	workers, threshold, _ := s.engine.parallelism()
+	var mark func(n SourceNode)
+	mark = func(n SourceNode) {
+		switch src := n.(type) {
+		case *SeqScanNode:
+			if src.cols == nil {
+				return
+			}
+			if t, ok := s.engine.Table(src.Table); ok && t.RowCount() >= threshold {
+				src.Workers = workers
+			}
+		case *FilterNode:
+			mark(src.Input)
+		case *JoinNode:
+			mark(src.Left)
+			mark(src.Right)
+		}
+	}
+	mark(plan.Source)
 }
 
 // pushSortAndLimit pushes a single-key ORDER BY into an ordered index scan

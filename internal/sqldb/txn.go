@@ -229,6 +229,20 @@ type Session struct {
 	// session is excluded from the shared plan cache in both directions
 	// (see Session.Exec and prepare).
 	forceSeqScan bool
+	// noParallel forces the batched/morsel execution paths off for this
+	// session (see SetParallel); the equivalence suite compares normal
+	// sessions against it. Like forceSeqScan, such a session is excluded
+	// from the shared plan cache in both directions.
+	noParallel bool
+}
+
+// SetParallel enables or disables batched/parallel query execution for this
+// session. It defaults to on; the parallel-vs-sequential equivalence tests
+// and benchmarks use a disabled session as the row-at-a-time baseline.
+func (s *Session) SetParallel(enabled bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.noParallel = !enabled
 }
 
 // NewSession opens a session for user.
@@ -274,8 +288,8 @@ func (s *Session) Begin() error { return s.BeginLevel(LevelSnapshot) }
 func (s *Session) BeginLevel(level IsolationLevel) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.engine.writeMu.Lock()
-	defer s.engine.writeMu.Unlock()
+	unlock := s.engine.locks.lockAll()
+	defer unlock()
 	return s.begin(level)
 }
 
@@ -296,9 +310,9 @@ func (s *Session) begin(level IsolationLevel) error {
 // before the durability wait.
 func (s *Session) Commit() error {
 	s.mu.Lock()
-	s.engine.writeMu.Lock()
+	unlock := s.engine.locks.lockAll()
 	tok, err := s.commitTx()
-	s.engine.writeMu.Unlock()
+	unlock()
 	s.mu.Unlock()
 	if err != nil {
 		return err
@@ -310,7 +324,8 @@ func (s *Session) Commit() error {
 // records on the WAL, returning the durability token WITHOUT waiting on it.
 // The executor waits after releasing every lock, so concurrent committers
 // can share one group fsync instead of serializing on it. The caller holds
-// writeMu; the engine write lock is taken here for the stamping section.
+// the all-tables write lock; the engine lock is taken here for the stamping
+// section.
 func (s *Session) commitTx() (*syncToken, error) {
 	if s.txn == nil {
 		return nil, fmt.Errorf("no transaction is in progress")
@@ -378,8 +393,8 @@ func (e *Engine) vacuumTouched(touched map[*Table]bool) {
 func (s *Session) Rollback() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.engine.writeMu.Lock()
-	defer s.engine.writeMu.Unlock()
+	unlock := s.engine.locks.lockAll()
+	defer unlock()
 	return s.rollbackTx()
 }
 
