@@ -1,0 +1,222 @@
+// Command sqlvet runs the engine's invariant analyzers. Two modes:
+//
+// Standalone (package patterns as arguments):
+//
+//	go run ./cmd/sqlvet ./...
+//
+// Vettool (driven by the go command, which passes a .cfg file per package):
+//
+//	go build -o sqlvet ./cmd/sqlvet
+//	go vet -vettool=$(pwd)/sqlvet ./...
+//
+// In vettool mode the go command invokes the binary once per package in
+// dependency order, handing it a JSON config naming the package's files,
+// its dependencies' export data, and the .vetx fact files of its analyzed
+// dependencies; the binary type-checks the package from source, runs the
+// analyzers, writes its own facts, and reports diagnostics on stderr with
+// exit status 2 — the protocol of golang.org/x/tools unitchecker,
+// reimplemented here because the build environment is offline.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/load"
+	"bridgescope/internal/analysis/sqlvet"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol probes from cmd/go.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// cmd/go content-hashes the tool so vet results cache correctly
+			// across rebuilds of the checker.
+			fmt.Printf("%s version devel buildID=%s\n", os.Args[0], selfHash())
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0]))
+	}
+
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sqlvet <packages>  (or: go vet -vettool=sqlvet <packages>)")
+		os.Exit(1)
+	}
+
+	findings, err := sqlvet.Check(".", args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlvet:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// selfHash content-hashes the executable for the -V=full reply.
+func selfHash() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// vetConfig is the JSON the go command writes for each package (the
+// unitchecker Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	ModulePath                string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	facts := framework.NewFactStore()
+
+	// The go command also schedules the tool over standard-library
+	// dependencies to produce their .vetx files. The invariants under check
+	// are specific to this module, so for anything outside it we skip
+	// analysis and publish empty facts. (Matching on ModulePath, not the
+	// Standard map: a std package's own config lists only its dependencies
+	// there, not itself.)
+	analyze := cfg.ModulePath != "" && !cfg.Standard[cfg.ImportPath]
+
+	var diags []framework.Diagnostic
+	fset := token.NewFileSet()
+	if analyze {
+		var files []*ast.File
+		for _, name := range cfg.GoFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				if cfg.SucceedOnTypecheckFailure {
+					return writeVetx(&cfg, facts)
+				}
+				fmt.Fprintln(os.Stderr, "sqlvet:", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+
+		imp := load.ExportImporter(fset, cfg.ImportMap, func(path string) (string, bool) {
+			f, ok := cfg.PackageFile[path]
+			return f, ok
+		})
+		info := load.NewInfo()
+		tconf := types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+		pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, facts)
+			}
+			fmt.Fprintf(os.Stderr, "sqlvet: type-checking %s: %v\n", cfg.ImportPath, err)
+			return 1
+		}
+
+		// Merge the fact files of analyzed dependencies.
+		for _, vetx := range cfg.PackageVetx {
+			if err := readVetx(vetx, facts); err != nil {
+				fmt.Fprintln(os.Stderr, "sqlvet:", err)
+				return 1
+			}
+		}
+
+		diags, err = sqlvet.RunPackage(fset, files, pkg, info, facts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlvet:", err)
+			return 1
+		}
+	}
+
+	if code := writeVetx(&cfg, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+func readVetx(path string, facts *framework.FactStore) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	if err := facts.Decode(dec); err != nil && err != io.EOF {
+		return fmt.Errorf("reading facts from %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeVetx(cfg *vetConfig, facts *framework.FactStore) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	f, err := os.Create(cfg.VetxOutput)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sqlvet:", err)
+		return 1
+	}
+	defer f.Close()
+	enc := gob.NewEncoder(f)
+	if err := facts.Encode(enc, cfg.ImportPath); err != nil {
+		fmt.Fprintf(os.Stderr, "sqlvet: writing facts: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,268 @@
+// Package analysistest runs one analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "regex"`
+// comments, in the style of golang.org/x/tools/go/analysis/analysistest
+// (reimplemented offline, on the framework mirror in this repository).
+//
+// Layout: testdata/src/<fixture>/*.go is one package per directory, as in
+// a GOPATH. A fixture may import a sibling fixture by its bare directory
+// name; the import is type-checked and analyzed first, so facts flow to
+// the dependent package exactly as they do between real packages under
+// `go vet`. Standard-library imports resolve from the toolchain's export
+// data.
+//
+// Expectations: a comment `// want "rx"` (one or more quoted regexps)
+// asserts that each regexp matches a diagnostic reported on that line.
+// Diagnostics suppressed by a valid //sqlvet:ignore directive are removed
+// before matching; malformed directives surface as diagnostics of the
+// pseudo-analyzer "sqlvet" and can be want-matched like any other.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/load"
+)
+
+// stdPackages are the standard-library imports fixtures may use.
+var stdPackages = []string{"errors", "fmt", "os", "sync", "time"}
+
+// Run analyzes the named fixture packages (testdata/src/<name> relative to
+// the test's working directory) and reports mismatches on t. Fixtures are
+// loaded in the order given; facts propagate left to right, and want
+// comments are checked in every named fixture.
+func Run(t *testing.T, analyzer *framework.Analyzer, fixtures ...string) {
+	t.Helper()
+	framework.RegisterFactTypes([]*framework.Analyzer{analyzer})
+
+	std, err := load.StdExports(stdPackages)
+	if err != nil {
+		t.Fatalf("listing stdlib export data: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	r := &runner{
+		t:        t,
+		analyzer: analyzer,
+		fset:     fset,
+		facts:    framework.NewFactStore(),
+		std:      std,
+		stdImp: load.ExportImporter(fset, nil, func(p string) (string, bool) {
+			f, ok := std[p]
+			return f, ok
+		}),
+		loaded: map[string]*types.Package{},
+	}
+	for _, fx := range fixtures {
+		r.analyzePackage(fx, true)
+	}
+}
+
+type runner struct {
+	t        *testing.T
+	analyzer *framework.Analyzer
+	fset     *token.FileSet
+	facts    *framework.FactStore
+	std      map[string]string
+	stdImp   types.Importer
+	loaded   map[string]*types.Package
+}
+
+func (r *runner) dir(fixture string) string { return filepath.Join("testdata", "src", fixture) }
+
+// load parses and type-checks one fixture package (recursively loading
+// fixture imports first) without analyzing it.
+func (r *runner) load(fixture string) ([]*ast.File, *types.Package, *types.Info) {
+	r.t.Helper()
+	dir := r.dir(fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		r.t.Fatalf("fixture %s: %v", fixture, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			r.t.Fatalf("fixture %s: %v", fixture, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		r.t.Fatalf("fixture %s: no .go files", fixture)
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := r.loaded[path]; ok {
+			return p, nil
+		}
+		if _, err := os.Stat(r.dir(path)); err == nil {
+			// Sibling fixture: analyze it first so its facts exist.
+			return r.analyzePackage(path, false), nil
+		}
+		if _, ok := r.std[path]; ok {
+			return r.stdImp.Import(path)
+		}
+		return nil, fmt.Errorf("fixture import %q not found (add it to stdPackages or testdata/src)", path)
+	})
+
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(fixture, r.fset, files, info)
+	if err != nil {
+		r.t.Fatalf("fixture %s: type-checking: %v", fixture, err)
+	}
+	r.loaded[fixture] = pkg
+	return files, pkg, info
+}
+
+// analyzePackage loads a fixture, runs the analyzer with ignore-directive
+// filtering, and (if check) matches diagnostics against want comments.
+func (r *runner) analyzePackage(fixture string, check bool) *types.Package {
+	r.t.Helper()
+	files, pkg, info := r.load(fixture)
+
+	known := map[string]bool{r.analyzer.Name: true}
+	ignores := framework.BuildIgnores(r.fset, files, known)
+
+	var diags []framework.Diagnostic
+	for _, d := range ignores.Bad {
+		d.Analyzer = "sqlvet"
+		diags = append(diags, d)
+	}
+	pass := &framework.Pass{
+		Analyzer:  r.analyzer,
+		Fset:      r.fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Facts:     r.facts,
+		Report: func(d framework.Diagnostic) {
+			d.Analyzer = r.analyzer.Name
+			diags = append(diags, d)
+		},
+	}
+	if err := r.analyzer.Run(pass); err != nil {
+		r.t.Fatalf("fixture %s: analyzer: %v", fixture, err)
+	}
+	diags = ignores.Filter(r.fset, diags)
+
+	if check {
+		r.match(fixture, files, diags)
+	}
+	return pkg
+}
+
+// expectation is one parsed want regexp.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe finds a want clause anywhere in a comment — also mid-comment, so
+// a malformed //sqlvet:ignore directive line can carry the expectation for
+// its own diagnostic.
+var wantRe = regexp.MustCompile("\\bwant\\s+[\"`]")
+
+// match compares diagnostics against the fixture's want comments.
+func (r *runner) match(fixture string, files []*ast.File, diags []framework.Diagnostic) {
+	r.t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := wantRe.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				clause := strings.TrimSpace(strings.TrimPrefix(c.Text[loc[0]:], "want"))
+				pos := r.fset.Position(c.Pos())
+				for _, raw := range splitQuoted(r.t, pos, clause) {
+					rx, err := regexp.Compile(raw)
+					if err != nil {
+						r.t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := r.fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			r.t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the sequence of Go-quoted strings after "want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, s)
+		}
+		quote := rune(s[0])
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if rune(s[i]) == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			t.Fatalf("%s: unterminated want regexp: %s", pos, s)
+		}
+		raw, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", pos, s[:end+1], err)
+		}
+		out = append(out, raw)
+		s = s[end+1:]
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

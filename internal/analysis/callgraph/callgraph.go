@@ -1,0 +1,133 @@
+// Package callgraph provides the small amount of call-graph machinery the
+// sqlvet analyzers share: resolving call expressions to their static
+// callees, collecting a package's function declarations, and propagating a
+// boolean property ("blocks", "emits redo") backwards over the static call
+// graph until it reaches a fixed point.
+//
+// The engine under analysis uses no dynamic dispatch on its hot paths, so
+// a static (non-interface) call graph is precise enough; calls through
+// interfaces or function values simply contribute nothing, and analyzers
+// that must care about them (lockorder's blocking-call rule) treat the
+// specific dynamic patterns they recognize — channel ops, selected stdlib
+// calls — syntactically instead.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bridgescope/internal/analysis/framework"
+)
+
+// Decls maps each package-level function or method object of the pass's
+// package to its declaration.
+func Decls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// Callee resolves a call expression to the package-level function or
+// method it statically invokes, or nil for calls through function values,
+// interfaces, or built-ins.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// Interface method calls have no body to analyze; treat as unresolved.
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// Filename returns the base file name (no directory) holding pos.
+func Filename(pass *framework.Pass, pos ast.Node) string {
+	return pass.Fset.Position(pos.Pos()).Filename
+}
+
+// Propagate computes, for every function declared in the pass's package,
+// whether it has the property defined by direct/external, closed under
+// "calls a function that has it":
+//
+//   - direct(fn, decl) reports whether the declaration itself exhibits the
+//     property (e.g. contains a literal time.Sleep call).
+//   - external(fn) classifies callees not declared in this package —
+//     typically by consulting an imported fact or a name table. It may be
+//     nil, in which case external callees never have the property.
+//
+// Function literals inside a declaration count toward that declaration:
+// the property is about what executing the function's body may do, and
+// immediately-invoked or deferred literals run on the same goroutine.
+// Anything under a go statement runs on a different goroutine, so it does
+// not contribute to the launcher's property and is skipped entirely.
+func Propagate(pass *framework.Pass, decls map[*types.Func]*ast.FuncDecl,
+	direct func(*types.Func, *ast.FuncDecl) bool,
+	external func(*types.Func) bool) map[*types.Func]bool {
+
+	has := map[*types.Func]bool{}
+	// callers[g] = functions in this package that statically call g.
+	callers := map[*types.Func][]*types.Func{}
+	var work []*types.Func
+
+	for fn, decl := range decls {
+		if direct != nil && direct(fn, decl) {
+			has[fn] = true
+			work = append(work, fn)
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if _, local := decls[callee]; local {
+				callers[callee] = append(callers[callee], fn)
+			} else if external != nil && external(callee) && !has[fn] {
+				has[fn] = true
+				work = append(work, fn)
+			}
+			return true
+		})
+	}
+
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[g] {
+			if !has[caller] {
+				has[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return has
+}

@@ -1,0 +1,199 @@
+// Package framework is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the sqlvet analyzers
+// need: Analyzer, Pass, Diagnostic, and object facts with gob-serializable
+// cross-package propagation.
+//
+// The build environment for this repository is fully offline (no module
+// proxy, empty module cache), so the real x/tools framework cannot be
+// vendored. This package keeps the same shape — Name/Doc/Run analyzers, a
+// Pass with Fset/Files/Pkg/TypesInfo/Report, ImportObjectFact and
+// ExportObjectFact — so that migrating to golang.org/x/tools/go/analysis
+// is a mechanical import swap if the dependency ever becomes available.
+//
+// Deliberate simplifications versus the real framework:
+//
+//   - Facts attach only to package-level functions and methods (the only
+//     kind the sqlvet analyzers use). Object keys serialize as the
+//     function's FullName, so cross-package facts survive only for
+//     exported objects — which is all a cross-package caller can reach.
+//   - No Requires/ResultOf analyzer dependencies; each analyzer is
+//     self-contained.
+package framework
+
+import (
+	"encoding/gob"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the runner
+}
+
+// Fact is a marker interface for analyzer facts. Implementations must be
+// gob-encodable pointers and implement AFact.
+type Fact interface {
+	AFact()
+}
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// FactTypes lists the fact types this analyzer produces; each is
+	// registered with gob so facts round-trip through .vetx files.
+	FactTypes []Fact
+	Run       func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax. The runner has already dropped
+	// _test.go files: the invariants target production code, and engine
+	// tests legitimately poke heap internals.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	Report func(Diagnostic)
+	Facts  *FactStore
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ImportObjectFact copies the fact for obj into the value pointed to by
+// fact, reporting whether one was found. As in x/tools, facts are keyed by
+// (object, concrete fact type).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.Facts.get(objKey(obj), fact)
+}
+
+// ExportObjectFact associates fact with obj for later passes (and, through
+// the vettool driver, for dependent packages' separate processes).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Facts.put(objKey(obj), fact)
+}
+
+// objKey produces the serializable identity of a package-level function or
+// method: its types.Func FullName (e.g. "pkg/path.Name" or
+// "(pkg/path.Recv).Name"). Other object kinds get a best-effort key that
+// never collides with function keys.
+func objKey(obj types.Object) string {
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return pkg + "#" + obj.Name()
+}
+
+// FactStore holds facts keyed by (object key, fact type). One store is
+// shared across every package of a standalone run, giving in-process
+// cross-package propagation; the vettool driver instead fills a fresh
+// store from the dependency .vetx files go vet hands it.
+type FactStore struct {
+	m map[string]map[reflect.Type]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[reflect.Type]Fact{}}
+}
+
+func (s *FactStore) put(key string, fact Fact) {
+	byType := s.m[key]
+	if byType == nil {
+		byType = map[reflect.Type]Fact{}
+		s.m[key] = byType
+	}
+	byType[reflect.TypeOf(fact)] = fact
+}
+
+func (s *FactStore) get(key string, fact Fact) bool {
+	got, ok := s.m[key][reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	// Copy *got into *fact so the caller's pointee is filled, as the real
+	// framework does.
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// factBlob is the on-disk form of one fact in a .vetx file.
+type factBlob struct {
+	Key  string
+	Fact Fact // gob interface encoding; concrete types registered via RegisterFactTypes
+}
+
+// RegisterFactTypes registers every fact type of the given analyzers with
+// gob. Must be called once before Encode/Decode.
+func RegisterFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// Encode writes the store's facts for objects whose key mentions pkgPath
+// (the package being analyzed) to enc. Restricting to the current package
+// mirrors vetx semantics: a package's facts file carries only its own
+// objects; dependency facts were already read from dependency files.
+func (s *FactStore) Encode(enc *gob.Encoder, pkgPath string) error {
+	var blobs []factBlob
+	for key, byType := range s.m {
+		if !keyInPackage(key, pkgPath) {
+			continue
+		}
+		for _, f := range byType {
+			blobs = append(blobs, factBlob{Key: key, Fact: f})
+		}
+	}
+	return enc.Encode(blobs)
+}
+
+// Decode merges facts from dec into the store.
+func (s *FactStore) Decode(dec *gob.Decoder) error {
+	var blobs []factBlob
+	if err := dec.Decode(&blobs); err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		s.put(b.Key, b.Fact)
+	}
+	return nil
+}
+
+// keyInPackage reports whether an object key belongs to pkgPath. Keys look
+// like "pkg/path.Name", "(pkg/path.Recv).Name", or "pkg/path#Name".
+func keyInPackage(key, pkgPath string) bool {
+	trimmed := strings.TrimPrefix(strings.TrimPrefix(key, "("), "*")
+	return strings.HasPrefix(trimmed, pkgPath+".") || strings.HasPrefix(trimmed, pkgPath+"#")
+}
+
+// DebugDump lists every (key, fact type) pair in the store, for debugging
+// vetx files.
+func (s *FactStore) DebugDump() string {
+	var b strings.Builder
+	for key, byType := range s.m {
+		for t := range byType {
+			fmt.Fprintf(&b, "%s -> %v\n", key, t)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directive:
+//
+//	//sqlvet:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// The directive suppresses the named analyzers' diagnostics on its own
+// line and on the line immediately below (so it works both as a trailing
+// comment and as a standalone comment above the offending line). The
+// reason after " -- " is mandatory and must be non-empty: a suppression
+// without a recorded justification is itself a diagnostic. Unknown
+// analyzer names are diagnosed too, so a typo cannot silently disarm a
+// suppression.
+
+const ignorePrefix = "sqlvet:ignore"
+
+// ignoreDirective is one parsed //sqlvet:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+}
+
+// IgnoreSet holds every well-formed directive of a package plus the
+// diagnostics for malformed ones.
+type IgnoreSet struct {
+	directives []ignoreDirective
+	// Bad holds diagnostics for malformed directives (missing reason,
+	// unknown analyzer name). The runner reports them under the pseudo
+	// analyzer name "sqlvet".
+	Bad []Diagnostic
+}
+
+// BuildIgnores scans the files' comments for sqlvet:ignore directives.
+// known is the set of valid analyzer names.
+func BuildIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) *IgnoreSet {
+	s := &IgnoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are not directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				names, reason, hasReason := strings.Cut(rest, "--")
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					s.Bad = append(s.Bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "sqlvet:ignore directive requires a reason: //sqlvet:ignore <analyzer> -- <reason>",
+					})
+					continue
+				}
+				fields := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(fields) == 0 {
+					s.Bad = append(s.Bad, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "sqlvet:ignore directive names no analyzer",
+					})
+					continue
+				}
+				var list []string
+				for _, n := range fields {
+					if !known[n] {
+						s.Bad = append(s.Bad, Diagnostic{
+							Pos:     c.Pos(),
+							Message: "sqlvet:ignore names unknown analyzer " + strconv(n),
+						})
+						continue
+					}
+					list = append(list, n)
+				}
+				if len(list) == 0 {
+					continue // every name was unknown; already diagnosed
+				}
+				pos := fset.Position(c.Pos())
+				s.directives = append(s.directives, ignoreDirective{
+					pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzers: list,
+				})
+			}
+		}
+	}
+	return s
+}
+
+func strconv(s string) string { return "\"" + s + "\"" }
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos is
+// covered by a directive.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range s.directives {
+		if d.file != p.Filename {
+			continue
+		}
+		if p.Line != d.line && p.Line != d.line+1 {
+			continue
+		}
+		for _, a := range d.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Filter returns diags minus the suppressed ones.
+func (s *IgnoreSet) Filter(fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !s.Suppressed(fset, d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

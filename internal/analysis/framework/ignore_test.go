@@ -1,0 +1,94 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestIgnoreDirectives(t *testing.T) {
+	const src = `package p
+
+func a() {
+	//sqlvet:ignore lockorder -- verified single-caller startup path
+	_ = 1
+}
+
+func b() {
+	_ = 2 //sqlvet:ignore lockorder,mvccvisibility -- both rules reviewed here
+}
+
+func c() {
+	//sqlvet:ignore lockorder --
+	_ = 3
+}
+
+func d() {
+	//sqlvet:ignore lockorder
+	_ = 4
+}
+
+func e() {
+	//sqlvet:ignore -- a reason but no analyzer
+	_ = 5
+}
+
+func f() {
+	//sqlvet:ignore nosuch -- typo in the analyzer name
+	_ = 6
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildIgnores(fset, []*ast.File{file}, map[string]bool{"lockorder": true, "mvccvisibility": true})
+
+	wantBad := []string{
+		"requires a reason",         // c: empty reason after --
+		"requires a reason",         // d: no -- separator at all
+		"names no analyzer",         // e
+		`unknown analyzer "nosuch"`, // f
+	}
+	if len(s.Bad) != len(wantBad) {
+		for _, d := range s.Bad {
+			t.Logf("bad: %s: %s", fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("got %d bad-directive diagnostics, want %d", len(s.Bad), len(wantBad))
+	}
+	for i, want := range wantBad {
+		if !strings.Contains(s.Bad[i].Message, want) {
+			t.Errorf("bad[%d] = %q, want substring %q", i, s.Bad[i].Message, want)
+		}
+	}
+
+	base := fset.File(file.Pos())
+	posAt := func(line int) token.Pos { return base.LineStart(line) }
+
+	// Directive in a() is on line 4 and covers itself plus line 5.
+	if !s.Suppressed(fset, "lockorder", posAt(5)) {
+		t.Error("a: line below a standalone directive should be suppressed")
+	}
+	if s.Suppressed(fset, "lockorder", posAt(6)) {
+		t.Error("a: suppression must not extend two lines down")
+	}
+	if s.Suppressed(fset, "mvccvisibility", posAt(5)) {
+		t.Error("a: suppression must not cover analyzers the directive does not name")
+	}
+
+	// Trailing directive in b() covers its own line (9) for both names.
+	if !s.Suppressed(fset, "lockorder", posAt(9)) || !s.Suppressed(fset, "mvccvisibility", posAt(9)) {
+		t.Error("b: trailing directive should suppress both named analyzers on its line")
+	}
+
+	// Malformed directives suppress nothing: the line after each bad
+	// directive (c, d, e, f bodies) stays diagnosable.
+	for _, line := range []int{14, 19, 24, 29} {
+		if s.Suppressed(fset, "lockorder", posAt(line)) {
+			t.Errorf("line %d: malformed directive must not suppress", line)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package load turns `go list` package patterns into type-checked syntax
+// for analysis, using only the standard library. Dependencies are imported
+// from compiler export data (produced on demand by `go list -export`), so
+// loading works fully offline; packages of the module under analysis are
+// type-checked from source so analyzers see their syntax.
+//
+// It is the offline stand-in for golang.org/x/tools/go/packages in
+// LoadAllSyntax mode, reduced to what the sqlvet driver needs.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Target marks packages matched by the caller's patterns (the ones to
+	// analyze); the rest are dependencies loaded for type information.
+	Target bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// run executes go list with the given arguments in dir and decodes the
+// JSON package stream.
+func run(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,Module"
+
+// Load lists patterns (plus dependencies), type-checks every non-standard
+// package from source in dependency order, and returns the targets first.
+// Standard-library dependencies are imported from export data and never
+// re-checked.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-export", listFields, "-deps", "--"}, patterns...)
+	deps, err := run(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	targetList, err := run(dir, append([]string{"list", listFields, "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets := map[string]bool{}
+	for _, p := range targetList {
+		targets[p.ImportPath] = true
+	}
+
+	byPath := map[string]*listPkg{}
+	for _, p := range deps {
+		byPath[p.ImportPath] = p
+	}
+	fset := token.NewFileSet()
+	exportLookup := func(path string) (io.ReadCloser, error) {
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	gcImporter, ok := importer.ForCompiler(fset, "gc", exportLookup).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("gc importer does not implement ImporterFrom")
+	}
+
+	checked := map[string]*types.Package{}
+	var out []*Package
+	// -deps emits dependencies before dependents, so source-checking in
+	// stream order always finds imports already resolved.
+	for _, p := range deps {
+		if p.Standard {
+			continue
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which the offline loader does not support", p.ImportPath)
+		}
+		pkg, err := check(fset, p, checked, gcImporter)
+		if err != nil {
+			return nil, err
+		}
+		checked[p.ImportPath] = pkg.Types
+		pkg.Target = targets[p.ImportPath]
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, p *listPkg, checked map[string]*types.Package, fallback types.ImporterFrom) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return fallback.ImportFrom(path, p.Dir, 0)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tp,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ExportImporter builds a types importer that resolves import paths purely
+// from export-data files: fileOf maps a canonical import path to its export
+// file, remap (optional) maps source-level import strings to canonical
+// paths (the vet config's ImportMap). Used by both the vettool driver and
+// the analysistest harness.
+func ExportImporter(fset *token.FileSet, remap map[string]string, fileOf func(path string) (string, bool)) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := fileOf(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	return importerFunc(func(path string) (*types.Package, error) {
+		if remap != nil {
+			if mapped, ok := remap[path]; ok {
+				path = mapped
+			}
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+// StdExports lists export-data files for the given standard-library
+// packages and their dependencies, keyed by import path. The analysistest
+// harness uses it so fixture files can import sync, os, time, etc.
+func StdExports(pkgs []string) (map[string]string, error) {
+	listed, err := run(".", append([]string{"list", "-export", listFields, "-deps", "--"}, pkgs...)...)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,550 @@
+// Package lockorder enforces the engine's deadlock-freedom discipline,
+// documented in locks.go:
+//
+//	L1: per-table mutexes are acquired only through the sorted
+//	    lock-manager path. Outside locks.go, touching lockManager.tables,
+//	    lockManager.global, tableLock, or lockNamed directly is an error —
+//	    an ad-hoc acquisition can interleave unsorted with lockNamed and
+//	    deadlock.
+//	L2: table locks are never taken while holding the global lock
+//	    exclusively. The exclusive global lock IS the whole-engine write
+//	    lock; stacking table locks on top creates a lock-order cycle with
+//	    DML (shared global → table).
+//	L3: Engine.mu is never held (exclusively) across a blocking call —
+//	    a WAL fsync, a channel operation, time.Sleep, a WaitGroup wait.
+//	    Engine.mu guards the catalog and row heap on every statement path;
+//	    blocking under it stalls the whole engine for the device's fsync
+//	    latency. (Read-locks are exempt: the parallel scanner deliberately
+//	    fans out worker channels under mu.RLock.)
+//
+// Rules L1/L2 are structural (type lockManager, its members). Rule L3
+// tracks lock state through a linear source-order walk of each function
+// body and propagates "may block" through the static call graph, across
+// packages via exported facts.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"bridgescope/internal/analysis/callgraph"
+	"bridgescope/internal/analysis/framework"
+)
+
+// blocksFact marks an exported function that may block (fsync, channel
+// operation, sleep, waitgroup).
+type blocksFact struct{}
+
+func (blocksFact) AFact() {}
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "flags per-table mutex acquisition outside the sorted lock-manager path, table locks taken under " +
+		"the exclusive global lock, and Engine.mu held across blocking calls (fsync, channels, sleep)",
+	FactTypes: []framework.Fact{&blocksFact{}},
+	Run:       run,
+}
+
+// l1Forbidden lists the lockManager members that only locks.go may touch.
+var l1Forbidden = map[string]bool{
+	"tables":    true,
+	"global":    true,
+	"tableLock": true,
+	"lockNamed": true,
+}
+
+// tableLockEntry lists calls that acquire table locks — forbidden while
+// the global lock is held exclusively (rule L2).
+var tableLockEntry = map[string]bool{
+	"tableLock":         true,
+	"lockNamed":         true,
+	"lockForWrite":      true,
+	"lockForWriteNames": true,
+}
+
+// blockingCallees are well-known blocking functions outside the analyzed
+// package, by FullName.
+var blockingCallees = map[string]bool{
+	"time.Sleep":             true,
+	"(*os.File).Sync":        true,
+	"(*sync.WaitGroup).Wait": true,
+	"(*sync.Cond).Wait":      true,
+}
+
+const lockManagerFile = "locks.go"
+
+func run(pass *framework.Pass) error {
+	decls := callgraph.Decls(pass)
+
+	// blocks[fn]: may fn's body block the calling goroutine?
+	blocks := callgraph.Propagate(pass, decls, declBlocks,
+		func(fn *types.Func) bool {
+			if blockingCallees[fn.FullName()] {
+				return true
+			}
+			return pass.ImportObjectFact(fn, &blocksFact{})
+		})
+	for fn := range decls {
+		if blocks[fn] && fn.Exported() {
+			pass.ExportObjectFact(fn, &blocksFact{})
+		}
+	}
+
+	for _, decl := range decls {
+		w := &walker{
+			pass:        pass,
+			blocks:      blocks,
+			inLocksFile: filepath.Base(pass.Fset.Position(decl.Pos()).Filename) == lockManagerFile,
+			unlockVars:  map[types.Object]bool{},
+		}
+		if decl.Body != nil {
+			w.walk(decl.Body)
+		}
+	}
+	return nil
+}
+
+// declBlocks reports whether a declaration directly contains a blocking
+// operation on its own goroutine: a channel send/receive, a select with no
+// default, or a call to a known blocking function.
+func declBlocks(fn *types.Func, decl *ast.FuncDecl) bool {
+	found := false
+	var scan func(n ast.Node)
+	scan = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				return false // runs on another goroutine
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					found = true
+				}
+			case *ast.SendStmt:
+				found = true
+			case *ast.SelectStmt:
+				if !hasDefault(n) {
+					found = true
+					return false
+				}
+				// A select with a default never blocks on its comm
+				// clauses; only the case bodies can block.
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							scan(s)
+						}
+					}
+				}
+				return false
+			}
+			return !found
+		})
+	}
+	scan(decl)
+	return found
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// walker performs the linear source-order lock-state walk over one
+// function body. Function literals, go statements, and defer bodies are
+// skipped: literals run in their own scope (their lock state is not the
+// enclosing function's), goroutines run elsewhere, and deferred calls run
+// at return, after the locks tracked here are normally released.
+//
+// The walk is statement-structured rather than a flat AST traversal for
+// one reason: early-exit branches. The engine's idiom
+//
+//	if cond {
+//		e.mu.Unlock()
+//		return ..., err
+//	}
+//
+// releases the lock only on the exiting path; the fall-through path still
+// holds it. After walking a branch whose block terminates (ends in
+// return/panic/break/continue/goto), the lock state is restored to what it
+// was before the branch. State changes in non-terminating branches persist
+// conservatively.
+type walker struct {
+	pass   *framework.Pass
+	blocks map[*types.Func]bool
+
+	inLocksFile bool
+
+	heldMu     bool // Engine.mu held exclusively
+	muPos      token.Pos
+	heldGlobal bool // lockManager.global held exclusively
+	globalPos  token.Pos
+
+	// unlockVars holds variables bound to lockAll's returned unlock func;
+	// calling one releases the global lock.
+	unlockVars map[types.Object]bool
+}
+
+// lockState is the restorable part of the walker.
+type lockState struct {
+	heldMu     bool
+	muPos      token.Pos
+	heldGlobal bool
+	globalPos  token.Pos
+}
+
+func (w *walker) save() lockState {
+	return lockState{w.heldMu, w.muPos, w.heldGlobal, w.globalPos}
+}
+
+func (w *walker) restore(s lockState) {
+	w.heldMu, w.muPos, w.heldGlobal, w.globalPos = s.heldMu, s.muPos, s.heldGlobal, s.globalPos
+}
+
+func (w *walker) walk(body *ast.BlockStmt) {
+	w.stmts(body.List)
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// branch walks a block that is one alternative of a branching statement:
+// if its body exits the enclosing flow, its state changes apply only to
+// the departed path and are rolled back for the fall-through.
+func (w *walker) branch(body *ast.BlockStmt) {
+	saved := w.save()
+	w.stmts(body.List)
+	if terminates(body.List) {
+		w.restore(saved)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.branch(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.branch(e)
+		case *ast.IfStmt:
+			w.stmt(e)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		w.stmt(s.Post)
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.caseBody(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.caseBody(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if w.heldMu && !hasDefault(s) {
+			w.pass.Reportf(s.Pos(), "select without default while holding Engine.mu (locked at %s) blocks the whole engine",
+				w.pos(w.muPos))
+		}
+		// The comm clauses are covered by the report above (or are
+		// non-blocking when a default exists); walk only the bodies.
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.caseBody(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Other goroutine / runs at return: no effect on this walk.
+	case *ast.ReturnStmt:
+		saved := w.save()
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+		// Nothing after a return executes on this path; acquisitions made
+		// in its expressions (e.g. `return lm.lockAll()`) don't persist.
+		w.restore(saved)
+	case *ast.AssignStmt:
+		w.assign(s)
+		for _, r := range s.Rhs {
+			w.expr(r)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.SendStmt:
+		if w.heldMu {
+			w.pass.Reportf(s.Pos(), "channel send while holding Engine.mu (locked at %s) can block the whole engine; release the mutex first",
+				w.pos(w.muPos))
+		}
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	}
+}
+
+// caseBody walks one case alternative of a switch/select with the same
+// rollback-on-exit rule as branch.
+func (w *walker) caseBody(body []ast.Stmt) {
+	saved := w.save()
+	w.stmts(body)
+	if terminates(body) {
+		w.restore(saved)
+	}
+}
+
+// terminates reports whether a statement list exits the enclosing flow:
+// it ends in return, a branch statement, or a panic/Fatal-style call.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// expr scans one expression subtree for lock transitions, blocking
+// operations, and L1 violations. Function literals are separate scopes and
+// are skipped.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+			return true
+		case *ast.SelectorExpr:
+			w.checkL1(n)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && w.heldMu {
+				w.pass.Reportf(n.Pos(), "channel receive while holding Engine.mu (locked at %s) stalls the whole engine; release the mutex first",
+					w.pos(w.muPos))
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (w *walker) pos(p token.Pos) string {
+	pos := w.pass.Fset.Position(p)
+	return filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// assign tracks `unlock := lm.lockAll()` so a later `unlock()` clears the
+// global-exclusive state.
+func (w *walker) assign(a *ast.AssignStmt) {
+	if len(a.Rhs) != 1 || len(a.Lhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok || !w.isLockAll(call) {
+		return
+	}
+	if id, ok := a.Lhs[0].(*ast.Ident); ok {
+		if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+			w.unlockVars[obj] = true
+		} else if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+			w.unlockVars[obj] = true
+		}
+	}
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	// unlock() of a stored lockAll result releases the global lock.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := w.pass.TypesInfo.Uses[id]; obj != nil && w.unlockVars[obj] {
+			w.heldGlobal = false
+			return
+		}
+	}
+
+	if w.isLockAll(call) {
+		w.heldGlobal = true
+		w.globalPos = call.Pos()
+		return
+	}
+	if field, method, ok := fieldMethodCall(w.pass, call); ok {
+		switch {
+		case field.owner == "Engine" && field.name == "mu":
+			switch method {
+			case "Lock":
+				w.heldMu = true
+				w.muPos = call.Pos()
+			case "Unlock":
+				w.heldMu = false
+			}
+			return
+		case field.owner == "lockManager" && field.name == "global":
+			switch method {
+			case "Lock":
+				w.heldGlobal = true
+				w.globalPos = call.Pos()
+			case "Unlock":
+				w.heldGlobal = false
+			}
+			return
+		}
+	}
+
+	callee := callgraph.Callee(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+
+	// L2: table-lock acquisition under the exclusive global lock.
+	if w.heldGlobal && tableLockEntry[callee.Name()] && onLockTypes(callee) {
+		w.pass.Reportf(call.Pos(),
+			"%s acquires table locks while the global lock is held exclusively (since %s); this inverts the shared-global→table order and can deadlock with DML",
+			callee.Name(), w.pos(w.globalPos))
+	}
+
+	// L3: blocking call under Engine.mu.
+	if w.heldMu {
+		if blockingCallees[callee.FullName()] || w.blocks[callee] ||
+			w.pass.ImportObjectFact(callee, &blocksFact{}) {
+			w.pass.Reportf(call.Pos(),
+				"%s may block (fsync/channel/sleep) while Engine.mu is held (locked at %s); move the blocking work outside the mutex",
+				callee.Name(), w.pos(w.muPos))
+		}
+	}
+}
+
+// isLockAll reports a call to lockManager.lockAll.
+func (w *walker) isLockAll(call *ast.CallExpr) bool {
+	callee := callgraph.Callee(w.pass.TypesInfo, call)
+	return callee != nil && callee.Name() == "lockAll" && recvTypeName(callee) == "lockManager"
+}
+
+// checkL1 flags direct use of lock-manager internals outside locks.go.
+func (w *walker) checkL1(sel *ast.SelectorExpr) {
+	if w.inLocksFile {
+		return
+	}
+	s := w.pass.TypesInfo.Selections[sel]
+	if s == nil {
+		return
+	}
+	if typeName(s.Recv()) != "lockManager" || !l1Forbidden[sel.Sel.Name] {
+		return
+	}
+	w.pass.Reportf(sel.Sel.Pos(),
+		"direct use of lockManager.%s outside locks.go bypasses the sorted table-lock path; acquire write locks via lockForWrite/lockAll",
+		sel.Sel.Name)
+}
+
+// fieldMethodCall decomposes `x.field.Method(...)` into the owning type of
+// field plus the method name.
+type fieldRef struct{ owner, name string }
+
+func fieldMethodCall(pass *framework.Pass, call *ast.CallExpr) (fieldRef, string, bool) {
+	outer, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return fieldRef{}, "", false
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	if !ok {
+		return fieldRef{}, "", false
+	}
+	s := pass.TypesInfo.Selections[inner]
+	if s == nil || s.Kind() != types.FieldVal {
+		return fieldRef{}, "", false
+	}
+	return fieldRef{owner: typeName(s.Recv()), name: inner.Sel.Name}, outer.Sel.Name, true
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return typeName(sig.Recv().Type())
+}
+
+// onLockTypes reports whether fn is a method of lockManager or Engine —
+// the only owners of the table-lock entry points.
+func onLockTypes(fn *types.Func) bool {
+	n := recvTypeName(fn)
+	return n == "lockManager" || n == "Engine"
+}
+
+func typeName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

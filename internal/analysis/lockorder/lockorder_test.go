@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockord")
+}
+
+// TestCrossPackageFacts checks that the "may block" property of an
+// exported function crosses package boundaries as a fact.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lock_b")
+}

@@ -1,0 +1,16 @@
+// Package lock_a exports a blocking helper; the lockorder analyzer
+// exports a blocks fact for it, which lock_b imports.
+package lock_a
+
+// Block waits for a signal; it blocks its caller.
+func Block(ch chan struct{}) { <-ch }
+
+// Poll is non-blocking.
+func Poll(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,26 @@
+// Package lock_b holds its Engine.mu across a call into lock_a; the
+// "may block" property crosses the package boundary via an exported fact.
+package lock_b
+
+import (
+	"sync"
+
+	"lock_a"
+)
+
+type Engine struct {
+	mu sync.RWMutex
+}
+
+func badCrossPackage(e *Engine, ch chan struct{}) {
+	e.mu.Lock()
+	lock_a.Block(ch) // want `Block may block \(fsync/channel/sleep\) while Engine\.mu is held`
+	e.mu.Unlock()
+}
+
+func goodCrossPackage(e *Engine, ch chan struct{}) bool {
+	e.mu.Lock()
+	ready := lock_a.Poll(ch) // conforming: Poll has a default case, it never blocks
+	e.mu.Unlock()
+	return ready
+}

@@ -1,0 +1,83 @@
+package lockord
+
+import "time"
+
+// L1: ad-hoc table-lock acquisition outside locks.go can interleave
+// unsorted with lockNamed and deadlock.
+
+func adHocTableLock(e *Engine, name string) {
+	e.locks.tableLock(name).Lock() // want `direct use of lockManager\.tableLock outside locks\.go`
+}
+
+func adHocGlobal(e *Engine) {
+	e.locks.global.Lock()   // want `direct use of lockManager\.global outside locks\.go`
+	e.locks.global.Unlock() // want `direct use of lockManager\.global outside locks\.go`
+}
+
+func goodWritePath(e *Engine, names []string) {
+	unlock := e.lockForWrite(names) // conforming: the sanctioned sorted path
+	unlock()
+}
+
+// L3: blocking while holding Engine.mu stalls every statement on the
+// engine for the duration of the fsync/sleep/receive.
+
+func badFsyncUnderMu(e *Engine) error {
+	e.mu.Lock()
+	err := e.wal.fsync() // want `fsync may block \(fsync/channel/sleep\) while Engine\.mu is held`
+	e.mu.Unlock()
+	return err
+}
+
+func badSleepUnderMu(e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `Sleep may block \(fsync/channel/sleep\) while Engine\.mu is held`
+}
+
+func badRecvUnderMu(e *Engine) {
+	e.mu.Lock()
+	<-e.wal.ch // want `channel receive while holding Engine\.mu`
+	e.mu.Unlock()
+}
+
+func badSendUnderMu(e *Engine) {
+	e.mu.Lock()
+	e.wal.ch <- struct{}{} // want `channel send while holding Engine\.mu`
+	e.mu.Unlock()
+}
+
+func badSelectUnderMu(e *Engine) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `select without default while holding Engine\.mu`
+	case <-e.wal.ch:
+	}
+}
+
+// badPropagated blocks only transitively: waitFlush receives on a channel,
+// and the call-graph propagation carries that to the call site under mu.
+func badPropagated(e *Engine) {
+	e.mu.Lock()
+	e.wal.waitFlush() // want `waitFlush may block \(fsync/channel/sleep\) while Engine\.mu is held`
+	e.mu.Unlock()
+}
+
+func goodFsyncAfterUnlock(e *Engine) error {
+	e.mu.Lock()
+	e.mu.Unlock()
+	return e.wal.fsync() // conforming: mutex released before the fsync
+}
+
+func goodReadLock(e *Engine) {
+	e.mu.RLock()
+	e.wal.waitFlush() // conforming: read-locks are exempt by design
+	e.mu.RUnlock()
+}
+
+func suppressedFsync(e *Engine) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//sqlvet:ignore lockorder -- fixture: single-caller startup path, engine not yet shared
+	return e.wal.fsync()
+}

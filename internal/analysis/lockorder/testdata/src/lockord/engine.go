@@ -1,0 +1,27 @@
+package lockord
+
+import (
+	"os"
+	"sync"
+)
+
+// Engine and wal mirror the engine's shapes: rule L3 keys on the mu field
+// of a type named Engine and on blocking callees (fsync, channels, sleep).
+
+type Engine struct {
+	mu    sync.RWMutex
+	locks lockManager
+	wal   *wal
+}
+
+type wal struct {
+	f  *os.File
+	ch chan struct{}
+}
+
+// fsync blocks: it reaches (*os.File).Sync, so "may block" propagates to
+// every caller through the static call graph.
+func (w *wal) fsync() error { return w.f.Sync() }
+
+// waitFlush blocks directly on a channel receive.
+func (w *wal) waitFlush() { <-w.ch }

@@ -1,0 +1,57 @@
+package lockord
+
+import "sync"
+
+// locks.go mirrors the engine's lock manager; it is the one file where
+// touching lockManager internals is allowed (rule L1 exemption). Rules
+// L2/L3 still apply here.
+
+type lockManager struct {
+	global sync.RWMutex
+	tables sync.Map
+}
+
+func (lm *lockManager) lockAll() func() {
+	lm.global.Lock()
+	return lm.global.Unlock
+}
+
+func (lm *lockManager) tableLock(name string) *sync.Mutex {
+	l, _ := lm.tables.LoadOrStore(name, &sync.Mutex{})
+	return l.(*sync.Mutex)
+}
+
+func (lm *lockManager) lockNamed(names []string) func() {
+	locks := make([]*sync.Mutex, 0, len(names))
+	for _, n := range names {
+		locks = append(locks, lm.tableLock(n))
+	}
+	for _, l := range locks {
+		l.Lock()
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].Unlock()
+		}
+	}
+}
+
+// lockForWrite is the sanctioned DML path: shared global, then sorted
+// table locks. Shared mode does not trip rule L2.
+func (e *Engine) lockForWrite(names []string) func() {
+	e.locks.global.RLock()
+	inner := e.locks.lockNamed(names)
+	return func() {
+		inner()
+		e.locks.global.RUnlock()
+	}
+}
+
+// badNested violates L2: table locks stacked on the exclusive global lock
+// invert the shared-global→table order and can deadlock against DML.
+func badNested(lm *lockManager, names []string) {
+	unlock := lm.lockAll()
+	lm.lockNamed(names) // want `lockNamed acquires table locks while the global lock is held exclusively`
+	unlock()
+	lm.lockNamed(names)() // conforming: the global lock was released first
+}

@@ -1,0 +1,87 @@
+// Package mvccvisibility flags direct access to the MVCC heap — Table row
+// maps and row-version chains — outside the files that implement snapshot
+// filtering. Every other read path must go through the visibility helpers
+// (visible, visibleRows, snapView), or it will observe uncommitted or dead
+// versions.
+package mvccvisibility
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"bridgescope/internal/analysis/framework"
+)
+
+// heapFields maps a type name to the set of fields that constitute raw
+// heap access on it. The rule is structural (type name + field name), so
+// it applies equally to the engine and to test fixtures.
+var heapFields = map[string]map[string]bool{
+	"Table":      {"rows": true}, // chain-head map: key -> *rowEntry
+	"rowEntry":   {"v": true},    // newest version in the chain
+	"rowVersion": {"prev": true}, // chain traversal link
+}
+
+// allowedFiles are the visibility-implementing files where raw heap access
+// is the point: mvcc.go owns the chains, catalog/txn/dml mutate them under
+// write locks with latest-view semantics, snapshot/recovery serialize and
+// rebuild them with the engine quiesced.
+var allowedFiles = map[string]bool{
+	"mvcc.go":     true,
+	"catalog.go":  true,
+	"txn.go":      true,
+	"dml.go":      true,
+	"snapshot.go": true,
+	"recovery.go": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "mvccvisibility",
+	Doc: "flags direct iteration over row-version chains or Table heaps outside the MVCC whitelist files, " +
+		"so new operators cannot bypass snapshot filtering",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if allowedFiles[name] {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			recv := typeName(s.Recv())
+			fields := heapFields[recv]
+			if fields == nil || !fields[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"direct access to %s.%s bypasses MVCC snapshot filtering; use the visibility helpers in mvcc.go (or move this code into a whitelisted file)",
+				recv, sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// typeName returns the bare name of t's named type, following pointers.
+func typeName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package mvccvisibility_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/mvccvisibility"
+)
+
+func TestMVCCVisibility(t *testing.T) {
+	analysistest.Run(t, mvccvisibility.Analyzer, "mvccvis")
+}

@@ -1,0 +1,23 @@
+package mvccvis
+
+// Mini mirror of the engine's MVCC heap. The analyzer keys on type and
+// field names (Table.rows, rowEntry.v, rowVersion.prev), so this fixture
+// exercises the same structural rules the real engine is checked against.
+
+type rowVersion struct {
+	xmin, xmax uint64
+	prev       *rowVersion
+	data       []string
+}
+
+type rowEntry struct {
+	key string
+	v   *rowVersion
+}
+
+type Table struct {
+	Name string
+	rows map[string]*rowEntry
+}
+
+type snapshot struct{ xid uint64 }

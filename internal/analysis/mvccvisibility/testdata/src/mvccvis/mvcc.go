@@ -1,0 +1,17 @@
+package mvccvis
+
+// mvcc.go is whitelisted: it implements the visibility helpers, so raw
+// chain traversal here is the point, not a violation.
+
+func (t *Table) visibleRows(sn snapshot) [][]string {
+	var out [][]string
+	for _, e := range t.rows {
+		for v := e.v; v != nil; v = v.prev {
+			if v.xmin <= sn.xid && (v.xmax == 0 || v.xmax > sn.xid) {
+				out = append(out, v.data)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package mvccvis
+
+// scan.go is NOT whitelisted: operators here must go through the
+// visibility helpers.
+
+func badCount(t *Table) int {
+	return len(t.rows) // want `direct access to Table\.rows bypasses MVCC snapshot filtering`
+}
+
+func badNewest(e *rowEntry) *rowVersion {
+	return e.v // want `direct access to rowEntry\.v bypasses MVCC snapshot filtering`
+}
+
+func badWalk(v *rowVersion) int {
+	n := 0
+	for ; v != nil; v = v.prev { // want `direct access to rowVersion\.prev bypasses MVCC snapshot filtering`
+		n++
+	}
+	return n
+}
+
+func goodScan(t *Table, sn snapshot) [][]string {
+	return t.visibleRows(sn) // conforming: reads through the whitelisted helper
+}
+
+func suppressedAbove(t *Table) int {
+	//sqlvet:ignore mvccvisibility -- fixture: verified-safe raw access, suppression on the line below
+	return len(t.rows)
+}
+
+func suppressedTrailing(t *Table) int {
+	return len(t.rows) //sqlvet:ignore mvccvisibility -- fixture: verified-safe raw access, same-line suppression
+}
+
+func missingReason(t *Table) int {
+	//sqlvet:ignore mvccvisibility want `sqlvet:ignore directive requires a reason`
+	return len(t.rows) // want `direct access to Table\.rows bypasses MVCC snapshot filtering`
+}
+
+func unknownAnalyzer(t *Table) int {
+	//sqlvet:ignore nosuchanalyzer -- typo'd name must not disarm silently; also want `unknown analyzer "nosuchanalyzer"`
+	return len(t.rows) // want `direct access to Table\.rows bypasses MVCC snapshot filtering`
+}

@@ -1,0 +1,160 @@
+// Package redocoverage keeps WAL replay complete: any function that
+// mutates the catalog or the row heap and is callable from statement
+// execution must (transitively) emit a redo record, or the mutation is
+// silently lost on crash recovery.
+//
+// The check is structural. Heap/catalog mutators and redo emitters are
+// identified by (receiver type name, method name); a function declared
+// outside the whitelisted engine-internal files that directly calls a
+// mutator must itself reach an emitter through the static call graph.
+// Whether a function emits is exported as an object fact, so a caller in
+// another package that wraps an emitting helper is recognized too.
+package redocoverage
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"bridgescope/internal/analysis/callgraph"
+	"bridgescope/internal/analysis/framework"
+)
+
+// mutators are the heap/catalog mutation primitives, keyed by receiver
+// type name then method name.
+var mutators = map[string]map[string]bool{
+	"Table": {
+		"insertEntry":    true,
+		"installVersion": true,
+		"deleteVersion":  true,
+		"addIndex":       true,
+	},
+	"Engine": {
+		"createTable": true,
+		"dropTable":   true,
+		"createView":  true,
+		"dropView":    true,
+	},
+}
+
+// emitters are the redo-record emission points.
+var emitters = map[string]map[string]bool{
+	"Session": {
+		"redoInsert":      true,
+		"redoUpdate":      true,
+		"redoDelete":      true,
+		"redoDDL":         true,
+		"redoCreateTable": true,
+		"redoAppend":      true,
+	},
+	"Engine": {
+		"logGrantsBatched": true,
+	},
+}
+
+// allowedFiles implement the storage layer itself: catalog.go declares the
+// mutators, txn.go the emitters, mvcc.go vacuums dead versions (no redo
+// needed — vacuum is reconstructible), and recovery/snapshot replay the
+// log, where emitting again would double-log.
+var allowedFiles = map[string]bool{
+	"catalog.go":  true,
+	"mvcc.go":     true,
+	"txn.go":      true,
+	"recovery.go": true,
+	"snapshot.go": true,
+}
+
+// emitsRedoFact marks an exported function that transitively emits a redo
+// record.
+type emitsRedoFact struct{}
+
+func (emitsRedoFact) AFact() {}
+
+var Analyzer = &framework.Analyzer{
+	Name: "redocoverage",
+	Doc: "flags heap/catalog mutator calls in functions that do not (transitively) emit a redo record, " +
+		"keeping WAL replay complete",
+	FactTypes: []framework.Fact{&emitsRedoFact{}},
+	Run:       run,
+}
+
+func methodIn(set map[string]map[string]bool, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	byName := set[recvTypeName(sig.Recv().Type())]
+	return byName != nil && byName[fn.Name()]
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func run(pass *framework.Pass) error {
+	decls := callgraph.Decls(pass)
+
+	// emits: does a function transitively reach a redo emitter?
+	emits := callgraph.Propagate(pass, decls,
+		func(fn *types.Func, decl *ast.FuncDecl) bool {
+			found := false
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				if callee := callgraph.Callee(pass.TypesInfo, call); callee != nil && methodIn(emitters, callee) {
+					found = true
+				}
+				return !found
+			})
+			return found
+		},
+		func(fn *types.Func) bool {
+			if methodIn(emitters, fn) {
+				return true
+			}
+			return pass.ImportObjectFact(fn, &emitsRedoFact{})
+		})
+
+	// Export the property for exported functions so dependent packages'
+	// wrappers are recognized.
+	for fn := range decls {
+		if emits[fn] && fn.Exported() {
+			pass.ExportObjectFact(fn, &emitsRedoFact{})
+		}
+	}
+
+	// Any function outside the whitelist that directly calls a mutator
+	// must emit.
+	for fn, decl := range decls {
+		file := filepath.Base(pass.Fset.Position(decl.Pos()).Filename)
+		if allowedFiles[file] {
+			continue
+		}
+		if emits[fn] {
+			continue
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := callgraph.Callee(pass.TypesInfo, call)
+			if callee == nil || !methodIn(mutators, callee) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s mutates the heap/catalog but %s never emits a redo record; the mutation is lost on crash recovery",
+				callee.Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

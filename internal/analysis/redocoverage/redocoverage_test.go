@@ -1,0 +1,18 @@
+package redocoverage_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/redocoverage"
+)
+
+func TestRedoCoverage(t *testing.T) {
+	analysistest.Run(t, redocoverage.Analyzer, "redo")
+}
+
+// TestCrossPackageFacts checks that "emits a redo record" crosses package
+// boundaries via exported facts.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, redocoverage.Analyzer, "redo_b")
+}

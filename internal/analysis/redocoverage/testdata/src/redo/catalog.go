@@ -1,0 +1,22 @@
+package redo
+
+// catalog.go is whitelisted: it declares the heap/catalog mutators.
+
+type rowVersion struct{ data []string }
+
+type Table struct {
+	Name string
+	rows map[string]*rowVersion
+}
+
+func (t *Table) insertEntry(key string, v *rowVersion) { t.rows[key] = v }
+
+func (t *Table) deleteVersion(key string) { delete(t.rows, key) }
+
+type Engine struct{ tables map[string]*Table }
+
+func (e *Engine) createTable(name string) *Table {
+	t := &Table{Name: name, rows: map[string]*rowVersion{}}
+	e.tables[name] = t
+	return t
+}

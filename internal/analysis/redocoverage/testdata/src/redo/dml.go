@@ -1,0 +1,33 @@
+package redo
+
+// dml.go is statement-execution territory: every heap/catalog mutation
+// here must be paired with a redo emission, or replay loses it.
+
+func execInsertGood(s *Session, t *Table, key string, data []string) {
+	t.insertEntry(key, &rowVersion{data: data})
+	s.redoInsert(t.Name, key) // conforming: mutation paired with emission
+}
+
+func execInsertBad(s *Session, t *Table, key string, data []string) {
+	t.insertEntry(key, &rowVersion{data: data}) // want `insertEntry mutates the heap/catalog but execInsertBad never emits a redo record`
+}
+
+func execCreateBad(s *Session, name string) {
+	s.engine.createTable(name) // want `createTable mutates the heap/catalog but execCreateBad never emits a redo record`
+}
+
+// execViaHelperGood emits through a local helper; the call-graph
+// propagation recognizes the indirection.
+func execViaHelperGood(s *Session, t *Table, key string) {
+	t.deleteVersion(key)
+	emitDelete(s, t.Name, key)
+}
+
+func emitDelete(s *Session, table, key string) {
+	s.redoInsert(table, key)
+}
+
+func suppressedVacuum(t *Table, key string) {
+	//sqlvet:ignore redocoverage -- fixture: maintenance path, state is reconstructible without redo
+	t.deleteVersion(key)
+}

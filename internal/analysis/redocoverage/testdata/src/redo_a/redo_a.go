@@ -1,0 +1,14 @@
+// Package redo_a exports one helper that emits a redo record and one that
+// does not; the redocoverage analyzer publishes the emitting property as a
+// fact that redo_b consumes.
+package redo_a
+
+type Session struct{ log [][]byte }
+
+func (s *Session) redoInsert(table, key string) { s.log = append(s.log, []byte(table+"+"+key)) }
+
+// LoggedEmit appends a redo record; callers inherit "emits" via its fact.
+func LoggedEmit(s *Session, table, key string) { s.redoInsert(table, key) }
+
+// Touch does bookkeeping only and emits nothing.
+func Touch(s *Session) int { return len(s.log) }

@@ -1,0 +1,10 @@
+package redo_b
+
+// catalog.go (whitelisted) declares this package's heap mutator.
+
+type Table struct {
+	Name string
+	rows map[string][]string
+}
+
+func (t *Table) insertEntry(key string, data []string) { t.rows[key] = data }

@@ -1,0 +1,17 @@
+package redo_b
+
+import "redo_a"
+
+// goodCrossPackage emits through redo_a.LoggedEmit; the emitting property
+// arrives as an imported fact.
+func goodCrossPackage(s *redo_a.Session, t *Table, key string, data []string) {
+	t.insertEntry(key, data)
+	redo_a.LoggedEmit(s, t.Name, key)
+}
+
+// badCrossPackage calls a helper that does NOT emit, so the mutation is
+// unlogged.
+func badCrossPackage(s *redo_a.Session, t *Table, key string, data []string) {
+	t.insertEntry(key, data) // want `insertEntry mutates the heap/catalog but badCrossPackage never emits a redo record`
+	redo_a.Touch(s)
+}

@@ -1,0 +1,207 @@
+// Package retryableerr keeps the serialization-conflict error taxonomy
+// intact. Client retry loops classify failures with IsRetryable, which
+// unwraps to ErrWriteConflict — so a conflict-path error constructed with
+// a bare errors.New or a fmt.Errorf without %w silently becomes
+// non-retryable, and a Commit whose error is discarded loses the conflict
+// altogether.
+package retryableerr
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bridgescope/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "retryableerr",
+	Doc: "flags conflict-path error construction that breaks IsRetryable classification " +
+		"(errors.New/fmt.Errorf without %w on serialization messages), Commit calls whose " +
+		"error is ignored, and == comparisons against ErrWriteConflict",
+	Run: run,
+}
+
+// conflictKeywords identify an error message as belonging to the
+// serialization-conflict path. Matching is case-insensitive substring.
+var conflictKeywords = []string{
+	"serialize",
+	"serialization",
+	"write conflict",
+	"concurrent update",
+}
+
+// declFile is the one file allowed to build conflict sentinels from
+// scratch: it declares ErrWriteConflict and SerializationError themselves.
+const declFile = "mvcc.go"
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		inDeclFile := filepath.Base(pass.Fset.Position(f.Pos()).Filename) == declFile
+
+		// enclosingIs tracks whether we are inside a method named Is —
+		// errors.Is support methods legitimately compare sentinels.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !inDeclFile {
+					checkConstruction(pass, n)
+				}
+				checkIgnoredCommit(pass, n, stack)
+			case *ast.BinaryExpr:
+				checkSentinelComparison(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConstruction flags errors.New with a conflict message (a new
+// sentinel that IsRetryable cannot classify) and fmt.Errorf with a
+// conflict message but no %w (a wrapper that severs the unwrap chain).
+func checkConstruction(pass *framework.Pass, call *ast.CallExpr) {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || len(call.Args) == 0 {
+		return
+	}
+	full := fn.FullName()
+	if full != "errors.New" && full != "fmt.Errorf" {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	msg, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	lower := strings.ToLower(msg)
+	conflicty := false
+	for _, kw := range conflictKeywords {
+		if strings.Contains(lower, kw) {
+			conflicty = true
+			break
+		}
+	}
+	if !conflicty {
+		return
+	}
+	switch full {
+	case "errors.New":
+		pass.Reportf(call.Pos(),
+			"conflict-path error built with errors.New is invisible to IsRetryable; wrap ErrWriteConflict (fmt.Errorf with %%w) or return a SerializationError instead")
+	case "fmt.Errorf":
+		if !strings.Contains(msg, "%w") {
+			pass.Reportf(call.Pos(),
+				"conflict-path fmt.Errorf without %%w severs the unwrap chain to ErrWriteConflict, breaking IsRetryable; wrap the sentinel with %%w")
+		}
+	}
+}
+
+// checkIgnoredCommit flags Commit() calls whose error result is discarded:
+// a bare expression statement, a go statement, or a defer. A dropped
+// commit error swallows serialization failures the caller must retry.
+func checkIgnoredCommit(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Commit" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	// Find the statement context immediately above the call.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ExprStmt:
+			if s.X == call {
+				pass.Reportf(call.Pos(),
+					"Commit error ignored: serialization failures surface at commit and must be checked (IsRetryable) or returned")
+			}
+			return
+		case *ast.GoStmt:
+			if s.Call == call {
+				pass.Reportf(call.Pos(),
+					"Commit launched with go discards its error; serialization failures at commit are lost")
+			}
+			return
+		case *ast.DeferStmt:
+			if s.Call == call {
+				pass.Reportf(call.Pos(),
+					"deferred Commit discards its error; serialization failures at commit are lost")
+			}
+			return
+		case *ast.CallExpr, *ast.ParenExpr:
+			continue // e.g. wrapped in parens; keep climbing
+		default:
+			return // assignment, if-condition, return, ... — error is consumed
+		}
+	}
+}
+
+// checkSentinelComparison flags err == ErrWriteConflict (and !=) outside
+// methods named Is: wrapped conflict errors fail pointer equality, so the
+// comparison must be errors.Is.
+func checkSentinelComparison(pass *framework.Pass, be *ast.BinaryExpr, stack []ast.Node) {
+	if be.Op.String() != "==" && be.Op.String() != "!=" {
+		return
+	}
+	if !isSentinel(pass, be.X) && !isSentinel(pass, be.Y) {
+		return
+	}
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "Is" {
+			return // errors.Is support method
+		}
+	}
+	pass.Reportf(be.Pos(),
+		"direct comparison against ErrWriteConflict misses wrapped conflicts; use errors.Is (or IsRetryable)")
+}
+
+func isSentinel(pass *framework.Pass, e ast.Expr) bool {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	return id.Name == "ErrWriteConflict" && pass.TypesInfo.Uses[id] != nil
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// staticCallee resolves a call to its package-level function or method.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

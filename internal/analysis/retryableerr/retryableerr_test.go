@@ -1,0 +1,12 @@
+package retryableerr_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/retryableerr"
+)
+
+func TestRetryableErr(t *testing.T) {
+	analysistest.Run(t, retryableerr.Analyzer, "retryable")
+}

@@ -1,0 +1,66 @@
+package retryable
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Session struct{}
+
+func (s *Session) Commit() error { return nil }
+
+func badNew() error {
+	return errors.New("could not serialize access") // want `conflict-path error built with errors\.New is invisible to IsRetryable`
+}
+
+func badErrorf(key string) error {
+	return fmt.Errorf("write conflict on %s: %v", key, ErrWriteConflict) // want `conflict-path fmt\.Errorf without %w severs the unwrap chain`
+}
+
+func goodErrorf(key string) error {
+	return fmt.Errorf("could not serialize update of %s: %w", key, ErrWriteConflict) // conforming: %w keeps the sentinel unwrappable
+}
+
+func goodUnrelatedError() error {
+	return errors.New("table not found") // conforming: not a conflict-path message
+}
+
+func badIgnoredCommit(s *Session) {
+	s.Commit() // want `Commit error ignored: serialization failures surface at commit`
+}
+
+func badGoCommit(s *Session) {
+	go s.Commit() // want `Commit launched with go discards its error`
+}
+
+func badDeferCommit(s *Session) {
+	defer s.Commit() // want `deferred Commit discards its error`
+}
+
+func goodCommit(s *Session) error {
+	if err := s.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func badComparison(err error) bool {
+	return err == ErrWriteConflict // want `direct comparison against ErrWriteConflict misses wrapped conflicts`
+}
+
+func goodComparison(err error) bool {
+	return errors.Is(err, ErrWriteConflict) // conforming: sees through wrapping
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return w.inner.Error() }
+
+// Is support methods legitimately compare sentinels by identity.
+func (w *wrapErr) Is(target error) bool {
+	return target == ErrWriteConflict // conforming: inside an Is method
+}
+
+func suppressedCommit(s *Session) {
+	s.Commit() //sqlvet:ignore retryableerr -- fixture: best-effort commit in a shutdown path
+}

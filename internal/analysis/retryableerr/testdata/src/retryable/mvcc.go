@@ -1,0 +1,8 @@
+package retryable
+
+import "errors"
+
+// mvcc.go is the one file allowed to construct conflict sentinels from
+// scratch: it declares them.
+
+var ErrWriteConflict = errors.New("could not serialize access due to concurrent update")

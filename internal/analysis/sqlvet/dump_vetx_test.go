@@ -1,0 +1,29 @@
+package sqlvet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"testing"
+
+	"bridgescope/internal/analysis/framework"
+)
+
+// TestDumpVetx is a debugging helper: SQLVET_DUMP=<file> go test -run TestDumpVetx
+func TestDumpVetx(t *testing.T) {
+	path := os.Getenv("SQLVET_DUMP")
+	if path == "" {
+		t.Skip("set SQLVET_DUMP to a .vetx file")
+	}
+	framework.RegisterFactTypes(Analyzers())
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s := framework.NewFactStore()
+	if err := s.Decode(gob.NewDecoder(f)); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(s.DebugDump())
+}

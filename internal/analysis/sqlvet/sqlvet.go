@@ -1,0 +1,135 @@
+// Package sqlvet assembles the engine's invariant analyzers (lockorder,
+// mvccvisibility, redocoverage, retryableerr) into one runnable suite.
+// It has two drivers, both in cmd/sqlvet: a standalone mode that loads
+// packages itself ("go run ./cmd/sqlvet ./..."), and a unitchecker mode
+// that speaks the `go vet -vettool` protocol.
+package sqlvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/load"
+	"bridgescope/internal/analysis/lockorder"
+	"bridgescope/internal/analysis/mvccvisibility"
+	"bridgescope/internal/analysis/redocoverage"
+	"bridgescope/internal/analysis/retryableerr"
+)
+
+// Analyzers returns the full suite, in stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		lockorder.Analyzer,
+		mvccvisibility.Analyzer,
+		redocoverage.Analyzer,
+		retryableerr.Analyzer,
+	}
+}
+
+func init() {
+	framework.RegisterFactTypes(Analyzers())
+}
+
+// RunPackage runs every analyzer over one type-checked package, sharing
+// facts, applying //sqlvet:ignore directives, and dropping _test.go files
+// (engine tests legitimately poke heap internals). Diagnostics come back
+// sorted by position with Analyzer filled in; malformed ignore directives
+// are themselves diagnostics under the pseudo-analyzer "sqlvet".
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *framework.FactStore) ([]framework.Diagnostic, error) {
+	var kept []*ast.File
+	for _, f := range files {
+		name := filepath.Base(fset.Position(f.Pos()).Filename)
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ignores := framework.BuildIgnores(fset, kept, known)
+
+	var diags []framework.Diagnostic
+	for i := range ignores.Bad {
+		d := ignores.Bad[i]
+		d.Analyzer = "sqlvet"
+		diags = append(diags, d)
+	}
+
+	for _, a := range Analyzers() {
+		a := a
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     kept,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Facts:     facts,
+			Report: func(d framework.Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	diags = ignores.Filter(fset, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// Finding is one formatted diagnostic from a standalone run.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Check loads the packages matching patterns (rooted at dir) and runs the
+// suite over the matched packages, with in-process cross-package fact
+// propagation: dependencies inside the module are analyzed first so their
+// facts are available, but only findings in matched packages are returned.
+func Check(dir string, patterns []string) ([]Finding, error) {
+	pkgs, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	facts := framework.NewFactStore()
+	var out []Finding
+	for _, p := range pkgs { // dependency order
+		diags, err := RunPackage(p.Fset, p.Files, p.Types, p.Info, facts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		if !p.Target {
+			continue
+		}
+		for _, d := range diags {
+			out = append(out, Finding{
+				Position: p.Fset.Position(d.Pos),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}

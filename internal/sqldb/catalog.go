@@ -686,9 +686,11 @@ type grantSink struct {
 
 // logGrantsBatched runs fn (a sequence of Grants mutations) with the
 // privilege logger redirected into a per-statement sink, then appends the
-// collected records as a single WAL frame and waits for it once. Returns
-// the durability error, if any. On in-memory engines it just runs fn.
-func (e *Engine) logGrantsBatched(fn func()) error {
+// collected records as a single WAL frame. The returned token is the
+// statement's claim on that frame's durability — the caller parks it and
+// the executor waits on it after every lock is released, so the fsync never
+// happens under the engine write lock. Nil on in-memory engines.
+func (e *Engine) logGrantsBatched(fn func()) *syncToken {
 	sink := &grantSink{}
 	e.grantSink.Store(sink)
 	fn()
@@ -698,7 +700,7 @@ func (e *Engine) logGrantsBatched(fn func()) error {
 	sink.closed = true
 	sink.mu.Unlock()
 	if w := e.wal.Load(); w != nil && len(recs) > 0 {
-		return w.commit(recs).wait()
+		return w.commit(recs)
 	}
 	return nil
 }

@@ -696,9 +696,10 @@ func (s *Session) execGrant(st *GrantStmt) (*Result, error) {
 		actions = AllActions
 	}
 	// All of the statement's privilege records commit as one WAL frame with
-	// a single durability wait; a parked error from an earlier direct-API
+	// a single durability wait, parked on the session until the executor has
+	// released every lock; a parked error from an earlier direct-API
 	// mutation surfaces here too rather than vanishing.
-	werr := s.engine.logGrantsBatched(func() {
+	s.grantTok = s.engine.logGrantsBatched(func() {
 		for i, a := range actions {
 			if st.Columns != nil && i < len(st.Columns) && st.Columns[i] != nil {
 				s.engine.grants.GrantColumns(st.Grantee, a, st.Table, st.Columns[i])
@@ -707,10 +708,7 @@ func (s *Session) execGrant(st *GrantStmt) (*Result, error) {
 			s.engine.grants.Grant(st.Grantee, a, st.Table)
 		}
 	})
-	if werr == nil {
-		werr = s.engine.takeGrantWALErr()
-	}
-	if werr != nil {
+	if werr := s.engine.takeGrantWALErr(); werr != nil {
 		return nil, fmt.Errorf("GRANT applied in memory but not durable: %w", werr)
 	}
 	return &Result{Message: "GRANT"}, nil
@@ -747,15 +745,12 @@ func (s *Session) execRevoke(st *RevokeStmt) (*Result, error) {
 	if actions == nil {
 		actions = AllActions
 	}
-	werr := s.engine.logGrantsBatched(func() {
+	s.grantTok = s.engine.logGrantsBatched(func() {
 		for _, a := range actions {
 			s.engine.grants.Revoke(st.Grantee, a, st.Table)
 		}
 	})
-	if werr == nil {
-		werr = s.engine.takeGrantWALErr()
-	}
-	if werr != nil {
+	if werr := s.engine.takeGrantWALErr(); werr != nil {
 		return nil, fmt.Errorf("REVOKE applied in memory but not durable: %w", werr)
 	}
 	return &Result{Message: "REVOKE"}, nil

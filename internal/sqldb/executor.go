@@ -172,11 +172,19 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 	var res *Result
 	var err error
 	if ent != nil {
+		//sqlvet:ignore lockorder -- the channel waits runPrepared can reach are the parallel scanner's, which only runs for SELECTs, and those execute under e.mu.RLock (the e.mu.Lock branch above is taken only for DDL-class statements)
 		res, err = s.runPrepared(ent)
 	} else {
+		//sqlvet:ignore lockorder -- same split as runPrepared: dispatch's blocking paths are the read-only parallel scan, never reached on the DDL branch that holds e.mu exclusively
 		res, err = s.dispatch(stmt)
 	}
 	tok := s.endStmt(err, engineLocked)
+	if s.grantTok != nil {
+		// GRANT/REVOKE parked its WAL claim on the session; fold it into the
+		// statement token so the durability wait happens after unlock.
+		tok = joinTokens(tok, s.grantTok)
+		s.grantTok = nil
+	}
 	s.noteConflict(err)
 	if err == nil && ent != nil {
 		e.plans.put(s.user, sql, ent)

@@ -358,6 +358,7 @@ func (s *Session) parScanFilter(scan *SeqScanNode, cond Expr) (*rowSet, bool, er
 		bound = b
 	}
 	workers, _, slots := s.engine.parallelism()
+	//sqlvet:ignore mvccvisibility -- morsel fan-out snapshots the heap slice under the engine read lock and every row still goes through visible() below before it is emitted
 	rows := t.rows
 	sn := s.curView
 	nm := chunkCount(len(rows), morselSize)

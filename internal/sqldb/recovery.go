@@ -417,20 +417,27 @@ func (e *Engine) Checkpoint() error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 
-	e.mu.Lock()
+	// Quiesce writers through the lock manager — the same order every
+	// statement uses (table locks before Engine.mu) — so no commit can slip
+	// between the segment rotation and the snapshot encoding. Readers are
+	// not blocked: they run under Engine.mu.RLock, which the checkpoint
+	// shares while serializing the catalog, and the rotation fsync happens
+	// with no engine mutex held at all.
+	unlock := e.locks.lockAll()
+	defer unlock()
+
 	lsn := w.currentLSN()
 	ver := e.catalogVersion.Load()
 	if lsn == e.lastCkptLSN && ver == e.lastCkptVersion {
-		e.mu.Unlock()
 		return nil
 	}
 	newSeg, err := w.rotate()
 	if err != nil {
-		e.mu.Unlock()
 		return fmt.Errorf("sqldb: checkpoint rotate: %w", err)
 	}
+	e.mu.RLock()
 	data := encodeSnapshot(e, newSeg)
-	e.mu.Unlock()
+	e.mu.RUnlock()
 
 	if err := writeSnapshotFile(e.dir, newSeg, data); err != nil {
 		return fmt.Errorf("sqldb: checkpoint write: %w", err)

@@ -234,6 +234,12 @@ type Session struct {
 	// sessions against it. Like forceSeqScan, such a session is excluded
 	// from the shared plan cache in both directions.
 	noParallel bool
+	// grantTok parks the WAL durability claim of a GRANT/REVOKE statement
+	// (see Engine.logGrantsBatched): execGrant/execRevoke run under the
+	// engine write lock, so they stash the token here and execStmtLocked
+	// joins it into the statement token, which the executor waits on after
+	// every lock is released.
+	grantTok *syncToken
 }
 
 // SetParallel enables or disables batched/parallel query execution for this

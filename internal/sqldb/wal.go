@@ -439,20 +439,54 @@ type flushGroup struct {
 // commit's frame is on disk (per the sync mode) and reports the I/O error if
 // the flush failed. A nil token (in-memory engine, read-only statement)
 // waits for nothing.
+//
+// In batch mode a background flusher drives the group to disk and wait just
+// blocks on it. In always/off mode there is no flusher: the first waiter
+// whose group is still open performs the flush itself (flushFor), so the
+// write+fsync happens on wait — after the committer has released its engine
+// locks — rather than inside commit under them.
 type syncToken struct {
+	w   *wal
 	g   *flushGroup
 	err error
+	// next chains a second durability claim onto this one (joinTokens): a
+	// statement that produced more than one WAL frame waits for all of them.
+	next *syncToken
 }
 
 func (t *syncToken) wait() error {
 	if t == nil {
 		return nil
 	}
+	err := t.err
 	if t.g != nil {
+		if t.w != nil {
+			t.w.flushFor(t.g)
+		}
 		<-t.g.done
-		return t.g.err
+		err = t.g.err
 	}
-	return t.err
+	if nerr := t.next.wait(); err == nil {
+		err = nerr
+	}
+	return err
+}
+
+// joinTokens combines two durability claims into one token whose wait
+// covers both. Either side may be nil.
+func joinTokens(a, b *syncToken) *syncToken {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	t := a
+	for t.next != nil {
+		t = t.next
+	}
+	t.next = b
+	return a
 }
 
 // wal is the append-only redo log. Appends happen under mu (cheap memory
@@ -557,8 +591,8 @@ func newWAL(dir string, mode SyncMode, seg, lsn uint64) (*wal, error) {
 		size: st.Size(),
 		f:    f,
 	}
+	w.cur = &flushGroup{done: make(chan struct{})}
 	if mode == SyncBatch {
-		w.cur = &flushGroup{done: make(chan struct{})}
 		w.flushC = make(chan struct{}, 1)
 		w.quit = make(chan struct{})
 		w.done = make(chan struct{})
@@ -570,11 +604,14 @@ func newWAL(dir string, mode SyncMode, seg, lsn uint64) (*wal, error) {
 var errWALClosed = errors.New("wal: closed")
 
 // commit appends one transaction's records as a frame and returns the token
-// the committer must wait on before acknowledging. In batch mode the frame
-// only joins the in-memory group here; the flusher owns the file. After
-// close (a caller that loaded the wal pointer just before Close swapped it
-// out) the token resolves immediately with an error instead of hanging on a
-// flusher that has exited.
+// the committer must wait on before acknowledging. The frame only joins the
+// in-memory group here — commit never touches the file, so it is safe (and
+// cheap) to call while holding engine locks; the I/O happens when someone
+// waits on the token. In batch mode the background flusher owns the file;
+// otherwise the first waiter flushes the group itself. After close (a caller
+// that loaded the wal pointer just before Close swapped it out) the token
+// resolves immediately with an error instead of hanging on a flusher that
+// has exited.
 func (w *wal) commit(recs [][]byte) *syncToken {
 	w.mu.Lock()
 	if w.closed {
@@ -590,36 +627,38 @@ func (w *wal) commit(recs [][]byte) *syncToken {
 	frame := encodeFrame(w.lsn, recs)
 	w.commits++
 	w.records += int64(len(recs))
+	w.pending = append(w.pending, frame...)
+	g := w.cur
+	w.mu.Unlock()
 	if w.mode == SyncBatch {
-		w.pending = append(w.pending, frame...)
-		g := w.cur
-		w.mu.Unlock()
 		select {
 		case w.flushC <- struct{}{}:
 		default: // a wakeup is already queued; the flusher will see our bytes
 		}
 		return &syncToken{g: g}
 	}
-	w.mu.Unlock()
+	return &syncToken{w: w, g: g}
+}
 
-	w.ioMu.Lock()
-	_, err := w.f.Write(frame)
-	if err == nil && w.mode == SyncAlways {
-		err = w.f.Sync()
+// flushFor drives group g to disk if no one has yet. Concurrent waiters on
+// the same group serialize on flushMu; whoever gets it first flushes for
+// everyone, and the rest see done already closed. This gives always-mode
+// commits group durability for free: committers that enqueue while another
+// waiter's fsync is in flight share the next flush.
+func (w *wal) flushFor(g *flushGroup) {
+	select {
+	case <-g.done:
+		return
+	default:
 	}
-	w.ioMu.Unlock()
-
-	w.mu.Lock()
-	w.size += int64(len(frame))
-	w.bytes += int64(len(frame))
-	if w.mode == SyncAlways && err == nil {
-		w.fsyncs++
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	select {
+	case <-g.done:
+		return
+	default:
 	}
-	if err != nil && w.failed == nil {
-		w.failed = err
-	}
-	w.mu.Unlock()
-	return &syncToken{err: err}
+	w.flushPendingLocked(false)
 }
 
 func (w *wal) flusher() {
@@ -685,7 +724,7 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 
 	w.ioMu.Lock()
 	_, err := w.f.Write(buf)
-	if err == nil {
+	if err == nil && w.mode != SyncOff {
 		err = w.f.Sync()
 	}
 	w.ioMu.Unlock()
@@ -695,7 +734,9 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 	w.bytes += int64(len(buf))
 	w.groupFlushes++
 	if err == nil {
-		w.fsyncs++
+		if w.mode != SyncOff {
+			w.fsyncs++
+		}
 	} else if w.failed == nil {
 		w.failed = err
 	}
@@ -706,16 +747,14 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 }
 
 // rotate completes the current segment and starts a new one, returning the
-// new segment number. The caller (checkpoint) holds the engine write lock,
-// so no row commit can race the swap; flushMu is held for the whole
+// new segment number. The caller (checkpoint) holds the all-tables write
+// lock, so no row commit can race the swap; flushMu is held for the whole
 // rotation so an in-flight group flush finishes into the old segment first,
 // and anything still pending is written out before the file swap.
 func (w *wal) rotate() (uint64, error) {
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
-	if w.mode == SyncBatch {
-		w.flushPendingLocked(false)
-	}
+	w.flushPendingLocked(false)
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()
 	if w.mode != SyncOff {
@@ -770,10 +809,13 @@ func (w *wal) close() error {
 	}
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
+	// Frames enqueued but not yet flushed (always/off mode tokens no one has
+	// waited on yet) must still reach the file before it closes.
+	w.flushPendingLocked(false)
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()
 	var err error
-	if w.mode != SyncAlways {
+	if w.mode == SyncOff {
 		err = w.f.Sync()
 	}
 	if cerr := w.f.Close(); err == nil {
