@@ -16,7 +16,7 @@
 //	\user <name>    switch the session user
 //	\grant <user> <action> <table>   grant a privilege (superuser)
 //	\cache          show plan-cache hit/miss counters and catalog version
-//	\wal            show durability stats (sync mode, commits, fsyncs, ...)
+//	\wal            show durability stats and fail-stop/degraded state
 //	\checkpoint     force a snapshot + WAL truncation (persistent mode)
 //	\q              quit (persistent mode: checkpoint and close cleanly)
 package main
@@ -155,6 +155,12 @@ func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) boo
 		fmt.Println()
 		fmt.Printf("  wal segment %d (%d bytes, %d appended total), checkpoints %d\n",
 			st.Segment, st.WALSize, st.WALBytes, st.Checkpoints)
+		if h := engine.Health(); h.Degraded {
+			fmt.Printf("  STATE: fail-stopped, read-only (degraded by %s: %s)\n", h.DegradedBy, h.DegradedErr)
+			fmt.Println("  writes are refused until the fault is fixed and the engine reopened")
+		} else {
+			fmt.Println("  state: healthy (read-write)")
+		}
 	case `\checkpoint`:
 		if !engine.Durability().Durable {
 			fmt.Println("durability: in-memory engine (no WAL; start with -data DIR to persist)")
@@ -166,6 +172,9 @@ func metaCommand(engine *sqldb.Engine, session **sqldb.Session, line string) boo
 			fmt.Println("error:", err)
 		} else {
 			fmt.Println("checkpointed")
+		}
+		if h := engine.Health(); h.LastCheckpointErr != "" {
+			fmt.Printf("last checkpoint error: %s\n", h.LastCheckpointErr)
 		}
 	case `\parallel`:
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {

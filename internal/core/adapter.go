@@ -81,6 +81,19 @@ type DurabilityStats struct {
 	Checkpoints  int64  `json:"checkpoints"`
 }
 
+// HealthStatus is the backend-agnostic view of a connection's failure
+// state. A degraded backend serves reads but refuses writes with a
+// retryable error until the underlying fault is fixed and it is reopened.
+type HealthStatus struct {
+	Degraded          bool   `json:"degraded"`
+	DegradedBy        string `json:"degraded_by,omitempty"`         // subsystem that fail-stopped ("wal", "checkpoint")
+	DegradedErr       string `json:"degraded_err,omitempty"`        // the triggering I/O error
+	LastCheckpointErr string `json:"last_checkpoint_err,omitempty"` // most recent checkpoint failure, if any
+}
+
+// Healthy reports whether nothing is wrong.
+func (h HealthStatus) Healthy() bool { return !h.Degraded && h.LastCheckpointErr == "" }
+
 // Conn is the unified database interface all BridgeScope tools are built
 // on. One Conn represents one authenticated connection: it executes under a
 // fixed database user and owns that user's transaction state. Implementing
@@ -127,6 +140,12 @@ type Conn interface {
 	// and the WAL/checkpoint activity behind committed writes. Purely
 	// in-memory backends report Durable=false.
 	Durability() DurabilityStats
+
+	// Health reports whether the backend is fully operational or has
+	// fail-stopped into read-only degraded mode after a durability I/O
+	// failure (disk full, fsync error). Backends without a degraded state
+	// report the zero value (healthy).
+	Health() HealthStatus
 
 	// IsPermissionDenied reports whether an error returned by Exec is a
 	// database-side privilege rejection.
@@ -436,6 +455,18 @@ func (c *SQLDBConn) Durability() DurabilityStats {
 		GroupFlushes: st.GroupFlushes,
 		WALBytes:     st.WALBytes,
 		Checkpoints:  st.Checkpoints,
+	}
+}
+
+// Health implements Conn. The state is engine-wide: one fail-stopped WAL
+// degrades every connection to the engine.
+func (c *SQLDBConn) Health() HealthStatus {
+	h := c.sess.Engine().Health()
+	return HealthStatus{
+		Degraded:          h.Degraded,
+		DegradedBy:        h.DegradedBy,
+		DegradedErr:       h.DegradedErr,
+		LastCheckpointErr: h.LastCheckpointErr,
 	}
 }
 

@@ -31,24 +31,25 @@ func (c *backoffConn) Commit() error {
 	}
 	return nil
 }
-func (c *backoffConn) Rollback() error      { return nil }
-func (c *backoffConn) InTransaction() bool  { return false }
+func (c *backoffConn) Rollback() error     { return nil }
+func (c *backoffConn) InTransaction() bool { return false }
 func (c *backoffConn) ListObjects() []ObjectInfo {
 	return nil
 }
-func (c *backoffConn) ObjectDDL(string) (string, error)                { return "", nil }
-func (c *backoffConn) Columns(string) ([]string, error)                { return nil, nil }
+func (c *backoffConn) ObjectDDL(string) (string, error) { return "", nil }
+func (c *backoffConn) Columns(string) ([]string, error) { return nil, nil }
 func (c *backoffConn) ColumnValues(string, string, int) ([]string, error) {
 	return nil, nil
 }
-func (c *backoffConn) HasPrivilege(string, string) bool  { return true }
-func (c *backoffConn) ObjectActions(string) []string     { return nil }
+func (c *backoffConn) HasPrivilege(string, string) bool { return true }
+func (c *backoffConn) ObjectActions(string) []string    { return nil }
 func (c *backoffConn) ClassifySQL(string) (string, []string, error) {
 	return "", nil, nil
 }
 func (c *backoffConn) Explain(string) (string, error) { return "", nil }
 func (c *backoffConn) CacheStats() (int64, int64)     { return 0, 0 }
 func (c *backoffConn) Durability() DurabilityStats    { return DurabilityStats{} }
+func (c *backoffConn) Health() HealthStatus           { return HealthStatus{} }
 func (c *backoffConn) IsPermissionDenied(error) bool  { return false }
 func (c *backoffConn) IsSerializationFailure(err error) bool {
 	return errors.Is(err, errFakeSerialization)

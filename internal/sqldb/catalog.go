@@ -2,11 +2,12 @@ package sqldb
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // Column describes one table column.
@@ -653,9 +654,18 @@ type Engine struct {
 	// in-memory engines created with NewEngine). wal is atomic because the
 	// grants logger reads it without the engine lock and Close swaps it out.
 	wal      atomic.Pointer[wal]
+	fs       vfs.FS
 	dir      string
-	lockFile *os.File
+	lockFile vfs.Unlocker
 	closed   atomic.Bool
+	// degradedErr, once set, parks the engine in read-only degraded mode:
+	// the durability stack hit an I/O error (see degraded.go) and writes can
+	// no longer be honestly acknowledged. Atomic because it is set from the
+	// WAL flusher goroutine and read on every write statement.
+	degradedErr atomic.Pointer[DegradedError]
+	// ckptErr is the most recent checkpoint failure (nil after a success);
+	// background checkpoints park their error here (see noteCkptErr).
+	ckptErr atomic.Pointer[error]
 	// ckptMu serializes Checkpoint calls (manual, background, Close); the
 	// last-checkpoint markers below are only touched under it.
 	ckptMu          sync.Mutex

@@ -1,0 +1,493 @@
+// Package crashsim is a deterministic crash-recovery simulator for the sqldb
+// engine. It runs a seeded random workload of DML, DDL, and transactions on
+// an engine backed by a fault-injecting filesystem (vfs.FaultFS) that records
+// every durability I/O operation, then treats every recorded step as a crash
+// point: it reconstructs the simulated on-disk state at that step under a
+// tear policy (process kill, strict power loss, or power loss with torn
+// writes), reopens the engine on the wreckage, and asserts the ACID
+// invariants:
+//
+//   - recovery succeeds (no panic, no refusal to open),
+//   - every commit acknowledged before the crash point is visible,
+//   - no unacknowledged or rolled-back effects survive (recovered state
+//     equals the model state at some committed prefix),
+//   - catalog, primary-key, and index structures are internally consistent
+//     (Engine.CheckConsistency), and
+//   - a second reopen of the recovered directory yields the same state
+//     (recovery is idempotent).
+//
+// The workload follows a ledger protocol: every committed transaction n also
+// inserts row n into a ledger table, so the recovered ledger must always be
+// an exact prefix {1..P} of the commit sequence, and P pins which model
+// snapshot the rest of the database must equal. Because the filesystem,
+// workload, and tear offsets are all seeded, any violation is exactly
+// reproducible from (Seed, Ops, Sync, policy, crash point).
+package crashsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"bridgescope/internal/sqldb"
+	"bridgescope/internal/sqldb/vfs"
+)
+
+// Config parameterizes one simulator run.
+type Config struct {
+	// Seed drives the workload generator and the torn-write offsets.
+	Seed int64
+	// Ops is the number of workload units (transactions, rollbacks, or
+	// checkpoints) to run after the schema-creating first transaction.
+	Ops int
+	// Sync is the engine durability mode under test.
+	Sync sqldb.SyncMode
+	// Policies are the tear policies to enumerate at each crash point.
+	// Empty means all three (kill, power loss, power loss with torn tail).
+	Policies []vfs.TearPolicy
+	// MaxPoints bounds how many crash points are tested per policy (evenly
+	// strided, always including the final state). 0 means every point.
+	MaxPoints int
+	// Hook, if non-nil, is installed on the workload filesystem. Tests use
+	// it to simulate broken builds (e.g. lying fsyncs) and prove the
+	// simulator catches them.
+	Hook func(vfs.Op) *vfs.Fault
+	// MaxViolations stops the enumeration early once this many violations
+	// have been collected (0 means 20); a broken engine would otherwise
+	// report thousands of identical failures.
+	MaxViolations int
+}
+
+// Violation is one invariant failure at one simulated crash.
+type Violation struct {
+	Point  int    // crash point: I/O step count at which the crash occurred
+	Policy string // tear policy in effect
+	Desc   string // what went wrong
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d [%s]: %s", v.Point, v.Policy, v.Desc)
+}
+
+// Report summarizes a simulator run.
+type Report struct {
+	Steps      int         // total durability I/O steps the workload issued
+	Points     int         // crash points actually tested (per policy)
+	Commits    int         // transactions acknowledged during the workload
+	Violations []Violation // invariant failures (nil means the engine held)
+	// WorkloadErr is set when the workload itself failed (a statement or
+	// commit errored on the live engine); the enumeration still runs over
+	// the history recorded up to that point.
+	WorkloadErr error
+}
+
+// dbdir is the simulated database directory inside the fault filesystem.
+const dbdir = "/crashsim-db"
+
+// tables the workload touches, in dump order. The dump treats a missing
+// table as "absent", so the list can name tables a prefix state lacks.
+var workTables = []string{"ledger", "kv", "t2"}
+
+// Run executes the workload, enumerates crash points, and returns the
+// report. It only returns a non-nil error for simulator-level failures
+// (e.g. the initial engine refusing to open); engine misbehavior at a crash
+// point is reported as a Violation, not an error.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 20
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = []vfs.TearPolicy{vfs.TearKill, vfs.TearLoseUnsynced, vfs.TearPartial}
+	}
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 20
+	}
+
+	fs := vfs.NewFaultFS()
+	fs.RecordHistory(true)
+	if cfg.Hook != nil {
+		fs.SetHook(cfg.Hook)
+	}
+
+	w := &workload{
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		fs:    fs,
+		dumps: map[int]string{},
+	}
+	rep := &Report{}
+	rep.WorkloadErr = w.run(cfg)
+	rep.Steps = fs.Steps()
+	rep.Commits = len(w.ackStep)
+
+	points := crashPoints(rep.Steps, cfg.MaxPoints)
+	rep.Points = len(points)
+
+	for _, policy := range cfg.Policies {
+		for _, k := range points {
+			if len(rep.Violations) >= cfg.MaxViolations {
+				return rep, nil
+			}
+			v := w.checkPoint(cfg, k, policy)
+			rep.Violations = append(rep.Violations, v...)
+		}
+	}
+	return rep, nil
+}
+
+// crashPoints returns the step counts to test: 0..steps inclusive (crashing
+// before any I/O and after all of it are both valid points), strided to at
+// most max when max > 0, always keeping the final point.
+func crashPoints(steps, max int) []int {
+	total := steps + 1
+	if max <= 0 || total <= max {
+		pts := make([]int, total)
+		for i := range pts {
+			pts[i] = i
+		}
+		return pts
+	}
+	pts := make([]int, 0, max)
+	stride := float64(steps) / float64(max-1)
+	for i := 0; i < max; i++ {
+		pts = append(pts, int(float64(i)*stride+0.5))
+	}
+	pts[len(pts)-1] = steps
+	return pts
+}
+
+// workload holds the generator state shared between the live run and the
+// crash-point checks.
+type workload struct {
+	rng *rand.Rand
+	fs  *vfs.FaultFS
+
+	// ackStep[i] is the fs step count observed right after commit i+1 (the
+	// ledger seq) was acknowledged: any crash at or after that step must
+	// preserve the commit (modulo sync mode and policy).
+	ackStep []int
+	// dumps[n] is the canonical model state after the first n commits.
+	dumps map[int]string
+}
+
+// run drives the live engine and the in-memory model through the same
+// seeded statement stream, recording acknowledged commits and model dumps.
+func (w *workload) run(cfg Config) error {
+	eng, err := sqldb.OpenEngine(dbdir, sqldb.Options{
+		Name:            "crash",
+		Sync:            cfg.Sync,
+		CheckpointEvery: -1, // checkpoints are explicit workload units
+		FS:              w.fs,
+	})
+	if err != nil {
+		return fmt.Errorf("initial open: %w", err)
+	}
+	live := eng.NewSession("root")
+
+	model := sqldb.NewEngine("crash")
+	modelSess := model.NewSession("root")
+
+	// dumps[0]: the empty database, before the schema transaction commits.
+	w.dumps[0] = dumpState(modelSess)
+
+	// Unit 0 (commit #1): create the schema and open the ledger, all in one
+	// transaction so a crash either preserves everything or nothing.
+	first := []string{
+		"BEGIN",
+		"CREATE TABLE ledger (seq INT PRIMARY KEY)",
+		"CREATE TABLE kv (id INT PRIMARY KEY, val TEXT, num INT)",
+		"INSERT INTO ledger (seq) VALUES (1)",
+		"COMMIT",
+	}
+	if err := w.commitUnit(live, modelSess, first); err != nil {
+		eng.Close()
+		return err
+	}
+
+	madeIndex, madeT2 := false, false
+	for i := 0; i < cfg.Ops; i++ {
+		roll := w.rng.Intn(100)
+		switch {
+		case roll < 10:
+			// Checkpoint unit: rotate the WAL and write a snapshot. No
+			// logical state change, but plenty of crash points.
+			if err := eng.Checkpoint(); err != nil {
+				eng.Close()
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+		case roll < 25:
+			// Rollback unit: effects must never survive recovery.
+			stmts := []string{"BEGIN"}
+			for n := 1 + w.rng.Intn(3); n > 0; n-- {
+				stmts = append(stmts, w.dml())
+			}
+			stmts = append(stmts, "ROLLBACK")
+			if err := runBoth(live, modelSess, stmts); err != nil {
+				eng.Close()
+				return err
+			}
+		default:
+			// Committed unit: random DML (sometimes DDL), then the ledger
+			// row that makes the commit observable.
+			stmts := []string{"BEGIN"}
+			for n := 1 + w.rng.Intn(4); n > 0; n-- {
+				stmts = append(stmts, w.dml())
+			}
+			if !madeIndex && w.rng.Intn(4) == 0 {
+				stmts = append(stmts, "CREATE INDEX idx_num ON kv (num)")
+				madeIndex = true
+			}
+			if !madeT2 && w.rng.Intn(6) == 0 {
+				stmts = append(stmts, "CREATE TABLE t2 (id INT PRIMARY KEY, tag TEXT)")
+				madeT2 = true
+			}
+			seq := len(w.ackStep) + 1
+			stmts = append(stmts,
+				fmt.Sprintf("INSERT INTO ledger (seq) VALUES (%d)", seq),
+				"COMMIT")
+			if err := w.commitUnit(live, modelSess, stmts); err != nil {
+				eng.Close()
+				return err
+			}
+		}
+	}
+	// Closing is part of the history too: it checkpoints, so crashes during
+	// shutdown are enumerated like any other.
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	return nil
+}
+
+// commitUnit runs one committing transaction on the live engine; on
+// acknowledgement it records the ack step, replays the unit into the model,
+// and snapshots the model state.
+func (w *workload) commitUnit(live, model *sqldb.Session, stmts []string) error {
+	for i, stmt := range stmts {
+		_, err := live.Exec(stmt)
+		if isStmtError(err, i, stmts) {
+			continue // statement-level failure (e.g. PK conflict); txn continues
+		}
+		if err != nil {
+			live.Exec("ROLLBACK")
+			return fmt.Errorf("workload stmt %q: %w", stmt, err)
+		}
+	}
+	w.ackStep = append(w.ackStep, w.fs.Steps())
+	if err := replay(model, stmts); err != nil {
+		return fmt.Errorf("model replay: %w", err)
+	}
+	w.dumps[len(w.ackStep)] = dumpState(model)
+	return nil
+}
+
+// runBoth replays a non-committing unit (rollback) on both sessions.
+func runBoth(live, model *sqldb.Session, stmts []string) error {
+	for i, stmt := range stmts {
+		_, err := live.Exec(stmt)
+		if isStmtError(err, i, stmts) {
+			continue
+		}
+		if err != nil {
+			live.Exec("ROLLBACK")
+			return fmt.Errorf("workload stmt %q: %w", stmt, err)
+		}
+	}
+	return replay(model, stmts)
+}
+
+// replay runs stmts on the model, tolerating the same statement-level
+// errors the live engine tolerated (determinism makes them identical).
+func replay(model *sqldb.Session, stmts []string) error {
+	for i, stmt := range stmts {
+		_, err := model.Exec(stmt)
+		if isStmtError(err, i, stmts) {
+			continue
+		}
+		if err != nil {
+			model.Exec("ROLLBACK")
+			return fmt.Errorf("stmt %q: %w", stmt, err)
+		}
+	}
+	return nil
+}
+
+// isStmtError reports whether err is a tolerable statement-level failure:
+// a constraint violation on a random INSERT rolls back that statement only,
+// and both engines hit it identically. Errors on BEGIN/COMMIT/ROLLBACK are
+// never tolerable.
+func isStmtError(err error, i int, stmts []string) bool {
+	if err == nil {
+		return false
+	}
+	s := strings.ToUpper(strings.Fields(stmts[i] + " x")[0])
+	if s == "BEGIN" || s == "COMMIT" || s == "ROLLBACK" {
+		return false
+	}
+	return strings.Contains(err.Error(), "duplicate") ||
+		strings.Contains(err.Error(), "already exists")
+}
+
+// dml generates one random DML statement against kv.
+func (w *workload) dml() string {
+	id := 1 + w.rng.Intn(60)
+	switch w.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("INSERT INTO kv (id, val, num) VALUES (%d, 'v%d', %d)",
+			id, w.rng.Intn(1000), w.rng.Intn(500))
+	case 1:
+		return fmt.Sprintf("UPDATE kv SET val = 'u%d', num = %d WHERE id = %d",
+			w.rng.Intn(1000), w.rng.Intn(500), id)
+	case 2:
+		return fmt.Sprintf("DELETE FROM kv WHERE id = %d", id)
+	default:
+		return fmt.Sprintf("UPDATE kv SET num = num + 1 WHERE num < %d", w.rng.Intn(200))
+	}
+}
+
+// checkPoint reconstructs the disk at step k under policy, reopens the
+// engine, and checks every invariant. Each failure becomes a Violation.
+func (w *workload) checkPoint(cfg Config, k int, policy vfs.TearPolicy) []Violation {
+	fail := func(format string, args ...any) []Violation {
+		return []Violation{{Point: k, Policy: policy.String(), Desc: fmt.Sprintf(format, args...)}}
+	}
+
+	img, err := w.fs.ImageAt(k, policy, cfg.Seed)
+	if err != nil {
+		return fail("reconstructing disk image: %v", err)
+	}
+
+	eng, err := sqldb.OpenEngine(dbdir, sqldb.Options{
+		Name:            "crash",
+		Sync:            cfg.Sync,
+		CheckpointEvery: -1,
+		FS:              img,
+	})
+	if err != nil {
+		return fail("recovery failed to open: %v", err)
+	}
+
+	var vs []Violation
+	add := func(format string, args ...any) {
+		vs = append(vs, Violation{Point: k, Policy: policy.String(), Desc: fmt.Sprintf(format, args...)})
+	}
+
+	sess := eng.NewSession("root")
+	p, err := ledgerPrefix(sess)
+	if err != nil {
+		add("ledger check: %v", err)
+	}
+
+	// Durability: every commit acknowledged at or before step k must be
+	// visible. Process kill preserves the page cache, so this holds in
+	// every sync mode; under power loss it only holds when the engine
+	// promised fsync-before-ack (i.e. not SyncOff).
+	if err == nil && (policy == vfs.TearKill || cfg.Sync != sqldb.SyncOff) {
+		if minP := ackedBy(w.ackStep, k); p < minP {
+			add("durability: %d commits were acknowledged by step %d but only %d survived recovery", minP, k, p)
+		}
+	}
+
+	// Atomicity/consistency: the recovered database must be exactly the
+	// model state after its surviving commit prefix — no partial
+	// transactions, no resurrected rollbacks.
+	if err == nil {
+		want, ok := w.dumps[p]
+		if !ok {
+			add("recovered ledger prefix %d exceeds the %d commits the workload made", p, len(w.ackStep))
+		} else if got := dumpState(sess); got != want {
+			add("state mismatch after %d recovered commits:\n--- recovered ---\n%s--- expected ---\n%s", p, got, want)
+		}
+	}
+
+	if errs := eng.CheckConsistency(); len(errs) > 0 {
+		add("internal consistency: %v", errs[0])
+	}
+
+	firstDump := dumpState(sess)
+	if err := eng.Close(); err != nil {
+		add("close after recovery: %v", err)
+	}
+
+	// Idempotence: recovering the recovered directory must change nothing.
+	eng2, err := sqldb.OpenEngine(dbdir, sqldb.Options{
+		Name: "crash", Sync: cfg.Sync, CheckpointEvery: -1, FS: img,
+	})
+	if err != nil {
+		add("second reopen failed: %v", err)
+		return append([]Violation{}, vs...)
+	}
+	if got := dumpState(eng2.NewSession("root")); got != firstDump {
+		add("second reopen changed the state:\n--- first ---\n%s--- second ---\n%s", firstDump, got)
+	}
+	eng2.Close()
+	return vs
+}
+
+// ledgerPrefix reads the ledger and verifies it is exactly {1..P},
+// returning P. A missing ledger table is the empty prefix (the schema
+// transaction did not survive).
+func ledgerPrefix(s *sqldb.Session) (int, error) {
+	res, err := s.Exec("SELECT seq FROM ledger")
+	if err != nil {
+		var nf *sqldb.NotFoundError
+		if errors.As(err, &nf) {
+			return 0, nil // the schema transaction did not survive
+		}
+		return 0, fmt.Errorf("reading ledger: %w", err)
+	}
+	seqs := make([]int, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if row[0].Kind != sqldb.KindInt {
+			return 0, fmt.Errorf("ledger seq %v is not an integer", row[0])
+		}
+		seqs = append(seqs, int(row[0].I))
+	}
+	sort.Ints(seqs)
+	for i, n := range seqs {
+		if n != i+1 {
+			return 0, fmt.Errorf("ledger is not a contiguous prefix: %v", seqs)
+		}
+	}
+	return len(seqs), nil
+}
+
+// ackedBy returns how many commits were acknowledged at or before step k.
+func ackedBy(ackStep []int, k int) int {
+	n := 0
+	for _, s := range ackStep {
+		if s <= k {
+			n++
+		}
+	}
+	return n
+}
+
+// dumpState renders the workload tables into a canonical, order-independent
+// text form. Both the model and recovered engines are dumped through it, so
+// equality of the strings is equality of logical state.
+func dumpState(s *sqldb.Session) string {
+	var b strings.Builder
+	for _, t := range workTables {
+		res, err := s.Exec("SELECT * FROM " + t)
+		if err != nil {
+			fmt.Fprintf(&b, "%s: absent\n", t)
+			continue
+		}
+		fmt.Fprintf(&b, "%s (%s):\n", t, strings.Join(res.Columns, ","))
+		rows := make([]string, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			keys := make([]string, len(row))
+			for i, v := range row {
+				keys[i] = v.Key()
+			}
+			rows = append(rows, "  "+strings.Join(keys, "|"))
+		}
+		sort.Strings(rows)
+		for _, r := range rows {
+			b.WriteString(r + "\n")
+		}
+	}
+	return b.String()
+}

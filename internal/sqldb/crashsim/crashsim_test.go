@@ -1,0 +1,110 @@
+package crashsim
+
+import (
+	"testing"
+
+	"bridgescope/internal/sqldb"
+	"bridgescope/internal/sqldb/vfs"
+)
+
+// TestCrashSimAllPoints is the smoke run: a seeded workload under each sync
+// mode, every recorded I/O step enumerated as a crash point under every tear
+// policy. Zero violations means every acknowledged commit survived, no
+// partial or rolled-back effects resurfaced, internal structures stayed
+// consistent, and recovery was idempotent at every single point.
+func TestCrashSimAllPoints(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sync sqldb.SyncMode
+	}{
+		{"always", sqldb.SyncAlways},
+		{"batch", sqldb.SyncBatch},
+		{"off", sqldb.SyncOff},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Config{Seed: 42, Ops: 14, Sync: tc.sync})
+			if err != nil {
+				t.Fatalf("crashsim run: %v", err)
+			}
+			if rep.WorkloadErr != nil {
+				t.Fatalf("workload failed: %v", rep.WorkloadErr)
+			}
+			if rep.Commits < 5 {
+				t.Fatalf("workload only committed %d transactions; seed produced a degenerate run", rep.Commits)
+			}
+			if rep.Points != rep.Steps+1 {
+				t.Fatalf("expected every I/O step enumerated (%d+1 points), got %d", rep.Steps, rep.Points)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			t.Logf("sync=%s: %d steps, %d points x 3 policies, %d commits, 0 violations",
+				tc.sync, rep.Steps, rep.Points, rep.Commits)
+		})
+	}
+}
+
+// TestCrashSimSecondSeed varies the seed so the DML mix, checkpoint timing,
+// and rollback placement differ from the smoke run.
+func TestCrashSimSecondSeed(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Config{Seed: 7, Ops: 10, Sync: sqldb.SyncBatch})
+	if err != nil {
+		t.Fatalf("crashsim run: %v", err)
+	}
+	if rep.WorkloadErr != nil {
+		t.Fatalf("workload failed: %v", rep.WorkloadErr)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+// TestCrashSimCatchesLyingFsync proves the simulator is not vacuously
+// green: a deliberately broken build whose fsyncs report success without
+// persisting anything must produce durability violations under power loss.
+// If this test ever fails, the simulator has lost its teeth.
+func TestCrashSimCatchesLyingFsync(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Config{
+		Seed:     42,
+		Ops:      12,
+		Sync:     sqldb.SyncAlways,
+		Policies: []vfs.TearPolicy{vfs.TearLoseUnsynced},
+		Hook: func(op vfs.Op) *vfs.Fault {
+			if op.Kind == vfs.OpSync || op.Kind == vfs.OpSyncDir {
+				return &vfs.Fault{LieSync: true}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("crashsim run: %v", err)
+	}
+	if rep.WorkloadErr != nil {
+		t.Fatalf("workload failed: %v", rep.WorkloadErr)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("a build that skips fsync survived power-loss simulation: the simulator failed to detect the broken durability promise")
+	}
+	t.Logf("lying fsync correctly detected: %d violations, first: %s", len(rep.Violations), rep.Violations[0])
+}
+
+// TestCrashSimBounded exercises the MaxPoints stride used by CI: the final
+// state must always be among the tested points.
+func TestCrashSimBounded(t *testing.T) {
+	t.Parallel()
+	rep, err := Run(Config{Seed: 3, Ops: 8, Sync: sqldb.SyncAlways, MaxPoints: 25,
+		Policies: []vfs.TearPolicy{vfs.TearKill}})
+	if err != nil {
+		t.Fatalf("crashsim run: %v", err)
+	}
+	if rep.Points > 25 {
+		t.Fatalf("MaxPoints=25 but %d points tested", rep.Points)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -156,6 +157,16 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 		return &Result{Message: "ROLLBACK"}, nil, nil
 	}
 
+	// A degraded engine is read-only: refuse write statements before they do
+	// any memory work, so the heap never diverges from what the WAL can
+	// honestly make durable. SELECT/EXPLAIN (and the transaction control
+	// handled above) keep working.
+	if !readOnly {
+		if derr := e.checkWritable(); derr != nil {
+			return nil, nil, derr
+		}
+	}
+
 	// A transaction aborted by a write conflict refuses further statements
 	// until it is rolled back (PostgreSQL's aborted-transaction state).
 	if s.txn != nil && s.txn.aborted {
@@ -194,9 +205,11 @@ func (s *Session) execStmtLocked(stmt Stmt, sql string) (*Result, *syncToken, er
 
 // noteConflict records a serialization failure: the conflict counter ticks,
 // and an open transaction is marked aborted — its snapshot is stale, so the
-// only useful continuation is ROLLBACK and retry.
+// only useful continuation is ROLLBACK and retry. Degraded-engine refusals
+// are retryable too but are not conflicts: they neither count here nor
+// poison the transaction (its snapshot is still good for reads).
 func (s *Session) noteConflict(err error) {
-	if err == nil || !IsRetryable(err) {
+	if err == nil || !errors.Is(err, ErrWriteConflict) {
 		return
 	}
 	s.engine.writeConflicts.Add(1)
@@ -240,6 +253,13 @@ func (s *Session) execCachedLocked(ent *cachedStmt, sql string) (res *Result, do
 		return nil, false, nil, nil
 	}
 	e.plans.hits.Add(1)
+	if !ent.readOnly {
+		// Same read-only gate as the cold path: a degraded engine refuses
+		// cached DML before any memory mutation.
+		if derr := e.checkWritable(); derr != nil {
+			return nil, true, nil, derr
+		}
+	}
 	if s.txn != nil && s.txn.aborted {
 		return nil, true, nil, fmt.Errorf("current transaction is aborted by a write conflict; ROLLBACK and retry: %w", ErrWriteConflict)
 	}

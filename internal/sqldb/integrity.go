@@ -1,0 +1,149 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckConsistency audits the engine's internal invariants over the latest
+// committed state: heap bijections, primary-key and unique-index uniqueness,
+// and index membership for every visible row. It returns every violation
+// found (nil means the engine is consistent). The crash simulator runs it
+// after every simulated reopen, so a recovery path that rebuilds the heap
+// but forgets an index face fails loudly instead of surfacing later as a
+// wrong query result.
+func (e *Engine) CheckConsistency() []error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var errs []error
+	for _, lo := range e.tableOrder {
+		t := e.tables[lo]
+		if t == nil {
+			errs = append(errs, fmt.Errorf("table order names %q but the catalog has no such table", lo))
+			continue
+		}
+		errs = append(errs, t.checkConsistency()...)
+	}
+	// Every cataloged table must be reachable from the order (the pair is
+	// maintained together; drift means a DDL path updated one but not the
+	// other).
+	if len(e.tables) != len(e.tableOrder) {
+		errs = append(errs, fmt.Errorf("catalog holds %d tables but the order lists %d", len(e.tables), len(e.tableOrder)))
+	}
+	return errs
+}
+
+// checkConsistency audits one table; the caller holds the engine lock.
+func (t *Table) checkConsistency() []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("table %q: "+format, append([]any{t.Name}, args...)...))
+	}
+
+	// Heap: rows and byID must be the same set, ids unique, allocator ahead
+	// of every allocated id.
+	seen := make(map[int64]bool, len(t.rows))
+	for _, entry := range t.rows {
+		if seen[entry.id] {
+			fail("row id %d appears twice in the heap", entry.id)
+		}
+		seen[entry.id] = true
+		if t.byID[entry.id] != entry {
+			fail("row id %d is not mapped to its heap entry in byID", entry.id)
+		}
+		if entry.id > t.nextID {
+			fail("row id %d exceeds the allocator watermark %d", entry.id, t.nextID)
+		}
+	}
+	if len(t.byID) != len(t.rows) {
+		fail("byID holds %d entries but the heap holds %d", len(t.byID), len(t.rows))
+	}
+
+	// Latest committed state: PK uniqueness, unique-index uniqueness, and
+	// membership of every visible row in the PK map and each index bucket.
+	pkSeen := map[string]int64{}
+	uniqueSeen := map[string]map[string]int64{}
+	for col := range t.indexes {
+		uniqueSeen[col] = map[string]int64{}
+	}
+	_ = t.visibleRows(latestView(nil), func(entry *rowEntry, rv *rowVersion) error {
+		if len(rv.vals) != len(t.Columns) {
+			fail("row %d has %d values for %d columns", entry.id, len(rv.vals), len(t.Columns))
+			return nil
+		}
+		if len(t.pkCols) > 0 {
+			key := t.pkKey(rv.vals)
+			if prev, dup := pkSeen[key]; dup {
+				fail("primary key %q is held by both row %d and row %d", key, prev, entry.id)
+			}
+			pkSeen[key] = entry.id
+			if !containsID(t.pkMap[key], entry.id) {
+				fail("row %d is missing from the primary-key map under %q", entry.id, key)
+			}
+		}
+		for col, ix := range t.indexes {
+			v := rv.vals[ix.col]
+			key := v.Key()
+			if !containsID(ix.m[key], entry.id) {
+				fail("row %d is missing from index %q bucket %q", entry.id, ix.Name, key)
+			}
+			if ix.Unique && !v.IsNull() {
+				if prev, dup := uniqueSeen[col][key]; dup {
+					fail("unique index %q value %q is held by both row %d and row %d", ix.Name, key, prev, entry.id)
+				}
+				uniqueSeen[col][key] = entry.id
+			}
+		}
+		return nil
+	})
+
+	// Secondary structures must only reference live heap entries, and the
+	// ordered face must stay a sorted set consistent with the hash face.
+	for key, ids := range t.pkMap {
+		for _, id := range ids {
+			if t.byID[id] == nil {
+				fail("primary-key map bucket %q references unknown row id %d", key, id)
+			}
+		}
+	}
+	for col, ix := range t.indexes {
+		if ix.col < 0 || ix.col >= len(t.Columns) || !strings.EqualFold(t.Columns[ix.col].Name, ix.Column) {
+			fail("index %q column position %d does not resolve to column %q", ix.Name, ix.col, ix.Column)
+			continue
+		}
+		if col != strings.ToLower(ix.Column) {
+			fail("index %q is filed under key %q, not its column", ix.Name, col)
+		}
+		for key, ids := range ix.m {
+			for _, id := range ids {
+				if t.byID[id] == nil {
+					fail("index %q bucket %q references unknown row id %d", ix.Name, key, id)
+				}
+			}
+		}
+		for i, v := range ix.ord {
+			if v.IsNull() {
+				fail("index %q ordered face holds a NULL at position %d", ix.Name, i)
+				continue
+			}
+			if i > 0 && orderCompare(ix.ord[i-1], v) >= 0 {
+				fail("index %q ordered face is not strictly sorted at position %d", ix.Name, i)
+			}
+			if _, ok := ix.m[v.Key()]; !ok {
+				fail("index %q ordered value %q has no hash bucket", ix.Name, v.Key())
+			}
+		}
+	}
+	return errs
+}
+
+// containsID reports whether the sorted id slice holds id (linear scan: the
+// checker is a test/diagnostic path, buckets are small).
+func containsID(ids []int64, id int64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

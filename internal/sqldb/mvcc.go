@@ -120,9 +120,13 @@ func (e *SerializationError) Error() string {
 // Is makes errors.Is(err, ErrWriteConflict) true for SerializationErrors.
 func (e *SerializationError) Is(target error) bool { return target == ErrWriteConflict }
 
-// IsRetryable reports whether err is a serialization failure the caller can
-// resolve by rolling back and retrying the transaction.
-func IsRetryable(err error) bool { return errors.Is(err, ErrWriteConflict) }
+// IsRetryable reports whether err is a failure the caller can resolve by
+// retrying the transaction: a serialization conflict (retry immediately
+// after rolling back) or a degraded-engine refusal (retry after the
+// operator fixes the disk — the write was cleanly rejected, not torn).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDegraded)
+}
 
 // checkWriteConflict enforces first-committer-wins before t mutates e: the
 // chain head must be either this transaction's own version or a committed

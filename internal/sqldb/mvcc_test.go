@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 func mvccEngine(t *testing.T) (*Engine, *Session) {
@@ -639,7 +641,7 @@ func TestCreateUniqueIndexPendingWrite(t *testing.T) {
 // stamp instead of leaving rows in the future.
 func TestReplayFrameWithoutCommitRecord(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newWAL(dir, SyncAlways, 1, 0)
+	w, err := newWAL(vfs.OS(), dir, SyncAlways, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

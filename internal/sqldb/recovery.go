@@ -3,10 +3,11 @@ package sqldb
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
-	"syscall"
+	"strings"
 	"time"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // Options configures a persistent engine opened with OpenEngine.
@@ -25,6 +26,9 @@ type Options struct {
 	// CheckpointBytes is the WAL-size threshold that triggers a background
 	// checkpoint. 0 means the 4 MiB default.
 	CheckpointBytes int64
+	// FS is the filesystem the durability stack runs on. Nil means the real
+	// OS; tests inject a vfs.FaultFS to simulate I/O errors and crashes.
+	FS vfs.FS
 }
 
 const (
@@ -42,19 +46,25 @@ func OpenEngine(dir string, opts Options) (*Engine, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sqldb: OpenEngine requires a directory (use NewEngine for in-memory)")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("sqldb: %w", err)
 	}
-	lock, err := acquireDirLock(dir)
+	lock, err := acquireDirLock(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	// A crash between CreateTemp and the rename orphans a snap-*.tmp that
 	// nothing else deletes (retire only matches committed names). The dir
 	// lock guarantees no writer is mid-checkpoint, so sweep them here.
-	if tmps, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); err == nil {
-		for _, p := range tmps {
-			_ = os.Remove(p)
+	if names, err := fsys.ReadDir(dir); err == nil {
+		for _, n := range names {
+			if strings.HasPrefix(n, "snap-") && strings.HasSuffix(n, ".tmp") {
+				_ = fsys.Remove(filepath.Join(dir, n))
+			}
 		}
 	}
 	name := opts.Name
@@ -62,17 +72,22 @@ func OpenEngine(dir string, opts Options) (*Engine, error) {
 		name = filepath.Base(dir)
 	}
 
-	e, seg, lsn, err := recoverEngine(dir, name)
+	e, seg, lsn, err := recoverEngine(fsys, dir, name)
 	if err != nil {
 		releaseDirLock(lock)
 		return nil, err
 	}
 
-	w, err := newWAL(dir, opts.Sync, seg, lsn)
+	// A WAL write/fsync failure means acknowledged durability can no longer
+	// be promised; park the engine in read-only degraded mode on the spot.
+	w, err := newWAL(fsys, dir, opts.Sync, seg, lsn, func(werr error) {
+		e.degrade("wal", werr)
+	})
 	if err != nil {
 		releaseDirLock(lock)
 		return nil, fmt.Errorf("sqldb: opening WAL: %w", err)
 	}
+	e.fs = fsys
 	e.dir = dir
 	e.lockFile = lock
 	e.wal.Store(w)
@@ -133,32 +148,31 @@ func OpenEngine(dir string, opts Options) (*Engine, error) {
 // acquireDirLock takes an exclusive advisory lock on dir/LOCK. The lock is
 // released by Close — or by the OS when the process dies, so a crash never
 // strands a stale lock.
-func acquireDirLock(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+func acquireDirLock(fsys vfs.FS, dir string) (vfs.Unlocker, error) {
+	lock, err := fsys.Lock(filepath.Join(dir, "LOCK"))
 	if err != nil {
+		var held *vfs.LockHeldError
+		if errors.As(err, &held) {
+			return nil, fmt.Errorf("sqldb: database %q is already open in another engine (lock held on %s)",
+				dir, held.Path)
+		}
 		return nil, fmt.Errorf("sqldb: %w", err)
 	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("sqldb: database %q is already open in another engine (lock held on %s)",
-			dir, filepath.Join(dir, "LOCK"))
-	}
-	return f, nil
+	return lock, nil
 }
 
-func releaseDirLock(f *os.File) {
-	if f == nil {
+func releaseDirLock(lock vfs.Unlocker) {
+	if lock == nil {
 		return
 	}
-	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
-	_ = f.Close()
+	_ = lock.Unlock()
 }
 
 // recoverEngine rebuilds engine state from dir: newest valid snapshot first,
 // then the WAL tail. It returns the segment to keep appending to and the
 // last LSN seen.
-func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
-	snaps, err := listNumbered(dir, "snap", ".snap")
+func recoverEngine(fsys vfs.FS, dir, name string) (*Engine, uint64, uint64, error) {
+	snaps, err := listNumbered(fsys, dir, "snap", ".snap")
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("sqldb: %w", err)
 	}
@@ -169,7 +183,7 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 	// Newest snapshot first; a corrupt one (CRC, torn rename) falls back to
 	// the next older, and with none at all the whole WAL is replayed.
 	for i := len(snaps) - 1; i >= 0; i-- {
-		data, err := os.ReadFile(snapPath(dir, snaps[i]))
+		data, err := fsys.ReadFile(snapPath(dir, snaps[i]))
 		if err != nil {
 			continue
 		}
@@ -184,7 +198,7 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 		break
 	}
 
-	segs, err := listNumbered(dir, "wal", ".log")
+	segs, err := listNumbered(fsys, dir, "wal", ".log")
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("sqldb: %w", err)
 	}
@@ -206,11 +220,11 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 		if stopped {
 			// Everything after a torn/corrupt frame is suspect; drop it so
 			// the log stays a valid prefix.
-			_ = os.Remove(segPath(dir, seg))
+			_ = fsys.Remove(segPath(dir, seg))
 			continue
 		}
 		curSeg = seg
-		segLSN, valid, complete, err := replaySegment(replayer, segPath(dir, seg))
+		segLSN, valid, complete, err := replaySegment(fsys, replayer, segPath(dir, seg))
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -220,7 +234,7 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 		if !complete {
 			// Torn tail: truncate to the last valid frame and stop replay —
 			// this is the crash-recovery cut point.
-			if err := os.Truncate(segPath(dir, seg), valid); err != nil {
+			if err := fsys.Truncate(segPath(dir, seg), valid); err != nil {
 				return nil, 0, 0, fmt.Errorf("sqldb: truncating torn WAL tail: %w", err)
 			}
 			stopped = true
@@ -246,8 +260,8 @@ func recoverEngine(dir, name string) (*Engine, uint64, uint64, error) {
 // application error on a CRC-valid frame is different: it means the log
 // itself is inconsistent, and it fails the open loudly rather than silently
 // truncating away acknowledged commits that follow it.
-func replaySegment(s *Session, path string) (lsn uint64, valid int64, complete bool, err error) {
-	data, err := os.ReadFile(path)
+func replaySegment(fsys vfs.FS, s *Session, path string) (lsn uint64, valid int64, complete bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, false, fmt.Errorf("sqldb: %w", err)
 	}
@@ -433,15 +447,29 @@ func (e *Engine) Checkpoint() error {
 	}
 	newSeg, err := w.rotate()
 	if err != nil {
-		return fmt.Errorf("sqldb: checkpoint rotate: %w", err)
+		// Rotation failure is fail-stop on the WAL side (rotate already
+		// recorded it); park the engine in degraded mode and remember the
+		// error for \checkpoint / Health.
+		err = fmt.Errorf("sqldb: checkpoint rotate: %w", err)
+		e.degrade("checkpoint", err)
+		e.noteCkptErr(err)
+		return err
 	}
 	e.mu.RLock()
 	data := encodeSnapshot(e, newSeg)
 	e.mu.RUnlock()
 
-	if err := writeSnapshotFile(e.dir, newSeg, data); err != nil {
-		return fmt.Errorf("sqldb: checkpoint write: %w", err)
+	if err := writeSnapshotFile(e.fs, e.dir, newSeg, data); err != nil {
+		// The snapshot never landed (the atomic rename protocol leaves the
+		// previous one intact), but ENOSPC/EIO here means durability
+		// maintenance can no longer make progress: degrade rather than let
+		// the WAL grow unboundedly while checkpoints silently fail.
+		err = fmt.Errorf("sqldb: checkpoint write: %w", err)
+		e.degrade("checkpoint", err)
+		e.noteCkptErr(err)
+		return err
 	}
+	e.noteCkptErr(nil)
 	e.lastCkptLSN = lsn
 	e.lastCkptVersion = ver
 	w.mu.Lock()

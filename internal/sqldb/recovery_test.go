@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // crashCopy simulates a crash: the WAL and snapshot files are copied to a
@@ -238,7 +240,7 @@ func TestWALTornTailRecovery(t *testing.T) {
 		s.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
 	}
 
-	segs, err := listNumbered(dir, "wal", ".log")
+	segs, err := listNumbered(vfs.OS(), dir, "wal", ".log")
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("expected one WAL segment, got %v (%v)", segs, err)
 	}
@@ -381,11 +383,11 @@ func TestCheckpointDuringOpenTransaction(t *testing.T) {
 
 	s.MustExec(`BEGIN`)
 	s.MustExec(`INSERT INTO t VALUES (2)`)
-	snapsBefore, _ := listNumbered(dir, "snap", ".snap")
+	snapsBefore, _ := listNumbered(vfs.OS(), dir, "snap", ".snap")
 	if err := e.Checkpoint(); err != nil {
 		t.Fatalf("Checkpoint with open txn = %v, want success", err)
 	}
-	snapsAfter, _ := listNumbered(dir, "snap", ".snap")
+	snapsAfter, _ := listNumbered(vfs.OS(), dir, "snap", ".snap")
 	if len(snapsAfter) == len(snapsBefore) {
 		t.Fatal("checkpoint did not write a snapshot")
 	}
@@ -769,8 +771,8 @@ func TestCheckpointRetiresSegments(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segs, _ := listNumbered(dir, "wal", ".log")
-	snaps, _ := listNumbered(dir, "snap", ".snap")
+	segs, _ := listNumbered(vfs.OS(), dir, "wal", ".log")
+	snaps, _ := listNumbered(vfs.OS(), dir, "snap", ".snap")
 	if len(segs) != 1 {
 		t.Fatalf("old WAL segments not retired: %v", segs)
 	}
@@ -778,11 +780,11 @@ func TestCheckpointRetiresSegments(t *testing.T) {
 		t.Fatalf("old snapshots not retired: %v", snaps)
 	}
 	// A checkpoint with no changes since the last one is skipped.
-	before, _ := listNumbered(dir, "snap", ".snap")
+	before, _ := listNumbered(vfs.OS(), dir, "snap", ".snap")
 	if err := e.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := listNumbered(dir, "snap", ".snap")
+	after, _ := listNumbered(vfs.OS(), dir, "snap", ".snap")
 	if len(after) != len(before) || after[0] != before[0] {
 		t.Fatalf("no-op checkpoint still wrote a snapshot: %v -> %v", before, after)
 	}
@@ -932,7 +934,7 @@ func TestOpenRefusedWhenSnapshotUnloadableAndHistoryRetired(t *testing.T) {
 	d := crashCopy(t, dir)
 	e.Close()
 
-	snaps, _ := listNumbered(d, "snap", ".snap")
+	snaps, _ := listNumbered(vfs.OS(), d, "snap", ".snap")
 	if len(snaps) != 1 {
 		t.Fatalf("expected exactly one snapshot, got %v", snaps)
 	}
@@ -949,7 +951,7 @@ func TestOpenRefusedWhenSnapshotUnloadableAndHistoryRetired(t *testing.T) {
 // commit instead of acknowledging writes that cannot survive a restart.
 func TestWALFailStopAfterIOError(t *testing.T) {
 	dir := t.TempDir()
-	w, err := newWAL(dir, SyncAlways, 1, 0)
+	w, err := newWAL(vfs.OS(), dir, SyncAlways, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

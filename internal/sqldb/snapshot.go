@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
-	"path/filepath"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // A snapshot is a point-in-time copy of the whole catalog — grants, tables
@@ -321,13 +321,16 @@ func parseExprSQL(s string) (Expr, error) {
 	return sel.Items[0].Expr, nil
 }
 
-// writeSnapshotFile atomically persists snapshot bytes for walSeg.
-func writeSnapshotFile(dir string, walSeg uint64, data []byte) error {
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+// writeSnapshotFile atomically persists snapshot bytes for walSeg: temp
+// file, write, fsync, rename into place, directory fsync. A failure at any
+// step leaves the previous snapshot (or none) intact; the orphaned temp file
+// is removed here on error and swept by the next OpenEngine after a crash.
+func writeSnapshotFile(fsys vfs.FS, dir string, walSeg uint64, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name())
+	defer fsys.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -339,13 +342,9 @@ func writeSnapshotFile(dir string, walSeg uint64, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), snapPath(dir, walSeg)); err != nil {
+	if err := fsys.Rename(tmp.Name(), snapPath(dir, walSeg)); err != nil {
 		return err
 	}
 	// fsync the directory so the rename itself survives a crash.
-	if d, err := os.Open(filepath.Clean(dir)); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
-	return nil
+	return fsys.SyncDir(dir)
 }

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sync"
 	"testing"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // maxDiskLSN parses every WAL segment in dir and returns the highest LSN
@@ -25,7 +27,7 @@ import (
 // replay).
 func maxDiskLSN(t *testing.T, dir string) uint64 {
 	t.Helper()
-	segs, err := listNumbered(dir, "wal", ".log")
+	segs, err := listNumbered(vfs.OS(), dir, "wal", ".log")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -350,6 +350,20 @@ func (s *Session) commitTx() (*syncToken, error) {
 	}
 	tx := s.txn
 	e := s.engine
+	if len(tx.undo) > 0 || len(tx.redo) > 0 {
+		// The engine went read-only (durability I/O failure) while this
+		// transaction was open: its writes can no longer be honestly made
+		// durable, so COMMIT rolls them back and reports the degraded state.
+		// A read-only transaction commits fine.
+		if derr := e.checkWritable(); derr != nil {
+			e.mu.Lock()
+			tx.rollback(e)
+			e.mu.Unlock()
+			s.txn = nil
+			e.unregisterTxn(tx)
+			return nil, fmt.Errorf("transaction rolled back: %w", derr)
+		}
+	}
 	// Deregister first so the GC horizon no longer includes our own
 	// snapshot when vacuum runs below.
 	e.unregisterTxn(tx)

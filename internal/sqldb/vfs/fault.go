@@ -1,0 +1,614 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OpKind identifies one class of filesystem operation for fault hooks and
+// crash-point enumeration.
+type OpKind uint8
+
+const (
+	OpOpen OpKind = iota // OpenFile creating or opening a file
+	OpCreateTemp
+	OpWrite
+	OpSync
+	OpSyncDir
+	OpRename
+	OpRemove
+	OpTruncate
+	OpReadFile
+	OpReadDir
+)
+
+// String returns a short spelling for reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpOpen:
+		return "open"
+	case OpCreateTemp:
+		return "create-temp"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpSyncDir:
+		return "sync-dir"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpReadFile:
+		return "read-file"
+	case OpReadDir:
+		return "read-dir"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op describes one filesystem operation as it is about to execute. Step is
+// the index the operation will occupy in the mutating-op history (reads
+// carry the current counter without consuming an index).
+type Op struct {
+	Step int
+	Kind OpKind
+	Path string // primary path (destination for renames)
+	From string // rename source
+	N    int    // payload length for writes
+}
+
+// Fault is a hook's injection decision for one operation.
+type Fault struct {
+	// Err is returned to the caller. The operation is not applied — except
+	// writes, which first apply Partial bytes (an ENOSPC mid-frame tears the
+	// write exactly there).
+	Err error
+	// Partial is how many payload bytes a failing write applies first.
+	Partial int
+	// LieSync makes a Sync or SyncDir report success without making
+	// anything durable — the "firmware lies about flush" fault shape.
+	LieSync bool
+}
+
+// TearPolicy selects how unfsynced data fares in a crash image.
+type TearPolicy uint8
+
+const (
+	// TearKill models a process kill (OS survives): the page cache view is
+	// what the next open sees — every completed write, rename, and remove.
+	TearKill TearPolicy = iota
+	// TearLoseUnsynced models a strict power loss: only fsynced bytes and
+	// dir-synced (or file-fsynced) name operations survive.
+	TearLoseUnsynced
+	// TearPartial models power loss with a partially flushed page cache:
+	// each file keeps a seeded-random prefix of its unsynced tail, so frames
+	// tear at arbitrary byte offsets.
+	TearPartial
+)
+
+// String returns the policy name for reports.
+func (p TearPolicy) String() string {
+	switch p {
+	case TearKill:
+		return "kill"
+	case TearLoseUnsynced:
+		return "power-loss"
+	case TearPartial:
+		return "power-loss-torn"
+	}
+	return fmt.Sprintf("tear(%d)", int(p))
+}
+
+// memFile is one simulated file: the page-cache content, how much of it is
+// known durable, and the directory-entry name that would survive power loss.
+type memFile struct {
+	name    string // current (page-cache) path; "" once removed
+	data    []byte
+	synced  int    // prefix of data on stable storage
+	durName string // dentry that survives power loss; "" = none yet
+}
+
+// histOp is one recorded mutating operation, replayable to reconstruct the
+// disk model at any historical step.
+type histOp struct {
+	op   Op
+	data []byte // write payload (after any injected tear)
+	size int64  // truncate target
+}
+
+// FaultFS is an in-memory filesystem implementing FS with three extra
+// powers: a fault hook consulted before every operation, a recorded history
+// of mutating operations, and crash imaging — reconstructing the durable
+// state the disk would hold if power were lost at any recorded step.
+//
+// The durability model mirrors journaling filesystems in ordered mode:
+//
+//   - writes land in the page cache; Sync makes the file's current content
+//     AND its directory entry durable (fsync commits the inode and, on
+//     ext4/xfs in practice, the dentry with it);
+//   - renames and removes are applied to the live namespace immediately but
+//     survive power loss only after SyncDir (a removed-but-not-dir-synced
+//     file reappears in the crash image with its durable content);
+//   - unsynced bytes are lost, kept, or torn at an arbitrary offset
+//     depending on the TearPolicy.
+type FaultFS struct {
+	mu     sync.Mutex
+	files  map[string]*memFile
+	ghosts []*memFile // removed/renamed-over files with a surviving dentry
+	locks  map[string]bool
+	tmpSeq int
+
+	steps  int
+	hist   []histOp
+	record bool
+
+	hook func(Op) *Fault
+}
+
+// NewFaultFS returns an empty in-memory filesystem.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: map[string]*memFile{}, locks: map[string]bool{}}
+}
+
+// SetHook installs (or clears, with nil) the fault hook. The hook runs with
+// the filesystem lock held; it must not call back into the FaultFS.
+func (m *FaultFS) SetHook(hook func(Op) *Fault) {
+	m.mu.Lock()
+	m.hook = hook
+	m.mu.Unlock()
+}
+
+// RecordHistory turns on mutating-op recording for ImageAt.
+func (m *FaultFS) RecordHistory(on bool) {
+	m.mu.Lock()
+	m.record = on
+	m.mu.Unlock()
+}
+
+// Steps returns how many mutating operations have been applied.
+func (m *FaultFS) Steps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.steps
+}
+
+// consult runs the hook for op. The caller holds mu.
+func (m *FaultFS) consult(op Op) *Fault {
+	if m.hook == nil {
+		return nil
+	}
+	op.Step = m.steps
+	return m.hook(op)
+}
+
+// note records a completed mutating operation. The caller holds mu.
+func (m *FaultFS) note(h histOp) {
+	h.op.Step = m.steps
+	m.steps++
+	if m.record {
+		m.hist = append(m.hist, h)
+	}
+}
+
+// --- FS implementation ---
+
+// MkdirAll is a no-op: the model's namespace is flat path strings.
+func (m *FaultFS) MkdirAll(string) error { return nil }
+
+func (m *FaultFS) OpenFile(name string, flag int) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpOpen, Path: name}); f != nil && f.Err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: f.Err}
+	}
+	f := m.files[name]
+	if f == nil {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = m.applyCreate(name)
+	} else if flag&os.O_TRUNC != 0 {
+		m.applyTruncate(f, 0)
+	}
+	return &faultFile{fs: m, f: f, name: name}, nil
+}
+
+func (m *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tmpSeq++
+	base := strings.Replace(pattern, "*", fmt.Sprintf("%09d", m.tmpSeq), 1)
+	name := filepath.Join(dir, base)
+	if f := m.consult(Op{Kind: OpCreateTemp, Path: name}); f != nil && f.Err != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: name, Err: f.Err}
+	}
+	if m.files[name] != nil {
+		return nil, &os.PathError{Op: "createtemp", Path: name, Err: os.ErrExist}
+	}
+	f := m.applyCreate(name)
+	return &faultFile{fs: m, f: f, name: name}, nil
+}
+
+func (m *FaultFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpReadFile, Path: name}); f != nil && f.Err != nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: f.Err}
+	}
+	f := m.files[name]
+	if f == nil {
+		return nil, &os.PathError{Op: "read", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+func (m *FaultFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpReadDir, Path: dir}); f != nil && f.Err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: dir, Err: f.Err}
+	}
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *FaultFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpRename, Path: newpath, From: oldpath}); f != nil && f.Err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: f.Err}
+	}
+	if m.files[oldpath] == nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: os.ErrNotExist}
+	}
+	m.applyRename(oldpath, newpath)
+	m.note(histOp{op: Op{Kind: OpRename, Path: newpath, From: oldpath}})
+	return nil
+}
+
+func (m *FaultFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpRemove, Path: name}); f != nil && f.Err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: f.Err}
+	}
+	if m.files[name] == nil {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	m.applyRemove(name)
+	m.note(histOp{op: Op{Kind: OpRemove, Path: name}})
+	return nil
+}
+
+func (m *FaultFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpTruncate, Path: name}); f != nil && f.Err != nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: f.Err}
+	}
+	f := m.files[name]
+	if f == nil {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	m.applyTruncate(f, size)
+	m.note(histOp{op: Op{Kind: OpTruncate, Path: name}, size: size})
+	return nil
+}
+
+func (m *FaultFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.consult(Op{Kind: OpSyncDir, Path: dir}); f != nil {
+		if f.Err != nil {
+			return &os.PathError{Op: "sync", Path: dir, Err: f.Err}
+		}
+		if f.LieSync {
+			return nil
+		}
+	}
+	m.applySyncDir(dir)
+	m.note(histOp{op: Op{Kind: OpSyncDir, Path: dir}})
+	return nil
+}
+
+func (m *FaultFS) Lock(name string) (Unlocker, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.locks[name] {
+		return nil, &LockHeldError{Path: name}
+	}
+	if m.files[name] == nil {
+		m.applyCreateUnlogged(name)
+	}
+	m.locks[name] = true
+	return &memLock{fs: m, name: name}, nil
+}
+
+type memLock struct {
+	fs   *FaultFS
+	name string
+	once sync.Once
+}
+
+func (l *memLock) Unlock() error {
+	l.once.Do(func() {
+		l.fs.mu.Lock()
+		delete(l.fs.locks, l.name)
+		l.fs.mu.Unlock()
+	})
+	return nil
+}
+
+// faultFile is an open handle; all writes append (the engine's durability
+// files are append-only or write-once).
+type faultFile struct {
+	fs     *FaultFS
+	f      *memFile
+	name   string
+	closed bool
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	n := len(p)
+	var ferr error
+	if f := h.fs.consult(Op{Kind: OpWrite, Path: h.name, N: len(p)}); f != nil && f.Err != nil {
+		// A failing write may still tear Partial bytes onto the page cache.
+		n = f.Partial
+		if n > len(p) {
+			n = len(p)
+		}
+		ferr = &os.PathError{Op: "write", Path: h.name, Err: f.Err}
+	}
+	if n > 0 {
+		h.fs.applyWrite(h.f, p[:n])
+		h.fs.note(histOp{op: Op{Kind: OpWrite, Path: h.name, N: n}, data: append([]byte(nil), p[:n]...)})
+	}
+	return n, ferr
+}
+
+func (h *faultFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if f := h.fs.consult(Op{Kind: OpSync, Path: h.name}); f != nil {
+		if f.Err != nil {
+			return &os.PathError{Op: "sync", Path: h.name, Err: f.Err}
+		}
+		if f.LieSync {
+			return nil // reported durable, nothing persisted
+		}
+	}
+	h.fs.applySync(h.f)
+	h.fs.note(histOp{op: Op{Kind: OpSync, Path: h.name}})
+	return nil
+}
+
+func (h *faultFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *faultFile) Name() string { return h.name }
+
+func (h *faultFile) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	return int64(len(h.f.data)), nil
+}
+
+// --- model mutations (caller holds mu) ---
+
+func (m *FaultFS) applyCreate(name string) *memFile {
+	f := m.applyCreateUnlogged(name)
+	m.note(histOp{op: Op{Kind: OpOpen, Path: name}})
+	return f
+}
+
+func (m *FaultFS) applyCreateUnlogged(name string) *memFile {
+	f := &memFile{name: name}
+	m.files[name] = f
+	return f
+}
+
+func (m *FaultFS) applyWrite(f *memFile, p []byte) {
+	f.data = append(f.data, p...)
+}
+
+func (m *FaultFS) applySync(f *memFile) {
+	f.synced = len(f.data)
+	f.durName = f.name
+}
+
+func (m *FaultFS) applyTruncate(f *memFile, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+}
+
+func (m *FaultFS) applyRename(oldpath, newpath string) {
+	f := m.files[oldpath]
+	if dest := m.files[newpath]; dest != nil && dest != f {
+		m.ghost(dest)
+	}
+	delete(m.files, oldpath)
+	f.name = newpath // durName still points at oldpath until fsync/SyncDir
+	m.files[newpath] = f
+}
+
+func (m *FaultFS) applyRemove(name string) {
+	f := m.files[name]
+	delete(m.files, name)
+	f.name = ""
+	m.ghost(f)
+}
+
+// ghost parks a file whose live dentry is gone but whose durable dentry may
+// survive a crash until the directory is synced.
+func (m *FaultFS) ghost(f *memFile) {
+	if f.durName != "" {
+		m.ghosts = append(m.ghosts, f)
+	}
+}
+
+func (m *FaultFS) applySyncDir(dir string) {
+	dir = filepath.Clean(dir)
+	for _, f := range m.files {
+		if filepath.Dir(f.name) == dir {
+			f.durName = f.name
+		}
+	}
+	// Completed removes and renames in this dir are now durable: ghosts
+	// whose stale dentry lives here stop resurrecting.
+	kept := m.ghosts[:0]
+	for _, g := range m.ghosts {
+		if filepath.Dir(g.durName) == dir {
+			continue
+		}
+		kept = append(kept, g)
+	}
+	m.ghosts = kept
+}
+
+// --- crash imaging ---
+
+// CrashImage reconstructs the filesystem a fresh process would find after a
+// crash right now, under the given tear policy. Seed drives TearPartial's
+// per-file tear offsets. The image is fully durable (as if every surviving
+// byte were fsynced) and holds no locks.
+func (m *FaultFS) CrashImage(policy TearPolicy, seed int64) *FaultFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashImageLocked(policy, seed)
+}
+
+func (m *FaultFS) crashImageLocked(policy TearPolicy, seed int64) *FaultFS {
+	img := NewFaultFS()
+	add := func(name string, data []byte) {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		img.files[name] = &memFile{name: name, data: cp, synced: len(cp), durName: name}
+	}
+	if policy == TearKill {
+		for name, f := range m.files {
+			add(name, f.data)
+		}
+		return img
+	}
+	// Power loss: the page cache is gone. Survivors appear under their
+	// durable dentry with their durable content plus, under TearPartial, a
+	// seeded prefix of the unsynced tail. Ghosts resurrect first so a live
+	// file that reused the name wins.
+	keep := func(f *memFile) []byte {
+		n := f.synced
+		if policy == TearPartial && len(f.data) > n {
+			r := rand.New(rand.NewSource(seed ^ int64(len(f.data))<<20 ^ pathSeed(f.durName)))
+			n += r.Intn(len(f.data) - n + 1)
+		}
+		return f.data[:n]
+	}
+	for _, g := range m.ghosts {
+		add(g.durName, keep(g))
+	}
+	for _, f := range m.files {
+		if f.durName == "" {
+			continue
+		}
+		add(f.durName, keep(f))
+	}
+	return img
+}
+
+func pathSeed(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ int64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// ImageAt replays the first step mutating operations of the recorded
+// history into a fresh model and returns its crash image: the disk a
+// process would find if power were lost after exactly that many operations
+// reached the page cache. RecordHistory must have been on for the whole
+// run. step ranges from 0 (nothing happened) to Steps() (everything did).
+func (m *FaultFS) ImageAt(step int, policy TearPolicy, seed int64) (*FaultFS, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.record {
+		return nil, fmt.Errorf("vfs: ImageAt requires RecordHistory(true)")
+	}
+	if step < 0 || step > len(m.hist) {
+		return nil, fmt.Errorf("vfs: step %d out of range [0, %d]", step, len(m.hist))
+	}
+	model := NewFaultFS()
+	for _, h := range m.hist[:step] {
+		switch h.op.Kind {
+		case OpOpen, OpCreateTemp:
+			if model.files[h.op.Path] == nil {
+				model.applyCreateUnlogged(h.op.Path)
+			}
+		case OpWrite:
+			if f := model.files[h.op.Path]; f != nil {
+				model.applyWrite(f, h.data)
+			}
+		case OpSync:
+			if f := model.files[h.op.Path]; f != nil {
+				model.applySync(f)
+			}
+		case OpSyncDir:
+			model.applySyncDir(h.op.Path)
+		case OpRename:
+			if model.files[h.op.From] != nil {
+				model.applyRename(h.op.From, h.op.Path)
+			}
+		case OpRemove:
+			if model.files[h.op.Path] != nil {
+				model.applyRemove(h.op.Path)
+			}
+		case OpTruncate:
+			if f := model.files[h.op.Path]; f != nil {
+				model.applyTruncate(f, h.size)
+			}
+		}
+	}
+	return model.crashImageLocked(policy, seed), nil
+}
+
+var _ FS = (*FaultFS)(nil)

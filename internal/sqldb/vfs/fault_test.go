@@ -1,0 +1,296 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeAll(t *testing.T, fs FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND)
+	must(t, err)
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		must(t, f.Sync())
+	}
+	must(t, f.Close())
+}
+
+func readAll(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	b, err := fs.ReadFile(name)
+	must(t, err)
+	return b
+}
+
+// Unsynced data survives a kill but not a power loss.
+func TestFaultFSPageCacheVsSynced(t *testing.T) {
+	m := NewFaultFS()
+	f, err := m.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY)
+	must(t, err)
+	_, err = f.Write([]byte("durable"))
+	must(t, err)
+	must(t, f.Sync())
+	_, err = f.Write([]byte("+cache"))
+	must(t, err)
+	must(t, f.Close())
+
+	kill := m.CrashImage(TearKill, 1)
+	if got := string(readAll(t, kill, "/d/a")); got != "durable+cache" {
+		t.Fatalf("kill image = %q", got)
+	}
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if got := string(readAll(t, loss, "/d/a")); got != "durable" {
+		t.Fatalf("power-loss image = %q", got)
+	}
+	torn := m.CrashImage(TearPartial, 7)
+	got := string(readAll(t, torn, "/d/a"))
+	if len(got) < len("durable") || len(got) > len("durable+cache") || got != "durable+cache"[:len(got)] {
+		t.Fatalf("torn image = %q, want prefix of %q no shorter than synced part", got, "durable+cache")
+	}
+	// Same seed → same tear; different seed may differ but stays in range.
+	torn2 := m.CrashImage(TearPartial, 7)
+	if string(readAll(t, torn2, "/d/a")) != got {
+		t.Fatal("torn image not deterministic for fixed seed")
+	}
+}
+
+// A file created and written but never synced (and its dir never synced)
+// does not exist after power loss.
+func TestFaultFSUnsyncedFileVanishes(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/new", []byte("x"), false)
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if _, err := loss.ReadFile("/d/new"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unsynced file should vanish on power loss, err=%v", err)
+	}
+	kill := m.CrashImage(TearKill, 1)
+	if _, err := kill.ReadFile("/d/new"); err != nil {
+		t.Fatalf("unsynced file should survive a kill: %v", err)
+	}
+}
+
+// A removed-but-not-dir-synced file resurrects after power loss; after
+// SyncDir it stays gone.
+func TestFaultFSRemoveGhost(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/seg", []byte("old"), true)
+	must(t, m.Remove("/d/seg"))
+
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if got := string(readAll(t, loss, "/d/seg")); got != "old" {
+		t.Fatalf("ghost should resurrect with durable content, got %q", got)
+	}
+	must(t, m.SyncDir("/d"))
+	loss = m.CrashImage(TearLoseUnsynced, 1)
+	if _, err := loss.ReadFile("/d/seg"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("after SyncDir the remove is durable, err=%v", err)
+	}
+}
+
+// Rename is atomic in the live view but needs SyncDir to be durable: before
+// the dir sync a power loss shows the file under its old name.
+func TestFaultFSRenameDurability(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/snap.tmp", []byte("snapshot"), true)
+	must(t, m.Rename("/d/snap.tmp", "/d/snap-1"))
+
+	if got := string(readAll(t, m, "/d/snap-1")); got != "snapshot" {
+		t.Fatalf("live view after rename = %q", got)
+	}
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if _, err := loss.ReadFile("/d/snap-1"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("rename should not be durable before SyncDir")
+	}
+	if got := string(readAll(t, loss, "/d/snap.tmp")); got != "snapshot" {
+		t.Fatalf("old dentry should survive, got %q", got)
+	}
+
+	must(t, m.SyncDir("/d"))
+	loss = m.CrashImage(TearLoseUnsynced, 1)
+	if got := string(readAll(t, loss, "/d/snap-1")); got != "snapshot" {
+		t.Fatalf("rename durable after SyncDir, got %q", got)
+	}
+	if _, err := loss.ReadFile("/d/snap.tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("old dentry gone after SyncDir")
+	}
+}
+
+// Rename over an existing synced file: until SyncDir, power loss shows the
+// replaced file's durable content under the destination name.
+func TestFaultFSRenameOverGhost(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/cur", []byte("v1"), true)
+	must(t, m.SyncDir("/d"))
+	writeAll(t, m, "/d/next", []byte("v2"), true)
+	must(t, m.Rename("/d/next", "/d/cur"))
+
+	if got := string(readAll(t, m, "/d/cur")); got != "v2" {
+		t.Fatalf("live = %q", got)
+	}
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	// v2 was fsynced under /d/next; the rename isn't durable, so the crash
+	// image holds v1 at /d/cur and v2 at /d/next.
+	if got := string(readAll(t, loss, "/d/cur")); got != "v1" {
+		t.Fatalf("pre-dir-sync crash: /d/cur = %q, want v1", got)
+	}
+	if got := string(readAll(t, loss, "/d/next")); got != "v2" {
+		t.Fatalf("pre-dir-sync crash: /d/next = %q, want v2", got)
+	}
+	must(t, m.SyncDir("/d"))
+	loss = m.CrashImage(TearLoseUnsynced, 1)
+	if got := string(readAll(t, loss, "/d/cur")); got != "v2" {
+		t.Fatalf("post-dir-sync crash: /d/cur = %q, want v2", got)
+	}
+	if _, err := loss.ReadFile("/d/next"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("post-dir-sync crash: /d/next should be gone")
+	}
+}
+
+// A lied-about fsync reports success but leaves nothing durable.
+func TestFaultFSLieSync(t *testing.T) {
+	m := NewFaultFS()
+	m.SetHook(func(op Op) *Fault {
+		if op.Kind == OpSync || op.Kind == OpSyncDir {
+			return &Fault{LieSync: true}
+		}
+		return nil
+	})
+	writeAll(t, m, "/d/a", []byte("hello"), true) // Sync "succeeds"
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if _, err := loss.ReadFile("/d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("lied fsync must not persist anything")
+	}
+}
+
+// A failing write can tear: Partial bytes land, the rest do not, and the
+// caller sees the error.
+func TestFaultFSPartialWrite(t *testing.T) {
+	m := NewFaultFS()
+	enospc := errors.New("no space left on device")
+	m.SetHook(func(op Op) *Fault {
+		if op.Kind == OpWrite {
+			return &Fault{Err: enospc, Partial: 3}
+		}
+		return nil
+	})
+	f, err := m.OpenFile("/d/a", os.O_CREATE|os.O_WRONLY)
+	must(t, err)
+	n, werr := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(werr, enospc) {
+		t.Fatalf("n=%d err=%v", n, werr)
+	}
+	m.SetHook(nil)
+	if got := string(readAll(t, m, "/d/a")); got != "abc" {
+		t.Fatalf("page cache = %q", got)
+	}
+}
+
+// ImageAt replays history: the image at step k matches a crash image taken
+// live at that moment.
+func TestFaultFSImageAt(t *testing.T) {
+	m := NewFaultFS()
+	m.RecordHistory(true)
+	writeAll(t, m, "/d/a", []byte("one"), true)
+	s1 := m.Steps()
+	img1 := m.CrashImage(TearLoseUnsynced, 1)
+	writeAll(t, m, "/d/a", []byte("two"), true)
+	must(t, m.Remove("/d/a"))
+	must(t, m.SyncDir("/d"))
+
+	at1, err := m.ImageAt(s1, TearLoseUnsynced, 1)
+	must(t, err)
+	want := string(readAll(t, img1, "/d/a"))
+	if got := string(readAll(t, at1, "/d/a")); got != want {
+		t.Fatalf("ImageAt(%d) = %q, want %q", s1, got, want)
+	}
+	end, err := m.ImageAt(m.Steps(), TearLoseUnsynced, 1)
+	must(t, err)
+	if _, err := end.ReadFile("/d/a"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("final image should have no /d/a")
+	}
+	if _, err := m.ImageAt(m.Steps()+1, TearKill, 1); err == nil {
+		t.Fatal("out-of-range step should error")
+	}
+}
+
+// Truncate cuts both the page cache and the synced prefix.
+func TestFaultFSTruncate(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/a", []byte("abcdef"), true)
+	must(t, m.Truncate("/d/a", 2))
+	loss := m.CrashImage(TearLoseUnsynced, 1)
+	if got := string(readAll(t, loss, "/d/a")); got != "ab" {
+		t.Fatalf("after truncate, durable = %q", got)
+	}
+}
+
+// Lock excludes a second holder until released; both FaultFS and osFS obey
+// the same contract.
+func TestLockContract(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fs   FS
+		path string
+	}{
+		{"fault", NewFaultFS(), "/d/LOCK"},
+		{"os", OS(), t.TempDir() + "/LOCK"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := tc.fs.Lock(tc.path)
+			must(t, err)
+			if _, err := tc.fs.Lock(tc.path); err == nil {
+				t.Fatal("second Lock should fail while held")
+			} else {
+				var held *LockHeldError
+				if tc.name == "fault" && !errors.As(err, &held) {
+					t.Fatalf("want LockHeldError, got %v", err)
+				}
+			}
+			must(t, l.Unlock())
+			l2, err := tc.fs.Lock(tc.path)
+			must(t, err)
+			must(t, l2.Unlock())
+		})
+	}
+}
+
+// ReadDir lists only files directly in the directory, sorted.
+func TestFaultFSReadDir(t *testing.T) {
+	m := NewFaultFS()
+	writeAll(t, m, "/d/b", nil, false)
+	writeAll(t, m, "/d/a", nil, false)
+	writeAll(t, m, "/d/sub/c", nil, false)
+	names, err := m.ReadDir("/d")
+	must(t, err)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+}
+
+// CreateTemp yields unique names matching the pattern.
+func TestFaultFSCreateTemp(t *testing.T) {
+	m := NewFaultFS()
+	f1, err := m.CreateTemp("/d", "snap-*.tmp")
+	must(t, err)
+	f2, err := m.CreateTemp("/d", "snap-*.tmp")
+	must(t, err)
+	if f1.Name() == f2.Name() {
+		t.Fatalf("temp names collide: %s", f1.Name())
+	}
+	names, err := m.ReadDir("/d")
+	must(t, err)
+	if len(names) != 2 {
+		t.Fatalf("ReadDir = %v", names)
+	}
+}

@@ -1,0 +1,174 @@
+// Package vfs is the filesystem seam under the durability stack. Every file
+// operation the WAL, snapshot writer, and recovery path perform goes through
+// the FS interface, so tests can swap the real filesystem (OS) for a
+// fault-injecting in-memory model (FaultFS) that returns errors at chosen
+// I/O points, lies about fsync, tears writes at arbitrary byte offsets, and
+// reconstructs what the disk would hold after a power loss — honoring the
+// distinction between data in the page cache and data that was fsynced.
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FS is the set of filesystem operations the durability stack uses. It is
+// deliberately narrow: append-oriented file writes, atomic rename, directory
+// listing/sync, and an exclusive advisory lock.
+type FS interface {
+	// MkdirAll creates dir (and parents) if missing.
+	MkdirAll(dir string) error
+	// OpenFile opens name with os.OpenFile semantics for the flag subset the
+	// engine uses (O_CREATE, O_WRONLY, O_RDWR, O_APPEND, O_TRUNC).
+	OpenFile(name string, flag int) (File, error)
+	// CreateTemp creates a uniquely named file in dir from pattern (a single
+	// "*" is replaced), as os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not directories) directly inside dir.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically renames oldpath to newpath, replacing any existing
+	// file. Durability of the rename itself requires SyncDir.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory, making completed creates, renames, and
+	// removes inside it durable.
+	SyncDir(dir string) error
+	// Lock takes an exclusive advisory lock on name (creating it if needed),
+	// failing immediately if another holder has it. The lock dies with the
+	// process — a crash never strands it.
+	Lock(name string) (Unlocker, error)
+}
+
+// File is one open file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+	Name() string
+	// Size reports the file's current length in bytes.
+	Size() (int64, error)
+}
+
+// Unlocker releases a lock taken with FS.Lock.
+type Unlocker interface {
+	Unlock() error
+}
+
+// Open flags, mirroring package os so FS users need no os import of their
+// own (keeping the durability stack free of direct os references).
+const (
+	O_CREATE = os.O_CREATE
+	O_WRONLY = os.O_WRONLY
+	O_RDWR   = os.O_RDWR
+	O_APPEND = os.O_APPEND
+	O_TRUNC  = os.O_TRUNC
+)
+
+// OS returns the passthrough filesystem backed by the real OS.
+func OS() FS { return osFS{} }
+
+// osFS is the production FS: thin wrappers over package os plus flock.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenFile(name string, flag int) (File, error) {
+	f, err := os.OpenFile(name, flag, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (osFS) Lock(name string) (Unlocker, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, &LockHeldError{Path: name}
+	}
+	return &osLock{f: f}, nil
+}
+
+// LockHeldError reports that FS.Lock found the lock already held (by another
+// process for osFS, another open handle for FaultFS).
+type LockHeldError struct{ Path string }
+
+func (e *LockHeldError) Error() string {
+	return "vfs: lock on " + e.Path + " is held by another holder"
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error) { return o.f.Write(p) }
+func (o osFile) Sync() error                 { return o.f.Sync() }
+func (o osFile) Close() error                { return o.f.Close() }
+func (o osFile) Name() string                { return o.f.Name() }
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+type osLock struct{ f *os.File }
+
+func (l *osLock) Unlock() error {
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	return l.f.Close()
+}
+
+var _ FS = osFS{}

@@ -6,12 +6,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+
+	"bridgescope/internal/sqldb/vfs"
 )
 
 // SyncMode controls when a commit is made durable on disk.
@@ -494,8 +495,15 @@ func joinTokens(a, b *syncToken) *syncToken {
 // overlaps the previous group's fsync — that overlap is the whole point of
 // group commit.
 type wal struct {
+	fs   vfs.FS
 	dir  string
 	mode SyncMode
+
+	// onFail, when set, is notified once with the first I/O error — the
+	// engine uses it to enter degraded mode the moment the WAL goes
+	// fail-stop, instead of waiting for the next commit to trip over it. It
+	// is called without any wal mutex held.
+	onFail func(error)
 
 	// mu guards pending, cur, lsn, seg/size bookkeeping, closed, failed,
 	// and the counters.
@@ -523,7 +531,7 @@ type wal struct {
 
 	// ioMu serializes writes, fsyncs, rotation, and close on f.
 	ioMu sync.Mutex
-	f    *os.File
+	f    vfs.File
 
 	flushC chan struct{}
 	quit   chan struct{}
@@ -548,15 +556,14 @@ func snapPath(dir string, seg uint64) string {
 
 // listNumbered returns the sorted sequence numbers of files matching
 // prefix-%08d.suffix in dir.
-func listNumbered(dir, prefix, suffix string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func listNumbered(fsys vfs.FS, dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var out []uint64
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, prefix+"-") || !strings.HasSuffix(name, suffix) {
+	for _, name := range entries {
+		if !strings.HasPrefix(name, prefix+"-") || !strings.HasSuffix(name, suffix) {
 			continue
 		}
 		mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix+"-"), suffix)
@@ -573,23 +580,25 @@ func listNumbered(dir, prefix, suffix string) ([]uint64, error) {
 // newWAL opens (or creates) segment seg for appending. Recovery has already
 // truncated any torn tail, so O_APPEND continues exactly after the last
 // valid frame.
-func newWAL(dir string, mode SyncMode, seg, lsn uint64) (*wal, error) {
-	f, err := os.OpenFile(segPath(dir, seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func newWAL(fsys vfs.FS, dir string, mode SyncMode, seg, lsn uint64, onFail func(error)) (*wal, error) {
+	f, err := fsys.OpenFile(segPath(dir, seg), vfs.O_CREATE|vfs.O_WRONLY|vfs.O_APPEND)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
 	w := &wal{
-		dir:  dir,
-		mode: mode,
-		lsn:  lsn,
-		seg:  seg,
-		size: st.Size(),
-		f:    f,
+		fs:     fsys,
+		dir:    dir,
+		mode:   mode,
+		onFail: onFail,
+		lsn:    lsn,
+		seg:    seg,
+		size:   size,
+		f:      f,
 	}
 	w.cur = &flushGroup{done: make(chan struct{})}
 	if mode == SyncBatch {
@@ -737,13 +746,27 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 		if w.mode != SyncOff {
 			w.fsyncs++
 		}
-	} else if w.failed == nil {
-		w.failed = err
+		w.mu.Unlock()
+	} else {
+		w.failStop(err)
 	}
-	w.mu.Unlock()
 
 	g.err = err
 	close(g.done)
+}
+
+// failStop records the WAL's first I/O error and notifies the engine. The
+// caller holds mu; failStop releases it (onFail must run without wal locks —
+// it takes engine state).
+func (w *wal) failStop(err error) {
+	first := w.failed == nil
+	if first {
+		w.failed = err
+	}
+	w.mu.Unlock()
+	if first && w.onFail != nil {
+		w.onFail(err)
+	}
 }
 
 // rotate completes the current segment and starts a new one, returning the
@@ -755,20 +778,39 @@ func (w *wal) rotate() (uint64, error) {
 	w.flushMu.Lock()
 	defer w.flushMu.Unlock()
 	w.flushPendingLocked(false)
+	w.mu.Lock()
+	if werr := w.failed; werr != nil {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("wal: refusing rotation after earlier I/O error: %w", werr)
+	}
+	w.mu.Unlock()
 	w.ioMu.Lock()
 	defer w.ioMu.Unlock()
 	if w.mode != SyncOff {
-		_ = w.f.Sync()
+		if err := w.f.Sync(); err != nil {
+			// The retiring segment's tail may not be durable, and the snapshot
+			// about to be written assumes it is — fail-stop rather than let a
+			// checkpoint retire segments whose contents never reached disk.
+			w.mu.Lock()
+			w.failStop(err)
+			return 0, err
+		}
 	}
 	if err := w.f.Close(); err != nil {
+		w.mu.Lock()
+		w.failStop(err)
 		return 0, err
 	}
 	w.mu.Lock()
 	w.seg++
 	seg := w.seg
 	w.mu.Unlock()
-	f, err := os.OpenFile(segPath(w.dir, seg), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fs.OpenFile(segPath(w.dir, seg), vfs.O_CREATE|vfs.O_WRONLY|vfs.O_APPEND)
 	if err != nil {
+		// The old segment is closed and no new one exists: nothing can be
+		// appended anymore, so the WAL is fail-stop from here.
+		w.mu.Lock()
+		w.failStop(err)
 		return 0, err
 	}
 	w.f = f
@@ -781,17 +823,17 @@ func (w *wal) rotate() (uint64, error) {
 // retire deletes WAL segments and snapshots superseded by the snapshot that
 // covers everything before segment keep.
 func (w *wal) retire(keep uint64) {
-	if segs, err := listNumbered(w.dir, "wal", ".log"); err == nil {
+	if segs, err := listNumbered(w.fs, w.dir, "wal", ".log"); err == nil {
 		for _, s := range segs {
 			if s < keep {
-				_ = os.Remove(segPath(w.dir, s))
+				_ = w.fs.Remove(segPath(w.dir, s))
 			}
 		}
 	}
-	if snaps, err := listNumbered(w.dir, "snap", ".snap"); err == nil {
+	if snaps, err := listNumbered(w.fs, w.dir, "snap", ".snap"); err == nil {
 		for _, s := range snaps {
 			if s < keep {
-				_ = os.Remove(snapPath(w.dir, s))
+				_ = w.fs.Remove(snapPath(w.dir, s))
 			}
 		}
 	}
