@@ -16,11 +16,16 @@
 //	    blocking under it stalls the whole engine for the device's fsync
 //	    latency. (Read-locks are exempt: the parallel scanner deliberately
 //	    fans out worker channels under mu.RLock.)
+//	L4: metrics recording (any call into the stats package) never happens
+//	    while Engine.mu is held exclusively or inside the WAL's ioMu
+//	    write/fsync critical section. Recording is cheap but not free;
+//	    the observability layer's contract is that it only ever runs on
+//	    paths that have already released the engine's serializing locks.
 //
-// Rules L1/L2 are structural (type lockManager, its members). Rule L3
-// tracks lock state through a linear source-order walk of each function
-// body and propagates "may block" through the static call graph, across
-// packages via exported facts.
+// Rules L1/L2 are structural (type lockManager, its members). Rules L3/L4
+// track lock state through a linear source-order walk of each function
+// body; L3 additionally propagates "may block" through the static call
+// graph, across packages via exported facts.
 package lockorder
 
 import (
@@ -42,7 +47,8 @@ func (blocksFact) AFact() {}
 var Analyzer = &framework.Analyzer{
 	Name: "lockorder",
 	Doc: "flags per-table mutex acquisition outside the sorted lock-manager path, table locks taken under " +
-		"the exclusive global lock, and Engine.mu held across blocking calls (fsync, channels, sleep)",
+		"the exclusive global lock, Engine.mu held across blocking calls (fsync, channels, sleep), and " +
+		"stats recording under the exclusive engine lock or the WAL I/O mutex",
 	FactTypes: []framework.Fact{&blocksFact{}},
 	Run:       run,
 }
@@ -187,6 +193,8 @@ type walker struct {
 	muPos      token.Pos
 	heldGlobal bool // lockManager.global held exclusively
 	globalPos  token.Pos
+	heldIo     bool // wal.ioMu held (the write/fsync critical section)
+	ioPos      token.Pos
 
 	// unlockVars holds variables bound to lockAll's returned unlock func;
 	// calling one releases the global lock.
@@ -199,14 +207,17 @@ type lockState struct {
 	muPos      token.Pos
 	heldGlobal bool
 	globalPos  token.Pos
+	heldIo     bool
+	ioPos      token.Pos
 }
 
 func (w *walker) save() lockState {
-	return lockState{w.heldMu, w.muPos, w.heldGlobal, w.globalPos}
+	return lockState{w.heldMu, w.muPos, w.heldGlobal, w.globalPos, w.heldIo, w.ioPos}
 }
 
 func (w *walker) restore(s lockState) {
 	w.heldMu, w.muPos, w.heldGlobal, w.globalPos = s.heldMu, s.muPos, s.heldGlobal, s.globalPos
+	w.heldIo, w.ioPos = s.heldIo, s.ioPos
 }
 
 func (w *walker) walk(body *ast.BlockStmt) {
@@ -451,6 +462,15 @@ func (w *walker) call(call *ast.CallExpr) {
 				w.heldGlobal = false
 			}
 			return
+		case field.owner == "wal" && field.name == "ioMu":
+			switch method {
+			case "Lock":
+				w.heldIo = true
+				w.ioPos = call.Pos()
+			case "Unlock":
+				w.heldIo = false
+			}
+			return
 		}
 	}
 
@@ -473,6 +493,22 @@ func (w *walker) call(call *ast.CallExpr) {
 			w.pass.Reportf(call.Pos(),
 				"%s may block (fsync/channel/sleep) while Engine.mu is held (locked at %s); move the blocking work outside the mutex",
 				callee.Name(), w.pos(w.muPos))
+		}
+	}
+
+	// L4: metrics recording inside a serializing critical section. Any call
+	// into the stats package counts — the observability layer's contract is
+	// that recording happens only after these locks are released.
+	if callee.Pkg() != nil && callee.Pkg().Name() == "stats" {
+		switch {
+		case w.heldMu:
+			w.pass.Reportf(call.Pos(),
+				"%s records metrics while Engine.mu is held exclusively (locked at %s); observe after the engine lock is released (rule L4)",
+				callee.Name(), w.pos(w.muPos))
+		case w.heldIo:
+			w.pass.Reportf(call.Pos(),
+				"%s records metrics inside the WAL ioMu write/fsync critical section (locked at %s); observe after ioMu is released (rule L4)",
+				callee.Name(), w.pos(w.ioPos))
 		}
 	}
 }

@@ -15,8 +15,9 @@ type Engine struct {
 }
 
 type wal struct {
-	f  *os.File
-	ch chan struct{}
+	f    *os.File
+	ch   chan struct{}
+	ioMu sync.Mutex
 }
 
 // fsync blocks: it reaches (*os.File).Sync, so "may block" propagates to

@@ -1,0 +1,59 @@
+package lockord
+
+// Rule L4 cases: calls into the stats package are forbidden while
+// Engine.mu is held exclusively or inside the WAL's ioMu critical section.
+
+import "stats"
+
+type metrics struct {
+	lat stats.Histogram
+}
+
+func badObserveUnderMu(e *Engine, m *metrics) {
+	e.mu.Lock()
+	m.lat.Observe(1) // want `Observe records metrics while Engine.mu is held exclusively`
+	e.mu.Unlock()
+}
+
+func badEnabledUnderMu(e *Engine) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return stats.Enabled() // want `Enabled records metrics while Engine.mu is held exclusively`
+}
+
+func badObserveUnderIoMu(w *wal, m *metrics) {
+	w.ioMu.Lock()
+	m.lat.Observe(1) // want `Observe records metrics inside the WAL ioMu write/fsync critical section`
+	w.ioMu.Unlock()
+}
+
+func goodObserveAfterUnlock(e *Engine, m *metrics) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	m.lat.Observe(1)
+}
+
+func goodObserveAfterIoUnlock(w *wal, m *metrics) {
+	w.ioMu.Lock()
+	w.ioMu.Unlock()
+	m.lat.Observe(1)
+}
+
+// Read locks are untracked: recording under mu.RLock is allowed.
+func goodObserveUnderRLock(e *Engine, m *metrics) {
+	e.mu.RLock()
+	m.lat.Observe(1)
+	e.mu.RUnlock()
+}
+
+// A branch that exits while holding the lock does not poison the
+// fall-through path.
+func goodObserveAfterEarlyExit(e *Engine, m *metrics, fail bool) {
+	e.mu.Lock()
+	if fail {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	m.lat.Observe(1)
+}

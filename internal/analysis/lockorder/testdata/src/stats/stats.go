@@ -1,0 +1,12 @@
+// Package stats mirrors the engine's metrics package for the lockorder
+// fixtures: rule L4 keys on the callee's package being named "stats".
+package stats
+
+// Histogram is a minimal stand-in for the lock-free latency histogram.
+type Histogram struct{ n int64 }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) { h.n += v }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return true }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"bridgescope/internal/sqldb"
+	"bridgescope/internal/sqldb/stats"
 )
 
 // Result is the database-agnostic execution result exchanged with tools.
@@ -81,6 +82,17 @@ type DurabilityStats struct {
 	Checkpoints  int64  `json:"checkpoints"`
 }
 
+// CacheStats is the backend-agnostic view of a connection's
+// prepared-statement (plan) cache: executions served from a cached plan,
+// executions that had to parse and plan, LRU evictions, and the number of
+// plans currently resident.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
 // HealthStatus is the backend-agnostic view of a connection's failure
 // state. A degraded backend serves reads but refuses writes with a
 // retryable error until the underlying fault is fixed and it is reopened.
@@ -88,6 +100,7 @@ type HealthStatus struct {
 	Degraded          bool   `json:"degraded"`
 	DegradedBy        string `json:"degraded_by,omitempty"`         // subsystem that fail-stopped ("wal", "checkpoint")
 	DegradedErr       string `json:"degraded_err,omitempty"`        // the triggering I/O error
+	Reason            string `json:"reason,omitempty"`              // human-readable account of the degraded state
 	LastCheckpointErr string `json:"last_checkpoint_err,omitempty"` // most recent checkpoint failure, if any
 }
 
@@ -130,11 +143,14 @@ type Conn interface {
 	// privileges running the statement would.
 	Explain(sql string) (string, error)
 
-	// CacheStats reports the backend's prepared-statement cache counters:
-	// executions served from a cached plan (hits) and executions that had to
-	// parse and plan (misses). Backends without a statement cache report
-	// (0, 0).
-	CacheStats() (hits, misses int64)
+	// CacheStats reports the backend's prepared-statement cache counters.
+	// Backends without a statement cache report the zero value.
+	CacheStats() CacheStats
+
+	// Stats reports the backend's full observability snapshot: per-statement
+	// latency histograms, WAL and MVCC counters, the slow-query log, and so
+	// on. Backends without a metrics surface report the zero value.
+	Stats() stats.Snapshot
 
 	// Durability reports the backend's persistence counters: the sync mode
 	// and the WAL/checkpoint activity behind committed writes. Purely
@@ -200,6 +216,14 @@ func (b RetryBackoff) delay(retry int) time.Duration {
 	return d
 }
 
+// RetryNoter is an optional Conn extension: backends that track
+// client-side transaction retries implement it, and RunInTransaction's
+// backoff loop reports each retry through it so retry pressure shows up in
+// the backend's metrics.
+type RetryNoter interface {
+	NoteRetry()
+}
+
 // RunInTransaction executes fn inside a transaction on conn, committing on
 // success and rolling back on error. Retryable serialization failures
 // (write-write conflicts under snapshot isolation) restart fn up to
@@ -240,6 +264,9 @@ func RunInTransactionBackoff(conn Conn, maxRetries int, backoff RetryBackoff, fn
 		}
 		lastErr = err
 		if attempt < maxRetries {
+			if n, ok := conn.(RetryNoter); ok {
+				n.NoteRetry()
+			}
 			sleep(backoff.delay(attempt))
 		}
 	}
@@ -439,8 +466,21 @@ func (c *SQLDBConn) Explain(sql string) (string, error) {
 // is shared by every connection to the engine (entries are keyed per user),
 // which is what makes hot agent/proxy traffic skip parse+plan across
 // sessions.
-func (c *SQLDBConn) CacheStats() (hits, misses int64) {
-	return c.sess.Engine().PlanCacheStats()
+func (c *SQLDBConn) CacheStats() CacheStats {
+	cs := c.sess.Engine().PlanCacheSnapshot()
+	return CacheStats{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, Size: cs.Size}
+}
+
+// Stats implements Conn with the engine-wide snapshot: metrics aggregate
+// across every connection to the engine.
+func (c *SQLDBConn) Stats() stats.Snapshot {
+	return c.sess.Engine().Stats()
+}
+
+// NoteRetry implements RetryNoter: RunInTransaction's backoff loop reports
+// each serialization-failure retry into the engine's MVCC counters.
+func (c *SQLDBConn) NoteRetry() {
+	c.sess.Engine().NoteTxnRetry()
 }
 
 // Durability implements Conn. Like CacheStats, the counters are engine-wide:
@@ -466,6 +506,7 @@ func (c *SQLDBConn) Health() HealthStatus {
 		Degraded:          h.Degraded,
 		DegradedBy:        h.DegradedBy,
 		DegradedErr:       h.DegradedErr,
+		Reason:            h.Reason,
 		LastCheckpointErr: h.LastCheckpointErr,
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"bridgescope/internal/sqldb/stats"
 )
 
 // backoffConn is a minimal fake Conn whose transactions fail with a
@@ -47,7 +49,8 @@ func (c *backoffConn) ClassifySQL(string) (string, []string, error) {
 	return "", nil, nil
 }
 func (c *backoffConn) Explain(string) (string, error) { return "", nil }
-func (c *backoffConn) CacheStats() (int64, int64)     { return 0, 0 }
+func (c *backoffConn) CacheStats() CacheStats         { return CacheStats{} }
+func (c *backoffConn) Stats() stats.Snapshot          { return stats.Snapshot{} }
 func (c *backoffConn) Durability() DurabilityStats    { return DurabilityStats{} }
 func (c *backoffConn) Health() HealthStatus           { return HealthStatus{} }
 func (c *backoffConn) IsPermissionDenied(error) bool  { return false }

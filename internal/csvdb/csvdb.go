@@ -20,6 +20,7 @@ import (
 
 	"bridgescope/internal/core"
 	"bridgescope/internal/sqldb"
+	"bridgescope/internal/sqldb/stats"
 )
 
 // Store is a CSV-backed datasource.
@@ -115,8 +116,8 @@ func (s *Store) Explain(user, sql string) (string, error) {
 // CacheStats reports the store's prepared-statement cache counters. CSV
 // stores get the engine's plan cache for free: repeated queries against
 // loaded files skip parse+plan exactly like native tables.
-func (s *Store) CacheStats() (hits, misses int64) {
-	return s.engine.PlanCacheStats()
+func (s *Store) CacheStats() stats.CacheStats {
+	return s.engine.PlanCacheSnapshot()
 }
 
 // TableName derives the table name from a CSV file name.

@@ -158,9 +158,12 @@ type CommitStmt struct{}
 type RollbackStmt struct{}
 
 // ExplainStmt asks for the execution plan of a statement instead of running
-// it.
+// it. With Analyze set (EXPLAIN ANALYZE), the inner statement IS executed —
+// with its normal lock class and side effects — and the rendered plan is
+// annotated with the actual row counts and wall time of each operator.
 type ExplainStmt struct {
-	Stmt Stmt
+	Stmt    Stmt
+	Analyze bool
 }
 
 // GrantStmt grants privileges on a table to a user. Columns[i] optionally

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bridgescope/internal/sqldb/stats"
 	"bridgescope/internal/sqldb/vfs"
 )
 
@@ -681,6 +682,17 @@ type Engine struct {
 	// GRANT/REVOKE statement so the whole statement commits as one frame
 	// with one durability wait (see Engine.logGrantsBatched).
 	grantSink atomic.Pointer[grantSink]
+
+	// metrics holds the engine's latency histograms and hot-path counters
+	// (see observe.go). All members are atomics; recording never takes a
+	// lock and — enforced by the sqlvet lockorder analyzer — never happens
+	// under the exclusive engine lock or inside the WAL I/O critical
+	// section.
+	metrics engineMetrics
+	// slow is the ring-buffered slow-query log; statements at or over its
+	// threshold are recorded with their user, duration, rows, retry count,
+	// and rendered plan.
+	slow *stats.SlowLog
 }
 
 // grantSink accumulates privilege WAL records for one statement. closed
@@ -781,6 +793,7 @@ func NewEngine(name string) *Engine {
 		views:      map[string]*View{},
 		plans:      newPlanCache(),
 		activeTxns: map[*Txn]uint64{},
+		slow:       stats.NewSlowLog(slowLogCap, defaultSlowThreshold),
 	}
 	// Grants share the catalog version counter so privilege changes made
 	// directly through Grants() (fixtures, toolkits) also invalidate plans.
@@ -797,6 +810,10 @@ func (e *Engine) CatalogVersion() uint64 { return e.catalogVersion.Load() }
 // PlanCacheStats reports the engine's statement-cache counters: hits served
 // without re-parsing/planning, and misses (cold or invalidated lookups).
 func (e *Engine) PlanCacheStats() (hits, misses int64) { return e.plans.stats() }
+
+// PlanCacheSnapshot reports the full plan-cache counters, including LRU
+// evictions and the number of currently cached plans.
+func (e *Engine) PlanCacheSnapshot() stats.CacheStats { return e.plans.snapshot() }
 
 // DMLRowsVisited returns the cumulative count of rows inspected while
 // matching UPDATE/DELETE targets.

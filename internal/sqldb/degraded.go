@@ -43,7 +43,9 @@ func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
 // It is safe to call from any goroutine with any combination of wal/engine
 // locks held: it only touches an atomic.
 func (e *Engine) degrade(op string, err error) {
-	e.degradedErr.CompareAndSwap(nil, &DegradedError{Op: op, Err: err})
+	if e.degradedErr.CompareAndSwap(nil, &DegradedError{Op: op, Err: err}) {
+		e.metrics.degradedTransitions.Add(1)
+	}
 }
 
 // degraded returns the engine's degradation, or nil while healthy.
@@ -84,6 +86,10 @@ type HealthStatus struct {
 	DegradedBy string
 	// DegradedErr is the triggering I/O error's message when Degraded.
 	DegradedErr string
+	// Reason is a one-line human-readable account of the degradation —
+	// subsystem plus triggering error plus the operator action — "" while
+	// healthy. Shown by sqlshell \wal and the HTTP stats endpoint.
+	Reason string
 	// LastCheckpointErr is the most recent checkpoint failure ("" after a
 	// success): background checkpoints would otherwise fail invisibly.
 	LastCheckpointErr string
@@ -102,6 +108,7 @@ func (e *Engine) Health() HealthStatus {
 		h.Degraded = true
 		h.DegradedBy = de.Op
 		h.DegradedErr = de.Err.Error()
+		h.Reason = fmt.Sprintf("read-only: %s failure (%v); committed data is safe, reads still work — fix the disk and reopen the database", de.Op, de.Err)
 	}
 	if p := e.ckptErr.Load(); p != nil {
 		h.LastCheckpointErr = (*p).Error()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Exec parses and executes one SQL statement under the session's user. It is
@@ -63,9 +64,15 @@ func (s *Session) MustExec(sql string) *Result {
 // execute SELECTs (and EXPLAINs) in parallel; everything else serializes on
 // the writer lock.
 func isReadOnly(stmt Stmt) bool {
-	switch stmt.(type) {
-	case *SelectStmt, *ExplainStmt:
-		// EXPLAIN only plans; it never executes the inner statement.
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		return true
+	case *ExplainStmt:
+		// Plain EXPLAIN only plans; EXPLAIN ANALYZE executes the inner
+		// statement and inherits its lock class.
+		if st.Analyze {
+			return isReadOnly(st.Stmt)
+		}
 		return true
 	}
 	return false
@@ -78,6 +85,9 @@ func isReadOnly(stmt Stmt) bool {
 // never stall behind a long write statement. DDL and grants mutate the
 // catalog in many places and keep the whole-statement exclusive lock.
 func holdsEngineLock(stmt Stmt) bool {
+	if ex, ok := stmt.(*ExplainStmt); ok && ex.Analyze {
+		stmt = ex.Stmt
+	}
 	switch stmt.(type) {
 	case *InsertStmt, *UpdateStmt, *DeleteStmt,
 		*BeginStmt, *CommitStmt, *RollbackStmt:
@@ -101,10 +111,15 @@ func (s *Session) ExecStmt(stmt Stmt) (*Result, error) {
 // is already in the WAL writer's batch, so concurrent committers pile into
 // one group fsync instead of serializing it under the engine lock.
 func (s *Session) execStmt(stmt Stmt, sql string) (*Result, error) {
+	start := time.Now()
 	res, tok, err := s.execStmtLocked(stmt, sql)
 	if werr := tok.wait(); werr != nil && err == nil {
 		err = fmt.Errorf("commit applied in memory but not durable: %w", werr)
 	}
+	// Latency and slow-query recording happen after every lock is released
+	// and the durability wait is over, so the measured time is what the
+	// client experienced and recording can never extend a critical section.
+	s.noteStmtDone(stmt, sql, start, res, err)
 	return res, err
 }
 
@@ -215,6 +230,7 @@ func (s *Session) noteConflict(err error) {
 	s.engine.writeConflicts.Add(1)
 	if s.txn != nil {
 		s.txn.aborted = true
+		s.engine.metrics.txnAborts.Add(1)
 	}
 }
 
@@ -224,9 +240,15 @@ func (s *Session) noteConflict(err error) {
 // replaces the entry. The version check happens under the engine lock, so a
 // fresh entry cannot be invalidated by DDL mid-execution.
 func (s *Session) execCached(ent *cachedStmt, sql string) (res *Result, done bool, err error) {
+	start := time.Now()
 	res, done, tok, err := s.execCachedLocked(ent, sql)
 	if werr := tok.wait(); werr != nil && err == nil {
 		err = fmt.Errorf("commit applied in memory but not durable: %w", werr)
+	}
+	if done {
+		// A stale entry (done=false) falls through to the cold path, which
+		// records the whole statement itself.
+		s.noteStmtDone(ent.stmt, sql, start, res, err)
 	}
 	return res, done, err
 }
@@ -340,6 +362,9 @@ func (s *Session) dispatch(stmt Stmt) (*Result, error) {
 	case *SelectStmt:
 		return s.execSelect(st, nil)
 	case *ExplainStmt:
+		if st.Analyze {
+			return s.execExplainAnalyze(st)
+		}
 		plan, err := s.planStmt(st.Stmt)
 		if err != nil {
 			return nil, err
@@ -533,7 +558,7 @@ func (s *Session) runSelectPlan(plan *SelectPlan, outer *Env) (*Result, error) {
 		return &Result{Columns: cols, Rows: [][]Value{row}}, nil
 	}
 
-	src, err := plan.Source.run(s, outer)
+	src, err := s.runSource(plan.Source, outer)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // lockManager shards the old engine-wide writeMu into per-table write locks.
@@ -144,23 +145,34 @@ func (e *Engine) lockForWrite(stmt Stmt) func() {
 // version. Locking a stale set is harmless — the version check after the
 // locks are held discards the entry before it executes anything.
 func (e *Engine) lockForWriteNames(stmt Stmt, names []string) func() {
+	// EXPLAIN ANALYZE executes its inner statement, so it locks exactly as
+	// that statement would.
+	if ex, ok := stmt.(*ExplainStmt); ok && ex.Analyze {
+		stmt = ex.Stmt
+	}
 	lm := &e.locks
+	start := time.Now()
 	switch stmt.(type) {
 	case *InsertStmt, *UpdateStmt, *DeleteStmt:
 		if lm.globalOnly.Load() {
-			return lm.lockAll()
+			unlock := lm.lockAll()
+			e.metrics.lockWait.Observe(time.Since(start))
+			return unlock
 		}
 		lm.global.RLock()
 		if names == nil {
 			names = e.writeLockNames(stmt)
 		}
 		inner := lm.lockNamed(names)
+		e.metrics.lockWait.Observe(time.Since(start))
 		return func() {
 			inner()
 			lm.global.RUnlock()
 		}
 	}
-	return lm.lockAll()
+	unlock := lm.lockAll()
+	e.metrics.lockWait.Observe(time.Since(start))
+	return unlock
 }
 
 // writeLockNames computes the deterministic (sorted, lower-cased, deduped)
@@ -171,6 +183,9 @@ func (e *Engine) lockForWriteNames(stmt Stmt, names []string) func() {
 // lock manager's global lock in shared mode, which excludes DDL, so the
 // catalog is stable while we walk it.
 func (e *Engine) writeLockNames(stmt Stmt) []string {
+	if ex, ok := stmt.(*ExplainStmt); ok && ex.Analyze {
+		stmt = ex.Stmt
+	}
 	seen := make(map[string]bool)
 	var names []string
 	var add func(name string)

@@ -99,6 +99,10 @@ func (s *Session) parallelEligible(n int, outer *Env) (workers int, slots chan s
 	if n < thr {
 		return 0, nil, false
 	}
+	m := &s.engine.metrics
+	m.parBatches.Add(1)
+	m.parMorsels.Add(int64(chunkCount(n, morselSize)))
+	m.parWorkers.ObserveValue(int64(w))
 	return w, sl, true
 }
 

@@ -183,6 +183,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 	switch t.text {
 	case "EXPLAIN":
 		p.next()
+		// ANALYZE is not a reserved keyword (tables and columns may use the
+		// name), so it is recognized positionally right after EXPLAIN.
+		analyze := false
+		if nt := p.peek(); nt.kind == tokIdent && strings.EqualFold(nt.text, "analyze") {
+			p.next()
+			analyze = true
+		}
 		inner, err := p.parseStmt()
 		if err != nil {
 			return nil, err
@@ -190,7 +197,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, nested := inner.(*ExplainStmt); nested {
 			return nil, fmt.Errorf("cannot nest EXPLAIN")
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case "SELECT":
 		return p.parseSelect()
 	case "INSERT":

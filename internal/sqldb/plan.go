@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // This file defines the plan-node layer of the engine's parse→plan→execute
@@ -321,7 +322,7 @@ func (n *FilterNode) run(s *Session, outer *Env) (*rowSet, error) {
 			return rs, err
 		}
 	}
-	src, err := n.Input.run(s, outer)
+	src, err := s.runSource(n.Input, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -374,11 +375,11 @@ func (n *JoinNode) Children() []PlanNode { return []PlanNode{n.Left, n.Right} }
 func (n *JoinNode) staticCols() []string { return n.cols }
 
 func (n *JoinNode) run(s *Session, outer *Env) (*rowSet, error) {
-	left, err := n.Left.run(s, outer)
+	left, err := s.runSource(n.Left, outer)
 	if err != nil {
 		return nil, err
 	}
-	right, err := n.Right.run(s, outer)
+	right, err := s.runSource(n.Right, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -540,6 +541,18 @@ func (p *WritePlan) Tree() PlanNode {
 // counted in the engine's dmlRowsVisited. Write-write conflict detection
 // happens later, per row, in the UPDATE/DELETE executors.
 func (p *WritePlan) matchEntries(s *Session) ([]*rowEntry, error) {
+	if a := s.analyze; a != nil {
+		// EXPLAIN ANALYZE: attribute the rows this matching pass inspects to
+		// the access-path node. The engine-wide counter delta is exact here
+		// because the statement holds this table's write lock; concurrent
+		// DML on other tables could in principle inflate it, which is
+		// acceptable for a diagnostic annotation.
+		start := time.Now()
+		before := s.engine.dmlRowsVisited.Load()
+		defer func() {
+			a.note(p.Access, int(s.engine.dmlRowsVisited.Load()-before), time.Since(start))
+		}()
+	}
 	t, ok := s.engine.Table(p.Table)
 	if !ok {
 		return nil, &NotFoundError{Kind: "table", Name: p.Table}

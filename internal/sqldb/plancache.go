@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"bridgescope/internal/sqldb/stats"
 )
 
 // The plan cache is the engine's prepared-statement layer: an LRU of
@@ -38,11 +40,12 @@ type cacheSlot struct {
 }
 
 type planCache struct {
-	mu      sync.Mutex
-	entries map[string]*list.Element
-	lru     *list.List // of *cacheSlot, front = most recently used
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu        sync.Mutex
+	entries   map[string]*list.Element
+	lru       *list.List // of *cacheSlot, front = most recently used
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 func newPlanCache() *planCache {
@@ -81,6 +84,7 @@ func (c *planCache) put(user, sql string, ent *cachedStmt) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheSlot).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -101,4 +105,17 @@ func (c *planCache) remove(user, sql string) {
 
 func (c *planCache) stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// snapshot reports the full counter set plus the resident entry count.
+func (c *planCache) snapshot() stats.CacheStats {
+	c.mu.Lock()
+	size := len(c.entries)
+	c.mu.Unlock()
+	return stats.CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      size,
+	}
 }

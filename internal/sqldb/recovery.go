@@ -87,6 +87,7 @@ func OpenEngine(dir string, opts Options) (*Engine, error) {
 		releaseDirLock(lock)
 		return nil, fmt.Errorf("sqldb: opening WAL: %w", err)
 	}
+	w.metrics = &e.metrics
 	e.fs = fsys
 	e.dir = dir
 	e.lockFile = lock
@@ -445,6 +446,7 @@ func (e *Engine) Checkpoint() error {
 	if lsn == e.lastCkptLSN && ver == e.lastCkptVersion {
 		return nil
 	}
+	ckptStart := time.Now()
 	newSeg, err := w.rotate()
 	if err != nil {
 		// Rotation failure is fail-stop on the WAL side (rotate already
@@ -476,6 +478,7 @@ func (e *Engine) Checkpoint() error {
 	w.checkpoints++
 	w.mu.Unlock()
 	w.retire(newSeg)
+	e.metrics.ckptDur.Observe(time.Since(ckptStart))
 	return nil
 }
 

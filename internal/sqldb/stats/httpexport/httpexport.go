@@ -1,0 +1,53 @@
+// Package httpexport serves a stats.Snapshot over HTTP in two formats:
+// Prometheus text exposition at /metrics and raw JSON at /stats.json.
+// It is deliberately thin — a snapshot function in, an http.Handler out —
+// so any engine (SQL, CSV, a future wire server) can mount it.
+package httpexport
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"bridgescope/internal/sqldb/stats"
+)
+
+// Handler returns an http.Handler exposing the snapshot:
+//
+//	GET /metrics     Prometheus text exposition (version 0.0.4)
+//	GET /stats.json  the full snapshot as JSON
+//	GET /            a tiny index linking the two
+//
+// The snapshot function is called once per request; it must be safe for
+// concurrent use (Engine.Stats is).
+func Handler(snapshot func() stats.Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = stats.WritePrometheus(w, snapshot())
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("sqldb metrics\n  /metrics     Prometheus text exposition\n  /stats.json  full snapshot as JSON\n"))
+	})
+	return mux
+}
+
+// ListenAndServe starts an HTTP server for the snapshot on addr in a new
+// goroutine and returns immediately. Errors after startup (port in use,
+// listener closed) are delivered on the returned channel.
+func ListenAndServe(addr string, snapshot func() stats.Snapshot) <-chan error {
+	errc := make(chan error, 1)
+	srv := &http.Server{Addr: addr, Handler: Handler(snapshot)}
+	go func() { errc <- srv.ListenAndServe() }()
+	return errc
+}

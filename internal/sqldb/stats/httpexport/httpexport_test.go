@@ -1,0 +1,87 @@
+package httpexport
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bridgescope/internal/sqldb/stats"
+)
+
+func testHandler() http.Handler {
+	return Handler(func() stats.Snapshot {
+		return stats.Snapshot{
+			Enabled:     true,
+			RowsScanned: 77,
+			PlanCache:   stats.CacheStats{Hits: 5, Misses: 2},
+		}
+	})
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE sqldb_rows_scanned_total counter",
+		"sqldb_rows_scanned_total 77",
+		"sqldb_plan_cache_hits_total 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("body missing %q", want)
+		}
+	}
+}
+
+func TestStatsJSONEndpoint(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/stats.json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap stats.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if snap.RowsScanned != 77 || snap.PlanCache.Hits != 5 {
+		t.Errorf("round-trip mismatch: %+v", snap)
+	}
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	srv := httptest.NewServer(testHandler())
+	defer srv.Close()
+
+	if resp, body := get(t, srv, "/"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, srv, "/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}

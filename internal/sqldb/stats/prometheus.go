@@ -1,0 +1,137 @@
+// Prometheus text exposition (version 0.0.4) for a stats Snapshot. The
+// format is simple enough that hand-rolling it keeps the engine
+// dependency-free: `# TYPE` headers, one `name{labels} value` line per
+// sample, histograms as cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders s in Prometheus text exposition format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	p := &promWriter{w: w}
+
+	p.gauge("sqldb_metrics_enabled", "whether metric recording is on", boolVal(s.Enabled))
+
+	// Per-statement-kind latency histograms under one metric name.
+	p.typ("sqldb_statement_duration_ns", "statement latency by kind, nanoseconds", "histogram")
+	kinds := make([]string, 0, len(s.Statements))
+	for k := range s.Statements {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		p.histSeries("sqldb_statement_duration_ns", fmt.Sprintf(`kind=%q`, k), s.Statements[k])
+	}
+
+	p.counter("sqldb_rows_scanned_total", "rows visited by sequential/parallel scans", s.RowsScanned)
+	p.counter("sqldb_dml_rows_visited_total", "rows inspected by UPDATE/DELETE row matching", s.DMLRowsVisited)
+	p.counter("sqldb_rows_returned_total", "rows returned to clients", s.RowsReturned)
+
+	p.counter("sqldb_plan_cache_hits_total", "plan cache hits", s.PlanCache.Hits)
+	p.counter("sqldb_plan_cache_misses_total", "plan cache misses", s.PlanCache.Misses)
+	p.counter("sqldb_plan_cache_evictions_total", "plan cache LRU evictions", s.PlanCache.Evictions)
+	p.gauge("sqldb_plan_cache_size", "cached plans currently resident", float64(s.PlanCache.Size))
+
+	p.gauge("sqldb_wal_durable", "whether the engine runs with a WAL", boolVal(s.WAL.Durable))
+	p.counter("sqldb_wal_commits_total", "commits appended to the WAL", s.WAL.Commits)
+	p.counter("sqldb_wal_records_total", "redo records appended to the WAL", s.WAL.Records)
+	p.counter("sqldb_wal_fsyncs_total", "WAL fsync calls", s.WAL.Fsyncs)
+	p.counter("sqldb_wal_group_flushes_total", "group-commit flushes", s.WAL.GroupFlushes)
+	p.counter("sqldb_wal_bytes_total", "bytes appended to the WAL", s.WAL.WALBytes)
+	p.gauge("sqldb_wal_size_bytes", "current WAL segment size", float64(s.WAL.WALSize))
+	p.gauge("sqldb_wal_lsn", "last durable log sequence number", float64(s.WAL.LSN))
+	p.counter("sqldb_checkpoints_total", "snapshot checkpoints taken", s.WAL.Checkpoints)
+	p.hist("sqldb_wal_append_duration_ns", "WAL write(2) latency, nanoseconds", s.WAL.AppendNs)
+	p.hist("sqldb_wal_fsync_duration_ns", "WAL fsync latency, nanoseconds", s.WAL.FsyncNs)
+	p.hist("sqldb_wal_group_commit_size", "commits per group-commit flush", s.WAL.BatchCommits)
+
+	p.counter("sqldb_mvcc_conflicts_total", "first-committer-wins write conflicts", s.MVCC.Conflicts)
+	p.counter("sqldb_mvcc_aborts_total", "transactions aborted by conflicts", s.MVCC.Aborts)
+	p.counter("sqldb_mvcc_retries_total", "client-side transaction retries", s.MVCC.Retries)
+	p.gauge("sqldb_mvcc_open_transactions", "transactions currently open", float64(s.MVCC.OpenTxns))
+	p.gauge("sqldb_mvcc_gc_horizon_lag", "commit timestamps between the GC horizon and the newest commit", float64(s.MVCC.GCHorizonLag))
+
+	p.counter("sqldb_lock_table_acquires_total", "per-table write-lock acquisitions", s.Locks.TableAcquires)
+	p.counter("sqldb_lock_global_acquires_total", "exclusive global (DDL) lock acquisitions", s.Locks.GlobalAcquires)
+	p.gauge("sqldb_lock_max_concurrent_writers", "peak concurrent write-lock holders", float64(s.Locks.MaxConcurrentWriters))
+	p.hist("sqldb_lock_wait_duration_ns", "write-lock acquisition wait, nanoseconds", s.Locks.WaitNs)
+
+	p.counter("sqldb_parallel_batches_total", "statements executed by the parallel scanner", s.Parallel.Batches)
+	p.counter("sqldb_parallel_morsels_total", "morsels dispatched to parallel workers", s.Parallel.Morsels)
+	p.hist("sqldb_parallel_workers", "workers used per parallel batch", s.Parallel.Workers)
+
+	p.hist("sqldb_checkpoint_duration_ns", "checkpoint wall time, nanoseconds", s.Checkpoint.DurationNs)
+
+	p.gauge("sqldb_degraded", "1 when the engine is fail-stopped read-only", boolVal(s.Health.Degraded))
+	p.counter("sqldb_degraded_transitions_total", "healthy-to-degraded transitions", s.Health.Transitions)
+
+	p.counter("sqldb_slow_queries_total", "statements recorded by the slow-query log", s.SlowLog.Total)
+
+	return p.err
+}
+
+// promWriter accumulates the first write error so every emit call can be
+// unchecked at the call site.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) typ(name, help, kind string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func (p *promWriter) counter(name, help string, v int64) {
+	p.typ(name, help, "counter")
+	p.printf("%s %d\n", name, v)
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.typ(name, help, "gauge")
+	p.printf("%s %g\n", name, v)
+}
+
+// hist emits a full histogram metric: TYPE header plus one series.
+func (p *promWriter) hist(name, help string, h HistogramSnapshot) {
+	p.typ(name, help, "histogram")
+	p.histSeries(name, "", h)
+}
+
+// histSeries emits the cumulative bucket/sum/count lines for one labeled
+// series of an already-typed histogram metric.
+func (p *promWriter) histSeries(name, labels string, h HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		p.printf("%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, b.UpperNs, cum)
+	}
+	p.printf("%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count)
+	if labels == "" {
+		p.printf("%s_sum %d\n%s_count %d\n", name, h.SumNs, name, h.Count)
+	} else {
+		p.printf("%s_sum{%s} %d\n%s_count{%s} %d\n", name, labels, h.SumNs, name, labels, h.Count)
+	}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

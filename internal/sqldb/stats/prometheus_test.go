@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() Snapshot {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(200 * time.Nanosecond)
+	h.Observe(5 * time.Microsecond)
+	return Snapshot{
+		Enabled:     true,
+		Statements:  map[string]HistogramSnapshot{"select": h.Snapshot(), "insert": h.Snapshot()},
+		RowsScanned: 1234,
+		PlanCache:   CacheStats{Hits: 10, Misses: 3, Evictions: 1, Size: 2},
+		WAL: WALStats{
+			Durable: true, Mode: "batch", Commits: 42, Fsyncs: 7,
+			AppendNs: h.Snapshot(), FsyncNs: h.Snapshot(), BatchCommits: h.Snapshot(),
+		},
+		MVCC:    MVCCStats{Conflicts: 2, Aborts: 1, Retries: 3, OpenTxns: 1, GCHorizonLag: 5},
+		Health:  HealthStats{Degraded: true, Reason: "disk on fire", Transitions: 1},
+		SlowLog: SlowLogStats{ThresholdNs: 1e6, Total: 9},
+	}
+}
+
+// TestPrometheusWellFormed parses every line of the exposition: comments
+// are HELP/TYPE pairs, samples are `name{labels} value` with a numeric
+// value, and every sample's metric family has a preceding TYPE.
+func TestPrometheusWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			t.Fatalf("non-numeric value %q in line %q", val, line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] {
+				family = base
+				break
+			}
+		}
+		if !typed[family] {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+	}
+
+	for _, want := range []string{
+		"sqldb_statement_duration_ns_bucket{kind=\"select\",le=\"+Inf\"} 3",
+		"sqldb_wal_fsync_duration_ns_bucket",
+		"sqldb_mvcc_conflicts_total 2",
+		"sqldb_degraded 1",
+		"sqldb_degraded_transitions_total 1",
+		"sqldb_slow_queries_total 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestPrometheusCumulativeBuckets checks the histogram contract: bucket
+// counts are cumulative, monotonically non-decreasing, and +Inf equals
+// _count.
+func TestPrometheusCumulativeBuckets(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	var infVal, countVal float64 = -1, -1
+	for _, line := range strings.Split(sb.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, `sqldb_statement_duration_ns_bucket{kind="select"`):
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not monotone: %q after %v", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				infVal = v
+			}
+		case strings.HasPrefix(line, `sqldb_statement_duration_ns_count{kind="select"}`):
+			v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			countVal = v
+		}
+	}
+	if infVal < 0 || countVal < 0 {
+		t.Fatal("select histogram series missing")
+	}
+	if infVal != countVal {
+		t.Fatalf("+Inf bucket %v != _count %v", infVal, countVal)
+	}
+}

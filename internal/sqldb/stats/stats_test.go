@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketMath pins the log2 bucket layout: bucket 0 holds non-positive
+// values, bucket i holds [2^(i-1), 2^i), and the last bucket absorbs
+// everything at or above 2^(histBuckets-2).
+func TestBucketMath(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 37, 38},
+		{1<<38 - 1, 38},
+		{1 << 38, 39},
+		{1 << 60, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds are inclusive and consistent with bucketFor: a value
+	// equal to a bucket's upper bound lands in that bucket, one more lands
+	// in the next.
+	for i := 1; i < histBuckets-1; i++ {
+		up := bucketUpper(i)
+		if got := bucketFor(up); got != i {
+			t.Errorf("bucketFor(bucketUpper(%d)=%d) = %d, want %d", i, up, got, i)
+		}
+		if got := bucketFor(up + 1); got != i+1 {
+			t.Errorf("bucketFor(%d) = %d, want %d", up+1, got, i+1)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Nanosecond)  // bucket 2
+	h.Observe(3 * time.Nanosecond)  // bucket 2
+	h.Observe(10 * time.Nanosecond) // bucket 4
+	h.ObserveValue(0)               // bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.SumNs != 16 {
+		t.Fatalf("SumNs = %d, want 16", s.SumNs)
+	}
+	// Trailing empty buckets are omitted: highest non-empty is bucket 4.
+	if len(s.Buckets) != 5 {
+		t.Fatalf("len(Buckets) = %d, want 5", len(s.Buckets))
+	}
+	wantCounts := []uint64{1, 0, 2, 0, 1}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
+		}
+	}
+	if got := s.Mean(); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := s.Quantile(0.5); got != bucketUpper(2) {
+		t.Errorf("Quantile(0.5) = %d, want %d", got, bucketUpper(2))
+	}
+	if got := s.Quantile(1.0); got != bucketUpper(4) {
+		t.Errorf("Quantile(1.0) = %d, want %d", got, bucketUpper(4))
+	}
+}
+
+func TestHistogramDisabled(t *testing.T) {
+	defer SetEnabled(true)
+	var h Histogram
+	SetEnabled(false)
+	h.Observe(time.Second)
+	if s := h.Snapshot(); s.Count != 0 || s.SumNs != 0 {
+		t.Fatalf("disabled Observe recorded: %+v", s)
+	}
+	SetEnabled(true)
+	h.Observe(time.Second)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("enabled Observe did not record: %+v", s)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// snapshots run; run under -race this is the lock-freedom proof, and the
+// final count must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Snapshot()
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.ObserveValue(int64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if s := h.Snapshot(); s.Count != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+}
+
+func TestSlowLogRingWraparound(t *testing.T) {
+	l := NewSlowLog(3, 0)
+	for i := 0; i < 7; i++ {
+		l.Record(SlowQuery{SQL: string(rune('a' + i))})
+	}
+	if got := l.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("len(Entries) = %d, want 3", len(got))
+	}
+	// Oldest-first: the last three recorded were e, f, g.
+	for i, want := range []string{"e", "f", "g"} {
+		if got[i].SQL != want {
+			t.Errorf("entry %d = %q, want %q", i, got[i].SQL, want)
+		}
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	l := NewSlowLog(4, 10*time.Millisecond)
+	if l.ShouldRecord(5 * time.Millisecond) {
+		t.Error("5ms recorded under a 10ms threshold")
+	}
+	if !l.ShouldRecord(10 * time.Millisecond) {
+		t.Error("threshold should be inclusive")
+	}
+	l.SetThreshold(0)
+	if !l.ShouldRecord(0) {
+		t.Error("zero threshold should record everything")
+	}
+	l.SetThreshold(-1)
+	if l.ShouldRecord(time.Hour) {
+		t.Error("negative threshold should disable the log")
+	}
+}

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // undoKind identifies the inverse operation recorded in the undo log.
@@ -240,6 +241,15 @@ type Session struct {
 	// joins it into the statement token, which the executor waits on after
 	// every lock is released.
 	grantTok *syncToken
+	// analyze, when non-nil, is the per-operator collector for the EXPLAIN
+	// ANALYZE statement currently executing on this session (see analyze.go).
+	// Guarded by mu like the rest of the statement state.
+	analyze *analyzeState
+	// retryStreak counts consecutive retryable failures (write conflicts,
+	// degraded refusals) on this session; the first success drains it into
+	// the slow-query entry's retry count. Atomic so noteStmtDone can touch
+	// it without s.mu.
+	retryStreak atomic.Int64
 }
 
 // SetParallel enables or disables batched/parallel query execution for this

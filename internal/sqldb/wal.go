@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"bridgescope/internal/sqldb/vfs"
 )
@@ -544,6 +545,16 @@ type wal struct {
 	groupFlushes int64
 	bytes        int64
 	checkpoints  int64
+	// pendingCommits counts the commits enqueued in the current group; a
+	// flush grabs and resets it with the buffer, feeding the group-commit
+	// batch-size histogram.
+	pendingCommits int64
+
+	// metrics, when set (engine-owned WALs), receives append/fsync latency
+	// and batch-size observations. Recording happens outside ioMu — the
+	// sqlvet lockorder analyzer forbids stats calls inside the I/O critical
+	// section.
+	metrics *engineMetrics
 }
 
 func segPath(dir string, seg uint64) string {
@@ -635,6 +646,7 @@ func (w *wal) commit(recs [][]byte) *syncToken {
 	w.lsn++
 	frame := encodeFrame(w.lsn, recs)
 	w.commits++
+	w.pendingCommits++
 	w.records += int64(len(recs))
 	w.pending = append(w.pending, frame...)
 	g := w.cur
@@ -717,6 +729,8 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 	}
 	buf := w.pending
 	w.pending = nil
+	nCommits := w.pendingCommits
+	w.pendingCommits = 0
 	g := w.cur
 	w.cur = &flushGroup{done: make(chan struct{})}
 	if w.failed != nil {
@@ -731,12 +745,26 @@ func (w *wal) flushPendingLocked(accumulate bool) {
 	}
 	w.mu.Unlock()
 
+	var appendDur, fsyncDur time.Duration
 	w.ioMu.Lock()
+	start := time.Now()
 	_, err := w.f.Write(buf)
+	appendDur = time.Since(start)
 	if err == nil && w.mode != SyncOff {
+		start = time.Now()
 		err = w.f.Sync()
+		fsyncDur = time.Since(start)
 	}
 	w.ioMu.Unlock()
+	// Observations happen after ioMu is released so metric recording can
+	// never extend the I/O critical section (lockorder rule L4).
+	if m := w.metrics; m != nil {
+		m.walAppend.Observe(appendDur)
+		if fsyncDur > 0 {
+			m.walFsync.Observe(fsyncDur)
+		}
+		m.walBatch.ObserveValue(nCommits)
+	}
 
 	w.mu.Lock()
 	w.size += int64(len(buf))
