@@ -3,6 +3,18 @@
 // Standalone (package patterns as arguments):
 //
 //	go run ./cmd/sqlvet ./...
+//	go run ./cmd/sqlvet -sarif ./... > sqlvet.sarif
+//	go run ./cmd/sqlvet -baseline .sqlvet-baseline.json -fail-stale ./...
+//
+// Standalone flags: -json and -sarif write machine-readable reports (JSON
+// array / SARIF 2.1.0) to stdout instead of the plain stderr lines;
+// -baseline suppresses findings listed in the named file (matched by
+// analyzer+file+message, line-independent) while new ones still fail;
+// -fail-stale additionally fails if the baseline lists findings that no
+// longer occur; -write-baseline rewrites the baseline to accept the current
+// findings. Exit codes: 0 = clean, 1 = findings (or stale baseline under
+// -fail-stale), 2 = the analysis itself failed (load/type-check/analyzer
+// error) — so CI can distinguish "code has violations" from "tool broke".
 //
 // Vettool (driven by the go command, which passes a .cfg file per package):
 //
@@ -15,13 +27,15 @@
 // dependencies; the binary type-checks the package from source, runs the
 // analyzers, writes its own facts, and reports diagnostics on stderr with
 // exit status 2 — the protocol of golang.org/x/tools unitchecker,
-// reimplemented here because the build environment is offline.
+// reimplemented here because the build environment is offline. (The vettool
+// exit codes are the protocol's, not the standalone contract above.)
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -57,22 +71,87 @@ func main() {
 		os.Exit(vettool(args[0]))
 	}
 
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sqlvet <packages>  (or: go vet -vettool=sqlvet <packages>)")
-		os.Exit(1)
+	os.Exit(standalone(args))
+}
+
+// standalone runs the suite over package patterns with the documented exit
+// codes: 0 clean, 1 findings, 2 analysis failure.
+func standalone(args []string) int {
+	fs := flag.NewFlagSet("sqlvet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: sqlvet [flags] <packages>  (or: go vet -vettool=sqlvet <packages>)")
+		fs.PrintDefaults()
+	}
+	var (
+		jsonOut       = fs.Bool("json", false, "write findings to stdout as a JSON array")
+		sarifOut      = fs.Bool("sarif", false, "write findings to stdout as SARIF 2.1.0")
+		baselinePath  = fs.String("baseline", "", "baseline `file`; listed findings are accepted, new ones fail")
+		failStale     = fs.Bool("fail-stale", false, "fail if the baseline lists findings that no longer occur")
+		writeBaseline = fs.Bool("write-baseline", false, "rewrite the -baseline file to accept current findings")
+	)
+	fs.Parse(os.Args[1:])
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "sqlvet: -write-baseline requires -baseline")
+		return 2
 	}
 
-	findings, err := sqlvet.Check(".", args)
+	findings, err := sqlvet.Check(".", fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlvet:", err)
-		os.Exit(1)
+		return 2
 	}
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
+	root, _ := os.Getwd()
+
+	if *writeBaseline {
+		if err := sqlvet.WriteBaselineFile(*baselinePath, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlvet:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "sqlvet: wrote %s (%d findings accepted)\n", *baselinePath, len(findings))
+		return 0
+	}
+
+	var stale []sqlvet.BaselineEntry
+	if *baselinePath != "" {
+		b, err := sqlvet.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sqlvet:", err)
+			return 2
+		}
+		findings, stale = b.Apply(root, findings)
+	}
+
+	switch {
+	case *jsonOut:
+		if err := sqlvet.WriteJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlvet:", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := sqlvet.WriteSARIF(os.Stdout, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlvet:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "sqlvet: stale baseline entry (fixed but still listed): %s: %s: %s\n",
+			e.File, e.Analyzer, e.Message)
 	}
 	if len(findings) > 0 {
-		os.Exit(2)
+		return 1
 	}
+	if *failStale && len(stale) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // selfHash content-hashes the executable for the -V=full reply.

@@ -36,7 +36,7 @@ import (
 )
 
 // stdPackages are the standard-library imports fixtures may use.
-var stdPackages = []string{"errors", "fmt", "os", "sync", "time"}
+var stdPackages = []string{"errors", "fmt", "os", "path/filepath", "sync", "sync/atomic", "time"}
 
 // Run analyzes the named fixture packages (testdata/src/<name> relative to
 // the test's working directory) and reports mismatches on t. Fixtures are

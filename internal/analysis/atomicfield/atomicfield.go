@@ -1,0 +1,208 @@
+// Package atomicfield enforces the engine's invariant L5: a struct field
+// that is ever accessed through sync/atomic must be accessed through
+// sync/atomic everywhere. A single plain read racing an atomic.AddInt64 is
+// still a data race — the atomic call only protects itself. The engine's
+// own counters migrated to the atomic.IntNN wrapper types for exactly this
+// reason; this analyzer catches the function-style pattern
+// (atomic.LoadInt64(&s.n) in one file, s.n++ in another) before it ships.
+//
+// The "anywhere" is cross-package: packages export the set of atomically
+// accessed fields per struct type as a fact on the type's object, so a
+// dependent package touching an embedded engine struct's counter plainly
+// is flagged even though the atomic uses live upstream.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bridgescope/internal/analysis/framework"
+)
+
+// atomicFieldsFact records, on a struct type's *types.TypeName, the names
+// of fields that package accessed through sync/atomic.
+type atomicFieldsFact struct {
+	Fields []string
+}
+
+func (*atomicFieldsFact) AFact() {}
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc: "flags plain reads/writes of struct fields that are elsewhere accessed through sync/atomic; " +
+		"mixing the two is a data race, and the atomic discipline is tracked across packages via facts",
+	FactTypes: []framework.Fact{&atomicFieldsFact{}},
+	Run:       run,
+}
+
+// fieldID identifies a struct field by its owning named type and name.
+type fieldID struct {
+	typ  *types.TypeName
+	name string
+}
+
+func run(pass *framework.Pass) error {
+	// Pass 1: collect every field reached through a sync/atomic call in
+	// this package, and remember those selector nodes so pass 2 does not
+	// flag the atomic accesses themselves.
+	atomicFields := map[fieldID]bool{}
+	atomicUse := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := typeutilCallee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := fieldOf(pass.TypesInfo, sel); ok {
+					atomicFields[id] = true
+					atomicUse[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Publish this package's atomic fields so dependent packages inherit
+	// the discipline (keyed per owning type).
+	byType := map[*types.TypeName][]string{}
+	for id := range atomicFields {
+		byType[id.typ] = append(byType[id.typ], id.name)
+	}
+	for tn, fields := range byType {
+		if tn.Pkg() != pass.Pkg {
+			continue // upstream type: its fact already exists upstream
+		}
+		sort.Strings(fields)
+		pass.ExportObjectFact(tn, &atomicFieldsFact{Fields: fields})
+	}
+
+	// isAtomic answers for any named type, local or imported.
+	factCache := map[*types.TypeName]map[string]bool{}
+	isAtomic := func(id fieldID) bool {
+		if atomicFields[id] {
+			return true
+		}
+		set, ok := factCache[id.typ]
+		if !ok {
+			set = map[string]bool{}
+			var fact atomicFieldsFact
+			if pass.ImportObjectFact(id.typ, &fact) {
+				for _, f := range fact.Fields {
+					set[f] = true
+				}
+			}
+			factCache[id.typ] = set
+		}
+		return set[id.name]
+	}
+
+	// Pass 2: flag plain accesses to atomic fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUse[sel] {
+				return true
+			}
+			id, ok := fieldOf(pass.TypesInfo, sel)
+			if !ok || !isAtomic(id) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access to %s.%s, which is accessed via sync/atomic elsewhere; mixing atomic and plain access is a data race — use atomic.Load/Store here too",
+				id.typ.Name(), id.name)
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves sel to (owning named type, field name) if it selects a
+// struct field of a named type.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (fieldID, bool) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return fieldID{}, false
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return fieldID{}, false
+	}
+	// Resolve through embedding to the struct that actually declares the
+	// field, so `outer.count` and `outer.Inner.count` share one identity.
+	obj := s.Obj()
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+		// The selection's object is the field var; its owning named type is
+		// found by scanning the (possibly embedded) path. The last index
+		// step happens inside the struct that declares the field.
+		typ := named
+		idx := s.Index()
+		for _, i := range idx[:len(idx)-1] {
+			st, ok := under(typ)
+			if !ok || i >= st.NumFields() {
+				return fieldID{}, false
+			}
+			typ = namedOf(st.Field(i).Type())
+			if typ == nil {
+				return fieldID{}, false
+			}
+		}
+		return fieldID{typ: typ.Obj(), name: v.Name()}, true
+	}
+	return fieldID{}, false
+}
+
+func under(n *types.Named) (*types.Struct, bool) {
+	st, ok := n.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeutilCallee resolves a call's static callee if it is a package
+// function (atomic.AddInt64 style). Method values and builtins return nil.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

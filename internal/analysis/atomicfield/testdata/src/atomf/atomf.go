@@ -1,0 +1,58 @@
+package atomf
+
+import "sync/atomic"
+
+// Counters mixes function-style atomics with plain access — the violating
+// shapes L5 exists to catch.
+type Counters struct {
+	hits   int64 // accessed via atomic.AddInt64: atomic everywhere
+	misses int64 // plain only: fine
+	depth  int32
+}
+
+func (c *Counters) Record() {
+	atomic.AddInt64(&c.hits, 1)
+	c.misses++ // plain-only field, no atomic use anywhere
+}
+
+func (c *Counters) Snapshot() (int64, int64) {
+	return c.hits, c.misses // want `plain access to Counters\.hits`
+}
+
+func (c *Counters) Reset() {
+	c.hits = 0 // want `plain access to Counters\.hits`
+	c.misses = 0
+}
+
+func (c *Counters) GoodSnapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), c.misses
+}
+
+func (c *Counters) Deepen() {
+	atomic.AddInt32(&c.depth, 1)
+}
+
+func (c *Counters) GoodDepth() int32 {
+	return atomic.LoadInt32(&c.depth)
+}
+
+// Plain is never touched atomically; unrestricted access stays silent.
+type Plain struct {
+	n int
+}
+
+func (p *Plain) Bump() { p.n++ }
+func (p *Plain) Get() int {
+	return p.n
+}
+
+// Exported carries the discipline across packages via the exported fact.
+type Exported struct {
+	Ops  int64
+	name string
+}
+
+func Touch(e *Exported) {
+	atomic.AddInt64(&e.Ops, 1)
+	e.name = "touched"
+}

@@ -1,0 +1,17 @@
+package atomf_use
+
+import (
+	"sync/atomic"
+
+	"atomf"
+)
+
+// readPlain touches an upstream atomic field plainly; the discipline
+// arrives through atomf's exported fact.
+func readPlain(e *atomf.Exported) int64 {
+	return e.Ops // want `plain access to Exported\.Ops`
+}
+
+func readAtomic(e *atomf.Exported) int64 {
+	return atomic.LoadInt64(&e.Ops)
+}

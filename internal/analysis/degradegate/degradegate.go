@@ -1,0 +1,192 @@
+// Package degradegate enforces invariant L8: every exported entry path
+// that mutates the catalog/row heap passes the degraded-mode write gate
+// (Engine.checkWritable) before its first mutation. When durability I/O
+// fails the engine degrades to read-only; a mutation that slips in before
+// the gate leaves the heap ahead of what the WAL can honestly make
+// durable — exactly the divergence degraded mode exists to prevent.
+//
+// The analysis is flow-sensitive on the shared framework/flow engine:
+// "gated" is per-path state, so a gate call after the mutation, or on only
+// the opposite branch, does not count. The gate may be conditional
+// (`if !readOnly { checkWritable() }`) — the executor proves the guard
+// matches the statement's write-ness, which is beyond a static checker, so
+// a gate on *some* incoming path satisfies the rule; what is flagged is a
+// mutation no gate call can precede on any path.
+//
+// Helpers stay quiet: per-function summaries (computed to an intra-package
+// fixpoint with flow.Summaries and exported across packages as facts)
+// record whether a function mutates before gating, and only exported
+// functions — the engine's entry surface — report, at the call that first
+// lets a mutation through ungated. The storage-layer files in
+// engineshape.StorageFiles are exempt end to end: rollback's undo
+// application, vacuum, and log replay legally touch the heap with no gate.
+package degradegate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"bridgescope/internal/analysis/callgraph"
+	"bridgescope/internal/analysis/engineshape"
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/framework/flow"
+)
+
+// gateFact carries a function's gating summary across packages.
+type gateFact struct {
+	Mutates         bool // transitively calls a heap/catalog mutator
+	Gates           bool // calls checkWritable on some path
+	UngatedMutation bool // some path mutates before any gate call
+}
+
+func (*gateFact) AFact() {}
+
+var Analyzer = &framework.Analyzer{
+	Name: "degradegate",
+	Doc: "flags exported entry paths that mutate the heap/WAL before reaching the Engine.checkWritable " +
+		"degraded-mode gate; a read-only engine must refuse writes before memory diverges from the WAL",
+	FactTypes: []framework.Fact{&gateFact{}},
+	Run:       run,
+}
+
+// summary is the per-function fixpoint value; it mirrors gateFact but
+// must be comparable for flow.Summaries.
+type summary struct {
+	mutates, gates, ungated bool
+}
+
+// gateState is the per-path abstract state: has checkWritable been called?
+// Join is OR — see the package comment on conditional gates.
+type gateState struct {
+	gated bool
+}
+
+func (s *gateState) CloneState() flow.State {
+	c := *s
+	return &c
+}
+
+func (s *gateState) JoinState(other flow.State) flow.State {
+	s.gated = s.gated || other.(*gateState).gated
+	return s
+}
+
+func (s *gateState) EqualState(other flow.State) bool {
+	return s.gated == other.(*gateState).gated
+}
+
+func run(pass *framework.Pass) error {
+	decls := callgraph.Decls(pass)
+
+	exempt := func(decl *ast.FuncDecl) bool {
+		base := filepath.Base(pass.Fset.Position(decl.Pos()).Filename)
+		return engineshape.StorageFiles[base]
+	}
+
+	summaries := flow.Summaries(decls, func(fn *types.Func, decl *ast.FuncDecl, cur func(*types.Func) (summary, bool)) summary {
+		if decl.Body == nil || exempt(decl) {
+			return summary{}
+		}
+		var sum summary
+		walk(pass, decl.Body, cur, func(call *ast.CallExpr, callee *types.Func, ungatedInternal, gated bool) {
+			sum.mutates = true
+			if !gated && ungatedInternal {
+				sum.ungated = true
+			}
+		}, func() { sum.gates = true })
+		return sum
+	})
+
+	for fn, sum := range summaries {
+		if fn.Exported() && (sum.mutates || sum.gates) {
+			pass.ExportObjectFact(fn, &gateFact{Mutates: sum.mutates, Gates: sum.gates, UngatedMutation: sum.ungated})
+		}
+	}
+
+	// Reporting pass: exported functions are the entry surface.
+	lookup := func(fn *types.Func) (summary, bool) {
+		s, ok := summaries[fn]
+		return s, ok
+	}
+	for fn, decl := range decls {
+		if !fn.Exported() || decl.Body == nil || exempt(decl) {
+			continue
+		}
+		walk(pass, decl.Body, lookup, func(call *ast.CallExpr, callee *types.Func, ungatedInternal, gated bool) {
+			if gated || !ungatedInternal {
+				return
+			}
+			if engineshape.IsMutator(callee) {
+				pass.Reportf(call.Pos(),
+					"%s mutates the heap before any checkWritable gate on this path; a degraded (read-only) engine must refuse the write first (rule L8)",
+					callee.Name())
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"%s mutates the heap/WAL before gating, and no checkWritable call precedes it here; gate the path before the first mutation (rule L8)",
+				callee.Name())
+		}, nil)
+	}
+	return nil
+}
+
+// walk interprets body with the gate lattice. onMutation fires for every
+// call that transitively mutates: a direct mutator call (ungatedInternal
+// true — the mutation happens immediately), or a callee whose
+// summary/fact says it mutates (ungatedInternal reports whether the callee
+// reaches its mutation before gating itself). onGate (optional) fires when
+// the path becomes gated.
+func walk(pass *framework.Pass, body *ast.BlockStmt,
+	cur func(*types.Func) (summary, bool),
+	onMutation func(call *ast.CallExpr, callee *types.Func, ungatedInternal, gated bool),
+	onGate func()) {
+
+	transfer := func(n ast.Node, st flow.State, report flow.Reporter) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		callee := callgraph.Callee(pass.TypesInfo, call)
+		if callee == nil {
+			return
+		}
+		s := st.(*gateState)
+		if engineshape.IsGate(callee) {
+			s.gated = true
+			if onGate != nil {
+				onGate()
+			}
+			return
+		}
+		if engineshape.IsMutator(callee) {
+			onMutation(call, callee, true, s.gated)
+			return
+		}
+		cs, known := cur(callee)
+		if !known {
+			var fact gateFact
+			if pass.ImportObjectFact(callee, &fact) {
+				cs = summary{mutates: fact.Mutates, gates: fact.Gates, ungated: fact.UngatedMutation}
+				known = true
+			}
+		}
+		if !known {
+			return
+		}
+		if cs.mutates {
+			onMutation(call, callee, cs.ungated, s.gated)
+		}
+		if cs.gates {
+			s.gated = true
+			if onGate != nil {
+				onGate()
+			}
+		}
+	}
+	flow.Run(body, &gateState{}, &flow.Analysis{Transfer: transfer},
+		func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format, args...)
+		})
+}

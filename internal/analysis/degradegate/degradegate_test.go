@@ -1,0 +1,12 @@
+package degradegate_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/degradegate"
+)
+
+func TestDegradeGate(t *testing.T) {
+	analysistest.Run(t, degradegate.Analyzer, "dgate", "dgate_use")
+}

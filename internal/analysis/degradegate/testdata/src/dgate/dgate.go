@@ -1,0 +1,102 @@
+package dgate
+
+import "errors"
+
+// Engine/Table mirror the real storage shapes the analyzer keys on.
+type Engine struct {
+	degraded bool
+	t        Table
+}
+
+type Table struct{ rows int }
+
+func (e *Engine) checkWritable() error {
+	if e.degraded {
+		return errors.New("engine is read-only")
+	}
+	return nil
+}
+
+func (t *Table) insertEntry(v int)        {}
+func (t *Table) deleteVersion(v int)      {}
+func (e *Engine) createTable(name string) {}
+
+// GoodGatedInsert gates before mutating.
+func (e *Engine) GoodGatedInsert(v int) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
+	e.t.insertEntry(v)
+	return nil
+}
+
+// GoodConditionalGate mirrors the executor: the guard's correlation with
+// write-ness is the caller's proof; a gate on some path counts.
+func (e *Engine) GoodConditionalGate(readOnly bool, v int) error {
+	if !readOnly {
+		if err := e.checkWritable(); err != nil {
+			return err
+		}
+	}
+	e.t.insertEntry(v)
+	return nil
+}
+
+// BadUngatedInsert mutates with no gate anywhere.
+func (e *Engine) BadUngatedInsert(v int) {
+	e.t.insertEntry(v) // want `insertEntry mutates the heap before any checkWritable gate`
+}
+
+// BadGateAfterMutation gates too late: the heap already moved.
+func (e *Engine) BadGateAfterMutation(v int) error {
+	e.t.insertEntry(v) // want `insertEntry mutates the heap before any checkWritable gate`
+	return e.checkWritable()
+}
+
+// BadGateOnOtherBranch gates only the branch that does not mutate.
+func (e *Engine) BadGateOnOtherBranch(fast bool, v int) error {
+	if fast {
+		e.t.deleteVersion(v) // want `deleteVersion mutates the heap before any checkWritable gate`
+		return nil
+	}
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
+	e.t.deleteVersion(v)
+	return nil
+}
+
+// helperMutate is an ungated helper; it stays quiet itself (not an entry
+// point) but poisons exported callers through its summary.
+func (e *Engine) helperMutate(name string) {
+	e.createTable(name)
+}
+
+// BadViaHelper reaches the mutation through the helper, still ungated.
+func (e *Engine) BadViaHelper(name string) {
+	e.helperMutate(name) // want `helperMutate mutates the heap/WAL before gating`
+}
+
+// GoodViaHelper gates before calling the same helper.
+func (e *Engine) GoodViaHelper(name string) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
+	e.helperMutate(name)
+	return nil
+}
+
+// gatedHelper gates internally before mutating; callers need no gate of
+// their own.
+func (e *Engine) gatedHelper(v int) error {
+	if err := e.checkWritable(); err != nil {
+		return err
+	}
+	e.t.insertEntry(v)
+	return nil
+}
+
+// GoodGatedHelper inherits the helper's internal gate.
+func (e *Engine) GoodGatedHelper(v int) error {
+	return e.gatedHelper(v)
+}

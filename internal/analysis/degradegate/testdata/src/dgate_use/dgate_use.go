@@ -1,0 +1,15 @@
+package dgate_use
+
+import "dgate"
+
+// Seed drives the upstream engine; the gating summaries arrive as facts.
+// The ungated call comes first — nothing on any path before it gates.
+func Seed(e *dgate.Engine, vals []int) error {
+	e.BadUngatedInsert(0) // want `BadUngatedInsert mutates the heap/WAL before gating`
+	for _, v := range vals {
+		if err := e.GoodGatedInsert(v); err != nil { // gates internally: fine
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package engineshape is the one place that names the engine's storage
+// shapes for the analyzers: which methods mutate the catalog/row heap,
+// which emit redo records, which files implement the storage layer itself.
+// redocoverage (reachability), walorder (flow pairing), and degradegate
+// (write gating) all key off the same tables, so adding a mutator to the
+// engine is a one-line change here rather than three drifting copies.
+package engineshape
+
+import "go/types"
+
+// Mutators are the heap/catalog mutation primitives, keyed by receiver
+// type name then method name.
+var Mutators = map[string]map[string]bool{
+	"Table": {
+		"insertEntry":    true,
+		"installVersion": true,
+		"deleteVersion":  true,
+		"addIndex":       true,
+	},
+	"Engine": {
+		"createTable": true,
+		"dropTable":   true,
+		"createView":  true,
+		"dropView":    true,
+	},
+}
+
+// Emitters are the redo-record emission points.
+var Emitters = map[string]map[string]bool{
+	"Session": {
+		"redoInsert":      true,
+		"redoUpdate":      true,
+		"redoDelete":      true,
+		"redoDDL":         true,
+		"redoCreateTable": true,
+		"redoAppend":      true,
+	},
+	"Engine": {
+		"logGrantsBatched": true,
+	},
+}
+
+// PairedEmitters maps each mutator method to the emitter methods that
+// cover it in the WAL. Generic emitters (redoAppend, logGrantsBatched)
+// cover any mutation; the kind-specific ones must match, so a DELETE
+// that logs redoInsert is still flagged.
+var PairedEmitters = map[string]map[string]bool{
+	"insertEntry":    {"redoInsert": true},
+	"installVersion": {"redoUpdate": true},
+	"deleteVersion":  {"redoDelete": true},
+	"addIndex":       {"redoDDL": true},
+	"createTable":    {"redoCreateTable": true, "redoDDL": true},
+	"dropTable":      {"redoDDL": true},
+	"createView":     {"redoDDL": true},
+	"dropView":       {"redoDDL": true},
+}
+
+// GenericEmitters cover every pending mutation: redoAppend is the raw
+// record constructor the kind-specific helpers wrap, and logGrantsBatched
+// logs a whole batch of grant mutations.
+var GenericEmitters = map[string]bool{
+	"redoAppend":       true,
+	"logGrantsBatched": true,
+}
+
+// StorageFiles implement the storage layer itself: catalog.go declares the
+// mutators, txn.go the emitters plus undo application (rollback legally
+// mutates the heap with no redo and no write gate — it restores the
+// pre-image), mvcc.go vacuums dead versions (reconstructible, never
+// logged), and recovery/snapshot replay the log, where emitting again
+// would double-log and gating would deadlock a not-yet-open engine.
+var StorageFiles = map[string]bool{
+	"catalog.go":  true,
+	"mvcc.go":     true,
+	"txn.go":      true,
+	"recovery.go": true,
+	"snapshot.go": true,
+}
+
+// GateMethod is the write gate every statement path must pass before its
+// first heap/WAL mutation: a degraded engine refuses writes here.
+const GateMethod = "checkWritable"
+
+// RecvTypeName resolves fn's receiver type name ("" for plain functions),
+// unwrapping the pointer.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// IsMutator reports whether fn is a heap/catalog mutation primitive.
+func IsMutator(fn *types.Func) bool {
+	return Mutators[RecvTypeName(fn)][fn.Name()]
+}
+
+// IsEmitter reports whether fn is a redo emission point.
+func IsEmitter(fn *types.Func) bool {
+	return Emitters[RecvTypeName(fn)][fn.Name()]
+}
+
+// IsGate reports whether fn is the degraded-mode write gate.
+func IsGate(fn *types.Func) bool {
+	return fn.Name() == GateMethod && RecvTypeName(fn) == "Engine"
+}

@@ -1,0 +1,150 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// summaryFact is a fact carrying a flow summary across packages, like the
+// ones degradegate and atomicfield export.
+type summaryFact struct {
+	Gates  bool
+	Fields []string
+}
+
+func (*summaryFact) AFact() {}
+
+func checkPkg(t *testing.T, path, src string, imports map[string]*types.Package) (*types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	conf := types.Config{Importer: importerMap(imports)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	return pkg, info
+}
+
+type importerMap map[string]*types.Package
+
+func (m importerMap) Import(path string) (*types.Package, error) { return m[path], nil }
+
+// TestFactRoundTripAcrossStores simulates the vettool flow: package a
+// exports a fact on an exported function, the fact store serializes to a
+// .vetx-style gob blob, and a fresh store (a separate process analyzing a
+// dependent package) decodes it and resolves the fact through package b's
+// view of a's function object.
+func TestFactRoundTripAcrossStores(t *testing.T) {
+	gob.Register(&summaryFact{})
+
+	pkgA, infoA := checkPkg(t, "a", `package a
+func Exported() {}
+`, nil)
+	var fnA *types.Func
+	for _, obj := range infoA.Defs {
+		if f, ok := obj.(*types.Func); ok && f.Name() == "Exported" {
+			fnA = f
+		}
+	}
+	if fnA == nil {
+		t.Fatal("no Exported func in package a")
+	}
+
+	producer := NewFactStore()
+	passA := &Pass{Facts: producer}
+	passA.ExportObjectFact(fnA, &summaryFact{Gates: true, Fields: []string{"count", "hits"}})
+
+	// Serialize only package a's facts, as writeVetx does.
+	var buf bytes.Buffer
+	if err := producer.Encode(gob.NewEncoder(&buf), "a"); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	// A dependent package sees a's function through its own import graph:
+	// a distinct types.Func object with the same FullName.
+	pkgB, infoB := checkPkg(t, "b", `package b
+import "a"
+func use() { a.Exported() }
+`, map[string]*types.Package{"a": pkgA})
+	_ = pkgB
+	var fnFromB *types.Func
+	for _, obj := range infoB.Uses {
+		if f, ok := obj.(*types.Func); ok && f.Name() == "Exported" {
+			fnFromB = f
+		}
+	}
+	if fnFromB == nil {
+		t.Fatal("package b never resolved a.Exported")
+	}
+
+	consumer := NewFactStore()
+	if err := consumer.Decode(gob.NewDecoder(&buf)); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	passB := &Pass{Facts: consumer}
+	var got summaryFact
+	if !passB.ImportObjectFact(fnFromB, &got) {
+		t.Fatal("fact exported by package a not found through package b's object")
+	}
+	if !got.Gates || len(got.Fields) != 2 || got.Fields[0] != "count" {
+		t.Fatalf("fact payload corrupted in transit: %+v", got)
+	}
+}
+
+// TestFactEncodeScopedToPackage checks that a package's vetx blob carries
+// only its own objects' facts — dependency facts were already read from
+// dependency files and must not be re-emitted.
+func TestFactEncodeScopedToPackage(t *testing.T) {
+	gob.Register(&summaryFact{})
+
+	pkgA, infoA := checkPkg(t, "dep", `package dep
+func Helper() {}
+`, nil)
+	_ = pkgA
+	pkgB, infoB := checkPkg(t, "top", `package top
+func Entry() {}
+`, nil)
+	_ = pkgB
+
+	find := func(info *types.Info, name string) *types.Func {
+		for _, obj := range info.Defs {
+			if f, ok := obj.(*types.Func); ok && f.Name() == name {
+				return f
+			}
+		}
+		t.Fatalf("no %s", name)
+		return nil
+	}
+
+	store := NewFactStore()
+	pass := &Pass{Facts: store}
+	pass.ExportObjectFact(find(infoA, "Helper"), &summaryFact{Gates: true})
+	pass.ExportObjectFact(find(infoB, "Entry"), &summaryFact{Gates: false, Fields: []string{"x"}})
+
+	var buf bytes.Buffer
+	if err := store.Encode(gob.NewEncoder(&buf), "top"); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewFactStore()
+	if err := fresh.Decode(gob.NewDecoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	freshPass := &Pass{Facts: fresh}
+	var got summaryFact
+	if freshPass.ImportObjectFact(find(infoA, "Helper"), &got) {
+		t.Error("dep's fact leaked into top's vetx blob")
+	}
+	if !freshPass.ImportObjectFact(find(infoB, "Entry"), &got) || len(got.Fields) != 1 {
+		t.Errorf("top's own fact missing or corrupted after round trip: %+v", got)
+	}
+}

@@ -1,0 +1,380 @@
+// Package flow is the shared flow-sensitive analysis engine under the
+// sqlvet analyzers. It interprets one function body statement by statement
+// over a client-supplied abstract state (a join-semilattice), handling the
+// control-flow shapes the analyzers care about:
+//
+//   - Branch merges: an if/else, switch, or select forks the current state
+//     into each alternative and joins the surviving states where control
+//     flow re-merges.
+//   - Terminating branches: an alternative that exits the enclosing flow
+//     (return, break/continue/goto, panic) contributes nothing to the
+//     merge — its state changes apply only to the departed path. This is
+//     the engine idiom `if cond { mu.Unlock(); return err }`: the
+//     fall-through still holds the lock.
+//   - Loops: the body is re-interpreted from the join of the entry state
+//     and the previous iteration's exit state until the state reaches a
+//     fixed point (bounded; the analyzers' lattices are a few booleans or
+//     small sets, so two or three passes suffice). Because every iteration
+//     corresponds to a concrete unrolling, diagnostics reported during the
+//     fixpoint are real paths; the engine deduplicates repeats by
+//     position+message.
+//   - Function literals are separate scopes and are skipped; go statements
+//     run on another goroutine and are skipped; defer bodies run at return
+//     and are surfaced through the OnDefer hook instead of being
+//     interpreted inline.
+//
+// Interprocedural reasoning stays in the analyzers: they compute
+// per-function summaries with Summaries (an intra-package fixpoint over
+// declarations) and publish them across package boundaries through the
+// framework's gob fact mechanism.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// State is one analysis' abstract state, a join-semilattice element. All
+// three methods must treat the receiver as mutable scratch owned by the
+// engine: CloneState deep-copies, JoinState folds other into the receiver
+// (least upper bound) and returns it, EqualState tests lattice equality
+// (used to detect loop fixpoints).
+type State interface {
+	CloneState() State
+	JoinState(other State) State
+	EqualState(other State) bool
+}
+
+// Reporter emits one diagnostic. The engine wraps the client's sink with
+// position+message deduplication so loop fixpoint iterations cannot repeat
+// a finding.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Analysis is the client of one Run: a transfer function plus optional
+// exit and defer hooks.
+type Analysis struct {
+	// Transfer applies one leaf node's effect to st, mutating it in place.
+	// It is called in approximate evaluation order for every node of every
+	// non-control statement and every condition/expression of control
+	// statements — calls, sends, selectors, assignments — except nodes
+	// under function literals or go statements.
+	Transfer func(n ast.Node, st State, report Reporter)
+	// AtExit is invoked with the state at each explicit return (n is the
+	// ReturnStmt, after its result expressions transferred) and once at
+	// the body's fall-off end (n is the BlockStmt) if it is reachable.
+	AtExit func(n ast.Node, st State, report Reporter)
+	// OnDefer is invoked when a defer statement executes (i.e. registers).
+	// The deferred call's own effects happen at return; clients that care
+	// (lockbalance's deferred Unlock) record them in the state here.
+	// The deferred call's argument expressions still go through Transfer.
+	OnDefer func(d *ast.DeferStmt, st State, report Reporter)
+}
+
+// maxLoopPasses bounds fixpoint iteration per loop. The analyzers'
+// lattices have height ≤ 3 per tracked cell, so convergence is fast; if a
+// pathological state keeps growing the engine stops re-interpreting and
+// accepts the last join (under-approximating further iterations).
+const maxLoopPasses = 8
+
+// Run interprets body starting from init and returns the state at the
+// body's fall-off exit along with whether that exit is reachable
+// (terminated=true means every path returned/panicked). init is owned by
+// the engine afterwards; pass a fresh state.
+func Run(body *ast.BlockStmt, init State, a *Analysis, report Reporter) (out State, terminated bool) {
+	w := &walker{a: a, report: dedup(report)}
+	st, term := w.stmts(body.List, init)
+	if !term && a.AtExit != nil {
+		a.AtExit(body, st, w.report)
+	}
+	return st, term
+}
+
+// dedup wraps report so the same (pos, message) pair fires once per Run.
+func dedup(report Reporter) Reporter {
+	if report == nil {
+		return func(token.Pos, string, ...any) {}
+	}
+	type key struct {
+		pos token.Pos
+		msg string
+	}
+	seen := map[key]bool{}
+	return func(pos token.Pos, format string, args ...any) {
+		k := key{pos, fmt.Sprintf(format, args...)}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		report(pos, "%s", k.msg)
+	}
+}
+
+type walker struct {
+	a      *Analysis
+	report Reporter
+}
+
+// stmts interprets a statement list. It returns the resulting state and
+// whether the list terminates the enclosing flow (so callers can drop the
+// path from a merge).
+func (w *walker) stmts(list []ast.Stmt, st State) (State, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// joinBranches merges the surviving alternatives of a fork. Each entry is
+// the exit state of one alternative, nil if that alternative terminated.
+// Returns (merged state, all-terminated).
+func joinBranches(states []State) (State, bool) {
+	var merged State
+	for _, s := range states {
+		if s == nil {
+			continue
+		}
+		if merged == nil {
+			merged = s
+		} else {
+			merged = merged.JoinState(s)
+		}
+	}
+	if merged == nil {
+		return nil, true
+	}
+	return merged, false
+}
+
+func (w *walker) stmt(s ast.Stmt, st State) (State, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.IfStmt:
+		st, _ = w.stmt(s.Init, st)
+		w.expr(s.Cond, st)
+		thenSt, thenTerm := w.stmts(s.Body.List, st.CloneState())
+		var elseSt State
+		elseTerm := false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseSt, elseTerm = w.stmts(e.List, st.CloneState())
+		case *ast.IfStmt:
+			elseSt, elseTerm = w.stmt(e, st.CloneState())
+		default:
+			elseSt = st // no else: fall-through keeps the pre-branch state
+		}
+		if thenTerm {
+			thenSt = nil
+		}
+		if elseTerm {
+			elseSt = nil
+		}
+		return joinBranches([]State{thenSt, elseSt})
+
+	case *ast.ForStmt:
+		st, _ = w.stmt(s.Init, st)
+		return w.loop(st, func(entry State) (State, bool) {
+			w.expr(s.Cond, entry)
+			body, term := w.stmts(s.Body.List, entry.CloneState())
+			if !term {
+				body, _ = w.stmt(s.Post, body)
+			}
+			return body, term
+		})
+
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		return w.loop(st, func(entry State) (State, bool) {
+			return w.stmts(s.Body.List, entry.CloneState())
+		})
+
+	case *ast.SwitchStmt:
+		st, _ = w.stmt(s.Init, st)
+		w.expr(s.Tag, st)
+		return w.cases(s.Body.List, st)
+
+	case *ast.TypeSwitchStmt:
+		st, _ = w.stmt(s.Init, st)
+		st, _ = w.stmt(s.Assign, st)
+		return w.cases(s.Body.List, st)
+
+	case *ast.SelectStmt:
+		w.leaf(s, st) // let the client see the select itself (blocking checks)
+		return w.cases(s.Body.List, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.GoStmt:
+		// Runs on another goroutine: no effect on this path's state.
+		return st, false
+
+	case *ast.DeferStmt:
+		for _, arg := range s.Call.Args {
+			w.expr(arg, st)
+		}
+		if w.a.OnDefer != nil {
+			w.a.OnDefer(s, st, w.report)
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r, st)
+		}
+		if w.a.AtExit != nil {
+			w.a.AtExit(s, st, w.report)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current flow; the state applies
+		// only to the departed path.
+		return st, true
+
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+		return st, isPanic(s.X)
+
+	case *ast.SendStmt:
+		w.leaf(s, st)
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+		return st, false
+
+	case *ast.AssignStmt:
+		w.leaf(s, st)
+		for _, r := range s.Rhs {
+			w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			w.expr(l, st)
+		}
+		return st, false
+
+	case *ast.IncDecStmt:
+		w.leaf(s, st)
+		w.expr(s.X, st)
+		return st, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					w.leaf(vs, st)
+					for _, v := range vs.Values {
+						w.expr(v, st)
+					}
+				}
+			}
+		}
+		return st, false
+
+	default:
+		return st, false
+	}
+}
+
+// cases interprets the alternatives of a switch/type-switch/select: each
+// clause forks from the pre-statement state, terminating clauses drop out,
+// and the rest join. The no-match fall-through (no default clause) keeps
+// the entry state alive in the merge.
+func (w *walker) cases(clauses []ast.Stmt, st State) (State, bool) {
+	states := []State{}
+	hasDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				w.expr(e, st)
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			// The comm statement itself is part of the select's blocking
+			// behavior, which the client already saw via the SelectStmt
+			// node; interpreting it here would double-report channel ops.
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		out, term := w.stmts(body, st.CloneState())
+		if !term {
+			states = append(states, out)
+		}
+	}
+	if !hasDefault {
+		states = append(states, st)
+	}
+	return joinBranches(states)
+}
+
+// loop runs one loop body to a state fixpoint. iterate interprets one
+// iteration from the given entry state (cloning as needed) and returns the
+// body's exit state plus whether it terminated. The loop's exit state is
+// the fixpoint entry state: for-condition loops may execute zero times,
+// and alternatives that break out contribute their (restored) path like
+// any terminating branch.
+func (w *walker) loop(entry State, iterate func(State) (State, bool)) (State, bool) {
+	for pass := 0; pass < maxLoopPasses; pass++ {
+		exit, term := iterate(entry.CloneState())
+		if term {
+			break
+		}
+		joined := entry.CloneState().JoinState(exit)
+		if joined.EqualState(entry) {
+			break
+		}
+		entry = joined
+	}
+	return entry, false
+}
+
+// expr feeds every node of an expression subtree to Transfer in pre-order,
+// skipping function literals (separate scopes).
+func (w *walker) expr(e ast.Expr, st State) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			w.leaf(n, st)
+		}
+		return true
+	})
+}
+
+// leaf hands one node to the client's transfer function.
+func (w *walker) leaf(n ast.Node, st State) {
+	if w.a.Transfer != nil {
+		w.a.Transfer(n, st, w.report)
+	}
+}
+
+// isPanic reports whether e is a call to the predeclared panic.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,387 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// setState is a test lattice: a set of strings with union join. Calls to
+// functions named add_X insert X; calls to del_X remove X (making the
+// domain non-monotone within a path, which is exactly what lock-style
+// analyses need).
+type setState struct{ m map[string]bool }
+
+func newSet() *setState { return &setState{m: map[string]bool{}} }
+
+func (s *setState) CloneState() State {
+	c := newSet()
+	for k := range s.m {
+		c.m[k] = true
+	}
+	return c
+}
+
+func (s *setState) JoinState(other State) State {
+	for k := range other.(*setState).m {
+		s.m[k] = true
+	}
+	return s
+}
+
+func (s *setState) EqualState(other State) bool {
+	o := other.(*setState)
+	if len(s.m) != len(o.m) {
+		return false
+	}
+	for k := range s.m {
+		if !o.m[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *setState) keys() string {
+	var ks []string
+	for k := range s.m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// runBody interprets the body of the first function declared in src and
+// returns the fall-off state (nil if unreachable), the states observed at
+// each return statement, and every reported diagnostic message.
+func runBody(t *testing.T, src string) (fallOff *setState, returns []string, reports []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var body *ast.BlockStmt
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			body = fd.Body
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no function in source")
+	}
+
+	a := &Analysis{
+		Transfer: func(n ast.Node, st State, report Reporter) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return
+			}
+			s := st.(*setState)
+			switch {
+			case strings.HasPrefix(id.Name, "add_"):
+				s.m[strings.TrimPrefix(id.Name, "add_")] = true
+			case strings.HasPrefix(id.Name, "del_"):
+				delete(s.m, strings.TrimPrefix(id.Name, "del_"))
+			case id.Name == "report_if_a" && s.m["a"]:
+				report(call.Pos(), "a is set")
+			}
+		},
+		AtExit: func(n ast.Node, st State, report Reporter) {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				returns = append(returns, st.(*setState).keys())
+			}
+		},
+	}
+	out, terminated := Run(body, newSet(), a, func(pos token.Pos, format string, args ...any) {
+		reports = append(reports, fmt.Sprintf(format, args...))
+	})
+	if terminated {
+		return nil, returns, reports
+	}
+	return out.(*setState), returns, reports
+}
+
+func TestBranchJoinUnion(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(c bool) {
+	if c {
+		add_a()
+	} else {
+		add_b()
+	}
+}`)
+	if got := out.keys(); got != "a,b" {
+		t.Fatalf("branch join = %q, want %q (union of both alternatives)", got, "a,b")
+	}
+}
+
+func TestBranchWithoutElseKeepsFallThrough(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(c bool) {
+	add_a()
+	if c {
+		del_a()
+	}
+}`)
+	// One path still has a, the other deleted it: the join keeps the
+	// conservative union.
+	if got := out.keys(); got != "a" {
+		t.Fatalf("state after if-without-else = %q, want %q", got, "a")
+	}
+}
+
+func TestTerminatingBranchRestore(t *testing.T) {
+	out, returns, _ := runBody(t, `
+func f(c bool) {
+	add_a()
+	if c {
+		del_a()
+		return
+	}
+	add_b()
+}`)
+	// The early-return path deleted a, but it left the flow: the
+	// fall-through must still hold a.
+	if got := out.keys(); got != "a,b" {
+		t.Fatalf("fall-off state = %q, want %q (terminating branch must not leak its changes)", got, "a,b")
+	}
+	if len(returns) != 1 || returns[0] != "" {
+		t.Fatalf("return-path states = %v, want one empty state", returns)
+	}
+}
+
+func TestAllBranchesTerminate(t *testing.T) {
+	fallOff, returns, _ := runBody(t, `
+func f(c bool) {
+	if c {
+		add_a()
+		return
+	} else {
+		return
+	}
+}`)
+	if fallOff != nil {
+		t.Fatalf("fall-off reachable with state %q, want unreachable", fallOff.keys())
+	}
+	if len(returns) != 2 {
+		t.Fatalf("got %d return states, want 2", len(returns))
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(c bool) {
+	add_a()
+	if c {
+		del_a()
+		panic("boom")
+	}
+}`)
+	if got := out.keys(); got != "a" {
+		t.Fatalf("state after panicking branch = %q, want %q", got, "a")
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		add_a()
+	}
+}`)
+	// Zero iterations (empty) joined with ≥1 iterations ({a}): union {a}.
+	if got := out.keys(); got != "a" {
+		t.Fatalf("loop exit state = %q, want %q", got, "a")
+	}
+}
+
+func TestLoopFixpointReachesBackEdgeState(t *testing.T) {
+	// a is added at the end of the body, so only the second and later
+	// iterations observe it at the top: a single body pass would miss the
+	// report, the fixpoint must catch it.
+	_, _, reports := runBody(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		report_if_a()
+		add_a()
+	}
+}`)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports %v, want exactly 1 (found on iteration 2, deduplicated after)", len(reports), reports)
+	}
+}
+
+func TestRangeLoopJoin(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(xs []int) {
+	add_a()
+	for range xs {
+		del_a()
+		add_b()
+	}
+}`)
+	if got := out.keys(); got != "a,b" {
+		t.Fatalf("range exit state = %q, want %q (zero-iteration path keeps a)", got, "a,b")
+	}
+}
+
+func TestSwitchJoinWithDefault(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		add_a()
+	case 2:
+		add_b()
+		return
+	default:
+		add_c()
+	}
+}`)
+	// case 2 returns; with a default clause the entry state does not
+	// survive on its own, so the join is {a} ∪ {c}.
+	if got := out.keys(); got != "a,c" {
+		t.Fatalf("switch join = %q, want %q", got, "a,c")
+	}
+}
+
+func TestSwitchWithoutDefaultKeepsEntry(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f(x int) {
+	add_a()
+	switch x {
+	case 1:
+		del_a()
+	}
+}`)
+	if got := out.keys(); got != "a" {
+		t.Fatalf("switch-no-default join = %q, want %q (no-match path keeps entry state)", got, "a")
+	}
+}
+
+func TestFuncLitAndGoSkipped(t *testing.T) {
+	out, _, _ := runBody(t, `
+func f() {
+	g := func() { add_a() }
+	go add_b()
+	_ = g
+}`)
+	if got := out.keys(); got != "" {
+		t.Fatalf("state = %q, want empty (function literals and go statements are other scopes)", got)
+	}
+}
+
+func TestReportDeduplication(t *testing.T) {
+	_, _, reports := runBody(t, `
+func f(n int) {
+	add_a()
+	for i := 0; i < n; i++ {
+		report_if_a()
+	}
+}`)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1 (fixpoint iterations must not repeat a finding)", len(reports))
+	}
+}
+
+func TestDeferHookFires(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", `package p
+func f() {
+	defer cleanup()
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	var deferred int
+	a := &Analysis{
+		OnDefer: func(d *ast.DeferStmt, st State, report Reporter) { deferred++ },
+	}
+	Run(body, newSet(), a, nil)
+	if deferred != 1 {
+		t.Fatalf("OnDefer fired %d times, want 1", deferred)
+	}
+}
+
+// TestSummariesFixpoint checks the intra-package summary fixpoint: the
+// "reaches target" property must flow backwards through call chains
+// regardless of declaration order, including mutual recursion.
+func TestSummariesFixpoint(t *testing.T) {
+	src := `package p
+func a() { b() }
+func b() { c() }
+func c() { target() }
+func m1() { m2() }
+func m2() { m1() }
+func target() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: map[*ast.Ident]types.Object{}, Uses: map[*ast.Ident]types.Object{}}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		fd := d.(*ast.FuncDecl)
+		decls[info.Defs[fd.Name].(*types.Func)] = fd
+	}
+
+	reaches := Summaries(decls, func(fn *types.Func, decl *ast.FuncDecl, cur func(*types.Func) (bool, bool)) bool {
+		found := false
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "target" {
+				found = true
+				return false
+			}
+			if callee, ok := info.Uses[id].(*types.Func); ok {
+				if r, ok := cur(callee); ok && r {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	})
+
+	byName := map[string]bool{}
+	for fn, r := range reaches {
+		byName[fn.Name()] = r
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !byName[name] {
+			t.Errorf("%s should reach target through the call chain (declaration order is reversed)", name)
+		}
+	}
+	for _, name := range []string{"m1", "m2", "target"} {
+		if byName[name] {
+			t.Errorf("%s should not be marked as reaching target", name)
+		}
+	}
+}

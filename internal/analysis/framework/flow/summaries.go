@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Summaries computes a per-function summary to an intra-package fixed
+// point. compute derives one function's summary; it may consult the
+// current summary of any other declaration through cur (second result
+// false while that function has no summary yet — treat as bottom). The
+// engine re-runs compute over every declaration, in a deterministic
+// order, until no summary changes, so mutual recursion and any
+// declaration order converge to the same result.
+//
+// Summary types must be comparable (a struct of booleans, a string);
+// change detection is ==. Cross-package summaries are the analyzers'
+// business: they seed compute from imported facts and export the final
+// summaries of exported functions as facts afterwards.
+func Summaries[S comparable](decls map[*types.Func]*ast.FuncDecl,
+	compute func(fn *types.Func, decl *ast.FuncDecl, cur func(*types.Func) (S, bool)) S) map[*types.Func]S {
+
+	// Deterministic iteration order: by source position.
+	order := make([]*types.Func, 0, len(decls))
+	for fn := range decls {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return decls[order[i]].Pos() < decls[order[j]].Pos() })
+
+	out := map[*types.Func]S{}
+	lookup := func(fn *types.Func) (S, bool) {
+		s, ok := out[fn]
+		return s, ok
+	}
+	// The summary lattice is finite (comparable structs over a finite
+	// program), and compute is expected to be monotone; bound the passes
+	// anyway so a non-monotone client cannot loop forever.
+	for pass := 0; pass < 2*len(order)+2; pass++ {
+		changed := false
+		for _, fn := range order {
+			next := compute(fn, decls[fn], lookup)
+			if prev, ok := out[fn]; !ok || prev != next {
+				out[fn] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package lockbalance enforces invariant L6: a mutex acquired in a
+// function body is released on every path out of that body, and no path
+// locks or unlocks the same mutex twice in a row. The engine's unlock
+// idiom is straight-line (`mu.Lock(); ...; mu.Unlock()` or a deferred
+// unlock right after the acquisition); a branch that returns early while
+// still holding the lock is the classic shape behind the wedged-engine
+// incidents the crash simulator reproduces.
+//
+// The analysis runs on the shared framework/flow engine. Each mutex is
+// identified by the printed form of its receiver expression ("e.mu",
+// "lm.global"), with read locks tracked separately from write locks. Per
+// mutex the lattice is unknown → locked / unlocked-by-us → maybe-locked:
+// "definitely locked" is required to call a double-lock, "maybe locked" is
+// enough to flag a leak at exit (released on *all* paths means a single
+// leaking path is a bug). Functions that intentionally return while
+// holding a lock (lock-manager entry points that hand the caller an unlock
+// closure) document themselves with //sqlvet:ignore.
+package lockbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/framework/flow"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "lockbalance",
+	Doc: "flags mutexes not released on every path out of the acquiring function, plus definite " +
+		"double-lock and double-unlock sequences",
+	Run: run,
+}
+
+// lockMethods maps sync mutex methods to (is-lock, read-side).
+var lockMethods = map[string]struct{ lock, read bool }{
+	"(*sync.Mutex).Lock":      {lock: true},
+	"(*sync.Mutex).Unlock":    {},
+	"(*sync.RWMutex).Lock":    {lock: true},
+	"(*sync.RWMutex).Unlock":  {},
+	"(*sync.RWMutex).RLock":   {lock: true, read: true},
+	"(*sync.RWMutex).RUnlock": {read: true},
+}
+
+type status uint8
+
+const (
+	unknown      status = iota // never touched here (caller may hold it)
+	held                       // definitely locked by this function
+	releasedHere               // definitely unlocked by this function
+	maybeHeld                  // locked on some path, not on another
+)
+
+type cell struct {
+	st  status
+	pos token.Pos // where the current status was established
+}
+
+// balState maps mutex keys to their lock status plus the set of mutexes
+// with a registered deferred unlock.
+type balState struct {
+	locks    map[string]cell
+	deferred map[string]bool
+}
+
+func newState() *balState {
+	return &balState{locks: map[string]cell{}, deferred: map[string]bool{}}
+}
+
+func (s *balState) CloneState() flow.State {
+	c := newState()
+	for k, v := range s.locks {
+		c.locks[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+func (s *balState) JoinState(other flow.State) flow.State {
+	o := other.(*balState)
+	for k := range keys(s.locks, o.locks) {
+		a, b := s.locks[k], o.locks[k]
+		s.locks[k] = joinCell(a, b)
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+	return s
+}
+
+func keys(a, b map[string]cell) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func joinCell(a, b cell) cell {
+	if a.st == b.st {
+		if a.pos == token.NoPos {
+			a.pos = b.pos
+		}
+		return a
+	}
+	if a.st == maybeHeld || b.st == maybeHeld || a.st == held || b.st == held {
+		// Any disagreement involving a held side means the lock may or may
+		// not be held after the merge.
+		pos := a.pos
+		if a.st != held && a.st != maybeHeld {
+			pos = b.pos
+		}
+		return cell{st: maybeHeld, pos: pos}
+	}
+	// unknown vs releasedHere: no path holds it; fall back to unknown so a
+	// later Unlock is not misread as a double-unlock.
+	return cell{st: unknown}
+}
+
+func (s *balState) EqualState(other flow.State) bool {
+	o := other.(*balState)
+	if len(s.deferred) != len(o.deferred) {
+		return false
+	}
+	for k := range s.deferred {
+		if !o.deferred[k] {
+			return false
+		}
+	}
+	ks := keys(s.locks, o.locks)
+	for k := range ks {
+		if s.locks[k].st != o.locks[k].st {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass}
+			flow.Run(fd.Body, newState(), &flow.Analysis{
+				Transfer: c.transfer,
+				AtExit:   c.atExit,
+				OnDefer:  c.onDefer,
+			}, func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// mutexOp decomposes a call into (mutex key, lock/unlock, read side).
+func (c *checker) mutexOp(call *ast.CallExpr) (key string, op struct{ lock, read bool }, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", op, false
+	}
+	fn, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", op, false
+	}
+	op, ok = lockMethods[fn.FullName()]
+	if !ok {
+		return "", op, false
+	}
+	key = types.ExprString(sel.X)
+	if op.read {
+		key += " (read)"
+	}
+	return key, op, true
+}
+
+func (c *checker) transfer(n ast.Node, st flow.State, report flow.Reporter) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	s := st.(*balState)
+	key, op, ok := c.mutexOp(call)
+	if !ok {
+		return
+	}
+	cur := s.locks[key]
+	if op.lock {
+		if cur.st == held {
+			report(call.Pos(), "%s locked again while already held (locked at %s); a second Lock on the same mutex deadlocks",
+				key, c.pos(cur.pos))
+		}
+		s.locks[key] = cell{st: held, pos: call.Pos()}
+		return
+	}
+	if cur.st == releasedHere {
+		report(call.Pos(), "%s unlocked twice on this path (already unlocked at %s); a second Unlock panics",
+			key, c.pos(cur.pos))
+	}
+	s.locks[key] = cell{st: releasedHere, pos: call.Pos()}
+}
+
+func (c *checker) onDefer(d *ast.DeferStmt, st flow.State, report flow.Reporter) {
+	s := st.(*balState)
+	if key, op, ok := c.mutexOp(d.Call); ok && !op.lock {
+		s.deferred[key] = true
+	}
+}
+
+func (c *checker) atExit(n ast.Node, st flow.State, report flow.Reporter) {
+	s := st.(*balState)
+	var leaked []string
+	for k, v := range s.locks {
+		if (v.st == held || v.st == maybeHeld) && !s.deferred[k] {
+			leaked = append(leaked, k)
+		}
+	}
+	sort.Strings(leaked)
+	for _, k := range leaked {
+		v := s.locks[k]
+		if v.st == held {
+			report(v.pos, "%s is still held when the function returns on this path; release it (or defer the unlock) before every exit", k)
+		} else {
+			report(v.pos, "%s may still be held when the function returns (locked on one branch, released on another); every path must release it", k)
+		}
+	}
+}
+
+func (c *checker) pos(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
+	return pos.String()
+}

@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/lockbalance"
+)
+
+func TestLockBalance(t *testing.T) {
+	analysistest.Run(t, lockbalance.Analyzer, "lockbal")
+}

@@ -1,0 +1,125 @@
+package lockbal
+
+import (
+	"errors"
+	"sync"
+)
+
+type engine struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	rows int
+}
+
+// badEarlyReturn leaks the mutex on the error path.
+func (e *engine) badEarlyReturn(fail bool) error {
+	e.mu.Lock() // want `e\.mu is still held when the function returns`
+	if fail {
+		return errors.New("boom") // leaks e.mu
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// badDoubleLock locks the same mutex twice in sequence.
+func (e *engine) badDoubleLock() {
+	e.mu.Lock()
+	e.mu.Lock() // want `e\.mu locked again while already held`
+	e.mu.Unlock()
+}
+
+// badDoubleUnlock releases twice on the same path.
+func (e *engine) badDoubleUnlock() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.mu.Unlock() // want `e\.mu unlocked twice on this path`
+}
+
+// badBranchLeak releases on one branch only.
+func (e *engine) badBranchLeak(c bool) {
+	e.mu.Lock() // want `e\.mu may still be held when the function returns`
+	if c {
+		e.mu.Unlock()
+	}
+}
+
+// goodStraightLine is the engine idiom.
+func (e *engine) goodStraightLine() {
+	e.mu.Lock()
+	e.rows++
+	e.mu.Unlock()
+}
+
+// goodDeferred releases via defer on every path.
+func (e *engine) goodDeferred(fail bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fail {
+		return errors.New("boom")
+	}
+	e.rows++
+	return nil
+}
+
+// goodEarlyUnlockThenReturn releases before the early exit.
+func (e *engine) goodEarlyUnlockThenReturn(fail bool) error {
+	e.mu.Lock()
+	if fail {
+		e.mu.Unlock()
+		return errors.New("boom")
+	}
+	e.rows++
+	e.mu.Unlock()
+	return nil
+}
+
+// goodReadWriteSeparate tracks read and write sides independently.
+func (e *engine) goodReadWriteSeparate() int {
+	e.rw.RLock()
+	n := e.rows
+	e.rw.RUnlock()
+	e.rw.Lock()
+	e.rows = n + 1
+	e.rw.Unlock()
+	return n
+}
+
+// badReadLeak leaks the read side.
+func (e *engine) badReadLeak() int {
+	e.rw.RLock() // want `e\.rw \(read\) is still held when the function returns`
+	return e.rows
+}
+
+// goodUnlockOnly is a helper that releases a lock its caller acquired;
+// unlocking a mutex this function never locked is not a double-unlock.
+func (e *engine) goodUnlockOnly() {
+	e.rows++
+	e.mu.Unlock()
+}
+
+// goodLoopBalanced locks and unlocks inside each iteration.
+func (e *engine) goodLoopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		e.mu.Lock()
+		e.rows++
+		e.mu.Unlock()
+	}
+}
+
+// goodSwitchAllPaths releases in every alternative.
+func (e *engine) goodSwitchAllPaths(x int) {
+	e.mu.Lock()
+	switch x {
+	case 0:
+		e.mu.Unlock()
+	default:
+		e.rows++
+		e.mu.Unlock()
+	}
+}
+
+// holdAcross intentionally returns holding the lock and documents itself.
+func (e *engine) holdAcross() func() {
+	e.mu.Lock() //sqlvet:ignore lockbalance -- hands the caller the locked mutex; the returned closure releases it
+	return func() { e.mu.Unlock() }
+}

@@ -23,9 +23,10 @@
 //	    paths that have already released the engine's serializing locks.
 //
 // Rules L1/L2 are structural (type lockManager, its members). Rules L3/L4
-// track lock state through a linear source-order walk of each function
-// body; L3 additionally propagates "may block" through the static call
-// graph, across packages via exported facts.
+// track lock state through the shared framework/flow engine — per-statement
+// abstract state, joins at branch merges, state restored after terminating
+// branches — with "may block" propagated through the static call graph and
+// across packages via exported facts.
 package lockorder
 
 import (
@@ -36,6 +37,7 @@ import (
 
 	"bridgescope/internal/analysis/callgraph"
 	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/framework/flow"
 )
 
 // blocksFact marks an exported function that may block (fsync, channel
@@ -99,15 +101,19 @@ func run(pass *framework.Pass) error {
 	}
 
 	for _, decl := range decls {
-		w := &walker{
+		if decl.Body == nil {
+			continue
+		}
+		c := &checker{
 			pass:        pass,
 			blocks:      blocks,
 			inLocksFile: filepath.Base(pass.Fset.Position(decl.Pos()).Filename) == lockManagerFile,
 			unlockVars:  map[types.Object]bool{},
 		}
-		if decl.Body != nil {
-			w.walk(decl.Body)
-		}
+		flow.Run(decl.Body, &lockState{}, &flow.Analysis{Transfer: c.transfer},
+			func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			})
 	}
 	return nil
 }
@@ -164,234 +170,86 @@ func hasDefault(sel *ast.SelectStmt) bool {
 	return false
 }
 
-// walker performs the linear source-order lock-state walk over one
-// function body. Function literals, go statements, and defer bodies are
-// skipped: literals run in their own scope (their lock state is not the
-// enclosing function's), goroutines run elsewhere, and deferred calls run
-// at return, after the locks tracked here are normally released.
-//
-// The walk is statement-structured rather than a flat AST traversal for
-// one reason: early-exit branches. The engine's idiom
-//
-//	if cond {
-//		e.mu.Unlock()
-//		return ..., err
-//	}
-//
-// releases the lock only on the exiting path; the fall-through path still
-// holds it. After walking a branch whose block terminates (ends in
-// return/panic/break/continue/goto), the lock state is restored to what it
-// was before the branch. State changes in non-terminating branches persist
-// conservatively.
-type walker struct {
-	pass   *framework.Pass
-	blocks map[*types.Func]bool
-
-	inLocksFile bool
-
+// lockState is the abstract state of one path: which of the three
+// serializing locks may be held, and where each was last acquired. The
+// join is a may-analysis — a lock held on any incoming path is treated as
+// held, so a blocking call after a merge is still flagged.
+type lockState struct {
 	heldMu     bool // Engine.mu held exclusively
 	muPos      token.Pos
 	heldGlobal bool // lockManager.global held exclusively
 	globalPos  token.Pos
 	heldIo     bool // wal.ioMu held (the write/fsync critical section)
 	ioPos      token.Pos
+}
+
+func (s *lockState) CloneState() flow.State {
+	c := *s
+	return &c
+}
+
+func (s *lockState) JoinState(other flow.State) flow.State {
+	o := other.(*lockState)
+	joinHeld(&s.heldMu, &s.muPos, o.heldMu, o.muPos)
+	joinHeld(&s.heldGlobal, &s.globalPos, o.heldGlobal, o.globalPos)
+	joinHeld(&s.heldIo, &s.ioPos, o.heldIo, o.ioPos)
+	return s
+}
+
+func joinHeld(held *bool, pos *token.Pos, otherHeld bool, otherPos token.Pos) {
+	if otherHeld && !*held {
+		*held = true
+		*pos = otherPos
+	}
+}
+
+func (s *lockState) EqualState(other flow.State) bool {
+	o := other.(*lockState)
+	return s.heldMu == o.heldMu && s.heldGlobal == o.heldGlobal && s.heldIo == o.heldIo
+}
+
+// checker holds the per-declaration context the transfer function needs.
+type checker struct {
+	pass        *framework.Pass
+	blocks      map[*types.Func]bool
+	inLocksFile bool
 
 	// unlockVars holds variables bound to lockAll's returned unlock func;
-	// calling one releases the global lock.
+	// calling one releases the global lock. Variable identity is
+	// flow-insensitive (function-scoped), which is conservative and
+	// matches the engine's straight-line unlock idiom.
 	unlockVars map[types.Object]bool
 }
 
-// lockState is the restorable part of the walker.
-type lockState struct {
-	heldMu     bool
-	muPos      token.Pos
-	heldGlobal bool
-	globalPos  token.Pos
-	heldIo     bool
-	ioPos      token.Pos
-}
-
-func (w *walker) save() lockState {
-	return lockState{w.heldMu, w.muPos, w.heldGlobal, w.globalPos, w.heldIo, w.ioPos}
-}
-
-func (w *walker) restore(s lockState) {
-	w.heldMu, w.muPos, w.heldGlobal, w.globalPos = s.heldMu, s.muPos, s.heldGlobal, s.globalPos
-	w.heldIo, w.ioPos = s.heldIo, s.ioPos
-}
-
-func (w *walker) walk(body *ast.BlockStmt) {
-	w.stmts(body.List)
-}
-
-func (w *walker) stmts(list []ast.Stmt) {
-	for _, s := range list {
-		w.stmt(s)
-	}
-}
-
-// branch walks a block that is one alternative of a branching statement:
-// if its body exits the enclosing flow, its state changes apply only to
-// the departed path and are rolled back for the fall-through.
-func (w *walker) branch(body *ast.BlockStmt) {
-	saved := w.save()
-	w.stmts(body.List)
-	if terminates(body.List) {
-		w.restore(saved)
-	}
-}
-
-func (w *walker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		w.stmts(s.List)
-	case *ast.IfStmt:
-		w.stmt(s.Init)
-		w.expr(s.Cond)
-		w.branch(s.Body)
-		switch e := s.Else.(type) {
-		case *ast.BlockStmt:
-			w.branch(e)
-		case *ast.IfStmt:
-			w.stmt(e)
+func (c *checker) transfer(n ast.Node, st flow.State, report flow.Reporter) {
+	s := st.(*lockState)
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n, s, report)
+	case *ast.SelectorExpr:
+		c.checkL1(n, report)
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW && s.heldMu {
+			report(n.Pos(), "channel receive while holding Engine.mu (locked at %s) stalls the whole engine; release the mutex first",
+				c.pos(s.muPos))
 		}
-	case *ast.ForStmt:
-		w.stmt(s.Init)
-		w.expr(s.Cond)
-		w.stmt(s.Post)
-		w.stmts(s.Body.List)
-	case *ast.RangeStmt:
-		w.expr(s.X)
-		w.stmts(s.Body.List)
-	case *ast.SwitchStmt:
-		w.stmt(s.Init)
-		w.expr(s.Tag)
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.caseBody(cc.Body)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		w.stmt(s.Init)
-		w.stmt(s.Assign)
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.caseBody(cc.Body)
-			}
+	case *ast.SendStmt:
+		if s.heldMu {
+			report(n.Pos(), "channel send while holding Engine.mu (locked at %s) can block the whole engine; release the mutex first",
+				c.pos(s.muPos))
 		}
 	case *ast.SelectStmt:
-		if w.heldMu && !hasDefault(s) {
-			w.pass.Reportf(s.Pos(), "select without default while holding Engine.mu (locked at %s) blocks the whole engine",
-				w.pos(w.muPos))
+		if s.heldMu && !hasDefault(n) {
+			report(n.Pos(), "select without default while holding Engine.mu (locked at %s) blocks the whole engine",
+				c.pos(s.muPos))
 		}
-		// The comm clauses are covered by the report above (or are
-		// non-blocking when a default exists); walk only the bodies.
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				w.caseBody(cc.Body)
-			}
-		}
-	case *ast.LabeledStmt:
-		w.stmt(s.Stmt)
-	case *ast.GoStmt, *ast.DeferStmt:
-		// Other goroutine / runs at return: no effect on this walk.
-	case *ast.ReturnStmt:
-		saved := w.save()
-		for _, r := range s.Results {
-			w.expr(r)
-		}
-		// Nothing after a return executes on this path; acquisitions made
-		// in its expressions (e.g. `return lm.lockAll()`) don't persist.
-		w.restore(saved)
 	case *ast.AssignStmt:
-		w.assign(s)
-		for _, r := range s.Rhs {
-			w.expr(r)
-		}
-	case *ast.ExprStmt:
-		w.expr(s.X)
-	case *ast.SendStmt:
-		if w.heldMu {
-			w.pass.Reportf(s.Pos(), "channel send while holding Engine.mu (locked at %s) can block the whole engine; release the mutex first",
-				w.pos(w.muPos))
-		}
-		w.expr(s.Chan)
-		w.expr(s.Value)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, sp := range gd.Specs {
-				if vs, ok := sp.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						w.expr(v)
-					}
-				}
-			}
-		}
-	case *ast.IncDecStmt:
-		w.expr(s.X)
+		c.assign(n)
 	}
 }
 
-// caseBody walks one case alternative of a switch/select with the same
-// rollback-on-exit rule as branch.
-func (w *walker) caseBody(body []ast.Stmt) {
-	saved := w.save()
-	w.stmts(body)
-	if terminates(body) {
-		w.restore(saved)
-	}
-}
-
-// terminates reports whether a statement list exits the enclosing flow:
-// it ends in return, a branch statement, or a panic/Fatal-style call.
-func terminates(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	switch last := list[len(list)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// expr scans one expression subtree for lock transitions, blocking
-// operations, and L1 violations. Function literals are separate scopes and
-// are skipped.
-func (w *walker) expr(e ast.Expr) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.CallExpr:
-			w.call(n)
-			return true
-		case *ast.SelectorExpr:
-			w.checkL1(n)
-			return true
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && w.heldMu {
-				w.pass.Reportf(n.Pos(), "channel receive while holding Engine.mu (locked at %s) stalls the whole engine; release the mutex first",
-					w.pos(w.muPos))
-			}
-			return true
-		}
-		return true
-	})
-}
-
-func (w *walker) pos(p token.Pos) string {
-	pos := w.pass.Fset.Position(p)
+func (c *checker) pos(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
 	return filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
 }
 
@@ -411,88 +269,88 @@ func itoa(n int) string {
 
 // assign tracks `unlock := lm.lockAll()` so a later `unlock()` clears the
 // global-exclusive state.
-func (w *walker) assign(a *ast.AssignStmt) {
+func (c *checker) assign(a *ast.AssignStmt) {
 	if len(a.Rhs) != 1 || len(a.Lhs) != 1 {
 		return
 	}
 	call, ok := a.Rhs[0].(*ast.CallExpr)
-	if !ok || !w.isLockAll(call) {
+	if !ok || !c.isLockAll(call) {
 		return
 	}
 	if id, ok := a.Lhs[0].(*ast.Ident); ok {
-		if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
-			w.unlockVars[obj] = true
-		} else if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
-			w.unlockVars[obj] = true
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			c.unlockVars[obj] = true
+		} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			c.unlockVars[obj] = true
 		}
 	}
 }
 
-func (w *walker) call(call *ast.CallExpr) {
+func (c *checker) call(call *ast.CallExpr, s *lockState, report flow.Reporter) {
 	// unlock() of a stored lockAll result releases the global lock.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if obj := w.pass.TypesInfo.Uses[id]; obj != nil && w.unlockVars[obj] {
-			w.heldGlobal = false
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.unlockVars[obj] {
+			s.heldGlobal = false
 			return
 		}
 	}
 
-	if w.isLockAll(call) {
-		w.heldGlobal = true
-		w.globalPos = call.Pos()
+	if c.isLockAll(call) {
+		s.heldGlobal = true
+		s.globalPos = call.Pos()
 		return
 	}
-	if field, method, ok := fieldMethodCall(w.pass, call); ok {
+	if field, method, ok := fieldMethodCall(c.pass, call); ok {
 		switch {
 		case field.owner == "Engine" && field.name == "mu":
 			switch method {
 			case "Lock":
-				w.heldMu = true
-				w.muPos = call.Pos()
+				s.heldMu = true
+				s.muPos = call.Pos()
 			case "Unlock":
-				w.heldMu = false
+				s.heldMu = false
 			}
 			return
 		case field.owner == "lockManager" && field.name == "global":
 			switch method {
 			case "Lock":
-				w.heldGlobal = true
-				w.globalPos = call.Pos()
+				s.heldGlobal = true
+				s.globalPos = call.Pos()
 			case "Unlock":
-				w.heldGlobal = false
+				s.heldGlobal = false
 			}
 			return
 		case field.owner == "wal" && field.name == "ioMu":
 			switch method {
 			case "Lock":
-				w.heldIo = true
-				w.ioPos = call.Pos()
+				s.heldIo = true
+				s.ioPos = call.Pos()
 			case "Unlock":
-				w.heldIo = false
+				s.heldIo = false
 			}
 			return
 		}
 	}
 
-	callee := callgraph.Callee(w.pass.TypesInfo, call)
+	callee := callgraph.Callee(c.pass.TypesInfo, call)
 	if callee == nil {
 		return
 	}
 
 	// L2: table-lock acquisition under the exclusive global lock.
-	if w.heldGlobal && tableLockEntry[callee.Name()] && onLockTypes(callee) {
-		w.pass.Reportf(call.Pos(),
+	if s.heldGlobal && tableLockEntry[callee.Name()] && onLockTypes(callee) {
+		report(call.Pos(),
 			"%s acquires table locks while the global lock is held exclusively (since %s); this inverts the shared-global→table order and can deadlock with DML",
-			callee.Name(), w.pos(w.globalPos))
+			callee.Name(), c.pos(s.globalPos))
 	}
 
 	// L3: blocking call under Engine.mu.
-	if w.heldMu {
-		if blockingCallees[callee.FullName()] || w.blocks[callee] ||
-			w.pass.ImportObjectFact(callee, &blocksFact{}) {
-			w.pass.Reportf(call.Pos(),
+	if s.heldMu {
+		if blockingCallees[callee.FullName()] || c.blocks[callee] ||
+			c.pass.ImportObjectFact(callee, &blocksFact{}) {
+			report(call.Pos(),
 				"%s may block (fsync/channel/sleep) while Engine.mu is held (locked at %s); move the blocking work outside the mutex",
-				callee.Name(), w.pos(w.muPos))
+				callee.Name(), c.pos(s.muPos))
 		}
 	}
 
@@ -501,37 +359,37 @@ func (w *walker) call(call *ast.CallExpr) {
 	// that recording happens only after these locks are released.
 	if callee.Pkg() != nil && callee.Pkg().Name() == "stats" {
 		switch {
-		case w.heldMu:
-			w.pass.Reportf(call.Pos(),
+		case s.heldMu:
+			report(call.Pos(),
 				"%s records metrics while Engine.mu is held exclusively (locked at %s); observe after the engine lock is released (rule L4)",
-				callee.Name(), w.pos(w.muPos))
-		case w.heldIo:
-			w.pass.Reportf(call.Pos(),
+				callee.Name(), c.pos(s.muPos))
+		case s.heldIo:
+			report(call.Pos(),
 				"%s records metrics inside the WAL ioMu write/fsync critical section (locked at %s); observe after ioMu is released (rule L4)",
-				callee.Name(), w.pos(w.ioPos))
+				callee.Name(), c.pos(s.ioPos))
 		}
 	}
 }
 
 // isLockAll reports a call to lockManager.lockAll.
-func (w *walker) isLockAll(call *ast.CallExpr) bool {
-	callee := callgraph.Callee(w.pass.TypesInfo, call)
+func (c *checker) isLockAll(call *ast.CallExpr) bool {
+	callee := callgraph.Callee(c.pass.TypesInfo, call)
 	return callee != nil && callee.Name() == "lockAll" && recvTypeName(callee) == "lockManager"
 }
 
 // checkL1 flags direct use of lock-manager internals outside locks.go.
-func (w *walker) checkL1(sel *ast.SelectorExpr) {
-	if w.inLocksFile {
+func (c *checker) checkL1(sel *ast.SelectorExpr, report flow.Reporter) {
+	if c.inLocksFile {
 		return
 	}
-	s := w.pass.TypesInfo.Selections[sel]
+	s := c.pass.TypesInfo.Selections[sel]
 	if s == nil {
 		return
 	}
 	if typeName(s.Recv()) != "lockManager" || !l1Forbidden[sel.Sel.Name] {
 		return
 	}
-	w.pass.Reportf(sel.Sel.Pos(),
+	report(sel.Sel.Pos(),
 		"direct use of lockManager.%s outside locks.go bypasses the sorted table-lock path; acquire write locks via lockForWrite/lockAll",
 		sel.Sel.Name)
 }

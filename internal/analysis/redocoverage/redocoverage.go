@@ -17,52 +17,17 @@ import (
 	"path/filepath"
 
 	"bridgescope/internal/analysis/callgraph"
+	"bridgescope/internal/analysis/engineshape"
 	"bridgescope/internal/analysis/framework"
 )
 
-// mutators are the heap/catalog mutation primitives, keyed by receiver
-// type name then method name.
-var mutators = map[string]map[string]bool{
-	"Table": {
-		"insertEntry":    true,
-		"installVersion": true,
-		"deleteVersion":  true,
-		"addIndex":       true,
-	},
-	"Engine": {
-		"createTable": true,
-		"dropTable":   true,
-		"createView":  true,
-		"dropView":    true,
-	},
-}
-
-// emitters are the redo-record emission points.
-var emitters = map[string]map[string]bool{
-	"Session": {
-		"redoInsert":      true,
-		"redoUpdate":      true,
-		"redoDelete":      true,
-		"redoDDL":         true,
-		"redoCreateTable": true,
-		"redoAppend":      true,
-	},
-	"Engine": {
-		"logGrantsBatched": true,
-	},
-}
-
-// allowedFiles implement the storage layer itself: catalog.go declares the
-// mutators, txn.go the emitters, mvcc.go vacuums dead versions (no redo
-// needed — vacuum is reconstructible), and recovery/snapshot replay the
-// log, where emitting again would double-log.
-var allowedFiles = map[string]bool{
-	"catalog.go":  true,
-	"mvcc.go":     true,
-	"txn.go":      true,
-	"recovery.go": true,
-	"snapshot.go": true,
-}
+// The mutator/emitter tables and the storage-file whitelist live in
+// engineshape, shared with walorder and degradegate.
+var (
+	mutators     = engineshape.Mutators
+	emitters     = engineshape.Emitters
+	allowedFiles = engineshape.StorageFiles
+)
 
 // emitsRedoFact marks an exported function that transitively emits a redo
 // record.
@@ -79,22 +44,8 @@ var Analyzer = &framework.Analyzer{
 }
 
 func methodIn(set map[string]map[string]bool, fn *types.Func) bool {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	byName := set[recvTypeName(sig.Recv().Type())]
+	byName := set[engineshape.RecvTypeName(fn)]
 	return byName != nil && byName[fn.Name()]
-}
-
-func recvTypeName(t types.Type) string {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	if n, ok := t.(*types.Named); ok {
-		return n.Obj().Name()
-	}
-	return ""
 }
 
 func run(pass *framework.Pass) error {

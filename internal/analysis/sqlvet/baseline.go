@@ -1,0 +1,121 @@
+package sqlvet
+
+// This file is baseline support: a checked-in JSON file listing accepted
+// pre-existing findings. CI suppresses findings that match a baseline entry
+// and fails on anything new, so adopting a stricter analyzer never blocks
+// on legacy debt while regressions still break the build. Entries match on
+// (analyzer, relative file, message) — deliberately NOT on line number, so
+// unrelated edits that shift a finding up or down the file don't invalidate
+// the baseline. Entries that no longer match anything are "stale": the
+// finding was fixed but the baseline still lists it, and CI asserts there
+// are none so the file can only shrink to match reality.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted finding, line-independent.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative, forward slashes
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// Baseline is the persisted form of the accepted-findings file.
+type Baseline struct {
+	Comment  string          `json:"comment,omitempty"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// ReadBaseline loads the baseline at path. A missing file is an empty
+// baseline, not an error.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Apply splits findings into fresh ones (not covered by the baseline) and
+// reports which baseline entries are stale (matched nothing). A single
+// entry suppresses every finding with the same analyzer, file, and message
+// — identical findings at different lines are one piece of accepted debt.
+func (b *Baseline) Apply(root string, findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	matched := map[string]bool{}
+	known := map[string]bool{}
+	for _, e := range b.Findings {
+		known[e.key()] = true
+	}
+	for _, f := range findings {
+		k := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Position.Filename),
+			Message:  f.Message,
+		}.key()
+		if known[k] {
+			matched[k] = true
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Findings {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// WriteBaselineFile rewrites path to accept exactly the given findings,
+// deduplicated and sorted for a stable diff.
+func WriteBaselineFile(path, root string, findings []Finding) error {
+	seen := map[string]bool{}
+	b := Baseline{
+		Comment: "Accepted pre-existing sqlvet findings. Matched by (analyzer, file, message), line-independent. " +
+			"Regenerate with: go run ./cmd/sqlvet -baseline " + path + " -write-baseline ./...",
+		Findings: []BaselineEntry{},
+	}
+	for _, f := range findings {
+		e := BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     relPath(root, f.Position.Filename),
+			Message:  f.Message,
+		}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		fi, fj := b.Findings[i], b.Findings[j]
+		if fi.File != fj.File {
+			return fi.File < fj.File
+		}
+		if fi.Analyzer != fj.Analyzer {
+			return fi.Analyzer < fj.Analyzer
+		}
+		return fi.Message < fj.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	//sqlvet:ignore vfsio -- the baseline is lint-tool state like sqlvet's .vetx cache, not database state; crash coverage is irrelevant
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,162 @@
+package sqlvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFindings(root string) []Finding {
+	return []Finding{
+		{
+			Position: token.Position{Filename: filepath.Join(root, "internal", "sqldb", "wal.go"), Line: 42, Column: 2},
+			Analyzer: "lockbalance",
+			Message:  "e.mu is still held when the function returns on this path",
+		},
+		{
+			Position: token.Position{Filename: filepath.Join(root, "internal", "csvdb", "csvdb.go"), Line: 7, Column: 1},
+			Analyzer: "vfsio",
+			Message:  "os.Create bypasses the vfs seam",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	root := t.TempDir()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, sampleFindings(root)); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	if got[0]["file"] != "internal/sqldb/wal.go" || got[0]["line"] != float64(42) {
+		t.Fatalf("first finding mangled: %v", got[0])
+	}
+	if got[1]["analyzer"] != "vfsio" {
+		t.Fatalf("second finding mangled: %v", got[1])
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	root := t.TempDir()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, sampleFindings(root)); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("not SARIF 2.1.0: version=%q schema=%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "sqlvet" {
+		t.Fatalf("bad run/tool: %+v", log.Runs)
+	}
+	// Every suite analyzer plus the pseudo-rule appears as a rule.
+	if want := len(Analyzers()) + 1; len(log.Runs[0].Tool.Driver.Rules) != want {
+		t.Fatalf("got %d rules, want %d", len(log.Runs[0].Tool.Driver.Rules), want)
+	}
+	res := log.Runs[0].Results
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	if res[0].RuleID != "lockbalance" || res[0].Level != "error" {
+		t.Fatalf("first result mangled: %+v", res[0])
+	}
+	// ruleIndex must point at the matching rule entry.
+	if id := log.Runs[0].Tool.Driver.Rules[res[0].RuleIndex].ID; id != "lockbalance" {
+		t.Fatalf("ruleIndex points at %q, want lockbalance", id)
+	}
+	loc := res[1].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/csvdb/csvdb.go" || loc.Region.StartLine != 7 {
+		t.Fatalf("second location mangled: %+v", loc)
+	}
+}
+
+func TestBaselineApply(t *testing.T) {
+	root := t.TempDir()
+	findings := sampleFindings(root)
+	b := &Baseline{Findings: []BaselineEntry{
+		{ // matches the lockbalance finding regardless of line drift
+			Analyzer: "lockbalance",
+			File:     "internal/sqldb/wal.go",
+			Message:  "e.mu is still held when the function returns on this path",
+		},
+		{ // stale: nothing reports this anymore
+			Analyzer: "walorder",
+			File:     "internal/sqldb/dml.go",
+			Message:  "insertEntry is not followed by its redo emission",
+		},
+	}}
+	fresh, stale := b.Apply(root, findings)
+	if len(fresh) != 1 || fresh[0].Analyzer != "vfsio" {
+		t.Fatalf("fresh = %v, want just the vfsio finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "walorder" {
+		t.Fatalf("stale = %v, want just the walorder entry", stale)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, ".sqlvet-baseline.json")
+	findings := sampleFindings(root)
+	if err := WriteBaselineFile(path, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := b.Apply(root, findings)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not a fixed point: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A missing baseline is empty, not an error.
+	empty, err := ReadBaseline(filepath.Join(root, "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale = empty.Apply(root, findings)
+	if len(fresh) != 2 || len(stale) != 0 {
+		t.Fatalf("empty baseline should pass everything through: fresh=%v stale=%v", fresh, stale)
+	}
+}

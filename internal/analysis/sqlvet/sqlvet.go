@@ -1,8 +1,9 @@
 // Package sqlvet assembles the engine's invariant analyzers (lockorder,
-// mvccvisibility, redocoverage, retryableerr) into one runnable suite.
-// It has two drivers, both in cmd/sqlvet: a standalone mode that loads
-// packages itself ("go run ./cmd/sqlvet ./..."), and a unitchecker mode
-// that speaks the `go vet -vettool` protocol.
+// mvccvisibility, redocoverage, retryableerr, atomicfield, lockbalance,
+// vfsio, degradegate, walorder) into one runnable suite. It has two
+// drivers, both in cmd/sqlvet: a standalone mode that loads packages
+// itself ("go run ./cmd/sqlvet ./..."), and a unitchecker mode that
+// speaks the `go vet -vettool` protocol.
 package sqlvet
 
 import (
@@ -14,12 +15,17 @@ import (
 	"sort"
 	"strings"
 
+	"bridgescope/internal/analysis/atomicfield"
+	"bridgescope/internal/analysis/degradegate"
 	"bridgescope/internal/analysis/framework"
 	"bridgescope/internal/analysis/load"
+	"bridgescope/internal/analysis/lockbalance"
 	"bridgescope/internal/analysis/lockorder"
 	"bridgescope/internal/analysis/mvccvisibility"
 	"bridgescope/internal/analysis/redocoverage"
 	"bridgescope/internal/analysis/retryableerr"
+	"bridgescope/internal/analysis/vfsio"
+	"bridgescope/internal/analysis/walorder"
 )
 
 // Analyzers returns the full suite, in stable order.
@@ -29,6 +35,11 @@ func Analyzers() []*framework.Analyzer {
 		mvccvisibility.Analyzer,
 		redocoverage.Analyzer,
 		retryableerr.Analyzer,
+		atomicfield.Analyzer,
+		lockbalance.Analyzer,
+		vfsio.Analyzer,
+		degradegate.Analyzer,
+		walorder.Analyzer,
 	}
 }
 

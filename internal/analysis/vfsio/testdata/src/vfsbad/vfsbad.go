@@ -1,0 +1,36 @@
+package vfsbad
+
+import "os"
+
+// export writes a snapshot with bare os calls — every write-side call is a
+// hole in the crash story.
+func export(dir string) error {
+	f, err := os.Create(dir + "/snap.csv") // want `os\.Create bypasses the vfs seam`
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("a,b\n"); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if err := os.Rename(dir+"/snap.csv", dir+"/final.csv"); err != nil { // want `os\.Rename bypasses the vfs seam`
+		return err
+	}
+	return os.Remove(dir + "/snap.csv") // want `os\.Remove bypasses the vfs seam`
+}
+
+func rewrite(path string, data []byte) error {
+	if err := os.Truncate(path, 0); err != nil { // want `os\.Truncate bypasses the vfs seam`
+		return err
+	}
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile bypasses the vfs seam`
+}
+
+// reads are exempt: they cannot tear.
+func load(path string) ([]byte, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}

@@ -1,0 +1,12 @@
+package vfsio_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/vfsio"
+)
+
+func TestVfsIO(t *testing.T) {
+	analysistest.Run(t, vfsio.Analyzer, "vfsbad", "vfs")
+}

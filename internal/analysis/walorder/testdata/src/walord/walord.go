@@ -1,0 +1,118 @@
+package walord
+
+import "errors"
+
+// Table/Session/Engine mirror the storage shapes the analyzer keys on.
+type Table struct{ rows int }
+
+type rowEntry struct{ id int }
+
+type Session struct {
+	engine *Engine
+}
+
+type Engine struct{ t Table }
+
+func (t *Table) insertEntry(v int) *rowEntry    { return &rowEntry{} }
+func (t *Table) installVersion(v int) *rowEntry { return &rowEntry{} }
+func (t *Table) deleteVersion(v int) *rowEntry  { return &rowEntry{} }
+
+func (e *Engine) createTable(name string) error { return nil }
+func (e *Engine) dropTable(name string) error   { return nil }
+
+func (s *Session) redoInsert(t *Table, e *rowEntry) {}
+func (s *Session) redoUpdate(t *Table, e *rowEntry) {}
+func (s *Session) redoDelete(t *Table, e *rowEntry) {}
+func (s *Session) redoDDL(sql string)               {}
+func (s *Session) redoCreateTable(name string)      {}
+func (s *Session) record(op int)                    {}
+
+// GoodInsert is the engine idiom: mutate, record undo, emit redo.
+func (s *Session) GoodInsert(t *Table, vals []int) {
+	for _, v := range vals {
+		e := t.insertEntry(v)
+		s.record(1)
+		s.redoInsert(t, e)
+	}
+}
+
+// BadInsertNoRedo never emits.
+func (s *Session) BadInsertNoRedo(t *Table, v int) {
+	e := t.insertEntry(v) // want `insertEntry is not followed by its redo emission \(redoInsert\) on every path`
+	_ = e
+}
+
+// BadEarlyReturnSkipsRedo keeps the write on the early-exit path (no error
+// is returned, so nothing rolls it back) but never logs it.
+func (s *Session) BadEarlyReturnSkipsRedo(t *Table, v int, dup bool) bool {
+	e := t.insertEntry(v) // want `insertEntry is not followed by its redo emission \(redoInsert\) on every path`
+	if dup {
+		return false
+	}
+	s.redoInsert(t, e)
+	return true
+}
+
+// GoodErrorReturnRollsBack: a non-nil error return means the statement
+// aborted; undo restores the heap, so the skipped redo is not a hole.
+func (s *Session) GoodErrorReturnRollsBack(t *Table, v int, fail bool) error {
+	e := t.insertEntry(v)
+	s.record(1)
+	if fail {
+		return errors.New("constraint violated")
+	}
+	s.redoInsert(t, e)
+	return nil
+}
+
+// BadWrongKind logs the wrong record kind: a delete replayed as an insert.
+func (s *Session) BadWrongKind(t *Table, v int) {
+	e := t.deleteVersion(v) // want `deleteVersion is not followed by its redo emission \(redoDelete\) on every path`
+	s.redoInsert(t, e)
+}
+
+// GoodDeleteThenRedo pairs kind with kind.
+func (s *Session) GoodDeleteThenRedo(t *Table, v int) {
+	e := t.deleteVersion(v)
+	s.redoDelete(t, e)
+}
+
+// GoodCreateTableDDL accepts either redoCreateTable or redoDDL for DDL.
+func (s *Session) GoodCreateTableDDL(name string) error {
+	if err := s.engine.createTable(name); err != nil {
+		return err
+	}
+	s.redoCreateTable(name)
+	return nil
+}
+
+// GoodDropTableDDL pairs dropTable with redoDDL.
+func (s *Session) GoodDropTableDDL(name string) error {
+	if err := s.engine.dropTable(name); err != nil {
+		return err
+	}
+	s.redoDDL("DROP TABLE " + name)
+	return nil
+}
+
+// GoodBranchesBothEmit emits in every alternative.
+func (s *Session) GoodBranchesBothEmit(t *Table, v int, upd bool) {
+	if upd {
+		e := t.installVersion(v)
+		s.redoUpdate(t, e)
+	} else {
+		e := t.insertEntry(v)
+		s.redoInsert(t, e)
+	}
+}
+
+// BadOneBranchSkips emits in one alternative only.
+func (s *Session) BadOneBranchSkips(t *Table, v int, upd bool) {
+	if upd {
+		e := t.installVersion(v) // want `installVersion is not followed by its redo emission \(redoUpdate\) on every path`
+		_ = e
+	} else {
+		e := t.installVersion(v)
+		s.redoUpdate(t, e)
+	}
+}

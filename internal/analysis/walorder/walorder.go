@@ -1,0 +1,196 @@
+// Package walorder enforces invariant L9: within a statement-execution
+// function, every heap mutation is followed by its matching redo emission
+// on every path before the function returns. redocoverage proves the
+// emitter is *reachable*; walorder is its flow-sensitive companion — a
+// mutation whose redo is skipped on one early-return branch still loses
+// the write on crash recovery, even though some other path emits.
+//
+// The lattice is the set of pending mutations (mutator name → first
+// position). A mutator call adds a pending entry; the paired emitter
+// (engineshape.PairedEmitters) clears it; the generic emitters
+// (redoAppend, logGrantsBatched) clear everything. A path that exits with
+// pending entries is reported at each unmatched mutation. Kind pairing
+// matters: a DELETE that logs redoInsert replays as the wrong operation.
+//
+// The storage-layer files (engineshape.StorageFiles) are exempt: rollback
+// applies undo with no redo by design, vacuum is reconstructible, and
+// recovery/snapshot replay the log. Error-return paths between a mutation
+// and its emission are NOT exempt — the engine's idiom mutates, records
+// undo, and emits redo with nothing in between precisely so no such
+// window exists; a finding here means the window reopened.
+package walorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"bridgescope/internal/analysis/callgraph"
+	"bridgescope/internal/analysis/engineshape"
+	"bridgescope/internal/analysis/framework"
+	"bridgescope/internal/analysis/framework/flow"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "walorder",
+	Doc: "flags heap mutations not followed by their matching redo emission on every path before the " +
+		"function returns; a path that skips the redo loses the write on crash recovery",
+	Run: run,
+}
+
+// walState is the pending-mutation set: mutator method name → position of
+// the first unmatched call. Join is union — pending on any incoming path
+// means the redo may be missing.
+type walState struct {
+	pending map[string]token.Pos
+}
+
+func newState() *walState { return &walState{pending: map[string]token.Pos{}} }
+
+func (s *walState) CloneState() flow.State {
+	c := newState()
+	for k, v := range s.pending {
+		c.pending[k] = v
+	}
+	return c
+}
+
+func (s *walState) JoinState(other flow.State) flow.State {
+	for k, v := range other.(*walState).pending {
+		if _, ok := s.pending[k]; !ok {
+			s.pending[k] = v
+		}
+	}
+	return s
+}
+
+func (s *walState) EqualState(other flow.State) bool {
+	o := other.(*walState)
+	if len(s.pending) != len(o.pending) {
+		return false
+	}
+	for k := range s.pending {
+		if _, ok := o.pending[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *framework.Pass) error {
+	for _, decl := range callgraph.Decls(pass) {
+		if decl.Body == nil {
+			continue
+		}
+		if engineshape.StorageFiles[filepath.Base(pass.Fset.Position(decl.Pos()).Filename)] {
+			continue
+		}
+		c := &checker{pass: pass}
+		flow.Run(decl.Body, newState(), &flow.Analysis{
+			Transfer: c.transfer,
+			AtExit:   c.atExit,
+		}, func(pos token.Pos, format string, args ...any) {
+			pass.Reportf(pos, format, args...)
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+func (c *checker) transfer(n ast.Node, st flow.State, report flow.Reporter) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := callgraph.Callee(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	s := st.(*walState)
+	if engineshape.IsMutator(callee) {
+		if _, exists := s.pending[callee.Name()]; !exists {
+			s.pending[callee.Name()] = call.Pos()
+		}
+		return
+	}
+	if !engineshape.IsEmitter(callee) {
+		return
+	}
+	if engineshape.GenericEmitters[callee.Name()] {
+		s.pending = map[string]token.Pos{}
+		return
+	}
+	for mut := range s.pending {
+		if engineshape.PairedEmitters[mut][callee.Name()] {
+			delete(s.pending, mut)
+		}
+	}
+}
+
+func (c *checker) atExit(n ast.Node, st flow.State, report flow.Reporter) {
+	// An exit that returns a non-nil error is the statement failing: the
+	// transaction machinery applies undo and the heap never diverges from
+	// the WAL, so a missing redo on that path is not a durability hole.
+	// (This is also how fallible mutators look before the analyzer:
+	// `if err := e.createTable(t); err != nil { return nil, err }` exits
+	// with the mutation "pending" exactly when it never happened.)
+	if rs, ok := n.(*ast.ReturnStmt); ok && returnsError(c.pass.TypesInfo, rs) {
+		return
+	}
+	s := st.(*walState)
+	muts := make([]string, 0, len(s.pending))
+	for m := range s.pending {
+		muts = append(muts, m)
+	}
+	sort.Strings(muts)
+	for _, m := range muts {
+		report(s.pending[m],
+			"%s is not followed by its redo emission (%s) on every path before the function returns; crash recovery loses this write (rule L9)",
+			m, pairedNames(m))
+	}
+}
+
+// returnsError reports whether the return statement carries a value that
+// can be a non-nil error: some result (other than the nil literal)
+// whose static type implements error.
+func returnsError(info *types.Info, rs *ast.ReturnStmt) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, r := range rs.Results {
+		if id, ok := ast.Unparen(r).(*ast.Ident); ok && id.Name == "nil" {
+			continue
+		}
+		t := info.TypeOf(r)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface) {
+			return true
+		}
+	}
+	return false
+}
+
+// pairedNames renders the acceptable emitters for a mutator.
+func pairedNames(mut string) string {
+	var names []string
+	for e := range engineshape.PairedEmitters[mut] {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " or "
+		}
+		out += n
+	}
+	if out == "" {
+		return "redoAppend"
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"bridgescope/internal/analysis/analysistest"
+	"bridgescope/internal/analysis/walorder"
+)
+
+func TestWalOrder(t *testing.T) {
+	analysistest.Run(t, walorder.Analyzer, "walord")
+}

@@ -10,9 +10,9 @@
 package csvdb
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -21,21 +21,31 @@ import (
 	"bridgescope/internal/core"
 	"bridgescope/internal/sqldb"
 	"bridgescope/internal/sqldb/stats"
+	"bridgescope/internal/sqldb/vfs"
 )
 
-// Store is a CSV-backed datasource.
+// Store is a CSV-backed datasource. All file I/O — loading CSVs and
+// exporting them back — goes through the vfs seam, so fault injection and
+// crash imaging cover the CSV export exactly like the engine's WAL.
 type Store struct {
 	dir    string
+	fs     vfs.FS
 	engine *sqldb.Engine
 }
 
 // Open loads every .csv file in dir as a table named after the file.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, vfs.OS())
+}
+
+// OpenFS is Open on an explicit filesystem. Tests pass a vfs.FaultFS to
+// drive the load/save cycle through simulated crashes.
+func OpenFS(dir string, fsys vfs.FS) (*Store, error) {
 	engine := sqldb.NewEngine("csv:" + filepath.Base(dir))
-	if err := loadDir(engine, dir); err != nil {
+	if err := loadDir(engine, fsys, dir); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, engine: engine}, nil
+	return &Store{dir: dir, fs: fsys, engine: engine}, nil
 }
 
 // OpenDurable is Open backed by a persistent engine rooted at stateDir
@@ -51,33 +61,37 @@ func OpenDurable(dir, stateDir string, opts sqldb.Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csvdb: %w", err)
 	}
-	if err := loadDir(engine, dir); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if err := loadDir(engine, fsys, dir); err != nil {
 		engine.Close()
 		return nil, err
 	}
-	return &Store{dir: dir, engine: engine}, nil
+	return &Store{dir: dir, fs: fsys, engine: engine}, nil
 }
 
 // loadDir loads each CSV whose table is not already present in the engine.
-func loadDir(engine *sqldb.Engine, dir string) error {
-	entries, err := os.ReadDir(dir)
+func loadDir(engine *sqldb.Engine, fsys vfs.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("csvdb: %w", err)
 	}
 	root := engine.NewSession("root")
 	var names []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+	for _, name := range entries {
+		if !strings.HasSuffix(strings.ToLower(name), ".csv") {
 			continue
 		}
-		names = append(names, e.Name())
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		if _, exists := engine.Table(TableName(name)); exists {
 			continue // recovered from the durable state; don't re-seed
 		}
-		if err := loadCSV(root, filepath.Join(dir, name)); err != nil {
+		if err := loadCSV(root, fsys, filepath.Join(dir, name)); err != nil {
 			return fmt.Errorf("csvdb: loading %s: %w", name, err)
 		}
 	}
@@ -142,13 +156,12 @@ func TableName(file string) string {
 	return name
 }
 
-func loadCSV(root *sqldb.Session, path string) error {
-	f, err := os.Open(path)
+func loadCSV(root *sqldb.Session, fsys vfs.FS, path string) error {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r := csv.NewReader(f)
+	r := csv.NewReader(bytes.NewReader(data))
 	r.TrimLeadingSpace = true
 	records, err := r.ReadAll()
 	if err != nil {
@@ -295,12 +308,18 @@ func renderCell(cell string, k sqldb.Kind) string {
 }
 
 // Save writes every table back to dir as <table>.csv, persisting any
-// modifications made through the toolkit.
+// modifications made through the toolkit. Each table is exported atomically
+// through the vfs seam: rows go to a temp file that is fsynced and then
+// renamed over the final name, and the directory is fsynced once at the
+// end. A crash mid-export therefore leaves every table either fully old or
+// fully new, never torn — and the temp files' ".csv.tmp-*" names fall
+// outside the loader's *.csv filter, so a leftover temp is ignored on the
+// next open.
 func (s *Store) Save(dir string) error {
 	if dir == "" {
 		dir = s.dir
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir); err != nil {
 		return err
 	}
 	root := s.engine.NewSession("root")
@@ -309,37 +328,57 @@ func (s *Store) Save(dir string) error {
 		if err != nil {
 			return fmt.Errorf("csvdb: dumping %s: %w", name, err)
 		}
-		f, err := os.Create(filepath.Join(dir, name+".csv"))
-		if err != nil {
-			return err
+		if err := s.saveTable(dir, name, res); err != nil {
+			return fmt.Errorf("csvdb: exporting %s: %w", name, err)
 		}
-		w := csv.NewWriter(f)
-		if err := w.Write(res.Columns); err != nil {
-			f.Close()
-			return err
-		}
-		for _, row := range res.Rows {
-			rec := make([]string, len(row))
-			for i, v := range row {
-				if v.IsNull() {
-					rec[i] = ""
-				} else {
-					rec[i] = v.String()
-				}
+	}
+	return s.fs.SyncDir(dir)
+}
+
+// saveTable writes one table's rows to dir/<name>.csv via temp file, fsync,
+// and atomic rename.
+func (s *Store) saveTable(dir, name string, res *sqldb.Result) error {
+	f, err := s.fs.CreateTemp(dir, name+".csv.tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(res.Columns); err != nil {
+		return fail(err)
+	}
+	for _, row := range res.Rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
 			}
-			if err := w.Write(rec); err != nil {
-				f.Close()
-				return err
-			}
 		}
-		w.Flush()
-		if err := w.Error(); err != nil {
-			f.Close()
-			return err
+		if err := w.Write(rec); err != nil {
+			return fail(err)
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(dir, name+".csv")); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,99 @@
+package csvdb
+
+import (
+	"fmt"
+	"testing"
+
+	"bridgescope/internal/sqldb/vfs"
+)
+
+// seedCSV writes one fully-synced CSV file into a FaultFS.
+func seedCSV(t *testing.T, fsys vfs.FS, path, body string) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, vfs.O_CREATE|vfs.O_WRONLY|vfs.O_TRUNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(body)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveTornExportRecoverable is the regression test for the vfsio finding
+// this PR fixes: Save used to write CSVs with a bare os.Create, so a crash
+// mid-export could leave a half-written file that the next Open would load
+// as real data. Now that the export goes through the vfs seam (temp file →
+// fsync → rename → dir fsync), this test crashes the export at every
+// recorded I/O step under every tear policy and proves each table is always
+// either fully old or fully new — never torn, never unloadable.
+func TestSaveTornExportRecoverable(t *testing.T) {
+	m := vfs.NewFaultFS()
+	m.RecordHistory(true)
+	seedCSV(t, m, "data/orders.csv", "id,qty\n1,2\n2,1\n")
+	seedCSV(t, m, "data/users.csv", "id,name\n1,ada\n")
+	if err := m.SyncDir("data"); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenFS("data", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := store.Engine().NewSession("root")
+	root.MustExec("INSERT INTO orders VALUES (3, 4)")
+	root.MustExec("UPDATE users SET name = 'grace' WHERE id = 1")
+
+	pre := m.Steps()
+	if err := store.Save("data"); err != nil {
+		t.Fatal(err)
+	}
+	post := m.Steps()
+	if post <= pre {
+		t.Fatalf("Save recorded no I/O steps (pre=%d post=%d)", pre, post)
+	}
+
+	// Each table's export is old or new as a unit; a torn file would show a
+	// mismatched pair (e.g. 3 rows that still sum to 3) or fail to load.
+	type ordersState struct{ count, sum int64 }
+	oldOrders := ordersState{2, 3}
+	newOrders := ordersState{3, 7}
+	sawOld, sawNew := false, false
+
+	for step := pre; step <= post; step++ {
+		for _, policy := range []vfs.TearPolicy{vfs.TearKill, vfs.TearLoseUnsynced, vfs.TearPartial} {
+			img, err := m.ImageAt(step, policy, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("step %d, %v", step, policy)
+			re, err := OpenFS("data", img)
+			if err != nil {
+				t.Fatalf("%s: reopen after crash failed: %v", name, err)
+			}
+			s := re.Engine().NewSession("root")
+			r := s.MustExec("SELECT COUNT(*), SUM(qty) FROM orders")
+			got := ordersState{r.Rows[0][0].I, r.Rows[0][1].I}
+			switch got {
+			case oldOrders:
+				sawOld = true
+			case newOrders:
+				sawNew = true
+			default:
+				t.Fatalf("%s: orders torn: got %+v, want %+v or %+v", name, got, oldOrders, newOrders)
+			}
+			r = s.MustExec("SELECT name FROM users WHERE id = 1")
+			if u := r.Rows[0][0].S; u != "ada" && u != "grace" {
+				t.Fatalf("%s: users torn: name = %q", name, u)
+			}
+		}
+	}
+	if !sawOld || !sawNew {
+		t.Fatalf("crash sweep never exercised both sides (old=%v new=%v)", sawOld, sawNew)
+	}
+}
